@@ -1,0 +1,113 @@
+//! Shared machinery for the paper's table/figure binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation section (see DESIGN.md's experiment index); this
+//! module provides the suite sweep they share.
+//!
+//! Environment knobs:
+//!
+//! * `VP_SCALE` — workload scale multiplier (default 1);
+//! * `VP_THREADS` — sweep parallelism (default: available cores, capped at
+//!   the suite size).
+
+use std::sync::Mutex;
+use vacuum_packing::hsd::HsdConfig;
+use vacuum_packing::metrics::{profile, ProfiledWorkload};
+use vacuum_packing::sim::MachineConfig;
+use vacuum_packing::workloads::{suite, Workload};
+
+/// Workload scale from `VP_SCALE` (default 1).
+pub fn scale() -> u32 {
+    std::env::var("VP_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1)
+}
+
+/// Sweep parallelism from `VP_THREADS` (default: available cores).
+pub fn threads() -> usize {
+    std::env::var("VP_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |n| n.get()))
+        .max(1)
+}
+
+/// Profiles the whole Table 1 suite in parallel, preserving suite order.
+/// Timing (the original binary's cycles) is collected when `machine` is
+/// given — required by the Figure 10 speedup binary.
+pub fn profile_suite(machine: Option<&MachineConfig>) -> Vec<ProfiledWorkload> {
+    let workloads: Vec<Workload> = suite(scale());
+    let n = workloads.len();
+    let results: Mutex<Vec<Option<ProfiledWorkload>>> =
+        Mutex::new((0..n).map(|_| None).collect());
+    let work: Mutex<Vec<(usize, Workload)>> =
+        Mutex::new(workloads.into_iter().enumerate().collect());
+
+    std::thread::scope(|s| {
+        for _ in 0..threads().min(n) {
+            s.spawn(|| loop {
+                let Some((idx, w)) = work.lock().expect("work queue").pop() else { break };
+                let label = w.label();
+                let pw = profile(&label, w.program, &HsdConfig::table2(), machine)
+                    .unwrap_or_else(|e| panic!("{label}: {e}"));
+                results.lock().expect("results")[idx] = Some(pw);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("results")
+        .into_iter()
+        .map(|o| o.expect("every workload profiled"))
+        .collect()
+}
+
+/// The paper's four-bar configuration labels, in Figure 8/10 order.
+pub const CONFIG_LABELS: [&str; 4] =
+    ["noInf/noLink", "noInf/link", "inf/noLink", "inf/link"];
+
+/// Evaluates every (workload, configuration) cell in parallel; the result
+/// is indexed `[workload][config]`.
+pub fn evaluate_matrix(
+    profiled: &[ProfiledWorkload],
+    configs: &[vacuum_packing::core::PackConfig],
+    machine: Option<&MachineConfig>,
+) -> Vec<Vec<vacuum_packing::metrics::ConfigOutcome>> {
+    use vacuum_packing::metrics::evaluate;
+    use vacuum_packing::opt::OptConfig;
+
+    let cells: Vec<(usize, usize)> = (0..profiled.len())
+        .flat_map(|w| (0..configs.len()).map(move |c| (w, c)))
+        .collect();
+    let n = cells.len();
+    let results: Mutex<Vec<Option<vacuum_packing::metrics::ConfigOutcome>>> =
+        Mutex::new((0..n).map(|_| None).collect());
+    let work: Mutex<Vec<(usize, (usize, usize))>> =
+        Mutex::new(cells.into_iter().enumerate().collect());
+    std::thread::scope(|s| {
+        for _ in 0..threads().min(n) {
+            s.spawn(|| loop {
+                let Some((idx, (w, c))) = work.lock().expect("work queue").pop() else { break };
+                let out = evaluate(&profiled[w], &configs[c], &OptConfig::default(), machine)
+                    .unwrap_or_else(|e| panic!("{}: {e}", profiled[w].label));
+                results.lock().expect("results")[idx] = Some(out);
+            });
+        }
+    });
+    let flat: Vec<vacuum_packing::metrics::ConfigOutcome> = results
+        .into_inner()
+        .expect("results")
+        .into_iter()
+        .map(|o| o.expect("every cell evaluated"))
+        .collect();
+    flat.chunks(configs.len()).map(|c| c.to_vec()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_sane() {
+        assert!(scale() >= 1);
+        assert!(threads() >= 1);
+    }
+}

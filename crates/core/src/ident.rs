@@ -1,0 +1,427 @@
+//! Step 2: region identification (paper Section 3.2).
+//!
+//! Maps one detected phase's branch profile onto the program, assigns
+//! initial block/arc temperatures (Section 3.2.1), runs the temperature
+//! inference fixpoint of Figure 4 (Section 3.2.2), and performs heuristic
+//! growth (Section 3.2.3).
+
+use crate::region::{ArcKey, FuncMark, Region, Temp};
+use crate::PackConfig;
+use std::collections::HashMap;
+use vp_hsd::Phase;
+use vp_isa::{BlockId, FuncId};
+use vp_program::{Cfg, EdgeKind, Layout, Program, Terminator};
+
+/// Lazily-built per-function CFG cache shared by the pipeline steps.
+#[derive(Debug, Default)]
+pub struct CfgCache {
+    map: HashMap<FuncId, Cfg>,
+}
+
+impl CfgCache {
+    /// Creates an empty cache.
+    pub fn new() -> CfgCache {
+        CfgCache::default()
+    }
+
+    /// The CFG of `f`, built on first use.
+    pub fn get(&mut self, program: &Program, f: FuncId) -> &Cfg {
+        self.map.entry(f).or_insert_with(|| Cfg::new(program.func(f)))
+    }
+}
+
+/// Identifies the hot region for one phase.
+///
+/// The returned [`Region`] marks every function touched by the phase with
+/// block and arc temperatures; Hot blocks are the extraction candidates.
+pub fn identify_region(
+    program: &Program,
+    layout: &Layout,
+    cfgs: &mut CfgCache,
+    phase: &Phase,
+    cfg: &PackConfig,
+) -> Region {
+    let mut region = Region::new(phase.id);
+    init_marking(program, layout, phase, cfg, &mut region);
+    infer(program, cfgs, cfg, &mut region);
+    grow(program, cfgs, cfg, &mut region);
+    region
+}
+
+/// Section 3.2.1: seed temperatures and weights from the BBB profile.
+fn init_marking(
+    program: &Program,
+    layout: &Layout,
+    phase: &Phase,
+    cfg: &PackConfig,
+    region: &mut Region,
+) {
+    for (&addr, pb) in &phase.branches {
+        let Some(bref) = layout.branch_at(addr) else { continue };
+        let nblocks = program.func(bref.func).blocks.len();
+        let m = region.mark_mut(bref.func, nblocks);
+        m.set_block_temp(bref.block, Temp::Hot);
+        m.set_block_weight(bref.block, pb.avg_exec());
+        m.set_taken_prob(bref.block, pb.taken_fraction());
+        m.set_profiled(bref.block);
+
+        // Weights stay in the hardware's 9-bit counter scale (averaged
+        // over merged detections) so the 25%-or-threshold rule below means
+        // what it meant in the paper.
+        let exec = pb.avg_exec().max(1);
+        let arcs = [
+            (EdgeKind::Taken, pb.avg_taken()),
+            (EdgeKind::NotTaken, pb.avg_exec().saturating_sub(pb.avg_taken())),
+        ];
+        for (kind, w) in arcs {
+            let a = ArcKey::new(bref.block, kind);
+            m.set_arc_weight(a, w);
+            // Hot when the direction carries at least 25% of the branch's
+            // flow or its weight exceeds the HSD's hot-branch execution
+            // threshold; Cold otherwise.
+            let frac = w as f64 / exec as f64;
+            let t = if frac >= cfg.hot_arc_fraction || w > cfg.hot_arc_threshold {
+                Temp::Hot
+            } else {
+                Temp::Cold
+            };
+            m.set_arc_temp(a, t);
+        }
+    }
+}
+
+fn out_arcs(program: &Program, f: FuncId, b: BlockId) -> Vec<(ArcKey, BlockId)> {
+    program
+        .func(f)
+        .successors(b)
+        .into_iter()
+        .map(|(t, kind)| (ArcKey::new(b, kind), t))
+        .collect()
+}
+
+fn in_arcs(cfg: &Cfg, b: BlockId) -> Vec<ArcKey> {
+    cfg.preds(b).iter().map(|&(p, kind)| ArcKey::new(p, kind)).collect()
+}
+
+/// Whether `b` may be inferred Hot: with inference disabled, a block ending
+/// in a conditional branch that the profiler did not capture is treated as
+/// complete information — it cannot be hot (Section 5.1's first
+/// configuration axis).
+fn may_infer_hot(program: &Program, m: &FuncMark, cfg: &PackConfig, b: BlockId) -> bool {
+    if cfg.inference {
+        return true;
+    }
+    let block = program.func(m.func).block(b);
+    !block.term.is_cond_branch() || m.is_profiled(b)
+}
+
+/// Section 3.2.2 (Figure 4): the temperature-inference fixpoint.
+fn infer(program: &Program, cfgs: &mut CfgCache, cfg: &PackConfig, region: &mut Region) {
+    loop {
+        let mut changed = false;
+        let fids: Vec<FuncId> = region.marks.keys().copied().collect();
+        for fid in fids {
+            let func_cfg = cfgs.get(program, fid).clone();
+            let func = program.func(fid);
+            for b in func.block_ids() {
+                let outs = out_arcs(program, fid, b);
+                let ins = in_arcs(&func_cfg, b);
+                let m = region.marks.get_mut(&fid).expect("marked function");
+
+                // Statement 3: all in-arcs (or all out-arcs) known Cold
+                // => block Cold.
+                if m.block_temp(b) == Temp::Unknown {
+                    let all_in_cold =
+                        !ins.is_empty() && ins.iter().all(|&a| m.arc_temp(a) == Temp::Cold);
+                    let all_out_cold = !outs.is_empty()
+                        && outs.iter().all(|&(a, _)| m.arc_temp(a) == Temp::Cold);
+                    if (all_in_cold || all_out_cold) && m.set_block_temp(b, Temp::Cold) {
+                        changed = true;
+                    }
+                }
+
+                // Statement 4: any Hot arc in or out => block Hot.
+                if m.block_temp(b) == Temp::Unknown && may_infer_hot(program, m, cfg, b) {
+                    let any_hot = ins.iter().any(|&a| m.arc_temp(a) == Temp::Hot)
+                        || outs.iter().any(|&(a, _)| m.arc_temp(a) == Temp::Hot);
+                    if any_hot && m.set_block_temp(b, Temp::Hot) {
+                        changed = true;
+                    }
+                }
+
+                // Statement 6: Cold block => all arcs in and out Cold.
+                if m.block_temp(b) == Temp::Cold {
+                    for &a in &ins {
+                        changed |= m.set_arc_temp(a, Temp::Cold);
+                    }
+                    for &(a, _) in &outs {
+                        changed |= m.set_arc_temp(a, Temp::Cold);
+                    }
+                }
+
+                // Statement 7: Hot block whose other in-arcs (resp.
+                // out-arcs) are all Cold => the remaining Unknown arc is
+                // Hot (flow conservation).
+                if m.block_temp(b) == Temp::Hot {
+                    for side in [&ins[..], &outs.iter().map(|&(a, _)| a).collect::<Vec<_>>()[..]] {
+                        let unknown: Vec<ArcKey> =
+                            side.iter().copied().filter(|&a| m.arc_temp(a) == Temp::Unknown).collect();
+                        let others_cold = side
+                            .iter()
+                            .filter(|&&a| m.arc_temp(a) != Temp::Unknown)
+                            .all(|&a| m.arc_temp(a) == Temp::Cold);
+                        if unknown.len() == 1 && others_cold {
+                            changed |= m.set_arc_temp(unknown[0], Temp::Hot);
+                        }
+                    }
+                }
+
+                // Statements 8-9: Hot call => callee prologue Hot.
+                if m.block_temp(b) == Temp::Hot {
+                    if let Terminator::Call { callee, .. } = func.block(b).term {
+                        let centry = program.func(callee).entry;
+                        let cblocks = program.func(callee).blocks.len();
+                        let cm = region.mark_mut(callee, cblocks);
+                        changed |= cm.set_block_temp(centry, Temp::Hot);
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+}
+
+/// Section 3.2.3: heuristic growth.
+fn grow(program: &Program, cfgs: &mut CfgCache, cfg: &PackConfig, region: &mut Region) {
+    let fids: Vec<FuncId> = region.marks.keys().copied().collect();
+    for fid in fids {
+        let func_cfg = cfgs.get(program, fid).clone();
+        let func = program.func(fid);
+        let m = region.marks.get_mut(&fid).expect("marked function");
+
+        // First: include Unknown arcs between two Hot blocks (Cold arcs
+        // between Hot blocks stay excluded).
+        for b in func.block_ids() {
+            if m.block_temp(b) != Temp::Hot {
+                continue;
+            }
+            for (a, t) in out_arcs(program, fid, b) {
+                if m.block_temp(t) == Temp::Hot && m.arc_temp(a) == Temp::Unknown {
+                    m.set_arc_temp(a, Temp::Hot);
+                }
+            }
+        }
+
+        // Second: expand from each entry block into adjacent predecessors,
+        // avoiding Cold arcs and blocks, limited to MAX_BLOCKS additional
+        // blocks per entry, stopping at already-Hot predecessors.
+        let entries: Vec<BlockId> = func
+            .block_ids()
+            .filter(|&b| {
+                m.block_temp(b) == Temp::Hot
+                    && !in_arcs(&func_cfg, b).iter().any(|&a| m.arc_temp(a) == Temp::Hot)
+            })
+            .collect();
+        for entry in entries {
+            let mut budget = cfg.max_growth_blocks;
+            let mut frontier = vec![entry];
+            while budget > 0 {
+                let Some(b) = frontier.pop() else { break };
+                let mut grew = false;
+                for &(p, kind) in func_cfg.preds(b) {
+                    if budget == 0 {
+                        break;
+                    }
+                    let a = ArcKey::new(p, kind);
+                    if m.arc_temp(a) == Temp::Cold || m.block_temp(p) == Temp::Cold {
+                        continue;
+                    }
+                    if m.block_temp(p) == Temp::Hot {
+                        // Reached existing hot code: connect and stop.
+                        m.set_arc_temp(a, Temp::Hot);
+                        continue;
+                    }
+                    m.set_block_temp(p, Temp::Hot);
+                    m.set_arc_temp(a, Temp::Hot);
+                    budget -= 1;
+                    grew = true;
+                    frontier.push(p);
+                }
+                if !grew {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use vp_hsd::PhaseBranch;
+    use vp_isa::{CodeRef, Cond, Reg, Src};
+    use vp_program::{ProgramBuilder};
+
+    fn phase_from(layout: &Layout, branches: &[(CodeRef, u64, u64)]) -> Phase {
+        let mut map = BTreeMap::new();
+        for &(bref, exec, taken) in branches {
+            map.insert(layout.branch_addr(bref), PhaseBranch::once(exec, taken));
+        }
+        Phase { id: 0, branches: map, first_detected_at: 0, detections: 1 }
+    }
+
+    /// A loop with a rarely-taken side path:
+    /// b0(entry) -> b1(header: br to b2 body / b4 exit)
+    /// b2(body: br to b3 rare / b5 common) ; b3 -> b5 ; b5 -> b1 (back)
+    fn loop_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        pb.func("main", |f| {
+            let i = Reg::int(20);
+            f.li(i, 0);
+            f.while_(
+                |f| f.cond(Cond::Lt, i, Src::Imm(100)),
+                |f| {
+                    let c = f.cond(Cond::Eq, i, Src::Imm(50));
+                    f.if_(c, |f| f.nop());
+                    f.addi(i, i, 1);
+                },
+            );
+            f.halt();
+        });
+        pb.build()
+    }
+
+    #[test]
+    fn profiled_branches_become_hot() {
+        let p = loop_program();
+        let layout = Layout::natural(&p);
+        // Find the loop-header branch block (first Br block).
+        let f0 = p.func(FuncId(0));
+        let header = f0
+            .blocks_iter()
+            .find(|(_, b)| b.term.is_cond_branch())
+            .map(|(id, _)| CodeRef { func: FuncId(0), block: id })
+            .unwrap();
+        let phase = phase_from(&layout, &[(header, 100, 99)]);
+        let mut cfgs = CfgCache::new();
+        let region = identify_region(&p, &layout, &mut cfgs, &phase, &PackConfig::default());
+        let m = region.mark(FuncId(0)).unwrap();
+        assert_eq!(m.block_temp(header.block), Temp::Hot);
+        assert!(m.is_profiled(header.block));
+        assert_eq!(m.taken_prob(header.block), Some(0.99));
+    }
+
+    #[test]
+    fn cold_direction_marked_cold() {
+        let p = loop_program();
+        let layout = Layout::natural(&p);
+        let f0 = p.func(FuncId(0));
+        let branches: Vec<BlockId> = f0
+            .blocks_iter()
+            .filter(|(_, b)| b.term.is_cond_branch())
+            .map(|(id, _)| id)
+            .collect();
+        // Profile both branches: header taken 99%, inner branch taken 1%.
+        let header = CodeRef { func: FuncId(0), block: branches[0] };
+        let inner = CodeRef { func: FuncId(0), block: branches[1] };
+        let phase = phase_from(&layout, &[(header, 100, 99), (inner, 99, 1)]);
+        let mut cfgs = CfgCache::new();
+        let region = identify_region(&p, &layout, &mut cfgs, &phase, &PackConfig::default());
+        let m = region.mark(FuncId(0)).unwrap();
+        // The inner branch's taken arc (rare path) is Cold; its target
+        // block becomes Cold via Statement 3.
+        let taken_arc = ArcKey::new(inner.block, EdgeKind::Taken);
+        assert_eq!(m.arc_temp(taken_arc), Temp::Cold);
+        let rare_block = taken_arc.target(f0).unwrap();
+        assert_eq!(m.block_temp(rare_block), Temp::Cold);
+    }
+
+    #[test]
+    fn inference_propagates_through_unprofiled_blocks() {
+        let p = loop_program();
+        let layout = Layout::natural(&p);
+        let f0 = p.func(FuncId(0));
+        let branches: Vec<BlockId> = f0
+            .blocks_iter()
+            .filter(|(_, b)| b.term.is_cond_branch())
+            .map(|(id, _)| id)
+            .collect();
+        let header = CodeRef { func: FuncId(0), block: branches[0] };
+        let inner = CodeRef { func: FuncId(0), block: branches[1] };
+        let phase = phase_from(&layout, &[(header, 100, 99), (inner, 99, 1)]);
+        let mut cfgs = CfgCache::new();
+        let region = identify_region(&p, &layout, &mut cfgs, &phase, &PackConfig::default());
+        let m = region.mark(FuncId(0)).unwrap();
+        // The common fall-through successor of the inner branch was never
+        // profiled but must be inferred Hot (it joins back to the loop).
+        let common = ArcKey::new(inner.block, EdgeKind::NotTaken).target(f0).unwrap();
+        assert_eq!(m.block_temp(common), Temp::Hot);
+    }
+
+    #[test]
+    fn hot_call_marks_callee_prologue() {
+        let mut pb = ProgramBuilder::new();
+        let callee = pb.declare("callee");
+        pb.define(callee, |f| {
+            f.addi(Reg::ARG0, Reg::ARG0, 1);
+            f.ret();
+        });
+        let main = pb.declare("main");
+        pb.define(main, |f| {
+            let i = Reg::int(20);
+            f.li(i, 0);
+            f.while_(
+                |f| f.cond(Cond::Lt, i, Src::Imm(100)),
+                |f| {
+                    f.call(callee);
+                    f.addi(i, i, 1);
+                },
+            );
+            f.halt();
+        });
+        pb.set_entry(main);
+        let p = pb.build();
+        let layout = Layout::natural(&p);
+        let mf = p.func(main);
+        let header = mf
+            .blocks_iter()
+            .find(|(_, b)| b.term.is_cond_branch())
+            .map(|(id, _)| CodeRef { func: main, block: id })
+            .unwrap();
+        let phase = phase_from(&layout, &[(header, 100, 99)]);
+        let mut cfgs = CfgCache::new();
+        let region = identify_region(&p, &layout, &mut cfgs, &phase, &PackConfig::default());
+        let cm = region.mark(callee).expect("callee must join the region");
+        assert_eq!(cm.block_temp(p.func(callee).entry), Temp::Hot);
+    }
+
+    #[test]
+    fn no_inference_mode_keeps_unprofiled_branch_blocks_unknown() {
+        let p = loop_program();
+        let layout = Layout::natural(&p);
+        let f0 = p.func(FuncId(0));
+        let branches: Vec<BlockId> = f0
+            .blocks_iter()
+            .filter(|(_, b)| b.term.is_cond_branch())
+            .map(|(id, _)| id)
+            .collect();
+        // Profile ONLY the header; the inner branch is missing from the
+        // BBB (contention).
+        let header = CodeRef { func: FuncId(0), block: branches[0] };
+        let phase = phase_from(&layout, &[(header, 100, 99)]);
+        let mut cfgs = CfgCache::new();
+        let no_inf = PackConfig { inference: false, ..PackConfig::default() };
+        let region = identify_region(&p, &layout, &mut cfgs, &phase, &no_inf);
+        let m = region.mark(FuncId(0)).unwrap();
+        // The unprofiled inner branch block must not be inferred Hot.
+        assert_ne!(m.block_temp(branches[1]), Temp::Hot);
+
+        // With inference on, it is.
+        let region = identify_region(&p, &layout, &mut cfgs, &phase, &PackConfig::default());
+        let m = region.mark(FuncId(0)).unwrap();
+        assert_eq!(m.block_temp(branches[1]), Temp::Hot);
+    }
+}

@@ -1,0 +1,121 @@
+//! # vp-core
+//!
+//! The paper's primary contribution: Vacuum Packing region formation and
+//! package extraction.
+//!
+//! Given a program and the phases detected by the Hot Spot Detector
+//! (`vp-hsd`), this crate:
+//!
+//! 1. **identifies** the hot region of each phase — temperature marking,
+//!    the Figure-4 inference fixpoint, heuristic growth ([`ident`],
+//!    Sections 3.2.1–3.2.3);
+//! 2. **constructs packages** — pruning cold code out of per-phase function
+//!    copies, inserting exit blocks with dummy consumers, finding root
+//!    functions and entry blocks, and partially inlining hot callees
+//!    ([`package`], Sections 3.3.1–3.3.3);
+//! 3. **links packages** that share launch points and ranks orderings with
+//!    the accumulator formula ([`linking`], Section 3.3.4);
+//! 4. **rewrites the binary** — appends package functions, patches launch
+//!    points, and installs inter-package links ([`rewrite`]).
+//!
+//! The end-to-end pipeline is [`pack`]; the two evaluation axes of the
+//! paper's Figures 8 and 10 (`inference`, `linking`) are switches on
+//! [`PackConfig`].
+
+#![warn(missing_docs)]
+
+pub mod ident;
+pub mod linking;
+pub mod package;
+pub mod region;
+pub mod rewrite;
+
+pub use ident::{identify_region, CfgCache};
+pub use linking::{rank_ordering, LinkPlan};
+pub use package::{build_packages, Package, PkgBlockMeta};
+pub use region::{ArcKey, FuncMark, Region, Temp};
+pub use rewrite::{rewrite, PackOutput, PackageInfo};
+
+use vp_hsd::Phase;
+use vp_program::{Layout, Program};
+
+/// Configuration of the Vacuum Packing pipeline.
+///
+/// Defaults follow the paper: 25% hot-arc fraction, the HSD candidate
+/// threshold of 16 as the hot-arc execution threshold, `MAX_BLOCKS` = 1,
+/// and both inference and linking enabled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PackConfig {
+    /// Enable temperature inference for blocks ending in unprofiled
+    /// conditional branches (Figure 8/10's first configuration axis).
+    pub inference: bool,
+    /// Enable inter-package linking (Figure 8/10's second axis).
+    pub linking: bool,
+    /// Minimum fraction of a branch's flow for a direction to be Hot
+    /// (Section 3.2.1: 25%).
+    pub hot_arc_fraction: f64,
+    /// Absolute arc weight above which a direction is Hot regardless of
+    /// fraction (Section 3.2.1: the HSD's hot-spot branch execution
+    /// threshold).
+    pub hot_arc_threshold: u64,
+    /// `MAX_BLOCKS`: predecessor blocks heuristic growth may add per entry
+    /// (Section 3.2.3: 1).
+    pub max_growth_blocks: usize,
+    /// Maximum number of packages per root for which link orderings are
+    /// ranked exhaustively; beyond this a greedy order is used.
+    pub max_exhaustive_orderings: usize,
+    /// Per-package bound on how many times one function may appear in an
+    /// inlining context chain (prevents unbounded mutual-recursion
+    /// inlining; the paper's self-recursion rule corresponds to 1).
+    pub max_inline_depth_per_func: usize,
+}
+
+impl Default for PackConfig {
+    fn default() -> PackConfig {
+        PackConfig {
+            inference: true,
+            linking: true,
+            hot_arc_fraction: 0.25,
+            hot_arc_threshold: 16,
+            max_growth_blocks: 1,
+            max_exhaustive_orderings: 7,
+            max_inline_depth_per_func: 1,
+        }
+    }
+}
+
+impl PackConfig {
+    /// The four evaluation configurations of Figures 8 and 10, in the
+    /// paper's bar order: (no inference, no linking), (no inference,
+    /// linking), (inference, no linking), (inference, linking).
+    pub fn evaluation_matrix() -> [PackConfig; 4] {
+        let base = PackConfig::default();
+        [
+            PackConfig { inference: false, linking: false, ..base },
+            PackConfig { inference: false, linking: true, ..base },
+            PackConfig { inference: true, linking: false, ..base },
+            PackConfig { inference: true, linking: true, ..base },
+        ]
+    }
+}
+
+/// Runs the full Vacuum Packing pipeline: region identification for every
+/// phase, package construction, linking, and binary rewriting.
+///
+/// `layout` must be the layout of `program` (it maps the BBB's branch
+/// addresses back to blocks).
+pub fn pack(
+    program: &Program,
+    layout: &Layout,
+    phases: &[Phase],
+    cfg: &PackConfig,
+) -> PackOutput {
+    let mut cfgs = CfgCache::new();
+    let regions: Vec<Region> =
+        phases.iter().map(|ph| identify_region(program, layout, &mut cfgs, ph, cfg)).collect();
+    let mut packages = Vec::new();
+    for region in &regions {
+        packages.extend(build_packages(program, &mut cfgs, region, cfg));
+    }
+    rewrite(program, packages, regions, cfg)
+}

@@ -1,0 +1,304 @@
+//! Step 3b: package linking and ordering (paper Section 3.3.4).
+//!
+//! Several phases often share a root function, but a launch point can
+//! target only one package. Linking retargets a cold exit of one package at
+//! the corresponding *hot* block of a sibling package — legal only when the
+//! calling contexts are identical — so execution migrates to the package
+//! matching the current phase.
+//!
+//! Following the paper, a link always goes to the first compatible package
+//! "to the right" in a chosen ordering (wrapping around), and the left-most
+//! package takes precedence for shared entry points. That reduces linking
+//! to an ordering problem, ranked by the accumulator formula: with
+//! per-package ratios `r_i = incoming links / package branches` in order,
+//! `rank = r_1 + r_1 r_2 + r_1 r_2 r_3 + …` — a rough likelihood of
+//! remaining inside packaged code.
+
+use crate::package::Package;
+use crate::PackConfig;
+use std::collections::BTreeMap;
+use vp_isa::{BlockId, CodeRef, FuncId};
+
+/// One installed inter-package link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Link {
+    /// Index (into the global package list) of the package being exited.
+    pub from_pkg: usize,
+    /// The exit block being retargeted.
+    pub from_block: BlockId,
+    /// Index of the destination package.
+    pub to_pkg: usize,
+    /// Destination hot block.
+    pub to_block: BlockId,
+}
+
+/// The complete linking decision for a set of packages.
+#[derive(Debug, Clone, Default)]
+pub struct LinkPlan {
+    /// Links to install.
+    pub links: Vec<Link>,
+    /// For each original entry location, the package whose launch point
+    /// owns it.
+    pub entry_owner: BTreeMap<CodeRef, usize>,
+    /// Chosen ordering rank per root (diagnostics).
+    pub rank_by_root: Vec<(FuncId, f64)>,
+}
+
+/// Ranks one ordering of a package group and returns the links it implies.
+///
+/// `order` holds indices into the global package list; exits search to the
+/// right with wrap-around for the first context-compatible hot block.
+pub fn rank_ordering(packages: &[Package], order: &[usize]) -> (f64, Vec<Link>) {
+    let n = order.len();
+    let mut links = Vec::new();
+    let mut incoming = vec![0usize; n];
+    for (pos, &gi) in order.iter().enumerate() {
+        for (exit_block, meta) in packages[gi].exits() {
+            for step in 1..n {
+                let qpos = (pos + step) % n;
+                let gj = order[qpos];
+                if let Some(tb) = packages[gj].find_hot_block(meta.origin, &meta.context) {
+                    links.push(Link { from_pkg: gi, from_block: exit_block, to_pkg: gj, to_block: tb });
+                    incoming[qpos] += 1;
+                    break;
+                }
+            }
+        }
+    }
+    let ratios: Vec<f64> = order
+        .iter()
+        .enumerate()
+        .map(|(pos, &gi)| {
+            let b = packages[gi].branch_blocks;
+            if b == 0 {
+                0.0
+            } else {
+                incoming[pos] as f64 / b as f64
+            }
+        })
+        .collect();
+    let mut rank = 0.0;
+    let mut weight = 1.0;
+    for r in &ratios {
+        weight *= r;
+        rank += weight;
+    }
+    (rank, links)
+}
+
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<usize> = (0..n).collect();
+    fn heap(k: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if k <= 1 {
+            out.push(cur.clone());
+            return;
+        }
+        for i in 0..k {
+            heap(k - 1, cur, out);
+            if k % 2 == 0 {
+                cur.swap(i, k - 1);
+            } else {
+                cur.swap(0, k - 1);
+            }
+        }
+    }
+    heap(n, &mut cur, &mut out);
+    out
+}
+
+/// Chooses the best ordering for one group: exhaustively for small groups,
+/// greedily (best next package by partial rank) beyond
+/// `max_exhaustive_orderings`.
+fn best_order(packages: &[Package], group: &[usize], max_exhaustive: usize) -> (f64, Vec<usize>) {
+    if group.len() <= max_exhaustive {
+        let mut best: Option<(f64, Vec<usize>)> = None;
+        for perm in permutations(group.len()) {
+            let order: Vec<usize> = perm.iter().map(|&i| group[i]).collect();
+            let (rank, _) = rank_ordering(packages, &order);
+            if best.as_ref().is_none_or(|(r, _)| rank > *r) {
+                best = Some((rank, order));
+            }
+        }
+        best.expect("non-empty group")
+    } else {
+        let mut remaining: Vec<usize> = group.to_vec();
+        let mut order = Vec::new();
+        while !remaining.is_empty() {
+            let mut best = (f64::NEG_INFINITY, 0);
+            for (i, &cand) in remaining.iter().enumerate() {
+                let mut trial = order.clone();
+                trial.push(cand);
+                let (rank, _) = rank_ordering(packages, &trial);
+                if rank > best.0 {
+                    best = (rank, i);
+                }
+            }
+            order.push(remaining.remove(best.1));
+        }
+        let (rank, _) = rank_ordering(packages, &order);
+        (rank, order)
+    }
+}
+
+/// Plans links and entry ownership for all packages.
+///
+/// Packages are grouped by root function; with `cfg.linking` disabled, no
+/// links are installed and each shared entry is owned by the
+/// earliest-detected phase's package (only one package reachable — the Fig.
+/// 8 "no linking" bars).
+pub fn plan_links(packages: &[Package], cfg: &PackConfig) -> LinkPlan {
+    let mut groups: BTreeMap<FuncId, Vec<usize>> = BTreeMap::new();
+    for (i, p) in packages.iter().enumerate() {
+        groups.entry(p.root).or_default().push(i);
+    }
+
+    let mut plan = LinkPlan::default();
+    for (root, group) in groups {
+        let (order, rank) = if cfg.linking && group.len() > 1 {
+            let (rank, order) = best_order(packages, &group, cfg.max_exhaustive_orderings);
+            let (_, links) = rank_ordering(packages, &order);
+            plan.links.extend(links);
+            (order, rank)
+        } else {
+            (group.clone(), 0.0)
+        };
+        plan.rank_by_root.push((root, rank));
+        // Entry precedence: the left-most package in the ordering owns a
+        // shared entry point.
+        for &gi in &order {
+            for (_, origin) in &packages[gi].entries {
+                plan.entry_owner.entry(*origin).or_insert(gi);
+            }
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::package::PkgBlockMeta;
+    use vp_program::{Block, Terminator};
+
+    /// Builds a synthetic package whose blocks are: one hot block per
+    /// `hot` origin, one exit per `exits` origin (contexts empty).
+    fn pkg(phase: usize, root: u32, hot: &[CodeRef], exits: &[CodeRef], branches: usize) -> Package {
+        let mut blocks = Vec::new();
+        let mut meta = Vec::new();
+        for &h in hot {
+            blocks.push(Block::empty(Terminator::Ret));
+            meta.push(PkgBlockMeta { origin: h, context: vec![], is_exit: false, is_stub: false });
+        }
+        for &e in exits {
+            blocks.push(Block::empty(Terminator::Goto(e)));
+            meta.push(PkgBlockMeta { origin: e, context: vec![], is_exit: true, is_stub: false });
+        }
+        let entries = vec![(BlockId(0), hot[0])];
+        Package {
+            phase,
+            root: FuncId(root),
+            name: format!("pkg{phase}"),
+            blocks,
+            meta,
+            entries,
+            branch_blocks: branches,
+        }
+    }
+
+    #[test]
+    fn exit_links_to_sibling_hot_block() {
+        let a_hot = CodeRef::new(0, 0);
+        let b_hot = CodeRef::new(0, 5);
+        // Package A exits where package B is hot, and vice versa.
+        let pa = pkg(0, 0, &[a_hot], &[b_hot], 2);
+        let pb = pkg(1, 0, &[b_hot], &[a_hot], 2);
+        let plan = plan_links(&[pa, pb], &PackConfig::default());
+        assert_eq!(plan.links.len(), 2);
+        assert!(plan.links.iter().any(|l| l.from_pkg == 0 && l.to_pkg == 1));
+        assert!(plan.links.iter().any(|l| l.from_pkg == 1 && l.to_pkg == 0));
+    }
+
+    #[test]
+    fn linking_disabled_installs_nothing() {
+        let a_hot = CodeRef::new(0, 0);
+        let b_hot = CodeRef::new(0, 5);
+        let pa = pkg(0, 0, &[a_hot], &[b_hot], 2);
+        let pb = pkg(1, 0, &[b_hot], &[a_hot], 2);
+        let cfg = PackConfig { linking: false, ..PackConfig::default() };
+        let plan = plan_links(&[pa, pb], &cfg);
+        assert!(plan.links.is_empty());
+        // Shared entries still owned by the first package.
+        assert_eq!(plan.entry_owner[&a_hot], 0);
+    }
+
+    #[test]
+    fn context_mismatch_prevents_link() {
+        let t = CodeRef::new(0, 5);
+        let mut pa = pkg(0, 0, &[CodeRef::new(0, 0)], &[t], 1);
+        // A's exit is in context [site X]; B's hot copy of t is in context
+        // [site Y]: incompatible (the paper's B1' vs B1'' case).
+        pa.meta.last_mut().unwrap().context = vec![CodeRef::new(0, 9)];
+        let mut pb = pkg(1, 0, &[t], &[], 1);
+        pb.meta[0].context = vec![CodeRef::new(0, 8)];
+        let plan = plan_links(&[pa, pb], &PackConfig::default());
+        assert!(plan.links.is_empty(), "different contexts must not link");
+    }
+
+    #[test]
+    fn different_roots_never_link() {
+        let t = CodeRef::new(0, 5);
+        let pa = pkg(0, 0, &[CodeRef::new(0, 0)], &[t], 1);
+        let pb = pkg(1, 1, &[t], &[], 1);
+        let plan = plan_links(&[pa, pb], &PackConfig::default());
+        assert!(plan.links.is_empty());
+    }
+
+    #[test]
+    fn rank_accumulator_matches_paper_example() {
+        // The Figure 7(c) walkthrough: ratios 2/5, 2/5, 3/6 → 0.64.
+        // Reproduce the arithmetic directly.
+        let ratios = [2.0f64 / 5.0, 2.0 / 5.0, 3.0 / 6.0];
+        let mut rank = 0.0f64;
+        let mut w = 1.0f64;
+        for r in ratios {
+            w *= r;
+            rank += w;
+        }
+        assert!((rank - 0.64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ordering_search_prefers_more_reachable_packages() {
+        // Three packages on one root; p0 exits to p1's hot block, p1 exits
+        // to p2's, p2 exits to p0's: a cycle — any rotation links fully.
+        let h: Vec<CodeRef> = (0..3).map(|i| CodeRef::new(0, i)).collect();
+        let pkgs = vec![
+            pkg(0, 0, &[h[0]], &[h[1]], 1),
+            pkg(1, 0, &[h[1]], &[h[2]], 1),
+            pkg(2, 0, &[h[2]], &[h[0]], 1),
+        ];
+        let plan = plan_links(&pkgs, &PackConfig::default());
+        assert_eq!(plan.links.len(), 3);
+        let (root, rank) = plan.rank_by_root[0];
+        assert_eq!(root, FuncId(0));
+        assert!(rank > 0.0);
+    }
+
+    #[test]
+    fn permutation_count() {
+        assert_eq!(permutations(4).len(), 24);
+        assert_eq!(permutations(1).len(), 1);
+    }
+
+    #[test]
+    fn greedy_path_used_for_large_groups() {
+        let h: Vec<CodeRef> = (0..4).map(|i| CodeRef::new(0, i)).collect();
+        let pkgs: Vec<Package> = (0..4)
+            .map(|i| pkg(i, 0, &[h[i]], &[h[(i + 1) % 4]], 1))
+            .collect();
+        let cfg = PackConfig { max_exhaustive_orderings: 2, ..PackConfig::default() };
+        let plan = plan_links(&pkgs, &cfg);
+        assert!(!plan.links.is_empty());
+    }
+}

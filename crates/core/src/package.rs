@@ -1,0 +1,719 @@
+//! Step 3a: package construction (paper Sections 3.3.1–3.3.3).
+//!
+//! For each root function of a region this module assembles a *package*: a
+//! new function body holding per-phase copies of the region's hot blocks.
+//!
+//! * **Function pruning** keeps only Hot blocks and Hot arcs; every control
+//!   path leaving the kept subgraph is routed through an *exit block*
+//!   carrying dummy consumers ([`vp_isa::Inst::Consume`]) for the registers
+//!   live at the exit, so data-flow analysis inside the package stays
+//!   sound (Section 3.3.1).
+//! * **Root functions** are found on the region call graph: functions
+//!   without region callers (ignoring call-graph back edges), functions
+//!   that cannot be inlined (no prologue/epilogue/path), and self-recursive
+//!   functions (Section 3.3.2). *Entry blocks* are kept blocks without
+//!   forward predecessors in the pruned subgraph.
+//! * **Partial inlining** expands each root through its region call sites,
+//!   copying only the callee blocks reachable from the prologue and
+//!   discarding disjoint segments; inlined returns become jumps to the call
+//!   continuation (Section 3.3.3).
+
+use crate::ident::CfgCache;
+use crate::region::{ArcKey, FuncMark, Region, Temp};
+use crate::PackConfig;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use vp_isa::{BlockId, CodeRef, FuncId, Inst};
+use vp_program::{Block, Cfg, EdgeKind, Function, Liveness, Program, Terminator};
+
+/// Sentinel function id marking package-internal targets before the
+/// rewriter assigns the package its real id.
+pub const PKG_SELF: FuncId = FuncId(u32::MAX);
+
+/// Provenance of one package block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PkgBlockMeta {
+    /// For copied blocks, the original block; for exit blocks, the original
+    /// block the exit transfers to.
+    pub origin: CodeRef,
+    /// Inlining context: the chain of original call-site blocks from the
+    /// root down to this block's function instance. Two package blocks are
+    /// link-compatible only when both origin and context match
+    /// (Section 3.3.4's "identical calling contexts").
+    pub context: Vec<CodeRef>,
+    /// Whether this is an exit block back to original code (the block cold
+    /// arcs target; inter-package links retarget its terminator).
+    pub is_exit: bool,
+    /// Whether this is a frame-reconstruction stub or trampoline behind an
+    /// exit from inlined code — never a link source or target.
+    pub is_stub: bool,
+}
+
+/// An extracted package, not yet installed into a program.
+#[derive(Debug, Clone)]
+pub struct Package {
+    /// Phase (hot spot) index this package serves.
+    pub phase: usize,
+    /// Root function the package was grown from.
+    pub root: FuncId,
+    /// Suggested function name.
+    pub name: String,
+    /// Package body. Internal targets use [`PKG_SELF`]; exits and calls
+    /// reference original code.
+    pub blocks: Vec<Block>,
+    /// Per-block provenance, parallel to `blocks`.
+    pub meta: Vec<PkgBlockMeta>,
+    /// Package entry blocks paired with the original locations they stand
+    /// for (launch-point targets).
+    pub entries: Vec<(BlockId, CodeRef)>,
+    /// Number of blocks ending in a conditional branch — the denominator of
+    /// the Section 3.3.4 link-ranking ratio.
+    pub branch_blocks: usize,
+}
+
+impl Package {
+    /// Static instructions in the package (terminators at unit cost).
+    pub fn static_insts(&self) -> u64 {
+        self.blocks.iter().map(Block::static_insts).sum()
+    }
+
+    /// The package block standing for `origin` in calling context `ctx`,
+    /// excluding exit blocks (used by linking).
+    pub fn find_hot_block(&self, origin: CodeRef, ctx: &[CodeRef]) -> Option<BlockId> {
+        self.meta
+            .iter()
+            .position(|m| !m.is_exit && !m.is_stub && m.origin == origin && m.context == ctx)
+            .map(|i| BlockId(i as u32))
+    }
+
+    /// Exit blocks (link sources) with their targets and contexts; stub and
+    /// trampoline blocks behind them are excluded.
+    pub fn exits(&self) -> impl Iterator<Item = (BlockId, &PkgBlockMeta)> {
+        self.meta
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.is_exit && !m.is_stub)
+            .map(|(i, m)| (BlockId(i as u32), m))
+    }
+}
+
+/// Whether arc `a` of `f` is part of the extracted region.
+fn arc_kept(m: &FuncMark, f: &Function, a: ArcKey) -> bool {
+    m.arc_temp(a) == Temp::Hot && a.target(f).is_some_and(|t| m.is_selected(t))
+}
+
+/// Kept blocks reachable from `starts` through kept arcs.
+fn reachable_kept(m: &FuncMark, f: &Function, starts: &[BlockId]) -> BTreeSet<BlockId> {
+    let mut seen: BTreeSet<BlockId> = starts.iter().copied().filter(|&b| m.is_selected(b)).collect();
+    let mut work: Vec<BlockId> = seen.iter().copied().collect();
+    while let Some(b) = work.pop() {
+        for (t, kind) in f.successors(b) {
+            if arc_kept(m, f, ArcKey::new(b, kind)) && seen.insert(t) {
+                work.push(t);
+            }
+        }
+    }
+    seen
+}
+
+/// Entry blocks of the pruned subgraph: kept blocks without kept forward
+/// predecessors (back edges classified on the full CFG).
+fn entry_blocks(m: &FuncMark, f: &Function, cfg: &Cfg) -> Vec<BlockId> {
+    let mut entries: Vec<BlockId> = f
+        .block_ids()
+        .filter(|&b| m.is_selected(b))
+        .filter(|&b| {
+            !cfg.preds(b).iter().any(|&(p, kind)| {
+                !cfg.is_back_edge(p, b)
+                    && m.is_selected(p)
+                    && arc_kept(m, f, ArcKey::new(p, kind))
+            })
+        })
+        .collect();
+    if entries.is_empty() {
+        // Fully cyclic selection: fall back to the function entry if
+        // selected, else the lowest selected block.
+        if m.is_selected(f.entry) {
+            entries.push(f.entry);
+        } else if let Some(b) = f.block_ids().find(|&b| m.is_selected(b)) {
+            entries.push(b);
+        }
+    }
+    entries
+}
+
+/// Whether the pruned copy of `f` can be partially inlined: prologue
+/// (entry) selected, an epilogue (`Ret`) present, and a kept path between
+/// them (Section 3.3.3).
+fn inlinable(m: &FuncMark, f: &Function) -> bool {
+    if !m.is_selected(f.entry) {
+        return false;
+    }
+    let reach = reachable_kept(m, f, &[f.entry]);
+    reach.iter().any(|&b| matches!(f.block(b).term, Terminator::Ret))
+}
+
+/// A call arc of the region call graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RegionCall {
+    caller: FuncId,
+    site: BlockId,
+    callee: FuncId,
+}
+
+fn region_calls(program: &Program, region: &Region) -> Vec<RegionCall> {
+    let mut calls = Vec::new();
+    for (&fid, m) in &region.marks {
+        if m.hot_blocks().next().is_none() {
+            continue;
+        }
+        let f = program.func(fid);
+        for b in f.block_ids().filter(|&b| m.is_selected(b)) {
+            if let Terminator::Call { callee, .. } = f.block(b).term {
+                let callee_hot = region
+                    .mark(callee)
+                    .map(|cm| cm.hot_blocks().next().is_some())
+                    .unwrap_or(false);
+                if callee_hot {
+                    calls.push(RegionCall { caller: fid, site: b, callee });
+                }
+            }
+        }
+    }
+    calls
+}
+
+/// Root-function selection (Section 3.3.2).
+fn find_roots(program: &Program, region: &Region, calls: &[RegionCall]) -> Vec<FuncId> {
+    let hot_funcs: Vec<FuncId> = region.hot_funcs();
+    let mut roots: BTreeSet<FuncId> = BTreeSet::new();
+
+    for &f in &hot_funcs {
+        let self_recursive = calls.iter().any(|c| c.caller == f && c.callee == f);
+        let has_external_caller = calls.iter().any(|c| c.callee == f && c.caller != f);
+        let m = region.mark(f).expect("hot function is marked");
+        // (a) no callers in the region (self-calls are call-graph back
+        //     edges and are ignored);
+        // (b) cannot be inlined into any caller;
+        // (c) self-recursive.
+        if !has_external_caller || !inlinable(m, program.func(f)) || self_recursive {
+            roots.insert(f);
+        }
+    }
+
+    // Completeness fallback for caller cycles: a mutual-recursion SCC with
+    // no external callers would otherwise have no root at all. Designate
+    // its lowest-id member.
+    let covered = |roots: &BTreeSet<FuncId>, f: FuncId| -> bool {
+        // f is covered if reachable from a root through region call arcs.
+        let mut work: Vec<FuncId> = roots.iter().copied().collect();
+        let mut seen: BTreeSet<FuncId> = roots.clone();
+        while let Some(g) = work.pop() {
+            if g == f {
+                return true;
+            }
+            for c in calls.iter().filter(|c| c.caller == g) {
+                if seen.insert(c.callee) {
+                    work.push(c.callee);
+                }
+            }
+        }
+        seen.contains(&f)
+    };
+    for &f in &hot_funcs {
+        if !covered(&roots, f) {
+            roots.insert(f);
+        }
+    }
+    roots.into_iter().collect()
+}
+
+struct PkgBuilder<'p> {
+    program: &'p Program,
+    region: &'p Region,
+    cfg: &'p PackConfig,
+    liveness: HashMap<FuncId, Liveness>,
+    blocks: Vec<Option<Block>>,
+    meta: Vec<PkgBlockMeta>,
+    branch_blocks: usize,
+}
+
+impl<'p> PkgBuilder<'p> {
+    fn alloc(&mut self, meta: PkgBlockMeta) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(None);
+        self.meta.push(meta);
+        id
+    }
+
+    fn live_in(&mut self, cfgs: &mut CfgCache, target: CodeRef) -> Vec<vp_isa::Reg> {
+        let program = self.program;
+        let f = target.func;
+        if !self.liveness.contains_key(&f) {
+            let cfg = cfgs.get(program, f).clone();
+            self.liveness.insert(f, Liveness::new(program.func(f), &cfg));
+        }
+        self.liveness[&f].live_in(target.block).iter().collect()
+    }
+
+    /// Creates (or reuses) an exit block transferring back to `target` in
+    /// original code.
+    ///
+    /// From the root context this is a plain jump. From an *inlined*
+    /// context the original callee's eventual `Ret` needs the return
+    /// addresses the elided calls would have pushed, so the exit becomes a
+    /// chain of [`Terminator::CallThrough`] stubs: one per elided call
+    /// site, outermost first, each pushing a trampoline that continues at
+    /// that call site's original continuation.
+    fn exit_block(
+        &mut self,
+        cfgs: &mut CfgCache,
+        exits: &mut BTreeMap<CodeRef, BlockId>,
+        ctx: &[CodeRef],
+        target: CodeRef,
+    ) -> BlockId {
+        if let Some(&b) = exits.get(&target) {
+            return b;
+        }
+        let live = self.live_in(cfgs, target);
+        let head =
+            self.alloc(PkgBlockMeta { origin: target, context: ctx.to_vec(), is_exit: true, is_stub: false });
+
+        // Allocate the chain after the head: stubs for sites 1..k and one
+        // trampoline per site.
+        let mut chain: Vec<BlockId> = Vec::new();
+        for (i, site) in ctx.iter().enumerate() {
+            let cont = match self.program.func(site.func).block(site.block).term {
+                Terminator::Call { ret_to, .. } => CodeRef { func: site.func, block: ret_to },
+                ref t => unreachable!("context site {site} is not a call: {t:?}"),
+            };
+            // Trampoline: lands here when the (i-th innermost-remaining)
+            // frame pops; continues in the original caller.
+            let tr = self.alloc(PkgBlockMeta {
+                origin: cont,
+                context: ctx[..i].to_vec(),
+                is_exit: true,
+                is_stub: true,
+            });
+            self.blocks[tr.0 as usize] = Some(Block::empty(Terminator::Goto(cont)));
+            chain.push(tr);
+            if i + 1 < ctx.len() {
+                let stub = self.alloc(PkgBlockMeta {
+                    origin: target,
+                    context: ctx.to_vec(),
+                    is_exit: true,
+                    is_stub: true,
+                });
+                chain.push(stub);
+            }
+        }
+
+        // Wire the chain: head pushes cont(s1) and forwards; each stub
+        // pushes the next continuation; the last transfer enters `target`.
+        let term_for = |next: CodeRef, tr: BlockId| Terminator::CallThrough {
+            target: next,
+            ret_to: tr,
+        };
+        if ctx.is_empty() {
+            self.blocks[head.0 as usize] = Some(Block {
+                insts: vec![Inst::Consume { regs: live }],
+                term: Terminator::Goto(target),
+            });
+        } else {
+            // chain layout: [tr_1, stub_2, tr_2, stub_3, tr_3, ...]
+            let mut carriers = vec![head];
+            for i in 1..ctx.len() {
+                carriers.push(chain[2 * i - 1]);
+            }
+            for (i, &carrier) in carriers.iter().enumerate() {
+                let tr = chain[2 * i];
+                let next = if i + 1 < carriers.len() {
+                    CodeRef { func: PKG_SELF, block: carriers[i + 1] }
+                } else {
+                    target
+                };
+                let insts = if i == 0 { vec![Inst::Consume { regs: live.clone() }] } else { vec![] };
+                self.blocks[carrier.0 as usize] = Some(Block { insts, term: term_for(next, tr) });
+            }
+        }
+        exits.insert(target, head);
+        head
+    }
+
+    /// Instantiates the pruned copy of `fid` starting from `starts`.
+    ///
+    /// `ctx` is the inlining context (chain of original call sites);
+    /// `ret_target` is where inlined returns continue (None for the root:
+    /// returns stay returns). Returns the mapping from original to package
+    /// block ids for this instance.
+    fn instantiate(
+        &mut self,
+        cfgs: &mut CfgCache,
+        fid: FuncId,
+        starts: &[BlockId],
+        ctx: Vec<CodeRef>,
+        ret_target: Option<BlockId>,
+    ) -> HashMap<BlockId, BlockId> {
+        let program = self.program;
+        let f = program.func(fid);
+        let m = self.region.mark(fid).expect("instantiated function is marked");
+        let kept = reachable_kept(m, f, starts);
+
+        // Phase 1: allocate ids.
+        let mut map: HashMap<BlockId, BlockId> = HashMap::new();
+        for &b in &kept {
+            let id = self.alloc(PkgBlockMeta {
+                origin: CodeRef { func: fid, block: b },
+                context: ctx.clone(),
+                is_exit: false,
+                is_stub: false,
+            });
+            map.insert(b, id);
+        }
+        let mut exits: BTreeMap<CodeRef, BlockId> = BTreeMap::new();
+
+        // Phase 2: copy bodies and rewrite terminators.
+        for &b in &kept {
+            let orig = f.block(b);
+            let pkg_id = map[&b];
+            let pkg_ref = |map: &HashMap<BlockId, BlockId>, t: BlockId| CodeRef {
+                func: PKG_SELF,
+                block: map[&t],
+            };
+            let term = match &orig.term {
+                Terminator::Goto(t) => {
+                    debug_assert_eq!(t.func, fid);
+                    if kept.contains(&t.block) && arc_kept(m, f, ArcKey::new(b, EdgeKind::Goto)) {
+                        Terminator::Goto(pkg_ref(&map, t.block))
+                    } else {
+                        let e = self.exit_block(cfgs, &mut exits, &ctx, *t);
+                        Terminator::Goto(CodeRef { func: PKG_SELF, block: e })
+                    }
+                }
+                Terminator::Br { cond, rs1, rs2, taken, not_taken } => {
+                    self.branch_blocks += 1;
+                    let resolve = |this: &mut Self,
+                                       cfgs: &mut CfgCache,
+                                       exits: &mut BTreeMap<CodeRef, BlockId>,
+                                       t: &CodeRef,
+                                       kind: EdgeKind| {
+                        if kept.contains(&t.block) && arc_kept(m, f, ArcKey::new(b, kind)) {
+                            pkg_ref(&map, t.block)
+                        } else {
+                            let e = this.exit_block(cfgs, exits, &ctx, *t);
+                            CodeRef { func: PKG_SELF, block: e }
+                        }
+                    };
+                    let tk = resolve(self, cfgs, &mut exits, taken, EdgeKind::Taken);
+                    let nt = resolve(self, cfgs, &mut exits, not_taken, EdgeKind::NotTaken);
+                    Terminator::Br { cond: *cond, rs1: *rs1, rs2: *rs2, taken: tk, not_taken: nt }
+                }
+                Terminator::Call { callee, ret_to } => {
+                    let cont = if kept.contains(ret_to)
+                        && arc_kept(m, f, ArcKey::new(b, EdgeKind::CallCont))
+                    {
+                        map[ret_to]
+                    } else {
+                        self.exit_block(cfgs, &mut exits, &ctx, CodeRef { func: fid, block: *ret_to })
+                    };
+                    let site = CodeRef { func: fid, block: b };
+                    if self.should_inline(*callee, &ctx) {
+                        let mut inner_ctx = ctx.clone();
+                        inner_ctx.push(site);
+                        let inner_map = self.instantiate(
+                            cfgs,
+                            *callee,
+                            &[program.func(*callee).entry],
+                            inner_ctx,
+                            Some(cont),
+                        );
+                        let entry = inner_map[&program.func(*callee).entry];
+                        Terminator::Goto(CodeRef { func: PKG_SELF, block: entry })
+                    } else {
+                        // Not inlined: call the original function (whose
+                        // launch point may itself redirect to a package).
+                        Terminator::Call { callee: *callee, ret_to: cont }
+                    }
+                }
+                Terminator::Ret => match ret_target {
+                    // Inlined return: continue at the caller's
+                    // continuation inside the package.
+                    Some(cont) => Terminator::Goto(CodeRef { func: PKG_SELF, block: cont }),
+                    None => Terminator::Ret,
+                },
+                Terminator::Halt => Terminator::Halt,
+                Terminator::CallThrough { .. } => {
+                    unreachable!("original code never contains CallThrough")
+                }
+            };
+            self.blocks[pkg_id.0 as usize] = Some(Block { insts: orig.insts.clone(), term });
+        }
+        map
+    }
+
+    /// Inlining admission: callee must be in the region, structurally
+    /// inlinable, and not over-represented in the context chain
+    /// (Section 3.3.3's self-recursion rule generalized to cycles).
+    fn should_inline(&self, callee: FuncId, ctx: &[CodeRef]) -> bool {
+        let Some(cm) = self.region.mark(callee) else { return false };
+        if cm.hot_blocks().next().is_none() || !inlinable(cm, self.program.func(callee)) {
+            return false;
+        }
+        let occurrences = ctx
+            .iter()
+            .filter(|site| match self.program.func(site.func).block(site.block).term {
+                Terminator::Call { callee: c, .. } => c == callee,
+                _ => false,
+            })
+            .count();
+        occurrences <= self.cfg.max_inline_depth_per_func
+    }
+}
+
+/// Builds every package of one region: one package per root function
+/// (Section 3.3).
+pub fn build_packages(
+    program: &Program,
+    cfgs: &mut CfgCache,
+    region: &Region,
+    cfg: &PackConfig,
+) -> Vec<Package> {
+    let calls = region_calls(program, region);
+    let roots = find_roots(program, region, &calls);
+    let mut packages = Vec::new();
+
+    for root in roots {
+        let m = region.mark(root).expect("root is marked");
+        let f = program.func(root);
+        let root_cfg = cfgs.get(program, root).clone();
+        let entries = entry_blocks(m, f, &root_cfg);
+        if entries.is_empty() {
+            continue;
+        }
+        let mut b = PkgBuilder {
+            program,
+            region,
+            cfg,
+            liveness: HashMap::new(),
+            blocks: Vec::new(),
+            meta: Vec::new(),
+            branch_blocks: 0,
+        };
+        let map = b.instantiate(cfgs, root, &entries, Vec::new(), None);
+        if map.is_empty() {
+            continue;
+        }
+        let entry_pairs: Vec<(BlockId, CodeRef)> = entries
+            .iter()
+            .filter_map(|e| map.get(e).map(|&pb| (pb, CodeRef { func: root, block: *e })))
+            .collect();
+        packages.push(Package {
+            phase: region.phase,
+            root,
+            name: format!("pkg_p{}_{}", region.phase, f.name),
+            blocks: b.blocks.into_iter().map(|ob| ob.expect("block body filled")).collect(),
+            meta: b.meta,
+            entries: entry_pairs,
+            branch_blocks: b.branch_blocks,
+        });
+    }
+    packages
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ident::identify_region;
+    use std::collections::BTreeMap as Map;
+    use vp_hsd::{Phase, PhaseBranch};
+    use vp_isa::{Cond, Reg, Src};
+    use vp_program::{Layout, ProgramBuilder};
+
+    /// main: loop calling helper; helper has a hot path and a cold path.
+    fn call_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let helper = pb.declare("helper");
+        pb.define(helper, |f| {
+            let c = f.cond(Cond::Eq, Reg::ARG0, Src::Imm(777));
+            f.if_else(
+                c,
+                |f| {
+                    // cold path
+                    f.li(Reg::int(30), 1);
+                    f.ret();
+                },
+                |f| {
+                    f.addi(Reg::ARG0, Reg::ARG0, 1);
+                    f.ret();
+                },
+            );
+        });
+        let main = pb.declare("main");
+        pb.define(main, |f| {
+            let i = Reg::int(20);
+            f.li(i, 0);
+            f.while_(
+                |f| f.cond(Cond::Lt, i, Src::Imm(100)),
+                |f| {
+                    f.mov(Reg::ARG0, i);
+                    f.call(helper);
+                    f.addi(i, i, 1);
+                },
+            );
+            f.halt();
+        });
+        pb.set_entry(main);
+        pb.build()
+    }
+
+    fn all_branch_phase(p: &Program, layout: &Layout, profiles: &[(FuncId, u64, u64)]) -> Phase {
+        // Profile every conditional branch of the listed functions with the
+        // given (exec, taken) counts.
+        let mut branches = Map::new();
+        for &(fid, exec, taken) in profiles {
+            for (bid, b) in p.func(fid).blocks_iter() {
+                if b.term.is_cond_branch() {
+                    let addr = layout.branch_addr(CodeRef { func: fid, block: bid });
+                    branches.insert(addr, PhaseBranch::once(exec, taken));
+                }
+            }
+        }
+        Phase { id: 0, branches, first_detected_at: 0, detections: 1 }
+    }
+
+    fn build_for(p: &Program, phase: &Phase, cfg: &PackConfig) -> Vec<Package> {
+        let layout = Layout::natural(p);
+        let mut cfgs = CfgCache::new();
+        let region = identify_region(p, &layout, &mut cfgs, phase, cfg);
+        build_packages(p, &mut cfgs, &region, cfg)
+    }
+
+    #[test]
+    fn hot_callee_is_inlined_into_root_package() {
+        let p = call_program();
+        let layout = Layout::natural(&p);
+        let main = FuncId(1);
+        let helper = FuncId(0);
+        // main's loop branch taken 99%; helper's cold check not-taken 99%.
+        let phase = all_branch_phase(&p, &layout, &[(main, 200, 198), (helper, 200, 2)]);
+        let pkgs = build_for(&p, &phase, &PackConfig::default());
+        assert_eq!(pkgs.len(), 1, "single root: main");
+        let pkg = &pkgs[0];
+        assert_eq!(pkg.root, main);
+        // Helper blocks appear with a non-empty context.
+        assert!(
+            pkg.meta.iter().any(|m| m.origin.func == helper && !m.context.is_empty()),
+            "helper must be partially inlined"
+        );
+        // The cold path of helper must NOT be copied.
+        let cold_block = p
+            .func(helper)
+            .blocks_iter()
+            .find(|(_, b)| b.insts.iter().any(|i| matches!(i, Inst::Li { rd, imm: 1 } if *rd == Reg::int(30))))
+            .map(|(id, _)| id)
+            .unwrap();
+        assert!(
+            !pkg.meta.iter().any(|m| !m.is_exit && m.origin == CodeRef { func: helper, block: cold_block }),
+            "cold path must be pruned"
+        );
+        // Exit blocks exist and carry dummy consumers.
+        let (exit_id, _) = pkg.exits().next().expect("pruned paths create exits");
+        assert!(matches!(pkg.blocks[exit_id.0 as usize].insts[0], Inst::Consume { .. }));
+    }
+
+    #[test]
+    fn inlined_returns_become_jumps() {
+        let p = call_program();
+        let layout = Layout::natural(&p);
+        let phase = all_branch_phase(&p, &layout, &[(FuncId(1), 200, 198), (FuncId(0), 200, 2)]);
+        let pkgs = build_for(&p, &phase, &PackConfig::default());
+        let pkg = &pkgs[0];
+        // No Ret terminator may remain for inlined helper blocks.
+        for (i, block) in pkg.blocks.iter().enumerate() {
+            if pkg.meta[i].origin.func == FuncId(0) && !pkg.meta[i].is_exit {
+                assert!(
+                    !matches!(block.term, Terminator::Ret),
+                    "inlined return must be rewritten to a jump"
+                );
+            }
+        }
+        // And no call to helper remains inside the package.
+        assert!(!pkg
+            .blocks
+            .iter()
+            .any(|b| matches!(b.term, Terminator::Call { callee, .. } if callee == FuncId(0))));
+    }
+
+    #[test]
+    fn self_recursive_function_is_its_own_root() {
+        let mut pb = ProgramBuilder::new();
+        let rec = pb.declare("rec");
+        pb.define(rec, |f| {
+            let c = f.cond(Cond::Lt, Reg::ARG0, Src::Imm(1));
+            f.if_else(
+                c,
+                |f| f.ret(),
+                |f| {
+                    f.addi(Reg::ARG0, Reg::ARG0, -1);
+                    f.call(rec);
+                    f.ret();
+                },
+            );
+        });
+        let main = pb.declare("main");
+        pb.define(main, |f| {
+            let i = Reg::int(20);
+            f.li(i, 0);
+            f.while_(
+                |f| f.cond(Cond::Lt, i, Src::Imm(50)),
+                |f| {
+                    f.li(Reg::ARG0, 20);
+                    f.call(rec);
+                    f.addi(i, i, 1);
+                },
+            );
+            f.halt();
+        });
+        pb.set_entry(main);
+        let p = pb.build();
+        let layout = Layout::natural(&p);
+        let phase = all_branch_phase(&p, &layout, &[(main, 100, 98), (rec, 2000, 100)]);
+        let pkgs = build_for(&p, &phase, &PackConfig::default());
+        let roots: Vec<FuncId> = pkgs.iter().map(|p| p.root).collect();
+        assert!(roots.contains(&rec), "self-recursive function must be a root: {roots:?}");
+        // The rec package inlines rec into itself exactly once: some block
+        // has context depth 1 and a recursive call remains.
+        let rec_pkg = pkgs.iter().find(|p| p.root == rec).unwrap();
+        assert!(rec_pkg.meta.iter().any(|m| m.context.len() == 1));
+        assert!(rec_pkg
+            .blocks
+            .iter()
+            .any(|b| matches!(b.term, Terminator::Call { callee, .. } if callee == rec)));
+    }
+
+    #[test]
+    fn entries_point_at_root_entry_blocks() {
+        let p = call_program();
+        let layout = Layout::natural(&p);
+        let phase = all_branch_phase(&p, &layout, &[(FuncId(1), 200, 198), (FuncId(0), 200, 2)]);
+        let pkgs = build_for(&p, &phase, &PackConfig::default());
+        let pkg = &pkgs[0];
+        assert!(!pkg.entries.is_empty());
+        for (pb_id, orig) in &pkg.entries {
+            assert_eq!(pkg.meta[pb_id.0 as usize].origin, *orig);
+            assert_eq!(orig.func, pkg.root);
+        }
+    }
+
+    #[test]
+    fn packages_count_their_branches() {
+        let p = call_program();
+        let layout = Layout::natural(&p);
+        let phase = all_branch_phase(&p, &layout, &[(FuncId(1), 200, 198), (FuncId(0), 200, 2)]);
+        let pkgs = build_for(&p, &phase, &PackConfig::default());
+        let pkg = &pkgs[0];
+        let counted =
+            pkg.blocks.iter().filter(|b| b.term.is_cond_branch()).count();
+        assert_eq!(pkg.branch_blocks, counted);
+        assert!(counted >= 1);
+    }
+}

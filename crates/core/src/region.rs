@@ -1,0 +1,267 @@
+//! Region marking structures: temperatures, weights and taken
+//! probabilities over blocks and control-flow arcs (paper Section 3.2.1).
+
+use std::collections::BTreeMap;
+use vp_isa::{BlockId, FuncId};
+use vp_program::{EdgeKind, Function};
+
+/// Temperature lattice used during region identification.
+///
+/// Blocks start `Unknown` and may become `Hot`; control-flow arcs may be
+/// `Hot`, `Cold`, or `Unknown` (Section 3.2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Temp {
+    /// No information yet.
+    #[default]
+    Unknown,
+    /// Part of the hot region.
+    Hot,
+    /// Positively excluded from the hot region.
+    Cold,
+}
+
+/// Identifies one outgoing control-flow arc: a block has at most one arc of
+/// each [`EdgeKind`], so the pair is unique and the target is implied by the
+/// terminator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArcKey {
+    /// Source block.
+    pub from: BlockId,
+    /// Which outgoing arc of the source.
+    pub kind: EdgeKind,
+}
+
+impl ArcKey {
+    /// Convenience constructor.
+    pub fn new(from: BlockId, kind: EdgeKind) -> ArcKey {
+        ArcKey { from, kind }
+    }
+
+    /// Resolves the arc's target block within `f`, if the arc exists and is
+    /// intra-function.
+    pub fn target(&self, f: &Function) -> Option<BlockId> {
+        f.successors(self.from).into_iter().find(|&(_, k)| k == self.kind).map(|(b, _)| b)
+    }
+}
+
+/// Per-function marking produced by region identification.
+#[derive(Debug, Clone)]
+pub struct FuncMark {
+    /// The marked function.
+    pub func: FuncId,
+    block_temp: Vec<Temp>,
+    block_weight: Vec<u64>,
+    taken_prob: Vec<Option<f64>>,
+    arc_temp: BTreeMap<ArcKey, Temp>,
+    arc_weight: BTreeMap<ArcKey, u64>,
+    /// Blocks whose conditional branch appeared in the hot-spot profile.
+    profiled: Vec<bool>,
+}
+
+impl FuncMark {
+    /// Creates an all-`Unknown` marking for a function with `blocks`
+    /// blocks.
+    pub fn new(func: FuncId, blocks: usize) -> FuncMark {
+        FuncMark {
+            func,
+            block_temp: vec![Temp::Unknown; blocks],
+            block_weight: vec![0; blocks],
+            taken_prob: vec![None; blocks],
+            arc_temp: BTreeMap::new(),
+            arc_weight: BTreeMap::new(),
+            profiled: vec![false; blocks],
+        }
+    }
+
+    /// Temperature of a block.
+    pub fn block_temp(&self, b: BlockId) -> Temp {
+        self.block_temp[b.0 as usize]
+    }
+
+    /// Sets a block temperature (first assignment wins; `Unknown` never
+    /// overwrites a known temperature).
+    pub fn set_block_temp(&mut self, b: BlockId, t: Temp) -> bool {
+        let slot = &mut self.block_temp[b.0 as usize];
+        if *slot == Temp::Unknown && t != Temp::Unknown {
+            *slot = t;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Profile weight (executed count) of a block.
+    pub fn block_weight(&self, b: BlockId) -> u64 {
+        self.block_weight[b.0 as usize]
+    }
+
+    /// Sets a block's profile weight.
+    pub fn set_block_weight(&mut self, b: BlockId, w: u64) {
+        self.block_weight[b.0 as usize] = w;
+    }
+
+    /// Taken probability of the block's conditional branch, if profiled.
+    pub fn taken_prob(&self, b: BlockId) -> Option<f64> {
+        self.taken_prob[b.0 as usize]
+    }
+
+    /// Sets the taken probability of a block's conditional branch.
+    pub fn set_taken_prob(&mut self, b: BlockId, p: f64) {
+        self.taken_prob[b.0 as usize] = Some(p);
+    }
+
+    /// Marks the block's branch as present in the hot-spot profile.
+    pub fn set_profiled(&mut self, b: BlockId) {
+        self.profiled[b.0 as usize] = true;
+    }
+
+    /// Whether the block's branch appeared in the hot-spot profile.
+    pub fn is_profiled(&self, b: BlockId) -> bool {
+        self.profiled[b.0 as usize]
+    }
+
+    /// Temperature of an arc (`Unknown` when never assigned).
+    pub fn arc_temp(&self, a: ArcKey) -> Temp {
+        self.arc_temp.get(&a).copied().unwrap_or(Temp::Unknown)
+    }
+
+    /// Sets an arc temperature (first assignment wins).
+    pub fn set_arc_temp(&mut self, a: ArcKey, t: Temp) -> bool {
+        if t == Temp::Unknown {
+            return false;
+        }
+        match self.arc_temp.get(&a) {
+            Some(_) => false,
+            None => {
+                self.arc_temp.insert(a, t);
+                true
+            }
+        }
+    }
+
+    /// Profile weight of an arc.
+    pub fn arc_weight(&self, a: ArcKey) -> u64 {
+        self.arc_weight.get(&a).copied().unwrap_or(0)
+    }
+
+    /// Sets an arc's profile weight.
+    pub fn set_arc_weight(&mut self, a: ArcKey, w: u64) {
+        self.arc_weight.insert(a, w);
+    }
+
+    /// Number of blocks in the function.
+    pub fn len(&self) -> usize {
+        self.block_temp.len()
+    }
+
+    /// Whether the function has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.block_temp.is_empty()
+    }
+
+    /// Blocks currently marked Hot.
+    pub fn hot_blocks(&self) -> impl Iterator<Item = BlockId> + '_ {
+        self.block_temp
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| **t == Temp::Hot)
+            .map(|(i, _)| BlockId(i as u32))
+    }
+
+    /// Whether a block is selected for extraction (Hot).
+    pub fn is_selected(&self, b: BlockId) -> bool {
+        self.block_temp(b) == Temp::Hot
+    }
+}
+
+/// The marked region of one program phase: a set of functions with
+/// block/arc temperatures (often spanning function boundaries, as in the
+/// paper's Figure 1).
+#[derive(Debug, Clone)]
+pub struct Region {
+    /// Index of the phase this region was identified for.
+    pub phase: usize,
+    /// Markings keyed by function.
+    pub marks: BTreeMap<FuncId, FuncMark>,
+}
+
+impl Region {
+    /// Creates an empty region for a phase.
+    pub fn new(phase: usize) -> Region {
+        Region { phase, marks: BTreeMap::new() }
+    }
+
+    /// The marking for `f`, creating an all-`Unknown` one if absent.
+    pub fn mark_mut(&mut self, f: FuncId, blocks: usize) -> &mut FuncMark {
+        self.marks.entry(f).or_insert_with(|| FuncMark::new(f, blocks))
+    }
+
+    /// The marking for `f`, if the function is part of the region.
+    pub fn mark(&self, f: FuncId) -> Option<&FuncMark> {
+        self.marks.get(&f)
+    }
+
+    /// Total number of Hot blocks across all marked functions.
+    pub fn hot_block_count(&self) -> usize {
+        self.marks.values().map(|m| m.hot_blocks().count()).sum()
+    }
+
+    /// Functions that contain at least one Hot block.
+    pub fn hot_funcs(&self) -> Vec<FuncId> {
+        self.marks
+            .iter()
+            .filter(|(_, m)| m.hot_blocks().next().is_some())
+            .map(|(f, _)| *f)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_assignment_wins() {
+        let mut m = FuncMark::new(FuncId(0), 3);
+        assert!(m.set_block_temp(BlockId(0), Temp::Hot));
+        assert!(!m.set_block_temp(BlockId(0), Temp::Cold));
+        assert_eq!(m.block_temp(BlockId(0)), Temp::Hot);
+    }
+
+    #[test]
+    fn unknown_never_overwrites() {
+        let mut m = FuncMark::new(FuncId(0), 1);
+        assert!(!m.set_block_temp(BlockId(0), Temp::Unknown));
+        assert_eq!(m.block_temp(BlockId(0)), Temp::Unknown);
+    }
+
+    #[test]
+    fn arc_temps_default_unknown() {
+        let mut m = FuncMark::new(FuncId(0), 2);
+        let a = ArcKey::new(BlockId(0), EdgeKind::Goto);
+        assert_eq!(m.arc_temp(a), Temp::Unknown);
+        assert!(m.set_arc_temp(a, Temp::Cold));
+        assert!(!m.set_arc_temp(a, Temp::Hot));
+        assert_eq!(m.arc_temp(a), Temp::Cold);
+    }
+
+    #[test]
+    fn hot_blocks_enumerated() {
+        let mut m = FuncMark::new(FuncId(0), 4);
+        m.set_block_temp(BlockId(1), Temp::Hot);
+        m.set_block_temp(BlockId(3), Temp::Hot);
+        let hot: Vec<BlockId> = m.hot_blocks().collect();
+        assert_eq!(hot, vec![BlockId(1), BlockId(3)]);
+        assert!(m.is_selected(BlockId(1)));
+        assert!(!m.is_selected(BlockId(0)));
+    }
+
+    #[test]
+    fn region_creates_marks_on_demand() {
+        let mut r = Region::new(0);
+        r.mark_mut(FuncId(2), 5).set_block_temp(BlockId(0), Temp::Hot);
+        assert_eq!(r.hot_block_count(), 1);
+        assert_eq!(r.hot_funcs(), vec![FuncId(2)]);
+        assert!(r.mark(FuncId(1)).is_none());
+    }
+}

@@ -1,0 +1,45 @@
+//! # vp-exec
+//!
+//! Architectural (functional) execution of `vp-program` programs.
+//!
+//! The executor interprets a laid-out program and produces the *retired
+//! instruction stream* that the rest of the system consumes: the Hot Spot
+//! Detector (`vp-hsd`) watches retiring branches exactly as the paper's
+//! hardware does, the timing model (`vp-sim`) replays the stream through a
+//! pipeline model, and the coverage metrics count how many retired
+//! instructions came from extracted packages.
+//!
+//! Execution is layout-aware: a `Goto` encoded as a fall-through retires no
+//! instruction, and an inverted branch reports the *encoded* taken direction
+//! to the fetch/predictor machinery while preserving the *architectural*
+//! direction for profile semantics.
+//!
+//! ```
+//! use vp_program::{ProgramBuilder, Layout};
+//! use vp_exec::{Executor, RunConfig, NullSink};
+//! use vp_isa::Reg;
+//!
+//! let mut pb = ProgramBuilder::new();
+//! pb.func("main", |f| {
+//!     f.li(Reg::int(8), 41);
+//!     f.addi(Reg::int(8), Reg::int(8), 1);
+//!     f.halt();
+//! });
+//! let p = pb.build();
+//! let layout = Layout::natural(&p);
+//! let mut exec = Executor::new(&p, &layout);
+//! let stats = exec.run(&mut NullSink, &RunConfig::default())?;
+//! assert_eq!(exec.reg(Reg::int(8)), 42);
+//! assert_eq!(stats.retired, 3); // li, add, halt
+//! # Ok::<(), vp_exec::ExecError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod exec;
+pub mod memory;
+
+pub use event::{Ctrl, InstCounts, NullSink, Retired, Sink};
+pub use exec::{ExecError, Executor, RunConfig, RunStats, StopReason};
+pub use memory::Memory;

@@ -1,0 +1,349 @@
+//! Software filtering of redundant hot-spot records (paper Section 3.1).
+//!
+//! The detector re-records a steady phase every detection window; the paper
+//! assumes "software filtering eliminates all redundant hot spot
+//! detections". Two hot spots are *different* when either:
+//!
+//! 1. 30% or more of one's branches are missing from the other (in either
+//!    direction), or
+//! 2. a biased branch common to both has a *different* bias (taken vs
+//!    not-taken).
+//!
+//! Matching records are *eliminated*, exactly as the paper states —
+//! "software filtering eliminates all redundant hot spot detections". The
+//! phase keeps the counts of the first record that introduced each branch
+//! (branches first seen in a later matching record are unioned in), so a
+//! detection window that happens to straddle a phase boundary cannot
+//! pollute an established phase's taken fractions.
+
+use crate::detector::HotSpotRecord;
+use std::collections::BTreeMap;
+
+/// Filtering thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FilterConfig {
+    /// Fraction of missing branches above which two hot spots differ
+    /// (paper: 0.30).
+    pub missing_fraction: f64,
+    /// A branch is *biased taken* when its taken fraction is at least this
+    /// value, and *biased not-taken* when at most `1 - bias_threshold`.
+    pub bias_threshold: f64,
+    /// Number of common biased branches whose bias must flip before two hot
+    /// spots are considered different (paper: 1; its [4] reference notes the
+    /// threshold could be raised to yield fewer unique hot spots).
+    pub bias_flip_threshold: usize,
+}
+
+impl Default for FilterConfig {
+    fn default() -> FilterConfig {
+        FilterConfig { missing_fraction: 0.30, bias_threshold: 0.70, bias_flip_threshold: 1 }
+    }
+}
+
+/// Direction bias of a branch within one phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bias {
+    /// Taken at least `bias_threshold` of the time.
+    Taken,
+    /// Not taken at least `bias_threshold` of the time.
+    NotTaken,
+    /// Neither direction dominates.
+    Unbiased,
+}
+
+/// Per-branch profile within a phase.
+///
+/// The counts come from the first detection that introduced the branch and
+/// stay in the hardware's 9-bit counter scale: the region-identification
+/// thresholds (the paper's 25% flow rule and the absolute execution
+/// threshold of 16) are calibrated to that scale, so redundant detections
+/// are eliminated rather than accumulated.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseBranch {
+    /// Executed count from the introducing detection.
+    pub exec: u64,
+    /// Taken count from the introducing detection.
+    pub taken: u64,
+    /// Number of detections this branch appeared in.
+    pub seen: u64,
+}
+
+impl PhaseBranch {
+    /// A profile from a single detection.
+    pub fn once(exec: u64, taken: u64) -> PhaseBranch {
+        PhaseBranch { exec, taken, seen: 1 }
+    }
+
+    /// The hardware-counter-scale executed weight used by region
+    /// identification (the first detection's count; redundant detections
+    /// are eliminated, not accumulated).
+    pub fn avg_exec(&self) -> u64 {
+        self.exec
+    }
+
+    /// The hardware-counter-scale taken count.
+    pub fn avg_taken(&self) -> u64 {
+        self.taken
+    }
+
+    /// Taken fraction in `[0, 1]`.
+    pub fn taken_fraction(&self) -> f64 {
+        if self.exec == 0 {
+            0.0
+        } else {
+            self.taken as f64 / self.exec as f64
+        }
+    }
+
+    /// Classifies the branch direction at the given bias threshold.
+    pub fn bias(&self, threshold: f64) -> Bias {
+        let f = self.taken_fraction();
+        if f >= threshold {
+            Bias::Taken
+        } else if f <= 1.0 - threshold {
+            Bias::NotTaken
+        } else {
+            Bias::Unbiased
+        }
+    }
+}
+
+/// A unique program phase: the deduplicated union of all hot-spot records
+/// that matched it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase {
+    /// Dense phase index in first-detection order.
+    pub id: usize,
+    /// Branch profiles keyed by branch address.
+    pub branches: BTreeMap<u64, PhaseBranch>,
+    /// Retired-branch count at first detection.
+    pub first_detected_at: u64,
+    /// How many raw records were merged into this phase.
+    pub detections: usize,
+}
+
+impl Phase {
+    /// Total averaged executed weight over all branches.
+    pub fn total_weight(&self) -> u64 {
+        self.branches.values().map(|b| b.avg_exec()).sum()
+    }
+
+    /// The hottest branch weight, used as a normalization reference by the
+    /// region-identification step.
+    pub fn max_weight(&self) -> u64 {
+        self.branches.values().map(|b| b.avg_exec()).max().unwrap_or(0)
+    }
+}
+
+fn same_hot_spot(cfg: &FilterConfig, phase: &Phase, rec: &HotSpotRecord) -> bool {
+    let rec_addrs: Vec<u64> = rec.branches.iter().map(|b| b.addr).collect();
+    let missing_from_phase =
+        rec_addrs.iter().filter(|a| !phase.branches.contains_key(a)).count();
+    let missing_from_rec =
+        phase.branches.keys().filter(|a| !rec_addrs.contains(a)).count();
+    if !rec_addrs.is_empty()
+        && missing_from_phase as f64 / rec_addrs.len() as f64 >= cfg.missing_fraction
+    {
+        return false;
+    }
+    if !phase.branches.is_empty()
+        && missing_from_rec as f64 / phase.branches.len() as f64 >= cfg.missing_fraction
+    {
+        return false;
+    }
+    // Bias-flip criterion on common branches.
+    let mut flips = 0;
+    for b in &rec.branches {
+        if let Some(pb) = phase.branches.get(&b.addr) {
+            let rb = PhaseBranch::once(b.exec as u64, b.taken as u64);
+            match (pb.bias(cfg.bias_threshold), rb.bias(cfg.bias_threshold)) {
+                (Bias::Taken, Bias::NotTaken) | (Bias::NotTaken, Bias::Taken) => flips += 1,
+                _ => {}
+            }
+        }
+    }
+    flips < cfg.bias_flip_threshold
+}
+
+fn merge(phase: &mut Phase, rec: &HotSpotRecord) {
+    for b in &rec.branches {
+        match phase.branches.entry(b.addr) {
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(PhaseBranch::once(b.exec as u64, b.taken as u64));
+            }
+            std::collections::btree_map::Entry::Occupied(mut o) => {
+                // Redundant observation: eliminated, only counted.
+                o.get_mut().seen += 1;
+            }
+        }
+    }
+    phase.detections += 1;
+}
+
+/// Deduplicates raw hot-spot records into unique phases.
+///
+/// Each record is compared against every already-known phase (an unbounded
+/// software history, as the paper assumes); matching records are
+/// eliminated into it, new ones open a new phase.
+pub fn filter_hot_spots(records: &[HotSpotRecord], cfg: &FilterConfig) -> Vec<Phase> {
+    assign_phases(records, cfg).0
+}
+
+/// Like [`filter_hot_spots`], additionally returning which phase each raw
+/// record landed in — the per-detection timeline of the run.
+pub fn assign_phases(
+    records: &[HotSpotRecord],
+    cfg: &FilterConfig,
+) -> (Vec<Phase>, Vec<usize>) {
+    let mut phases: Vec<Phase> = Vec::new();
+    let mut assignment = Vec::with_capacity(records.len());
+    for rec in records {
+        if let Some(idx) = phases.iter().position(|p| same_hot_spot(cfg, p, rec)) {
+            merge(&mut phases[idx], rec);
+            assignment.push(idx);
+        } else {
+            let mut p = Phase {
+                id: phases.len(),
+                branches: BTreeMap::new(),
+                first_detected_at: rec.at_branch,
+                detections: 0,
+            };
+            merge(&mut p, rec);
+            assignment.push(phases.len());
+            phases.push(p);
+        }
+    }
+    (phases, assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::BranchProfile;
+
+    fn rec(at: u64, branches: &[(u64, u32, u32)]) -> HotSpotRecord {
+        HotSpotRecord {
+            at_branch: at,
+            branches: branches
+                .iter()
+                .map(|&(addr, exec, taken)| BranchProfile { addr, exec, taken })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn identical_records_merge() {
+        let r = rec(100, &[(0x10, 100, 90), (0x14, 100, 10)]);
+        let phases = filter_hot_spots(&[r.clone(), r], &FilterConfig::default());
+        assert_eq!(phases.len(), 1);
+        assert_eq!(phases[0].detections, 2);
+        assert_eq!(phases[0].branches[&0x10].seen, 2);
+        assert_eq!(phases[0].branches[&0x10].avg_exec(), 100);
+    }
+
+    #[test]
+    fn disjoint_records_are_distinct_phases() {
+        let a = rec(100, &[(0x10, 100, 90), (0x14, 100, 10)]);
+        let b = rec(200, &[(0x90, 100, 90), (0x94, 100, 10)]);
+        let phases = filter_hot_spots(&[a, b], &FilterConfig::default());
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[1].first_detected_at, 200);
+    }
+
+    #[test]
+    fn thirty_percent_missing_splits_phases() {
+        // 10 branches vs. the same with 3 replaced: 30% missing → distinct.
+        let a: Vec<(u64, u32, u32)> = (0..10).map(|i| (0x10 + 4 * i, 100, 50)).collect();
+        let mut b = a.clone();
+        for (i, e) in b.iter_mut().enumerate().take(3) {
+            e.0 = 0x200 + 4 * i as u64;
+        }
+        let phases =
+            filter_hot_spots(&[rec(1, &a), rec(2, &b)], &FilterConfig::default());
+        assert_eq!(phases.len(), 2);
+    }
+
+    #[test]
+    fn small_overlap_difference_merges() {
+        // 2 of 10 branches replaced: 20% missing → same phase.
+        let a: Vec<(u64, u32, u32)> = (0..10).map(|i| (0x10 + 4 * i, 100, 50)).collect();
+        let mut b = a.clone();
+        for (i, e) in b.iter_mut().enumerate().take(2) {
+            e.0 = 0x200 + 4 * i as u64;
+        }
+        let phases =
+            filter_hot_spots(&[rec(1, &a), rec(2, &b)], &FilterConfig::default());
+        assert_eq!(phases.len(), 1);
+        assert_eq!(phases[0].branches.len(), 12);
+    }
+
+    #[test]
+    fn bias_flip_splits_phases() {
+        let a = rec(1, &[(0x10, 100, 95), (0x14, 100, 50)]);
+        let b = rec(2, &[(0x10, 100, 5), (0x14, 100, 50)]);
+        let phases = filter_hot_spots(&[a, b], &FilterConfig::default());
+        assert_eq!(phases.len(), 2, "taken-vs-not-taken flip must split");
+    }
+
+    #[test]
+    fn unbiased_drift_does_not_split() {
+        let a = rec(1, &[(0x10, 100, 60), (0x14, 100, 50)]);
+        let b = rec(2, &[(0x10, 100, 40), (0x14, 100, 50)]);
+        let phases = filter_hot_spots(&[a, b], &FilterConfig::default());
+        assert_eq!(phases.len(), 1, "drift between unbiased values must not split");
+    }
+
+    #[test]
+    fn bias_classification() {
+        assert_eq!(PhaseBranch::once(100, 80).bias(0.7), Bias::Taken);
+        assert_eq!(PhaseBranch::once(100, 20).bias(0.7), Bias::NotTaken);
+        assert_eq!(PhaseBranch::once(100, 50).bias(0.7), Bias::Unbiased);
+        assert_eq!(PhaseBranch::once(0, 0).bias(0.7), Bias::NotTaken);
+    }
+
+    #[test]
+    fn raised_flip_threshold_merges_single_flip() {
+        let cfg = FilterConfig { bias_flip_threshold: 2, ..FilterConfig::default() };
+        let a = rec(1, &[(0x10, 100, 95), (0x14, 100, 50)]);
+        let b = rec(2, &[(0x10, 100, 5), (0x14, 100, 50)]);
+        let phases = filter_hot_spots(&[a, b], &cfg);
+        assert_eq!(phases.len(), 1, "one flip below threshold 2 must merge");
+    }
+
+    #[test]
+    fn phase_weights() {
+        let phases = filter_hot_spots(
+            &[rec(1, &[(0x10, 100, 90), (0x14, 300, 10)])],
+            &FilterConfig::default(),
+        );
+        assert_eq!(phases[0].total_weight(), 400);
+        assert_eq!(phases[0].max_weight(), 300);
+    }
+
+    #[test]
+    fn merged_detections_stay_in_counter_scale() {
+        // Ten re-detections of the same hot spot must not inflate the
+        // per-detection weight.
+        let recs: Vec<HotSpotRecord> =
+            (0..10).map(|i| rec(i, &[(0x10, 400, 360), (0x14, 400, 40)])).collect();
+        let phases = filter_hot_spots(&recs, &FilterConfig::default());
+        assert_eq!(phases.len(), 1);
+        assert_eq!(phases[0].branches[&0x10].avg_exec(), 400);
+        assert!((phases[0].branches[&0x10].taken_fraction() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn boundary_record_cannot_pollute_established_phase() {
+        // A steady 97%-taken phase, then one straddling window at 50%
+        // (same branch set, unbiased — no flip, so it matches), then more
+        // steady records: the phase's taken fraction must stay at the
+        // first record's 97%.
+        let mut recs: Vec<HotSpotRecord> =
+            (0..5).map(|i| rec(i, &[(0x10, 500, 485), (0x14, 500, 250)])).collect();
+        recs.push(rec(6, &[(0x10, 500, 250), (0x14, 500, 250)]));
+        recs.extend((7..10).map(|i| rec(i, &[(0x10, 500, 485), (0x14, 500, 250)])));
+        let phases = filter_hot_spots(&recs, &FilterConfig::default());
+        assert_eq!(phases.len(), 1);
+        assert!((phases[0].branches[&0x10].taken_fraction() - 0.97).abs() < 1e-9);
+    }
+}

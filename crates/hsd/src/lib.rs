@@ -1,0 +1,39 @@
+//! # vp-hsd
+//!
+//! The Hot Spot Detector (HSD): the transparent hardware profiler that
+//! drives Vacuum Packing (paper Section 3.1, after Merten et al. ISCA
+//! 1999).
+//!
+//! Two layers:
+//!
+//! * [`HotSpotDetector`] — the hardware model: a set-associative Branch
+//!   Behavior Buffer with saturating executed/taken counters plus the Hot
+//!   Spot Detection Counter, attached to an execution as a
+//!   [`vp_exec::Sink`]. It emits raw [`HotSpotRecord`]s.
+//! * [`filter_hot_spots`] — the software pass that deduplicates redundant
+//!   detections into unique [`Phase`]s using the paper's two similarity
+//!   criteria (≥30% missing branches, or a biased branch flipping bias).
+//!
+//! ```
+//! use vp_hsd::{HotSpotDetector, HsdConfig, filter_hot_spots, FilterConfig};
+//!
+//! let mut det = HotSpotDetector::new(HsdConfig::table2());
+//! // A hot loop of 8 branches, all taken:
+//! for _ in 0..4000 {
+//!     for b in 0..8u64 {
+//!         det.observe(0x1000 + 4 * b, true);
+//!     }
+//! }
+//! let phases = filter_hot_spots(det.records(), &FilterConfig::default());
+//! assert_eq!(phases.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod detector;
+pub mod filter;
+pub mod signature;
+
+pub use detector::{BranchProfile, HotSpotDetector, HotSpotRecord, HsdConfig};
+pub use filter::{assign_phases, filter_hot_spots, Bias, FilterConfig, Phase, PhaseBranch};
+pub use signature::{DetectionHistory, HotSpotSignature};

@@ -1,0 +1,181 @@
+//! Hot-spot signatures and the hardware detection-history enhancement
+//! (paper Section 3.1).
+//!
+//! The baseline detector re-records a steady phase on every detection
+//! window and relies on software to discard the duplicates. The paper
+//! sketches two hardware refinements:
+//!
+//! * a BBB *history* (after its reference [4]) "records a phase only when
+//!   it is different than the previous phase", extensible "to more than
+//!   one to greatly reduce the number of hot spots recorded";
+//! * *working set signatures* (after Dhodapkar & Smith) "extended to hot
+//!   spot signatures to allow inexpensive comparisons between a detected
+//!   hot spot and a history of previously recorded hot spots".
+//!
+//! A [`HotSpotSignature`] is a 128-bit Bloom-style set over branch
+//! addresses; similarity is Jaccard over the bit sets — a handful of XOR/
+//! popcount gates in hardware. [`DetectionHistory`] keeps the last `n`
+//! recorded signatures and suppresses re-detections that match any of
+//! them.
+
+use crate::detector::HotSpotRecord;
+
+/// Signature width in bits (two 64-bit words — register-sized hardware).
+const SIG_BITS: u32 = 128;
+
+/// A lossy, fixed-size summary of a hot spot's branch set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HotSpotSignature {
+    bits: u128,
+}
+
+impl HotSpotSignature {
+    /// Builds the signature of a record's branch set.
+    pub fn of(record: &HotSpotRecord) -> HotSpotSignature {
+        let mut bits = 0u128;
+        for b in &record.branches {
+            // Two independent hash positions per branch, as in Bloom
+            // filters, to keep false-match rates low for small sets.
+            // Use the multiplier's HIGH bits: low bits of a product only
+            // depend on the low bits of the input.
+            let h1 = (b.addr >> 2).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 57;
+            let h2 = (b.addr >> 2).wrapping_mul(0xC2B2_AE3D_27D4_EB4F) >> 57;
+            bits |= 1u128 << (h1 % SIG_BITS as u64);
+            bits |= 1u128 << (h2 % SIG_BITS as u64);
+        }
+        HotSpotSignature { bits }
+    }
+
+    /// Jaccard similarity of the two bit sets, in `[0, 1]`.
+    pub fn similarity(&self, other: &HotSpotSignature) -> f64 {
+        let union = (self.bits | other.bits).count_ones();
+        if union == 0 {
+            return 1.0;
+        }
+        (self.bits & other.bits).count_ones() as f64 / union as f64
+    }
+
+    /// Number of set bits (a proxy for branch-set size).
+    pub fn weight(&self) -> u32 {
+        self.bits.count_ones()
+    }
+}
+
+/// A bounded history of recorded hot-spot signatures: the hardware-side
+/// redundancy filter.
+#[derive(Debug, Clone)]
+pub struct DetectionHistory {
+    depth: usize,
+    threshold: f64,
+    ring: Vec<HotSpotSignature>,
+    next: usize,
+    suppressed: u64,
+}
+
+impl DetectionHistory {
+    /// Creates a history of `depth` entries; a new detection whose
+    /// signature similarity against any remembered entry reaches
+    /// `threshold` is suppressed. `depth == 0` disables suppression (the
+    /// baseline detector).
+    pub fn new(depth: usize, threshold: f64) -> DetectionHistory {
+        DetectionHistory { depth, threshold, ring: Vec::new(), next: 0, suppressed: 0 }
+    }
+
+    /// Checks a candidate record against the history. Returns `true` if it
+    /// should be recorded (and remembers it); `false` if suppressed.
+    pub fn admit(&mut self, record: &HotSpotRecord) -> bool {
+        if self.depth == 0 {
+            return true;
+        }
+        let sig = HotSpotSignature::of(record);
+        if self.ring.iter().any(|s| s.similarity(&sig) >= self.threshold) {
+            self.suppressed += 1;
+            return false;
+        }
+        if self.ring.len() < self.depth {
+            self.ring.push(sig);
+        } else {
+            self.ring[self.next] = sig;
+            self.next = (self.next + 1) % self.depth;
+        }
+        true
+    }
+
+    /// Detections suppressed so far.
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::BranchProfile;
+
+    fn rec(addrs: &[u64]) -> HotSpotRecord {
+        HotSpotRecord {
+            at_branch: 0,
+            branches: addrs.iter().map(|&a| BranchProfile { addr: a, exec: 100, taken: 50 }).collect(),
+        }
+    }
+
+    #[test]
+    fn identical_sets_have_similarity_one() {
+        let a = HotSpotSignature::of(&rec(&[0x10, 0x20, 0x30]));
+        let b = HotSpotSignature::of(&rec(&[0x10, 0x20, 0x30]));
+        assert_eq!(a.similarity(&b), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets_have_low_similarity() {
+        let a = HotSpotSignature::of(&rec(&(0..8).map(|i| 0x1000 + 4 * i).collect::<Vec<_>>()));
+        let b = HotSpotSignature::of(&rec(&(0..8).map(|i| 0x9000 + 4 * i).collect::<Vec<_>>()));
+        assert!(a.similarity(&b) < 0.3, "got {}", a.similarity(&b));
+    }
+
+    #[test]
+    fn overlapping_sets_fall_in_between() {
+        let a = HotSpotSignature::of(&rec(&[0x10, 0x20, 0x30, 0x40]));
+        let b = HotSpotSignature::of(&rec(&[0x10, 0x20, 0x30, 0x90]));
+        let s = a.similarity(&b);
+        assert!(s > 0.4 && s < 1.0, "got {s}");
+    }
+
+    #[test]
+    fn history_suppresses_repeats() {
+        let mut h = DetectionHistory::new(2, 0.9);
+        let a = rec(&[0x10, 0x20, 0x30]);
+        let b = rec(&[0x90, 0xa0, 0xb0]);
+        assert!(h.admit(&a));
+        assert!(!h.admit(&a), "repeat of A suppressed");
+        assert!(h.admit(&b));
+        // Both are now in the two-deep history: alternating phases do not
+        // produce new records.
+        assert!(!h.admit(&a));
+        assert!(!h.admit(&b));
+        assert_eq!(h.suppressed(), 3);
+    }
+
+    #[test]
+    fn single_entry_history_thrashes_on_alternation() {
+        // The paper's base enhancement holds ONE hot spot: alternating
+        // phases evict each other and are re-recorded — the motivation for
+        // extending the history beyond one.
+        let mut h = DetectionHistory::new(1, 0.9);
+        let a = rec(&[0x10, 0x20, 0x30]);
+        let b = rec(&[0x90, 0xa0, 0xb0]);
+        assert!(h.admit(&a));
+        assert!(h.admit(&b), "B evicts A");
+        assert!(h.admit(&a), "A re-recorded after eviction");
+    }
+
+    #[test]
+    fn depth_zero_disables_suppression() {
+        let mut h = DetectionHistory::new(0, 0.9);
+        let a = rec(&[0x10]);
+        for _ in 0..5 {
+            assert!(h.admit(&a));
+        }
+        assert_eq!(h.suppressed(), 0);
+    }
+}

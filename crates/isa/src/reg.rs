@@ -1,0 +1,247 @@
+//! Architectural registers.
+//!
+//! The register file is a single unified namespace: integer registers
+//! `r0..r63` (with `r0` hard-wired to zero) followed by floating-point
+//! registers `f0..f31`. Unifying the namespaces keeps data-flow analysis in
+//! `vp-program` a single-lattice problem, the same simplification the IMPACT
+//! infrastructure uses internally.
+
+/// Number of integer registers (`r0..r63`).
+pub const NUM_INT_REGS: u8 = 64;
+/// Number of floating-point registers (`f0..f31`).
+pub const NUM_FP_REGS: u8 = 32;
+/// Total number of architectural registers.
+pub const NUM_REGS: usize = (NUM_INT_REGS + NUM_FP_REGS) as usize;
+
+/// An architectural register.
+///
+/// ```
+/// use vp_isa::Reg;
+/// assert!(Reg::fp(0).is_fp());
+/// assert!(!Reg::int(10).is_fp());
+/// assert_eq!(Reg::ZERO, Reg::int(0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hard-wired zero register `r0`. Writes are discarded.
+    pub const ZERO: Reg = Reg(0);
+    /// The stack pointer `r1`, by software convention.
+    pub const SP: Reg = Reg(1);
+    /// The global/data pointer `r2`, by software convention.
+    pub const GP: Reg = Reg(2);
+    /// First argument / return value register `r4`, by software convention.
+    pub const ARG0: Reg = Reg(4);
+
+    /// Integer register `r{n}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 64`.
+    pub fn int(n: u8) -> Reg {
+        assert!(n < NUM_INT_REGS, "integer register r{n} out of range");
+        Reg(n)
+    }
+
+    /// Floating-point register `f{n}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    pub fn fp(n: u8) -> Reg {
+        assert!(n < NUM_FP_REGS, "fp register f{n} out of range");
+        Reg(NUM_INT_REGS + n)
+    }
+
+    /// The `n`-th argument register (`r4..r11`), by software convention.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 8`.
+    pub fn arg(n: u8) -> Reg {
+        assert!(n < 8, "argument register index {n} out of range");
+        Reg(4 + n)
+    }
+
+    /// Whether this is a floating-point register.
+    pub fn is_fp(self) -> bool {
+        self.0 >= NUM_INT_REGS
+    }
+
+    /// Whether this is the hard-wired zero register.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The flat index of this register in `0..NUM_REGS`, usable as a
+    /// register-file or liveness bit-set index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a register from a flat index produced by [`Reg::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= NUM_REGS`.
+    pub fn from_index(idx: usize) -> Reg {
+        assert!(idx < NUM_REGS, "register index {idx} out of range");
+        Reg(idx as u8)
+    }
+}
+
+impl std::fmt::Display for Reg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_fp() {
+            write!(f, "f{}", self.0 - NUM_INT_REGS)
+        } else {
+            write!(f, "r{}", self.0)
+        }
+    }
+}
+
+/// A dense bit set over the architectural registers, used by liveness
+/// analysis and by exit-block construction.
+///
+/// ```
+/// use vp_isa::reg::RegSet;
+/// use vp_isa::Reg;
+///
+/// let mut s = RegSet::new();
+/// s.insert(Reg::int(5));
+/// assert!(s.contains(Reg::int(5)));
+/// assert_eq!(s.len(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct RegSet {
+    bits: u128,
+}
+
+impl RegSet {
+    /// Creates an empty register set.
+    pub fn new() -> RegSet {
+        RegSet::default()
+    }
+
+    /// Inserts a register; returns `true` if it was newly inserted.
+    pub fn insert(&mut self, r: Reg) -> bool {
+        let mask = 1u128 << r.index();
+        let fresh = self.bits & mask == 0;
+        self.bits |= mask;
+        fresh
+    }
+
+    /// Removes a register; returns `true` if it was present.
+    pub fn remove(&mut self, r: Reg) -> bool {
+        let mask = 1u128 << r.index();
+        let present = self.bits & mask != 0;
+        self.bits &= !mask;
+        present
+    }
+
+    /// Whether the set contains `r`.
+    pub fn contains(&self, r: Reg) -> bool {
+        self.bits & (1u128 << r.index()) != 0
+    }
+
+    /// Unions `other` into `self`; returns `true` if `self` changed.
+    pub fn union_with(&mut self, other: &RegSet) -> bool {
+        let before = self.bits;
+        self.bits |= other.bits;
+        self.bits != before
+    }
+
+    /// Number of registers in the set.
+    pub fn len(&self) -> usize {
+        self.bits.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// Iterates over the members in ascending register-index order.
+    pub fn iter(&self) -> impl Iterator<Item = Reg> + '_ {
+        (0..super::reg::NUM_REGS).filter(|&i| self.bits & (1u128 << i) != 0).map(Reg::from_index)
+    }
+}
+
+impl FromIterator<Reg> for RegSet {
+    fn from_iter<T: IntoIterator<Item = Reg>>(iter: T) -> Self {
+        let mut s = RegSet::new();
+        for r in iter {
+            s.insert(r);
+        }
+        s
+    }
+}
+
+impl Extend<Reg> for RegSet {
+    fn extend<T: IntoIterator<Item = Reg>>(&mut self, iter: T) {
+        for r in iter {
+            self.insert(r);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_and_fp_registers_are_distinct() {
+        assert_ne!(Reg::int(0), Reg::fp(0));
+        assert_eq!(Reg::fp(0).index(), 64);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Reg::int(7).to_string(), "r7");
+        assert_eq!(Reg::fp(3).to_string(), "f3");
+        assert_eq!(Reg::SP.to_string(), "r1");
+    }
+
+    #[test]
+    #[should_panic]
+    fn int_register_out_of_range_panics() {
+        Reg::int(64);
+    }
+
+    #[test]
+    #[should_panic]
+    fn fp_register_out_of_range_panics() {
+        Reg::fp(32);
+    }
+
+    #[test]
+    fn regset_roundtrip() {
+        let mut s = RegSet::new();
+        assert!(s.insert(Reg::int(3)));
+        assert!(!s.insert(Reg::int(3)));
+        assert!(s.insert(Reg::fp(1)));
+        assert_eq!(s.len(), 2);
+        let regs: Vec<Reg> = s.iter().collect();
+        assert_eq!(regs, vec![Reg::int(3), Reg::fp(1)]);
+        assert!(s.remove(Reg::int(3)));
+        assert!(!s.remove(Reg::int(3)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn regset_union() {
+        let a: RegSet = [Reg::int(1), Reg::int(2)].into_iter().collect();
+        let mut b: RegSet = [Reg::int(2), Reg::int(3)].into_iter().collect();
+        assert!(b.union_with(&a));
+        assert!(!b.union_with(&a));
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn from_index_roundtrip() {
+        for i in 0..NUM_REGS {
+            assert_eq!(Reg::from_index(i).index(), i);
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! End-to-end experiment driver.
+//!
+//! One profiled workload ([`profile`]) can be evaluated under many pipeline
+//! configurations ([`evaluate`]) — exactly how the paper's Figures 8 and 10
+//! sweep the {inference} × {linking} matrix over each benchmark/input.
+
+use crate::branches::BranchCounts;
+use vp_core::{pack, PackConfig, PackOutput};
+use vp_exec::{ExecError, Executor, InstCounts, RunConfig, Sink, StopReason};
+use vp_hsd::{filter_hot_spots, FilterConfig, HotSpotDetector, HsdConfig, Phase};
+use vp_opt::{optimize_packages, OptConfig};
+use vp_program::{Layout, Program};
+use vp_sim::{MachineConfig, TimingModel};
+
+/// A workload after its profiling run: the inputs to region formation.
+#[derive(Debug)]
+pub struct ProfiledWorkload {
+    /// Display label.
+    pub label: String,
+    /// The original program.
+    pub program: Program,
+    /// Natural layout of the original program (BBB addresses refer to it).
+    pub layout: Layout,
+    /// Unique phases after software filtering.
+    pub phases: Vec<Phase>,
+    /// Ground-truth per-branch dynamic counts.
+    pub branch_counts: BranchCounts,
+    /// Dynamic instructions of the run (Table 1's "# of Inst").
+    pub dyn_insts: u64,
+    /// Cycles of the original binary on the Table 2 machine, when timing
+    /// was requested.
+    pub base_cycles: Option<u64>,
+    /// Raw (unfiltered) hot-spot detections.
+    pub raw_detections: usize,
+}
+
+/// Profiles `program` with the Hot Spot Detector attached, optionally
+/// timing the original binary on `machine`.
+///
+/// # Errors
+///
+/// Propagates [`ExecError`] from the executor (a malformed workload).
+pub fn profile(
+    label: &str,
+    program: Program,
+    hsd_cfg: &HsdConfig,
+    machine: Option<&MachineConfig>,
+) -> Result<ProfiledWorkload, ExecError> {
+    let layout = Layout::natural(&program);
+    let mut hsd = HotSpotDetector::new(*hsd_cfg);
+    let mut counts = BranchCounts::new();
+    let run_cfg = RunConfig::default();
+
+    let (stats, base_cycles) = match machine {
+        Some(m) => {
+            let mut timing = TimingModel::new(*m);
+            let mut sink = (&mut hsd, &mut counts, &mut timing);
+            let stats = Executor::new(&program, &layout).run(&mut sink, &run_cfg)?;
+            (stats, Some(timing.cycles()))
+        }
+        None => {
+            let mut sink = (&mut hsd, &mut counts);
+            let stats = Executor::new(&program, &layout).run(&mut sink, &run_cfg)?;
+            (stats, None)
+        }
+    };
+    debug_assert_eq!(stats.stop, StopReason::Halted, "{label}: workload must halt");
+
+    let raw_detections = hsd.records().len();
+    let phases = filter_hot_spots(hsd.records(), &FilterConfig::default());
+    Ok(ProfiledWorkload {
+        label: label.to_string(),
+        program,
+        layout,
+        phases,
+        branch_counts: counts,
+        dyn_insts: stats.retired,
+        base_cycles,
+        raw_detections,
+    })
+}
+
+/// Outcome of one (workload, configuration) cell.
+#[derive(Debug, Clone)]
+pub struct ConfigOutcome {
+    /// Fraction of dynamic instructions retired inside packages
+    /// (Figure 8).
+    pub coverage: f64,
+    /// Static-size increase fraction (Table 3 col 1).
+    pub expansion: f64,
+    /// Fraction of original static instructions selected (Table 3 col 2).
+    pub selected_fraction: f64,
+    /// Replication factor of selected instructions.
+    pub replication: f64,
+    /// Number of packages built.
+    pub packages: usize,
+    /// Number of unique phases.
+    pub phases: usize,
+    /// Launch points patched.
+    pub launch_points: usize,
+    /// Cycles of the vacuum-packed, optimized binary (when timed).
+    pub opt_cycles: Option<u64>,
+    /// Speedup over the original binary (when timed).
+    pub speedup: Option<f64>,
+}
+
+/// Runs the Vacuum Packing pipeline on a profiled workload under one
+/// configuration, measuring coverage and (optionally) speedup.
+///
+/// # Errors
+///
+/// Propagates [`ExecError`] from the measurement run.
+pub fn evaluate(
+    pw: &ProfiledWorkload,
+    cfg: &PackConfig,
+    opt_cfg: &OptConfig,
+    machine: Option<&MachineConfig>,
+) -> Result<ConfigOutcome, ExecError> {
+    let out: PackOutput = pack(&pw.program, &pw.layout, &pw.phases, cfg);
+    let run_cfg = RunConfig::default();
+
+    let (counts, opt_cycles) = match machine {
+        Some(m) => {
+            let (opt_prog, order) = optimize_packages(&out, m, opt_cfg);
+            let opt_layout = Layout::new(&opt_prog, &order);
+            let mut counts = InstCounts::new();
+            let mut timing = TimingModel::new(*m);
+            let mut sink = (&mut counts, &mut timing);
+            run_measure(&opt_prog, &opt_layout, &mut sink, &run_cfg, &pw.label)?;
+            (counts, Some(timing.cycles()))
+        }
+        None => {
+            let layout = Layout::natural(&out.program);
+            let mut counts = InstCounts::new();
+            run_measure(&out.program, &layout, &mut counts, &run_cfg, &pw.label)?;
+            (counts, None)
+        }
+    };
+
+    let speedup = match (pw.base_cycles, opt_cycles) {
+        (Some(base), Some(opt)) => Some(base as f64 / opt.max(1) as f64),
+        _ => None,
+    };
+    Ok(ConfigOutcome {
+        coverage: counts.package_coverage(),
+        expansion: out.expansion(),
+        selected_fraction: out.selected_fraction(),
+        replication: out.replication_factor(),
+        packages: out.packages.len(),
+        phases: pw.phases.len(),
+        launch_points: out.launch_points,
+        opt_cycles,
+        speedup,
+    })
+}
+
+fn run_measure(
+    program: &Program,
+    layout: &Layout,
+    sink: &mut impl Sink,
+    run_cfg: &RunConfig,
+    label: &str,
+) -> Result<(), ExecError> {
+    let stats = Executor::new(program, layout).run(sink, run_cfg)?;
+    debug_assert_eq!(stats.stop, StopReason::Halted, "{label}: packed binary must halt");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vp_workloads::twolf;
+
+    #[test]
+    fn profile_then_evaluate_twolf() {
+        // twolf has three annealing regimes: the detector must find
+        // multiple phases and the packed binary must reach high coverage.
+        let program = twolf::build(1);
+        let pw = profile("300.twolf A", program, &HsdConfig::table2(), None).unwrap();
+        assert!(pw.phases.len() >= 2, "expected multiple phases, got {}", pw.phases.len());
+        assert!(pw.raw_detections >= pw.phases.len());
+
+        let cfg = PackConfig::default();
+        let out = evaluate(&pw, &cfg, &OptConfig::default(), None).unwrap();
+        assert!(out.packages >= 1);
+        assert!(out.coverage > 0.5, "coverage {:.3} too low", out.coverage);
+        assert!(out.expansion > 0.0);
+        assert!(out.replication >= 1.0);
+    }
+
+    #[test]
+    fn linking_does_not_reduce_coverage() {
+        let program = twolf::build(1);
+        let pw = profile("300.twolf A", program, &HsdConfig::table2(), None).unwrap();
+        let base = PackConfig::default();
+        let no_link = PackConfig { linking: false, ..base };
+        let with = evaluate(&pw, &base, &OptConfig::default(), None).unwrap();
+        let without = evaluate(&pw, &no_link, &OptConfig::default(), None).unwrap();
+        assert!(
+            with.coverage + 1e-9 >= without.coverage,
+            "linking must not hurt coverage: {} vs {}",
+            with.coverage,
+            without.coverage
+        );
+    }
+
+    #[test]
+    fn timed_evaluation_produces_speedup() {
+        let program = twolf::build(1);
+        let machine = MachineConfig::table2();
+        let pw = profile("300.twolf A", program, &HsdConfig::table2(), Some(&machine)).unwrap();
+        assert!(pw.base_cycles.unwrap() > 0);
+        let out =
+            evaluate(&pw, &PackConfig::default(), &OptConfig::default(), Some(&machine)).unwrap();
+        let s = out.speedup.unwrap();
+        assert!(s > 0.8 && s < 2.0, "speedup {s:.3} out of plausible range");
+    }
+}

@@ -1,0 +1,38 @@
+//! # vp-metrics
+//!
+//! Experiment metrics and the end-to-end harness behind the paper's
+//! evaluation section:
+//!
+//! * [`profile`] / [`evaluate`] — the Figure 8 / Figure 10 / Table 3 cell
+//!   driver: profile a workload once with the Hot Spot Detector, then
+//!   evaluate any number of `{inference} × {linking}` configurations;
+//! * [`BranchCounts`] — ground-truth per-branch dynamic counts;
+//! * [`categorize`] — the Figure 9 branch taxonomy (Unique/Multi ×
+//!   bias/swing);
+//! * [`TextTable`] / [`bar`] — plain-text rendering used by the `bench`
+//!   crate's table/figure binaries.
+//!
+//! ```no_run
+//! use vp_metrics::{profile, evaluate};
+//! use vp_hsd::HsdConfig;
+//! use vp_core::PackConfig;
+//! use vp_opt::OptConfig;
+//!
+//! let program = vp_workloads::twolf::build(1);
+//! let pw = profile("300.twolf A", program, &HsdConfig::table2(), None)?;
+//! let out = evaluate(&pw, &PackConfig::default(), &OptConfig::default(), None)?;
+//! println!("coverage: {:.1}%", 100.0 * out.coverage);
+//! # Ok::<(), vp_exec::ExecError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod branches;
+pub mod categorize;
+pub mod harness;
+pub mod render;
+
+pub use branches::BranchCounts;
+pub use categorize::{categorize, BranchCategory, Categorization, CATEGORIES};
+pub use harness::{evaluate, profile, ConfigOutcome, ProfiledWorkload};
+pub use render::{bar, pct, TextTable};

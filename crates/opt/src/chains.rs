@@ -1,0 +1,156 @@
+//! Profile-guided block relayout (bottom-up chain formation in the style
+//! of Pettis–Hansen).
+//!
+//! The heaviest control-flow arcs become fall-throughs: arcs are visited in
+//! descending weight, merging the chain ending at the source with the chain
+//! starting at the target. Chains are then emitted starting with the one
+//! holding the hottest entry, followed by the rest in descending weight —
+//! pushing exit blocks and other cold code to the end of the function, so
+//! the hot path is sequential for the fetch unit and the instruction cache.
+
+use crate::weights::Weights;
+use vp_isa::BlockId;
+use vp_program::Function;
+
+/// Computes a block emission order for `f` given arc weights.
+///
+/// The returned order contains every block exactly once; feed it to
+/// [`vp_program::LayoutOrder::set_block_order`].
+pub fn chain_layout(f: &Function, weights: &Weights) -> Vec<BlockId> {
+    let n = f.blocks.len();
+    if n == 0 {
+        return vec![];
+    }
+
+    // Collect intra-function arcs with weights.
+    let mut arcs: Vec<(f64, BlockId, BlockId)> = Vec::new();
+    for (b, _) in f.blocks_iter() {
+        for (t, kind) in f.successors(b) {
+            if t != b {
+                arcs.push((weights.arc(b, kind), b, t));
+            }
+        }
+    }
+    arcs.sort_by(|a, b| b.0.total_cmp(&a.0));
+
+    // Union-find over chains, tracking each chain's block sequence.
+    let mut chain_of: Vec<usize> = (0..n).collect();
+    let mut chains: Vec<Vec<BlockId>> = (0..n).map(|i| vec![BlockId(i as u32)]).collect();
+
+    for (w, from, to) in arcs {
+        if w <= 0.0 {
+            break;
+        }
+        let (cf, ct) = (chain_of[from.0 as usize], chain_of[to.0 as usize]);
+        if cf == ct {
+            continue;
+        }
+        // Merge only tail-to-head so fall-through is exact.
+        if chains[cf].last() == Some(&from) && chains[ct].first() == Some(&to) {
+            let tail = std::mem::take(&mut chains[ct]);
+            for b in &tail {
+                chain_of[b.0 as usize] = cf;
+            }
+            chains[cf].extend(tail);
+        }
+    }
+
+    // Order chains: the entry's chain first, then by descending weight.
+    let entry_chain = chain_of[f.entry.0 as usize];
+    let mut indexed: Vec<(usize, f64)> = chains
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| !c.is_empty())
+        .map(|(i, c)| (i, c.iter().map(|&b| weights.block(b)).sum::<f64>()))
+        .collect();
+    indexed.sort_by(|a, b| {
+        let ka = (a.0 != entry_chain, std::cmp::Reverse(ordered_f64(a.1)), a.0);
+        let kb = (b.0 != entry_chain, std::cmp::Reverse(ordered_f64(b.1)), b.0);
+        ka.cmp(&kb)
+    });
+
+    let mut out = Vec::with_capacity(n);
+    for (i, _) in indexed {
+        out.extend(chains[i].iter().copied());
+    }
+    debug_assert_eq!(out.len(), n);
+    out
+}
+
+/// Total-order wrapper for weight comparison.
+fn ordered_f64(x: f64) -> u64 {
+    // Weights are non-negative and finite; map to ordered integer space.
+    x.to_bits()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weights::propagate_weights;
+    use vp_isa::{Cond, Reg, Src};
+    use vp_isa::FuncId;
+    use vp_program::{Cfg, Layout, LayoutOrder, ProgramBuilder, Program, TermEncoding};
+
+    fn biased_diamond(p_taken: f64) -> (Program, Vec<BlockId>) {
+        let mut pb = ProgramBuilder::new();
+        pb.func("main", |f| {
+            let r = Reg::int(8);
+            f.li(r, 1);
+            let c = f.cond(Cond::Eq, r, Src::Imm(1));
+            f.if_else(c, |f| f.nop(), |f| f.nop());
+            f.halt();
+        });
+        let p = pb.build();
+        let f = p.func(FuncId(0));
+        let cfg = Cfg::new(f);
+        let w = propagate_weights(f, &cfg, |_| p_taken, |b| if b == f.entry { 1.0 } else { 0.0 });
+        let order = chain_layout(f, &w);
+        (p, order)
+    }
+
+    #[test]
+    fn hot_arm_follows_branch() {
+        // Strongly taken: the then-arm (block 1) must immediately follow
+        // the branch block (block 0).
+        let (_, order) = biased_diamond(0.95);
+        let pos =
+            |b: u32| order.iter().position(|x| x.0 == b).unwrap();
+        assert_eq!(pos(1), pos(0) + 1, "hot taken arm should fall through: {order:?}");
+    }
+
+    #[test]
+    fn cold_arm_follows_when_not_taken_biased() {
+        let (_, order) = biased_diamond(0.05);
+        let pos = |b: u32| order.iter().position(|x| x.0 == b).unwrap();
+        assert_eq!(pos(2), pos(0) + 1, "not-taken arm should fall through: {order:?}");
+    }
+
+    #[test]
+    fn order_is_a_permutation() {
+        let (p, order) = biased_diamond(0.5);
+        let n = p.func(FuncId(0)).blocks.len();
+        assert_eq!(order.len(), n);
+        let mut seen = vec![false; n];
+        for b in &order {
+            assert!(!std::mem::replace(&mut seen[b.0 as usize], true));
+        }
+    }
+
+    #[test]
+    fn relayout_reduces_taken_branch_encodings() {
+        // With a strongly-taken branch, natural layout needs an inverted
+        // or two-instruction encoding on the hot path; chain layout makes
+        // the hot arm the literal fall-through with an inverted branch.
+        let (p, order) = biased_diamond(0.95);
+        let mut lo = LayoutOrder::natural(&p);
+        lo.set_block_order(FuncId(0), order);
+        let l = Layout::new(&p, &lo);
+        assert_eq!(l.encoding(vp_isa::CodeRef::new(0, 0)), TermEncoding::BrInverted);
+    }
+
+    #[test]
+    fn entry_chain_comes_first() {
+        let (p, order) = biased_diamond(0.95);
+        assert_eq!(order[0], p.func(FuncId(0)).entry);
+    }
+}

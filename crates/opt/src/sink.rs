@@ -1,0 +1,233 @@
+//! Cold-instruction sinking ("vacuum compaction").
+//!
+//! The paper suggests, without evaluating it: *"Further compaction of the
+//! code schedule may be achieved by a redundancy-elimination optimization
+//! that moves cold instructions (those whose results are not consumed
+//! within the hot package) to the side exit block"* (Section 5.4). This
+//! pass implements it.
+//!
+//! An instruction is sunk out of a hot block when:
+//!
+//! * it is pure (no memory access — a load's value may change if a store
+//!   intervenes, so loads stay put);
+//! * its result is not read later in its own block nor by the terminator;
+//! * its result is dead along every non-exit successor;
+//! * every exit successor that needs the value has this block as its only
+//!   predecessor (a shared exit block would recompute the value with
+//!   another path's operands).
+//!
+//! The sunk instruction is re-emitted in each exit block that needs it,
+//! ahead of the [`vp_isa::Inst::Consume`] dummy consumers that keep the
+//! data-flow honest — the hot path shrinks, the cold path pays.
+
+use std::collections::HashSet;
+use vp_core::PkgBlockMeta;
+use vp_isa::{BlockId, Inst, Reg};
+use vp_program::{Cfg, Function, Liveness};
+
+/// Runs cold-instruction sinking on one package function. Returns the
+/// number of instructions moved off the hot path.
+///
+/// `meta` is the per-block provenance recorded at extraction time
+/// ([`vp_core::PackageInfo::meta`]), used to identify exit blocks.
+pub fn sink_cold_instructions(f: &mut Function, meta: &[PkgBlockMeta]) -> usize {
+    assert_eq!(meta.len(), f.blocks.len(), "meta must describe every block");
+    let is_exit = |b: BlockId| meta[b.0 as usize].is_exit;
+    let mut moved = 0;
+
+    // Iterate to a fixpoint: sinking one instruction can make the producer
+    // of its operands sinkable too.
+    loop {
+        let cfg = Cfg::new(f);
+        let live = Liveness::new(f, &cfg);
+        let mut change: Option<(BlockId, usize, Vec<BlockId>)> = None;
+
+        'search: for (bid, block) in f.blocks_iter() {
+            if is_exit(bid) || !cfg.is_reachable(bid) {
+                continue;
+            }
+            let succs = cfg.succs(bid);
+            let exit_succs: Vec<BlockId> =
+                succs.iter().map(|&(s, _)| s).filter(|&s| is_exit(s)).collect();
+            if exit_succs.is_empty() {
+                continue;
+            }
+            // Candidate instructions, last first (so later uses inside the
+            // block are respected naturally).
+            for (i, inst) in block.insts.iter().enumerate().rev() {
+                if inst.is_mem() || matches!(inst, Inst::Consume { .. }) {
+                    continue;
+                }
+                let Some(def) = inst.defs().first().copied() else { continue };
+                // Used later in this block or by the terminator?
+                let used_later = block.insts[i + 1..]
+                    .iter()
+                    .any(|j| j.uses().contains(&def) || j.defs().contains(&def))
+                    || block.term.uses().contains(&def);
+                if used_later {
+                    continue;
+                }
+                // Dead along every non-exit successor.
+                if succs
+                    .iter()
+                    .any(|&(s, _)| !is_exit(s) && live.live_in(s).contains(def))
+                {
+                    continue;
+                }
+                // Which exits need it? Each must be exclusively ours.
+                let targets: Vec<BlockId> = exit_succs
+                    .iter()
+                    .copied()
+                    .filter(|&s| live.live_in(s).contains(def))
+                    .collect();
+                if targets.iter().any(|&s| cfg.preds(s).len() != 1) {
+                    continue;
+                }
+                // Operands must survive to the end of the block (no
+                // redefinition after i).
+                let operands: HashSet<Reg> = inst.uses().into_iter().collect();
+                if block.insts[i + 1..]
+                    .iter()
+                    .any(|j| j.defs().iter().any(|d| operands.contains(d)))
+                {
+                    continue;
+                }
+                change = Some((bid, i, targets));
+                break 'search;
+            }
+        }
+
+        let Some((bid, i, targets)) = change else { break };
+        let inst = f.block_mut(bid).insts.remove(i);
+        for t in targets {
+            f.block_mut(t).insts.insert(0, inst.clone());
+        }
+        moved += 1;
+    }
+    moved
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vp_isa::{AluOp, CodeRef, Cond, FuncId, Src};
+    use vp_program::{Block, FuncKind, Terminator};
+
+    /// Builds a package-shaped function:
+    /// b0: [r20 = r21+r22 (hot-dead), r23 = r21*2 (hot-live)] br -> b1 / b2(exit)
+    /// b1: uses r23, Ret
+    /// b2: exit block consuming r20, Goto original.
+    fn package_like() -> (Function, Vec<PkgBlockMeta>) {
+        let mut f = Function::new("pkg");
+        f.kind = FuncKind::Package { phase: 0 };
+        f.push_block(Block {
+            insts: vec![
+                Inst::Alu { op: AluOp::Add, rd: Reg::int(20), rs1: Reg::int(21), rs2: Src::Reg(Reg::int(22)) },
+                Inst::Alu { op: AluOp::Mul, rd: Reg::int(23), rs1: Reg::int(21), rs2: Src::Imm(2) },
+            ],
+            term: Terminator::Br {
+                cond: Cond::Eq,
+                rs1: Reg::int(24),
+                rs2: Src::Imm(0),
+                taken: CodeRef { func: FuncId(u32::MAX - 1), block: BlockId(2) },
+                not_taken: CodeRef { func: FuncId(u32::MAX - 1), block: BlockId(1) },
+            },
+        });
+        f.push_block(Block {
+            insts: vec![Inst::Mov { rd: Reg::ARG0, rs: Reg::int(23) }],
+            term: Terminator::Ret,
+        });
+        f.push_block(Block {
+            insts: vec![Inst::Consume { regs: vec![Reg::int(20)] }],
+            term: Terminator::Goto(CodeRef::new(0, 5)),
+        });
+        // Fix self references: blocks refer to this function's id (0 here).
+        f.id = FuncId(u32::MAX - 1);
+        let meta = vec![
+            PkgBlockMeta { origin: CodeRef::new(0, 0), context: vec![], is_exit: false, is_stub: false },
+            PkgBlockMeta { origin: CodeRef::new(0, 1), context: vec![], is_exit: false, is_stub: false },
+            PkgBlockMeta { origin: CodeRef::new(0, 5), context: vec![], is_exit: true, is_stub: false },
+        ];
+        (f, meta)
+    }
+
+    #[test]
+    fn dead_on_hot_path_sinks_into_exit() {
+        let (mut f, meta) = package_like();
+        let moved = sink_cold_instructions(&mut f, &meta);
+        assert_eq!(moved, 1);
+        // r20's producer left the hot block...
+        assert_eq!(f.block(BlockId(0)).insts.len(), 1);
+        assert!(matches!(f.block(BlockId(0)).insts[0], Inst::Alu { op: AluOp::Mul, .. }));
+        // ...and landed in the exit block, ahead of the consumers.
+        let exit = f.block(BlockId(2));
+        assert!(matches!(exit.insts[0], Inst::Alu { op: AluOp::Add, .. }));
+        assert!(matches!(exit.insts[1], Inst::Consume { .. }));
+    }
+
+    #[test]
+    fn hot_live_values_stay() {
+        let (mut f, meta) = package_like();
+        sink_cold_instructions(&mut f, &meta);
+        // r23 is consumed on the hot path: must remain in b0.
+        assert!(f
+            .block(BlockId(0))
+            .insts
+            .iter()
+            .any(|i| i.defs().contains(&Reg::int(23))));
+    }
+
+    #[test]
+    fn loads_never_sink() {
+        let (mut f, meta) = package_like();
+        // Replace the dead add with a dead load: must not move (a store
+        // could intervene on the original path).
+        f.block_mut(BlockId(0)).insts[0] = Inst::Load { rd: Reg::int(20), base: Reg::SP, offset: 0 };
+        let moved = sink_cold_instructions(&mut f, &meta);
+        assert_eq!(moved, 0);
+        assert_eq!(f.block(BlockId(0)).insts.len(), 2);
+    }
+
+    #[test]
+    fn shared_exit_blocks_prevent_sinking() {
+        let (mut f, mut meta) = package_like();
+        // Add a second hot block also branching to the same exit.
+        let self_id = f.id;
+        f.push_block(Block::empty(Terminator::Br {
+            cond: Cond::Ne,
+            rs1: Reg::int(24),
+            rs2: Src::Imm(0),
+            taken: CodeRef { func: self_id, block: BlockId(2) },
+            not_taken: CodeRef { func: self_id, block: BlockId(1) },
+        }));
+        meta.push(PkgBlockMeta { origin: CodeRef::new(0, 9), context: vec![], is_exit: false, is_stub: false });
+        // Make b3 reachable: b0's hot successor now goes through b3.
+        f.block_mut(BlockId(0)).term = Terminator::Br {
+            cond: Cond::Eq,
+            rs1: Reg::int(24),
+            rs2: Src::Imm(0),
+            taken: CodeRef { func: self_id, block: BlockId(2) },
+            not_taken: CodeRef { func: self_id, block: BlockId(3) },
+        };
+        let moved = sink_cold_instructions(&mut f, &meta);
+        assert_eq!(moved, 0, "two predecessors share the exit: nothing may sink");
+    }
+
+    #[test]
+    fn chained_producers_sink_together() {
+        // r25 = r21 ^ 5; r20 = r25 + 1; only the exit consumes r20: both
+        // instructions sink (fixpoint).
+        let (mut f, meta) = package_like();
+        f.block_mut(BlockId(0)).insts = vec![
+            Inst::Alu { op: AluOp::Xor, rd: Reg::int(25), rs1: Reg::int(21), rs2: Src::Imm(5) },
+            Inst::Alu { op: AluOp::Add, rd: Reg::int(20), rs1: Reg::int(25), rs2: Src::Imm(1) },
+            Inst::Alu { op: AluOp::Mul, rd: Reg::int(23), rs1: Reg::int(21), rs2: Src::Imm(2) },
+        ];
+        let moved = sink_cold_instructions(&mut f, &meta);
+        assert_eq!(moved, 2);
+        let exit = f.block(BlockId(2));
+        // Order preserved: xor computes before add.
+        assert!(matches!(exit.insts[0], Inst::Alu { op: AluOp::Xor, .. }));
+        assert!(matches!(exit.insts[1], Inst::Alu { op: AluOp::Add, .. }));
+    }
+}

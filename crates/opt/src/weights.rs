@@ -1,0 +1,217 @@
+//! Profile-weight propagation from taken probabilities.
+//!
+//! The paper (Section 5.4, after [4]) computes block and arc weights for
+//! the extracted packages from the taken probabilities the BBB recorded for
+//! each branch. This module solves the flow equations with damped
+//! Gauss-Seidel iteration in reverse postorder: entries inject weight,
+//! branches split their block's weight by taken probability, and loops
+//! converge geometrically as long as some exit probability remains.
+
+use std::collections::HashMap;
+use vp_isa::BlockId;
+use vp_program::{Cfg, EdgeKind, Function};
+
+/// Flow solution for one function.
+#[derive(Debug, Clone)]
+pub struct Weights {
+    block: Vec<f64>,
+    arc: HashMap<(BlockId, EdgeKind), f64>,
+}
+
+impl Weights {
+    /// Estimated execution weight of a block.
+    pub fn block(&self, b: BlockId) -> f64 {
+        self.block[b.0 as usize]
+    }
+
+    /// Estimated traversal weight of an arc.
+    pub fn arc(&self, from: BlockId, kind: EdgeKind) -> f64 {
+        self.arc.get(&(from, kind)).copied().unwrap_or(0.0)
+    }
+}
+
+/// Iteration limit; each sweep is O(blocks).
+const MAX_SWEEPS: usize = 200;
+/// Convergence threshold on the largest relative block-weight change.
+const EPSILON: f64 = 1e-4;
+/// Loop-back probabilities are clamped below one so the system stays
+/// contractive even for branches the profile saw as always-taken.
+const MAX_PROB: f64 = 0.995;
+
+/// Propagates weights through `f`.
+///
+/// * `taken_prob(b)` — taken probability of the conditional branch ending
+///   `b` (callers return `0.5` for unprofiled branches).
+/// * `entry_weight(b)` — externally injected weight (launch points,
+///   function entries, incoming links).
+pub fn propagate_weights(
+    f: &Function,
+    cfg: &Cfg,
+    taken_prob: impl Fn(BlockId) -> f64,
+    entry_weight: impl Fn(BlockId) -> f64,
+) -> Weights {
+    let n = f.blocks.len();
+    let mut w = vec![0.0f64; n];
+
+    // Cache per-block successor splits.
+    let split: Vec<Vec<(BlockId, EdgeKind, f64)>> = (0..n)
+        .map(|i| {
+            let b = BlockId(i as u32);
+            let succs = f.successors(b);
+            match succs.len() {
+                0 => vec![],
+                1 => vec![(succs[0].0, succs[0].1, 1.0)],
+                _ => {
+                    let p = taken_prob(b).clamp(1.0 - MAX_PROB, MAX_PROB);
+                    succs
+                        .into_iter()
+                        .map(|(t, kind)| {
+                            let frac = match kind {
+                                EdgeKind::Taken => p,
+                                EdgeKind::NotTaken => 1.0 - p,
+                                _ => 1.0,
+                            };
+                            (t, kind, frac)
+                        })
+                        .collect()
+                }
+            }
+        })
+        .collect();
+
+    for _ in 0..MAX_SWEEPS {
+        let mut max_delta = 0.0f64;
+        for &b in cfg.rpo() {
+            let i = b.0 as usize;
+            let mut incoming = entry_weight(b);
+            for &(p, kind) in cfg.preds(b) {
+                let pw = w[p.0 as usize];
+                if pw > 0.0 {
+                    if let Some(&(_, _, frac)) =
+                        split[p.0 as usize].iter().find(|&&(t, k, _)| t == b && k == kind)
+                    {
+                        incoming += pw * frac;
+                    }
+                }
+            }
+            let delta = (incoming - w[i]).abs() / incoming.max(1.0);
+            max_delta = max_delta.max(delta);
+            w[i] = incoming;
+        }
+        if max_delta < EPSILON {
+            break;
+        }
+    }
+
+    let mut arc = HashMap::new();
+    for i in 0..n {
+        for &(t, kind, frac) in &split[i] {
+            let _ = t;
+            arc.insert((BlockId(i as u32), kind), w[i] * frac);
+        }
+    }
+    Weights { block: w, arc }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vp_isa::{Cond, Reg, Src};
+    use vp_isa::FuncId;
+    use vp_program::ProgramBuilder;
+
+    fn entry_only(entry: BlockId) -> impl Fn(BlockId) -> f64 {
+        move |b| if b == entry { 1.0 } else { 0.0 }
+    }
+
+    #[test]
+    fn diamond_splits_by_probability() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("main", |f| {
+            let r = Reg::int(8);
+            f.li(r, 1);
+            let c = f.cond(Cond::Eq, r, Src::Imm(1));
+            f.if_else(c, |f| f.nop(), |f| f.nop());
+            f.halt();
+        });
+        let p = pb.build();
+        let f = p.func(FuncId(0));
+        let cfg = Cfg::new(f);
+        let w = propagate_weights(f, &cfg, |_| 0.8, entry_only(f.entry));
+        // then-arm gets 0.8, else-arm 0.2, join back to 1.0.
+        assert!((w.block(BlockId(1)) - 0.8).abs() < 1e-6);
+        assert!((w.block(BlockId(2)) - 0.2).abs() < 1e-6);
+        assert!((w.block(BlockId(3)) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn loop_weight_is_geometric_series() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("main", |f| {
+            let i = Reg::int(8);
+            f.li(i, 0);
+            f.while_(
+                |f| f.cond(Cond::Lt, i, Src::Imm(10)),
+                |f| f.addi(i, i, 1),
+            );
+            f.halt();
+        });
+        let p = pb.build();
+        let f = p.func(FuncId(0));
+        let cfg = Cfg::new(f);
+        // Loop-back taken with p = 0.9: header weight = 1/(1-0.9) = 10.
+        let w = propagate_weights(f, &cfg, |_| 0.9, entry_only(f.entry));
+        let header = f
+            .blocks_iter()
+            .find(|(_, b)| b.term.is_cond_branch())
+            .map(|(id, _)| id)
+            .unwrap();
+        let hw = w.block(header);
+        assert!((hw - 10.0).abs() < 0.5, "header weight {hw} should be ~10");
+    }
+
+    #[test]
+    fn arc_weights_sum_to_block_weight() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("main", |f| {
+            let r = Reg::int(8);
+            f.li(r, 1);
+            let c = f.cond(Cond::Eq, r, Src::Imm(1));
+            f.if_else(c, |f| f.nop(), |f| f.nop());
+            f.halt();
+        });
+        let p = pb.build();
+        let f = p.func(FuncId(0));
+        let cfg = Cfg::new(f);
+        let w = propagate_weights(f, &cfg, |_| 0.7, entry_only(f.entry));
+        let taken = w.arc(BlockId(0), EdgeKind::Taken);
+        let nt = w.arc(BlockId(0), EdgeKind::NotTaken);
+        assert!((taken + nt - w.block(BlockId(0))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn always_taken_probability_is_clamped() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("main", |f| {
+            let i = Reg::int(8);
+            f.li(i, 0);
+            f.while_(
+                |f| f.cond(Cond::Lt, i, Src::Imm(10)),
+                |f| f.addi(i, i, 1),
+            );
+            f.halt();
+        });
+        let p = pb.build();
+        let f = p.func(FuncId(0));
+        let cfg = Cfg::new(f);
+        // Profile says taken 100% — the solver must not diverge.
+        let w = propagate_weights(f, &cfg, |_| 1.0, entry_only(f.entry));
+        let header = f
+            .blocks_iter()
+            .find(|(_, b)| b.term.is_cond_branch())
+            .map(|(id, _)| id)
+            .unwrap();
+        assert!(w.block(header).is_finite());
+        assert!(w.block(header) <= 1.0 / (1.0 - MAX_PROB) + 1.0);
+    }
+}

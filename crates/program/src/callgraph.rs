@@ -1,0 +1,122 @@
+//! Whole-program call graph.
+
+use crate::block::Terminator;
+use crate::Program;
+use std::collections::BTreeSet;
+use vp_isa::{BlockId, FuncId};
+
+/// A call site: the calling block and the called function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CallSite {
+    /// Function containing the call.
+    pub caller: FuncId,
+    /// Block whose terminator is the call.
+    pub block: BlockId,
+    /// Called function.
+    pub callee: FuncId,
+}
+
+/// Function-call relationships of a program.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    callees: Vec<Vec<CallSite>>,
+    callers: Vec<Vec<CallSite>>,
+}
+
+impl CallGraph {
+    /// Builds the call graph of `p`.
+    pub fn new(p: &Program) -> CallGraph {
+        let n = p.funcs.len();
+        let mut callees = vec![Vec::new(); n];
+        let mut callers = vec![Vec::new(); n];
+        for f in &p.funcs {
+            for (bid, block) in f.blocks_iter() {
+                if let Terminator::Call { callee, .. } = block.term {
+                    let site = CallSite { caller: f.id, block: bid, callee };
+                    callees[f.id.0 as usize].push(site);
+                    callers[callee.0 as usize].push(site);
+                }
+            }
+        }
+        CallGraph { callees, callers }
+    }
+
+    /// Call sites inside `f`.
+    pub fn calls_from(&self, f: FuncId) -> &[CallSite] {
+        &self.callees[f.0 as usize]
+    }
+
+    /// Call sites that target `f`.
+    pub fn calls_to(&self, f: FuncId) -> &[CallSite] {
+        &self.callers[f.0 as usize]
+    }
+
+    /// Distinct functions called by `f`.
+    pub fn callee_funcs(&self, f: FuncId) -> BTreeSet<FuncId> {
+        self.calls_from(f).iter().map(|s| s.callee).collect()
+    }
+
+    /// Distinct functions that call `f`.
+    pub fn caller_funcs(&self, f: FuncId) -> BTreeSet<FuncId> {
+        self.calls_to(f).iter().map(|s| s.caller).collect()
+    }
+
+    /// Whether `f` calls itself (directly).
+    pub fn is_self_recursive(&self, f: FuncId) -> bool {
+        self.calls_from(f).iter().any(|s| s.callee == f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Block;
+    use crate::func::Function;
+
+    fn call_block(callee: u32, ret_to: u32) -> Block {
+        Block::empty(Terminator::Call { callee: FuncId(callee), ret_to: BlockId(ret_to) })
+    }
+
+    fn program_abc() -> Program {
+        // a calls b twice; b calls c; c calls itself.
+        let mut p = Program::default();
+        let mut a = Function::new("a");
+        a.push_block(call_block(1, 1));
+        a.push_block(call_block(1, 2));
+        a.push_block(Block::empty(Terminator::Halt));
+        p.push_func(a);
+        let mut b = Function::new("b");
+        b.push_block(call_block(2, 1));
+        b.push_block(Block::empty(Terminator::Ret));
+        p.push_func(b);
+        let mut c = Function::new("c");
+        c.push_block(call_block(2, 1));
+        c.push_block(Block::empty(Terminator::Ret));
+        p.push_func(c);
+        p
+    }
+
+    #[test]
+    fn edges_both_directions() {
+        let p = program_abc();
+        let cg = CallGraph::new(&p);
+        assert_eq!(cg.calls_from(FuncId(0)).len(), 2);
+        assert_eq!(cg.calls_to(FuncId(1)).len(), 2);
+        assert_eq!(cg.caller_funcs(FuncId(2)), [FuncId(1), FuncId(2)].into_iter().collect());
+    }
+
+    #[test]
+    fn self_recursion_detected() {
+        let p = program_abc();
+        let cg = CallGraph::new(&p);
+        assert!(cg.is_self_recursive(FuncId(2)));
+        assert!(!cg.is_self_recursive(FuncId(1)));
+    }
+
+    #[test]
+    fn distinct_callee_sets() {
+        let p = program_abc();
+        let cg = CallGraph::new(&p);
+        assert_eq!(cg.callee_funcs(FuncId(0)).len(), 1);
+    }
+}

@@ -1,0 +1,200 @@
+//! Per-function control-flow graph queries: predecessors, reverse postorder,
+//! back edges, and reachability.
+//!
+//! Root-function and entry-block identification in the paper (Section 3.3.2)
+//! both work "ignoring back edges"; the back-edge classification here is the
+//! DFS definition (an edge to a block currently on the DFS stack).
+
+use crate::block::EdgeKind;
+use crate::func::Function;
+use vp_isa::BlockId;
+
+/// Control-flow-graph summary for one function.
+///
+/// Construction is O(blocks + edges); all queries are precomputed.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    entry: BlockId,
+    succs: Vec<Vec<(BlockId, EdgeKind)>>,
+    preds: Vec<Vec<(BlockId, EdgeKind)>>,
+    rpo: Vec<BlockId>,
+    back_edges: Vec<(BlockId, BlockId)>,
+    reachable: Vec<bool>,
+}
+
+impl Cfg {
+    /// Builds the CFG for `f`, exploring from the function entry.
+    pub fn new(f: &Function) -> Cfg {
+        let n = f.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds: Vec<Vec<(BlockId, EdgeKind)>> = vec![Vec::new(); n];
+        for (bid, _) in f.blocks_iter() {
+            let ss = f.successors(bid);
+            for &(t, kind) in &ss {
+                preds[t.0 as usize].push((bid, kind));
+            }
+            succs[bid.0 as usize] = ss;
+        }
+
+        // Iterative DFS from the entry computing postorder, back edges and
+        // reachability.
+        let mut state = vec![0u8; n]; // 0 = unvisited, 1 = on stack, 2 = done
+        let mut post: Vec<BlockId> = Vec::with_capacity(n);
+        let mut back_edges = Vec::new();
+        let mut stack: Vec<(BlockId, usize)> = Vec::new();
+        if n > 0 {
+            stack.push((f.entry, 0));
+            state[f.entry.0 as usize] = 1;
+        }
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            let bs = &succs[b.0 as usize];
+            if *i < bs.len() {
+                let (t, _) = bs[*i];
+                *i += 1;
+                match state[t.0 as usize] {
+                    0 => {
+                        state[t.0 as usize] = 1;
+                        stack.push((t, 0));
+                    }
+                    1 => back_edges.push((b, t)),
+                    _ => {}
+                }
+            } else {
+                state[b.0 as usize] = 2;
+                post.push(b);
+                stack.pop();
+            }
+        }
+        let reachable: Vec<bool> = state.iter().map(|&s| s == 2).collect();
+        post.reverse();
+        Cfg { entry: f.entry, succs, preds, rpo: post, back_edges, reachable }
+    }
+
+    /// The function entry block.
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Whether the function has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// Successor edges of `b`.
+    pub fn succs(&self, b: BlockId) -> &[(BlockId, EdgeKind)] {
+        &self.succs[b.0 as usize]
+    }
+
+    /// Predecessor edges of `b` (edge kind is the kind at the predecessor's
+    /// terminator).
+    pub fn preds(&self, b: BlockId) -> &[(BlockId, EdgeKind)] {
+        &self.preds[b.0 as usize]
+    }
+
+    /// Blocks reachable from the entry in reverse postorder.
+    pub fn rpo(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// DFS back edges `(from, to)` among blocks reachable from the entry.
+    pub fn back_edges(&self) -> &[(BlockId, BlockId)] {
+        &self.back_edges
+    }
+
+    /// Whether `edge` is a DFS back edge.
+    pub fn is_back_edge(&self, from: BlockId, to: BlockId) -> bool {
+        self.back_edges.contains(&(from, to))
+    }
+
+    /// Whether `b` is reachable from the function entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.reachable[b.0 as usize]
+    }
+
+    /// Predecessors of `b` excluding back edges: the notion used when
+    /// selecting entry blocks (Section 3.3.2).
+    pub fn forward_preds(&self, b: BlockId) -> Vec<(BlockId, EdgeKind)> {
+        self.preds(b).iter().copied().filter(|&(p, _)| !self.is_back_edge(p, b)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{Block, Terminator};
+    use vp_isa::{CodeRef, Cond, Reg, Src};
+
+    /// Builds a diamond with a loop back edge:
+    /// b0 -> b1 / b2; b1 -> b3; b2 -> b3; b3 -> b0 (back) or b4 (exit).
+    fn diamond_loop() -> Function {
+        let mut f = Function::new("f");
+        let br = |taken: u32, not_taken: u32| Terminator::Br {
+            cond: Cond::Eq,
+            rs1: Reg::int(3),
+            rs2: Src::Imm(0),
+            taken: CodeRef::new(0, taken),
+            not_taken: CodeRef::new(0, not_taken),
+        };
+        f.push_block(Block::empty(br(1, 2))); // b0
+        f.push_block(Block::empty(Terminator::Goto(CodeRef::new(0, 3)))); // b1
+        f.push_block(Block::empty(Terminator::Goto(CodeRef::new(0, 3)))); // b2
+        f.push_block(Block::empty(br(0, 4))); // b3
+        f.push_block(Block::empty(Terminator::Halt)); // b4
+        f
+    }
+
+    #[test]
+    fn preds_and_succs_consistent() {
+        let f = diamond_loop();
+        let cfg = Cfg::new(&f);
+        assert_eq!(cfg.succs(BlockId(0)).len(), 2);
+        assert_eq!(cfg.preds(BlockId(3)).len(), 2);
+        // b0 has one predecessor: the back edge from b3.
+        assert_eq!(cfg.preds(BlockId(0)).len(), 1);
+    }
+
+    #[test]
+    fn back_edge_detected_and_forward_preds_exclude_it() {
+        let f = diamond_loop();
+        let cfg = Cfg::new(&f);
+        assert!(cfg.is_back_edge(BlockId(3), BlockId(0)));
+        assert!(cfg.forward_preds(BlockId(0)).is_empty());
+        assert_eq!(cfg.forward_preds(BlockId(3)).len(), 2);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_reachable() {
+        let f = diamond_loop();
+        let cfg = Cfg::new(&f);
+        assert_eq!(cfg.rpo()[0], BlockId(0));
+        assert_eq!(cfg.rpo().len(), 5);
+        assert!(cfg.is_reachable(BlockId(4)));
+    }
+
+    #[test]
+    fn unreachable_block_flagged() {
+        let mut f = diamond_loop();
+        f.push_block(Block::empty(Terminator::Halt)); // b5, unreachable
+        let cfg = Cfg::new(&f);
+        assert!(!cfg.is_reachable(BlockId(5)));
+        assert_eq!(cfg.rpo().len(), 5);
+    }
+
+    #[test]
+    fn rpo_respects_topological_order_on_dag_part() {
+        let f = diamond_loop();
+        let cfg = Cfg::new(&f);
+        let pos: Vec<usize> =
+            (0..5).map(|i| cfg.rpo().iter().position(|b| b.0 == i).unwrap()).collect();
+        assert!(pos[0] < pos[1]);
+        assert!(pos[0] < pos[2]);
+        assert!(pos[1] < pos[3]);
+        assert!(pos[2] < pos[3]);
+        assert!(pos[3] < pos[4]);
+    }
+}

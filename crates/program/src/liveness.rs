@@ -1,0 +1,181 @@
+//! Backward register liveness.
+//!
+//! Package extraction (paper Section 3.3.1) must know which registers are
+//! live along each hot-to-cold exit path so that dummy consumer instructions
+//! can represent them inside the package. This module provides the standard
+//! iterative backward data-flow solution over one function's CFG.
+//!
+//! Calling convention (see `vp-isa`): calls are treated as reading the
+//! argument registers `r4..r11` plus `r1` (sp) and writing `r4`; returns
+//! read `r4` and `r1`. This is deliberately conservative — a hardware
+//! profiler has no precise interprocedural summaries either.
+
+use crate::cfg::Cfg;
+use crate::func::Function;
+use vp_isa::reg::RegSet;
+use vp_isa::BlockId;
+
+/// Per-block liveness solution for one function.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    live_in: Vec<RegSet>,
+    live_out: Vec<RegSet>,
+}
+
+impl Liveness {
+    /// Solves liveness for `f` using its CFG.
+    pub fn new(f: &Function, cfg: &Cfg) -> Liveness {
+        let n = f.blocks.len();
+        let mut gen = vec![RegSet::new(); n]; // upward-exposed uses
+        let mut kill = vec![RegSet::new(); n]; // defs
+        for (bid, block) in f.blocks_iter() {
+            let i = bid.0 as usize;
+            // Walk forward, recording uses not yet defined and all defs.
+            for inst in &block.insts {
+                for u in inst.uses() {
+                    if !kill[i].contains(u) {
+                        gen[i].insert(u);
+                    }
+                }
+                for d in inst.defs() {
+                    kill[i].insert(d);
+                }
+            }
+            for u in block.term.uses() {
+                if !kill[i].contains(u) {
+                    gen[i].insert(u);
+                }
+            }
+            for d in block.term.defs() {
+                kill[i].insert(d);
+            }
+        }
+
+        let mut live_in = vec![RegSet::new(); n];
+        let mut live_out = vec![RegSet::new(); n];
+        // Iterate to fixpoint in reverse RPO (fast convergence for
+        // reducible CFGs).
+        let order: Vec<BlockId> = cfg.rpo().iter().rev().copied().collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &order {
+                let i = b.0 as usize;
+                let mut out = RegSet::new();
+                for &(s, _) in cfg.succs(b) {
+                    out.union_with(&live_in[s.0 as usize]);
+                }
+                let mut inp = out;
+                for d in kill[i].iter() {
+                    inp.remove(d);
+                }
+                // (out - kill) ∪ gen
+                inp.union_with(&gen[i]);
+                if inp != live_in[i] || out != live_out[i] {
+                    live_in[i] = inp;
+                    live_out[i] = out;
+                    changed = true;
+                }
+            }
+        }
+        Liveness { live_in, live_out }
+    }
+
+    /// Registers live on entry to `b`.
+    pub fn live_in(&self, b: BlockId) -> &RegSet {
+        &self.live_in[b.0 as usize]
+    }
+
+    /// Registers live on exit from `b`.
+    pub fn live_out(&self, b: BlockId) -> &RegSet {
+        &self.live_out[b.0 as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{Block, Terminator};
+    use vp_isa::{AluOp, CodeRef, Cond, Inst, Reg, Src};
+
+    fn add(rd: u8, rs1: u8, rs2: u8) -> Inst {
+        Inst::Alu { op: AluOp::Add, rd: Reg::int(rd), rs1: Reg::int(rs1), rs2: Reg::int(rs2).into() }
+    }
+
+    /// b0: r20 = r21 + r22; branch on r20 -> b1 / b2
+    /// b1: r23 = r21 + r21; goto b2
+    /// b2: halt (uses nothing)
+    fn sample() -> Function {
+        let mut f = Function::new("f");
+        f.push_block(Block {
+            insts: vec![add(20, 21, 22)],
+            term: Terminator::Br {
+                cond: Cond::Ne,
+                rs1: Reg::int(20),
+                rs2: Src::Imm(0),
+                taken: CodeRef::new(0, 1),
+                not_taken: CodeRef::new(0, 2),
+            },
+        });
+        f.push_block(Block {
+            insts: vec![add(23, 21, 21)],
+            term: Terminator::Goto(CodeRef::new(0, 2)),
+        });
+        f.push_block(Block::empty(Terminator::Halt));
+        f
+    }
+
+    #[test]
+    fn upward_exposed_uses_are_live_in() {
+        let f = sample();
+        let live = Liveness::new(&f, &Cfg::new(&f));
+        let li = live.live_in(BlockId(0));
+        assert!(li.contains(Reg::int(21)));
+        assert!(li.contains(Reg::int(22)));
+        assert!(!li.contains(Reg::int(20)), "r20 is defined before its use");
+    }
+
+    #[test]
+    fn liveness_flows_across_edges() {
+        let f = sample();
+        let live = Liveness::new(&f, &Cfg::new(&f));
+        // r21 is used in b1, so it is live out of b0.
+        assert!(live.live_out(BlockId(0)).contains(Reg::int(21)));
+        // r23 is dead (never used).
+        assert!(!live.live_out(BlockId(1)).contains(Reg::int(23)));
+    }
+
+    #[test]
+    fn loop_liveness_reaches_fixpoint() {
+        // b0: r20 = r21+r22; br r20 -> b0 (loop) / b1; b1: halt.
+        let mut f = Function::new("f");
+        f.push_block(Block {
+            insts: vec![add(20, 21, 22)],
+            term: Terminator::Br {
+                cond: Cond::Ne,
+                rs1: Reg::int(20),
+                rs2: Src::Imm(0),
+                taken: CodeRef::new(0, 0),
+                not_taken: CodeRef::new(0, 1),
+            },
+        });
+        f.push_block(Block::empty(Terminator::Halt));
+        let live = Liveness::new(&f, &Cfg::new(&f));
+        // Around the loop, r21/r22 stay live.
+        assert!(live.live_out(BlockId(0)).contains(Reg::int(21)));
+        assert!(live.live_out(BlockId(0)).contains(Reg::int(22)));
+    }
+
+    #[test]
+    fn call_terminator_keeps_args_live() {
+        let mut f = Function::new("f");
+        f.push_block(Block::empty(Terminator::Call {
+            callee: vp_isa::FuncId(1),
+            ret_to: BlockId(1),
+        }));
+        f.push_block(Block::empty(Terminator::Ret));
+        let live = Liveness::new(&f, &Cfg::new(&f));
+        assert!(live.live_in(BlockId(0)).contains(Reg::arg(0)));
+        assert!(live.live_in(BlockId(0)).contains(Reg::arg(7)));
+    }
+}

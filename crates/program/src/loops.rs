@@ -1,0 +1,232 @@
+//! Dominators and natural loops.
+//!
+//! The paper motivates regions over traces precisely because they give the
+//! optimizer loop-level scope ("loops provided the greatest performance
+//! opportunities", Section 2, citing Bruening & Duesterwald). This module
+//! provides the analysis that loop transformations on packages need:
+//! immediate dominators (Cooper–Harvey–Kennedy) and the natural loops of
+//! the back edges.
+
+use crate::cfg::Cfg;
+use std::collections::BTreeSet;
+use vp_isa::BlockId;
+
+/// Immediate-dominator tree for one function's CFG.
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    /// `idom[b]` = immediate dominator of `b`; the entry maps to itself.
+    /// Unreachable blocks map to `None`.
+    idom: Vec<Option<BlockId>>,
+}
+
+impl Dominators {
+    /// Computes dominators over the reachable CFG using the iterative
+    /// RPO algorithm of Cooper, Harvey and Kennedy.
+    pub fn new(cfg: &Cfg) -> Dominators {
+        let n = cfg.len();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        if n == 0 {
+            return Dominators { idom };
+        }
+        let rpo = cfg.rpo();
+        let mut rpo_pos = vec![usize::MAX; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_pos[b.0 as usize] = i;
+        }
+        let entry = cfg.entry();
+        idom[entry.0 as usize] = Some(entry);
+
+        let intersect = |idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId| -> BlockId {
+            while a != b {
+                while rpo_pos[a.0 as usize] > rpo_pos[b.0 as usize] {
+                    a = idom[a.0 as usize].expect("processed");
+                }
+                while rpo_pos[b.0 as usize] > rpo_pos[a.0 as usize] {
+                    b = idom[b.0 as usize].expect("processed");
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &(p, _) in cfg.preds(b) {
+                    if idom[p.0 as usize].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, cur, p),
+                    });
+                }
+                if new_idom.is_some() && idom[b.0 as usize] != new_idom {
+                    idom[b.0 as usize] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        Dominators { idom }
+    }
+
+    /// The immediate dominator of `b` (`b` itself for the entry; `None`
+    /// for unreachable blocks).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom[b.0 as usize]
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom(cur) {
+                Some(d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
+    }
+}
+
+/// One natural loop.
+#[derive(Debug, Clone)]
+pub struct NaturalLoop {
+    /// The loop header (dominates every block in the body).
+    pub header: BlockId,
+    /// All blocks of the loop, header included.
+    pub body: BTreeSet<BlockId>,
+    /// Sources of the back edges into the header.
+    pub latches: Vec<BlockId>,
+}
+
+impl NaturalLoop {
+    /// Whether `b` belongs to the loop.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.body.contains(&b)
+    }
+}
+
+/// Finds the natural loops of a CFG: one per header, bodies merged across
+/// that header's back edges, sorted by header id.
+pub fn natural_loops(cfg: &Cfg) -> Vec<NaturalLoop> {
+    let doms = Dominators::new(cfg);
+    let mut by_header: std::collections::BTreeMap<BlockId, NaturalLoop> = Default::default();
+    for &(u, h) in cfg.back_edges() {
+        // A natural loop requires the header to dominate the latch;
+        // DFS back edges into non-dominating targets are irreducible and
+        // skipped.
+        if !doms.dominates(h, u) {
+            continue;
+        }
+        let entry = by_header.entry(h).or_insert_with(|| NaturalLoop {
+            header: h,
+            body: [h].into_iter().collect(),
+            latches: Vec::new(),
+        });
+        entry.latches.push(u);
+        // Body = reverse reachability from the latch, stopping at the
+        // header.
+        let mut work = vec![u];
+        while let Some(b) = work.pop() {
+            if entry.body.insert(b) {
+                for &(p, _) in cfg.preds(b) {
+                    work.push(p);
+                }
+            }
+        }
+    }
+    by_header.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::Program;
+    use vp_isa::{Cond, FuncId, Reg, Src};
+
+    fn nested_loops_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        pb.func("main", |f| {
+            let (i, j, acc) = (Reg::int(20), Reg::int(21), Reg::int(22));
+            f.li(acc, 0);
+            f.for_range(i, 0, 5, |f| {
+                f.for_range(j, 0, 3, |f| {
+                    f.add(acc, acc, j);
+                });
+            });
+            f.halt();
+        });
+        pb.build()
+    }
+
+    #[test]
+    fn entry_dominates_everything() {
+        let p = nested_loops_program();
+        let f = p.func(FuncId(0));
+        let cfg = Cfg::new(f);
+        let doms = Dominators::new(&cfg);
+        for &b in cfg.rpo() {
+            assert!(doms.dominates(cfg.entry(), b));
+        }
+        assert_eq!(doms.idom(cfg.entry()), Some(cfg.entry()));
+    }
+
+    #[test]
+    fn finds_both_nested_loops() {
+        let p = nested_loops_program();
+        let f = p.func(FuncId(0));
+        let cfg = Cfg::new(f);
+        let loops = natural_loops(&cfg);
+        assert_eq!(loops.len(), 2, "outer and inner loop");
+        // The inner loop is strictly contained in the outer.
+        let (a, b) = (&loops[0], &loops[1]);
+        let (outer, inner) = if a.body.len() > b.body.len() { (a, b) } else { (b, a) };
+        assert!(inner.body.iter().all(|blk| outer.contains(*blk)));
+        assert!(outer.body.len() > inner.body.len());
+        for l in &loops {
+            assert!(!l.latches.is_empty());
+            let doms = Dominators::new(&cfg);
+            for &blk in &l.body {
+                assert!(doms.dominates(l.header, blk), "header dominates body");
+            }
+        }
+    }
+
+    #[test]
+    fn diamond_has_no_loops() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("main", |f| {
+            let r = Reg::int(20);
+            f.li(r, 1);
+            let c = f.cond(Cond::Eq, r, Src::Imm(1));
+            f.if_else(c, |f| f.nop(), |f| f.nop());
+            f.halt();
+        });
+        let p = pb.build();
+        let cfg = Cfg::new(p.func(FuncId(0)));
+        assert!(natural_loops(&cfg).is_empty());
+    }
+
+    #[test]
+    fn idom_of_join_is_branch_block() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("main", |f| {
+            let r = Reg::int(20);
+            f.li(r, 1);
+            let c = f.cond(Cond::Eq, r, Src::Imm(1));
+            f.if_else(c, |f| f.nop(), |f| f.nop());
+            f.halt();
+        });
+        let p = pb.build();
+        let f = p.func(FuncId(0));
+        let cfg = Cfg::new(f);
+        let doms = Dominators::new(&cfg);
+        // Block 0 branches to 1/2 joining at 3: idom(3) = 0.
+        assert_eq!(doms.idom(BlockId(3)), Some(BlockId(0)));
+    }
+}

@@ -1,0 +1,124 @@
+//! Human-readable listings of programs, functions and layouts — the
+//! "objdump view" of this substrate. Used by the examples and invaluable
+//! when debugging extraction decisions.
+
+use crate::block::Terminator;
+use crate::layout::Layout;
+use crate::Program;
+use std::fmt::Write;
+use vp_isa::{CodeRef, FuncId};
+
+/// Renders one function as an assembly-style listing.
+///
+/// ```
+/// use vp_program::{ProgramBuilder, pretty};
+/// use vp_isa::Reg;
+///
+/// let mut pb = ProgramBuilder::new();
+/// pb.func("main", |f| { f.li(Reg::int(8), 1); f.halt(); });
+/// let p = pb.build();
+/// let text = pretty::dump_function(&p, p.funcs[0].id, None);
+/// assert!(text.contains("main"));
+/// assert!(text.contains("li r8, 1"));
+/// ```
+pub fn dump_function(p: &Program, id: FuncId, layout: Option<&Layout>) -> String {
+    let f = p.func(id);
+    let mut out = String::new();
+    let kind = if f.is_package() { " [package]" } else { "" };
+    let _ = writeln!(out, "{} <{}>{}:", f.id, f.name, kind);
+    for (bid, block) in f.blocks_iter() {
+        let addr = layout
+            .map(|l| format!("{:#08x} ", l.addr_of(CodeRef { func: id, block: bid })))
+            .unwrap_or_default();
+        let entry = if bid == f.entry { " (entry)" } else { "" };
+        let _ = writeln!(out, "{addr}{bid}{entry}:");
+        for inst in &block.insts {
+            let _ = writeln!(out, "    {inst}");
+        }
+        let _ = writeln!(out, "    {}", render_term(p, &block.term));
+    }
+    out
+}
+
+/// Renders the whole program.
+pub fn dump_program(p: &Program, layout: Option<&Layout>) -> String {
+    let mut out = String::new();
+    for f in &p.funcs {
+        out.push_str(&dump_function(p, f.id, layout));
+        out.push('\n');
+    }
+    out
+}
+
+fn render_ref(p: &Program, r: CodeRef) -> String {
+    let name = &p.func(r.func).name;
+    format!("{}@{}:{}", name, r.func, r.block)
+}
+
+fn render_term(p: &Program, t: &Terminator) -> String {
+    match t {
+        Terminator::Goto(r) => format!("goto {}", render_ref(p, *r)),
+        Terminator::Br { cond, rs1, rs2, taken, not_taken } => format!(
+            "br.{cond:?} {rs1}, {rs2} -> {} | {}",
+            render_ref(p, *taken),
+            render_ref(p, *not_taken)
+        ),
+        Terminator::Call { callee, ret_to } => {
+            format!("call {} ; ret to {ret_to}", p.func(*callee).name)
+        }
+        Terminator::CallThrough { target, ret_to } => {
+            format!("callthrough {} ; ret to {ret_to}", render_ref(p, *target))
+        }
+        Terminator::Ret => "ret".to_string(),
+        Terminator::Halt => "halt".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use vp_isa::{Cond, Reg, Src};
+
+    fn sample() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let callee = pb.declare("helper");
+        pb.define(callee, |f| f.ret());
+        let main = pb.declare("main");
+        pb.define(main, |f| {
+            let r = Reg::int(8);
+            f.li(r, 3);
+            let c = f.cond(Cond::Lt, r, Src::Imm(10));
+            f.if_(c, |f| f.call(callee));
+            f.halt();
+        });
+        pb.set_entry(main);
+        pb.build()
+    }
+
+    #[test]
+    fn function_listing_names_targets() {
+        let p = sample();
+        let text = dump_function(&p, FuncId(1), None);
+        assert!(text.contains("<main>"));
+        assert!(text.contains("call helper"));
+        assert!(text.contains("br.Lt r8, 10"));
+        assert!(text.contains("(entry)"));
+    }
+
+    #[test]
+    fn program_listing_covers_all_functions() {
+        let p = sample();
+        let text = dump_program(&p, None);
+        assert!(text.contains("<helper>"));
+        assert!(text.contains("<main>"));
+    }
+
+    #[test]
+    fn layout_addresses_appear_when_provided() {
+        let p = sample();
+        let layout = Layout::natural(&p);
+        let text = dump_program(&p, Some(&layout));
+        assert!(text.contains("0x010000"), "code-base addresses rendered: {text}");
+    }
+}

@@ -1,0 +1,106 @@
+//! Machine configuration (the paper's Table 2).
+
+/// Parameters of the simulated EPIC machine.
+///
+/// [`MachineConfig::table2`] reproduces the paper's Table 2. Latencies not
+/// listed in the table (cache miss costs) use conventional values for the
+/// era and are documented fields, so ablations can vary them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// Instructions issued per cycle (Table 2: 8).
+    pub issue_width: u32,
+    /// Integer ALU units (Table 2: 5).
+    pub int_alu_units: u32,
+    /// Floating-point units, including long-latency FP (Table 2: 3).
+    pub fp_units: u32,
+    /// Memory units (Table 2: 3).
+    pub mem_units: u32,
+    /// Branch units (Table 2: 3).
+    pub branch_units: u32,
+    /// Branch resolution latency in cycles — the mispredict penalty
+    /// (Table 2: 7).
+    pub branch_resolution: u32,
+    /// gshare history bits (Table 2: 10-bit history).
+    pub gshare_bits: u32,
+    /// BTB entries (Table 2: 1024).
+    pub btb_entries: usize,
+    /// Return-address-stack entries (Table 2: 32).
+    pub ras_entries: usize,
+    /// L1 instruction cache size in bytes (Table 2: 512 KB).
+    pub l1i_bytes: usize,
+    /// L1 data cache size in bytes (Table 2: 64 KB).
+    pub l1d_bytes: usize,
+    /// Unified L2 cache size in bytes (Table 2: 64 KB).
+    pub l2_bytes: usize,
+    /// Cache line size in bytes (not in Table 2; 64).
+    pub line_bytes: usize,
+    /// Cache associativity (not in Table 2; 4-way).
+    pub cache_ways: usize,
+    /// Extra cycles for an L1 miss that hits in L2.
+    pub l2_latency: u32,
+    /// Extra cycles for an access that misses L2.
+    pub mem_latency: u32,
+    /// Front-end depth in cycles from fetch to issue (ten-stage pipeline
+    /// with issue near the middle).
+    pub front_depth: u32,
+    /// Model wrong-path instruction fetch on mispredictions: the fetch
+    /// unit speculatively touches I-cache lines down the wrong direction
+    /// until the branch resolves, polluting the cache (the paper's
+    /// emulator "fully accounts for ... wrong path execution [and] cache
+    /// utilization and pollution"). One line per front-end fetch cycle of
+    /// the resolution window.
+    pub wrong_path_fetch: bool,
+}
+
+impl MachineConfig {
+    /// The paper's Table 2 machine.
+    pub fn table2() -> MachineConfig {
+        MachineConfig {
+            issue_width: 8,
+            int_alu_units: 5,
+            fp_units: 3,
+            mem_units: 3,
+            branch_units: 3,
+            branch_resolution: 7,
+            gshare_bits: 10,
+            btb_entries: 1024,
+            ras_entries: 32,
+            l1i_bytes: 512 * 1024,
+            l1d_bytes: 64 * 1024,
+            l2_bytes: 64 * 1024,
+            line_bytes: 64,
+            cache_ways: 4,
+            l2_latency: 10,
+            mem_latency: 75,
+            front_depth: 4,
+            wrong_path_fetch: true,
+        }
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> MachineConfig {
+        MachineConfig::table2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_matches_paper() {
+        let c = MachineConfig::table2();
+        assert_eq!(c.issue_width, 8);
+        assert_eq!(c.int_alu_units, 5);
+        assert_eq!(c.fp_units, 3);
+        assert_eq!(c.mem_units, 3);
+        assert_eq!(c.branch_units, 3);
+        assert_eq!(c.branch_resolution, 7);
+        assert_eq!(c.btb_entries, 1024);
+        assert_eq!(c.ras_entries, 32);
+        assert_eq!(c.l1i_bytes, 512 * 1024);
+        assert_eq!(c.l1d_bytes, 64 * 1024);
+        assert_eq!(c.l2_bytes, 64 * 1024);
+    }
+}

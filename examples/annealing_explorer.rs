@@ -1,0 +1,89 @@
+//! Phase-sensitivity explorer on the annealing workload.
+//!
+//! `300.twolf`'s accept branch flips bias as the temperature schedule
+//! cools — the paper's Multi-High category. This example shows (a) the
+//! per-phase taken fractions the Hot Spot Detector recorded for that
+//! branch, and (b) how the `MAX_BLOCKS` growth knob and the configuration
+//! matrix change the extracted packages.
+//!
+//! ```text
+//! cargo run --release --example annealing_explorer
+//! ```
+
+use vacuum_packing::core::pack;
+use vacuum_packing::metrics::{categorize, evaluate, profile, TextTable, CATEGORIES};
+use vacuum_packing::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = vacuum_packing::workloads::twolf::build(1);
+    let profiled = profile("300.twolf A", program, &HsdConfig::table2(), None)?;
+
+    // (a) Find branches shared across phases with large bias swings.
+    println!("branches appearing in multiple phases:");
+    let mut per_branch: std::collections::BTreeMap<u64, Vec<(usize, f64)>> = Default::default();
+    for ph in &profiled.phases {
+        for (&addr, b) in &ph.branches {
+            per_branch.entry(addr).or_default().push((ph.id, b.taken_fraction()));
+        }
+    }
+    for (addr, obs) in per_branch.iter().filter(|(_, v)| v.len() > 1) {
+        let loc = profiled.layout.branch_at(*addr).expect("profiled branch maps to code");
+        let fracs: Vec<String> =
+            obs.iter().map(|(p, f)| format!("phase{p}: {:.0}%", 100.0 * f)).collect();
+        println!(
+            "  {} in `{}`: {}",
+            loc,
+            profiled.program.func(loc.func).name,
+            fracs.join(", ")
+        );
+    }
+
+    // The Figure 9 taxonomy over this run.
+    let cat = categorize(&profiled.phases, &profiled.branch_counts, 0.7);
+    println!("\nFigure 9 taxonomy (fractions of hot-spot branch executions):");
+    for (i, c) in CATEGORIES.iter().enumerate() {
+        if cat.fraction[i] > 0.0 {
+            println!("  {:<15} {:.1}%", c.label(), 100.0 * cat.fraction[i]);
+        }
+    }
+
+    // (b) Sweep MAX_BLOCKS and the evaluation matrix.
+    let mut t = TextTable::new(vec!["config", "coverage %", "expansion %", "packages"]);
+    for max_blocks in [0usize, 1, 4] {
+        let cfg = PackConfig { max_growth_blocks: max_blocks, ..PackConfig::default() };
+        let out = evaluate(&profiled, &cfg, &OptConfig::default(), None)?;
+        t.row(vec![
+            format!("MAX_BLOCKS={max_blocks}"),
+            format!("{:.1}", 100.0 * out.coverage),
+            format!("{:.1}", 100.0 * out.expansion),
+            out.packages.to_string(),
+        ]);
+    }
+    for (label, cfg) in ["noInf/noLink", "noInf/link", "inf/noLink", "inf/link"]
+        .iter()
+        .zip(PackConfig::evaluation_matrix())
+    {
+        let out = evaluate(&profiled, &cfg, &OptConfig::default(), None)?;
+        t.row(vec![
+            label.to_string(),
+            format!("{:.1}", 100.0 * out.coverage),
+            format!("{:.1}", 100.0 * out.expansion),
+            out.packages.to_string(),
+        ]);
+    }
+    println!("\n{t}");
+
+    // Show the package inventory for the default configuration.
+    let out = pack(&profiled.program, &profiled.layout, &profiled.phases, &PackConfig::default());
+    println!("package inventory (inference + linking):");
+    for pi in &out.packages {
+        println!(
+            "  {} <- phase {} (root `{}`, {} insts)",
+            out.program.func(pi.func).name,
+            pi.phase,
+            out.program.func(pi.root).name,
+            pi.static_insts
+        );
+    }
+    Ok(())
+}

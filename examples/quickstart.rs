@@ -1,0 +1,58 @@
+//! Quickstart: vacuum-pack a workload end to end.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Profiles the `300.twolf` workload with the hardware Hot Spot Detector,
+//! extracts per-phase packages, optimizes them (relayout + rescheduling),
+//! and reports the paper's headline metrics: package coverage, code
+//! expansion, and speedup on the Table 2 machine.
+
+use vacuum_packing::metrics::{evaluate, profile};
+use vacuum_packing::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A workload: any `vp_program::Program` works; the suite ships the
+    //    paper's Table 1 benchmarks.
+    let program = vacuum_packing::workloads::twolf::build(1);
+    println!(
+        "workload: 300.twolf A ({} functions, {} static instructions)",
+        program.funcs.len(),
+        program.static_insts()
+    );
+
+    // 2. Profile once: the Hot Spot Detector watches retiring branches and
+    //    records a hot spot per execution phase; the original binary is
+    //    also timed on the Table 2 machine.
+    let machine = MachineConfig::table2();
+    let profiled = profile("300.twolf A", program, &HsdConfig::table2(), Some(&machine))?;
+    println!(
+        "profiled: {} dynamic instructions, {} phases detected ({} raw detections)",
+        profiled.dyn_insts,
+        profiled.phases.len(),
+        profiled.raw_detections
+    );
+    for ph in &profiled.phases {
+        println!(
+            "  phase {}: {} hot branches, first detected after {} branches",
+            ph.id,
+            ph.branches.len(),
+            ph.first_detected_at
+        );
+    }
+
+    // 3. Vacuum-pack and measure, with the paper's default configuration
+    //    (inference + linking on).
+    let outcome = evaluate(&profiled, &PackConfig::default(), &OptConfig::default(), Some(&machine))?;
+    println!("\nresults:");
+    println!("  packages built:        {}", outcome.packages);
+    println!("  launch points patched: {}", outcome.launch_points);
+    println!("  package coverage:      {:.1}%", 100.0 * outcome.coverage);
+    println!("  code expansion:        {:.1}%", 100.0 * outcome.expansion);
+    println!("  replication factor:    {:.2}", outcome.replication);
+    if let Some(s) = outcome.speedup {
+        println!("  speedup (Table 2):     {s:.3}x");
+    }
+    Ok(())
+}

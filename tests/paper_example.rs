@@ -1,0 +1,213 @@
+//! The paper's Figure 3 worked example, as an executable test.
+//!
+//! Two functions in the spirit of the figure: function `A` (blocks
+//! A1–A10) with a hot loop calling function `B` (blocks B1–B6). The BBB
+//! captured only *half* of the hot branches; the test checks the exact
+//! inferences the paper walks through in Section 3.2.4:
+//!
+//! * "Since A2's branch is strongly not-taken, the flow to A7 is
+//!   identified as Cold" — and A7 becomes Cold by Statement 3;
+//! * "The flow from A9 to A10 is similarly identified as Cold";
+//! * "Since A2 is Hot and is also strongly not-taken, the flow to A3 is
+//!   Hot. The temperature of this flow is propagated to block A3 by
+//!   Statement 4 even though it was missing from the hot branch profile";
+//! * "The fact that B4 is Hot implies that B2 and B6 are Hot (Statements
+//!   7 and 4)".
+
+use std::collections::BTreeMap;
+use vacuum_packing::core::{build_packages, identify_region, CfgCache, PackConfig, Temp};
+use vacuum_packing::hsd::{Phase, PhaseBranch};
+use vacuum_packing::prelude::*;
+use vacuum_packing::program::{Block, EdgeKind, FuncKind, Function, Terminator};
+
+// Block indices within function A (A1 = index 0, ... A10 = index 9) and B.
+const A1: u32 = 0;
+const A2: u32 = 1;
+const A3: u32 = 2;
+const A4: u32 = 3;
+const A5: u32 = 4;
+const A6: u32 = 5;
+const A7: u32 = 6;
+const A8: u32 = 7;
+const A9: u32 = 8;
+const A10: u32 = 9;
+const B1: u32 = 0;
+const B2: u32 = 1;
+const B3: u32 = 2;
+const B4: u32 = 3;
+const B5: u32 = 4;
+const B6: u32 = 5;
+
+fn br(rs1: Reg, taken: CodeRef, not_taken: CodeRef) -> Terminator {
+    Terminator::Br { cond: Cond::Eq, rs1, rs2: Src::Imm(0), taken, not_taken }
+}
+
+/// Builds the example program: function ids — A = 0, B = 1.
+fn figure3_program() -> Program {
+    let a = |b: u32| CodeRef::new(0, b);
+    let bb = |b: u32| CodeRef::new(1, b);
+    let r = Reg::int(20);
+
+    let mut fa = Function::new("A");
+    fa.kind = FuncKind::Original;
+    // A1: entry, unprofiled branch into the loop (or a rare alternative).
+    fa.push_block(Block::empty(br(r, a(A2), a(A4))));
+    // A2: profiled, strongly not-taken. Taken -> A7 (cold side), fall
+    // through -> A3 (hot, but missing from the BBB).
+    fa.push_block(Block {
+        insts: vec![Inst::Li { rd: r, imm: 1 }],
+        term: br(r, a(A7), a(A3)),
+    });
+    // A3: unprofiled straight-line block on the hot path.
+    fa.push_block(Block {
+        insts: vec![Inst::Alu { op: vacuum_packing::isa::AluOp::Add, rd: r, rs1: r, rs2: Src::Imm(1) }],
+        term: Terminator::Goto(a(A9)),
+    });
+    // A4: rare alternative entry path.
+    fa.push_block(Block::empty(Terminator::Goto(a(A2))));
+    // A5: the hot call to B.
+    fa.push_block(Block::empty(Terminator::Call { callee: FuncId(1), ret_to: BlockId(A6) }));
+    // A6: loop-back branch, profiled strongly taken.
+    fa.push_block(Block::empty(br(r, a(A2), a(A8))));
+    // A7: cold side path.
+    fa.push_block(Block::empty(Terminator::Goto(a(A10))));
+    // A8: function exit.
+    fa.push_block(Block::empty(Terminator::Halt));
+    // A9: profiled, strongly not-taken; taken -> A10 is the cold flow.
+    fa.push_block(Block::empty(br(r, a(A10), a(A5))));
+    // A10: cold merge.
+    fa.push_block(Block::empty(Terminator::Goto(a(A8))));
+
+    let mut fb = Function::new("B");
+    fb.kind = FuncKind::Original;
+    // B1: prologue; its branch is missing from the BBB.
+    fb.push_block(Block::empty(br(r, bb(B2), bb(B5))));
+    // B2: unprofiled body block.
+    fb.push_block(Block::empty(Terminator::Goto(bb(B4))));
+    // B3: rare retry path back into B4.
+    fb.push_block(Block::empty(Terminator::Goto(bb(B4))));
+    // B4: the one captured branch of B, strongly taken to B6.
+    fb.push_block(Block::empty(br(r, bb(B6), bb(B3))));
+    // B5: cold alternative.
+    fb.push_block(Block::empty(Terminator::Goto(bb(B6))));
+    // B6: epilogue.
+    fb.push_block(Block::empty(Terminator::Ret));
+
+    let mut p = Program::default();
+    p.push_func(fa);
+    p.push_func(fb);
+    p.validate().expect("figure 3 program is well-formed");
+    p
+}
+
+/// The BBB profile: four captured branches (A2, A9, A6, B4) out of the
+/// eight branch/call blocks in the hot region — half the information, as
+/// in the figure.
+fn figure3_phase(layout: &Layout) -> Phase {
+    let mut branches = BTreeMap::new();
+    let mut add = |bref: CodeRef, exec: u64, taken: u64| {
+        branches.insert(layout.branch_addr(bref), PhaseBranch::once(exec, taken));
+    };
+    add(CodeRef::new(0, A2), 500, 5); // strongly not-taken
+    add(CodeRef::new(0, A9), 500, 5); // strongly not-taken
+    add(CodeRef::new(0, A6), 500, 495); // loop back, strongly taken
+    add(CodeRef::new(1, B4), 500, 495); // strongly taken to the epilogue
+    Phase { id: 0, branches, first_detected_at: 0, detections: 1 }
+}
+
+#[test]
+fn figure3_inference_matches_the_papers_walkthrough() {
+    let p = figure3_program();
+    let layout = Layout::natural(&p);
+    let phase = figure3_phase(&layout);
+    let mut cfgs = CfgCache::new();
+    let region = identify_region(&p, &layout, &mut cfgs, &phase, &PackConfig::default());
+
+    let ma = region.mark(FuncId(0)).expect("A is marked");
+    use vacuum_packing::core::ArcKey;
+
+    // "the flow to A7 is identified as Cold"
+    assert_eq!(ma.arc_temp(ArcKey::new(BlockId(A2), EdgeKind::Taken)), Temp::Cold);
+    // "block A7 must be Cold (Statement 3)"
+    assert_eq!(ma.block_temp(BlockId(A7)), Temp::Cold);
+    // "The flow from A9 to A10 is similarly identified as Cold"
+    assert_eq!(ma.arc_temp(ArcKey::new(BlockId(A9), EdgeKind::Taken)), Temp::Cold);
+    // "the flow to A3 is Hot ... propagated to block A3 by Statement 4
+    //  even though it was missing from the hot branch profile"
+    assert_eq!(ma.arc_temp(ArcKey::new(BlockId(A2), EdgeKind::NotTaken)), Temp::Hot);
+    assert_eq!(ma.block_temp(BlockId(A3)), Temp::Hot);
+    assert!(!ma.is_profiled(BlockId(A3)));
+    // The call block A5 joins the region (it sits between two hot blocks).
+    assert_eq!(ma.block_temp(BlockId(A5)), Temp::Hot);
+
+    // "The fact that B4 is Hot implies that B2 and B6 are Hot"
+    let mb = region.mark(FuncId(1)).expect("B is marked");
+    assert_eq!(mb.block_temp(BlockId(B4)), Temp::Hot);
+    assert_eq!(mb.block_temp(BlockId(B2)), Temp::Hot);
+    assert_eq!(mb.block_temp(BlockId(B6)), Temp::Hot);
+    // The prologue is Hot through the hot call (Statement 9).
+    assert_eq!(mb.block_temp(BlockId(B1)), Temp::Hot);
+}
+
+#[test]
+fn figure3_package_inlines_b_and_excludes_cold_blocks() {
+    let p = figure3_program();
+    let layout = Layout::natural(&p);
+    let phase = figure3_phase(&layout);
+    let cfg = PackConfig::default();
+    let mut cfgs = CfgCache::new();
+    let region = identify_region(&p, &layout, &mut cfgs, &phase, &cfg);
+    let packages = build_packages(&p, &mut cfgs, &region, &cfg);
+
+    // One package, rooted at A (no callers in the region).
+    assert_eq!(packages.len(), 1, "figure 3 forms a single package");
+    let pkg = &packages[0];
+    assert_eq!(pkg.root, FuncId(0));
+
+    // B was partially inlined: its hot blocks appear under a non-empty
+    // context, and no call to B remains inside the package.
+    assert!(pkg.meta.iter().any(|m| m.origin.func == FuncId(1) && !m.context.is_empty()));
+    assert!(!pkg
+        .blocks
+        .iter()
+        .any(|b| matches!(b.term, Terminator::Call { callee, .. } if callee == FuncId(1))));
+
+    // The cold blocks A7 and A10 are not in the package (other than as
+    // exit targets).
+    for cold in [A7, A10] {
+        assert!(
+            !pkg.meta.iter().any(|m| !m.is_exit && m.origin == CodeRef::new(0, cold)),
+            "A{} must be pruned",
+            cold + 1
+        );
+    }
+    // And the cold paths exist as exits with dummy consumers.
+    assert!(pkg.exits().count() >= 2, "cold flows become exit blocks");
+    for (b, _) in pkg.exits() {
+        assert!(
+            matches!(pkg.blocks[b.0 as usize].insts.first(), Some(Inst::Consume { .. })),
+            "exit blocks carry dummy consumers"
+        );
+    }
+
+    // Inlined B returns become jumps (no Ret from B's blocks).
+    for (i, block) in pkg.blocks.iter().enumerate() {
+        if pkg.meta[i].origin.func == FuncId(1) && !pkg.meta[i].is_exit {
+            assert!(!matches!(block.term, Terminator::Ret));
+        }
+    }
+}
+
+#[test]
+fn figure7_rank_walkthrough() {
+    // Section 3.3.4's ordering rank: ratios 2/5, 2/5, 3/6 accumulate to
+    // 0.64 (the paper's Figure 7(c) number).
+    let ratios = [2.0f64 / 5.0, 2.0 / 5.0, 3.0 / 6.0];
+    let mut rank = 0.0;
+    let mut weight = 1.0;
+    for r in ratios {
+        weight *= r;
+        rank += weight;
+    }
+    assert!((rank - 0.64).abs() < 1e-12);
+}

@@ -1,0 +1,253 @@
+//! Property-based tests over the core data structures and the
+//! transformations that must preserve program semantics.
+
+use proptest::prelude::*;
+use vacuum_packing::isa::{reg::RegSet, AluOp, Cond, Inst};
+use vacuum_packing::opt::schedule_block;
+use vacuum_packing::prelude::*;
+use vacuum_packing::program::LayoutOrder;
+
+// ---------------------------------------------------------------- scheduler
+
+/// Strategy: a straight-line instruction over registers r20..r27 and a
+/// 16-word scratch buffer addressed through r19.
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    let reg = || (20u8..28).prop_map(Reg::int);
+    let op = prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Mul),
+        Just(AluOp::Xor),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+    ];
+    prop_oneof![
+        (reg(), -100i64..100).prop_map(|(rd, imm)| Inst::Li { rd, imm }),
+        (op, reg(), reg(), reg()).prop_map(|(op, rd, rs1, rs2)| Inst::Alu {
+            op,
+            rd,
+            rs1,
+            rs2: Src::Reg(rs2)
+        }),
+        (reg(), 0i64..16).prop_map(|(rd, slot)| Inst::Load { rd, base: Reg::int(19), offset: 8 * slot }),
+        (reg(), 0i64..16)
+            .prop_map(|(src, slot)| Inst::Store { src, base: Reg::int(19), offset: 8 * slot }),
+    ]
+}
+
+/// Executes `insts` as a single block against a fresh 16-word buffer and
+/// returns (r20..r28, buffer words).
+fn run_block(insts: &[Inst], seed: &[u64]) -> (Vec<u64>, Vec<u64>) {
+    let mut pb = ProgramBuilder::new();
+    let base = pb.data(seed.to_vec());
+    pb.func("main", |f| {
+        f.li(Reg::int(19), base as i64);
+        for i in insts {
+            f.emit(i.clone());
+        }
+        f.halt();
+    });
+    let p = pb.build();
+    let layout = Layout::natural(&p);
+    let mut ex = Executor::new(&p, &layout);
+    ex.run(&mut NullSink, &RunConfig::default()).expect("block runs");
+    let regs = (20..28).map(|i| ex.reg(Reg::int(i))).collect();
+    let mem = (0..seed.len()).map(|i| ex.memory().read(base + 8 * i as u64)).collect();
+    (regs, mem)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// List scheduling may reorder instructions but must preserve the
+    /// architectural result exactly — the dependence DAG is the proof
+    /// obligation, execution is the check.
+    #[test]
+    fn scheduling_preserves_semantics(
+        insts in proptest::collection::vec(arb_inst(), 0..24),
+        seed in proptest::collection::vec(0u64..1000, 16),
+    ) {
+        let machine = MachineConfig::table2();
+        let (sched, cycles) = schedule_block(&insts, &machine);
+        prop_assert_eq!(sched.len(), insts.len());
+        prop_assert!(cycles as usize <= insts.len().max(1) * 16);
+        let before = run_block(&insts, &seed);
+        let after = run_block(&sched, &seed);
+        prop_assert_eq!(before, after);
+    }
+
+    /// Scheduling is idempotent on its own output in terms of semantics
+    /// and never increases the estimated cycle count.
+    #[test]
+    fn rescheduling_never_lengthens(
+        insts in proptest::collection::vec(arb_inst(), 0..24),
+    ) {
+        let machine = MachineConfig::table2();
+        let (s1, c1) = schedule_block(&insts, &machine);
+        let (_s2, c2) = schedule_block(&s1, &machine);
+        prop_assert!(c2 <= c1 + 1, "rescheduling regressed: {} -> {}", c1, c2);
+    }
+}
+
+// ------------------------------------------------------------------ layout
+
+/// A small two-loop program whose behavior depends on `bias` data.
+fn looped_program(bias: i64) -> Program {
+    let mut pb = ProgramBuilder::new();
+    pb.func("main", |f| {
+        let (i, acc, t) = (Reg::int(20), Reg::int(21), Reg::int(22));
+        f.li(acc, 0);
+        f.for_range(i, 0, 60, |f| {
+            f.rem(t, i, bias.max(1));
+            let c = f.cond(Cond::Eq, t, Src::Imm(0));
+            f.if_else(c, |f| f.addi(acc, acc, 3), |f| f.addi(acc, acc, 1));
+        });
+        f.halt();
+    });
+    pb.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any permutation of a function's blocks encodes to a program with
+    /// identical architectural behavior: layout only changes encodings
+    /// (fall-through vs jumps), never semantics.
+    #[test]
+    fn block_order_is_semantics_free(bias in 1i64..7, perm_seed in 0u64..1000) {
+        let p = looped_program(bias);
+        let natural = Layout::natural(&p);
+        let mut ex = Executor::new(&p, &natural);
+        let s0 = ex.run(&mut NullSink, &RunConfig::default()).unwrap();
+        let acc0 = ex.reg(Reg::int(21));
+
+        // Deterministic pseudo-random permutation of the blocks.
+        let n = p.funcs[0].blocks.len();
+        let mut order: Vec<BlockId> = (0..n as u32).map(BlockId).collect();
+        let mut state = perm_seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            order.swap(i, j);
+        }
+        let mut lo = LayoutOrder::natural(&p);
+        lo.set_block_order(FuncId(0), order);
+        let shuffled = Layout::new(&p, &lo);
+        let mut ex = Executor::new(&p, &shuffled);
+        let s1 = ex.run(&mut NullSink, &RunConfig::default()).unwrap();
+        prop_assert_eq!(ex.reg(Reg::int(21)), acc0);
+        // Architectural branch counts match; total retired may differ by
+        // the extra jumps the layout introduces.
+        prop_assert_eq!(s0.cond_branches, s1.cond_branches);
+        prop_assert!(s1.retired >= s0.retired.min(s1.retired));
+    }
+
+    /// Layout never overlaps blocks and accounts for every instruction.
+    #[test]
+    fn layout_is_contiguous(bias in 1i64..7) {
+        let p = looped_program(bias);
+        let layout = Layout::natural(&p);
+        let mut spans: Vec<(u64, u64)> = Vec::new();
+        for f in &p.funcs {
+            for (bid, _) in f.blocks_iter() {
+                let r = CodeRef { func: f.id, block: bid };
+                spans.push((layout.addr_of(r), layout.insts_of(r) * 4));
+            }
+        }
+        spans.sort_unstable();
+        let total: u64 = spans.iter().map(|s| s.1).sum();
+        prop_assert_eq!(total, layout.total_bytes());
+        for w in spans.windows(2) {
+            prop_assert!(w[0].0 + w[0].1 <= w[1].0, "blocks overlap: {:?}", w);
+        }
+    }
+}
+
+// ------------------------------------------------------------- small models
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// RegSet behaves like a BTreeSet of register indices.
+    #[test]
+    fn regset_matches_model(ops in proptest::collection::vec((0usize..96, any::<bool>()), 0..64)) {
+        let mut s = RegSet::new();
+        let mut model = std::collections::BTreeSet::new();
+        for (idx, insert) in ops {
+            let r = Reg::from_index(idx);
+            if insert {
+                prop_assert_eq!(s.insert(r), model.insert(idx));
+            } else {
+                prop_assert_eq!(s.remove(r), model.remove(&idx));
+            }
+        }
+        prop_assert_eq!(s.len(), model.len());
+        let got: Vec<usize> = s.iter().map(|r| r.index()).collect();
+        let want: Vec<usize> = model.into_iter().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// A condition and its negation partition every input pair.
+    #[test]
+    fn cond_negation_partitions(a in any::<u64>(), b in any::<u64>()) {
+        for c in [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge, Cond::Ltu, Cond::Geu] {
+            prop_assert_ne!(c.eval(a, b), c.negate().eval(a, b));
+        }
+    }
+
+    /// Sparse memory behaves like a word-granular map.
+    #[test]
+    fn memory_matches_model(
+        writes in proptest::collection::vec((0u64..1_000_000, any::<u64>()), 0..64)
+    ) {
+        let mut mem = vacuum_packing::exec::Memory::new();
+        let mut model = std::collections::HashMap::new();
+        for (addr, val) in &writes {
+            let word = (addr / 8) * 8;
+            mem.write(*addr, *val);
+            model.insert(word, *val);
+        }
+        for (addr, _) in &writes {
+            let word = (addr / 8) * 8;
+            prop_assert_eq!(mem.read(*addr), model[&word]);
+        }
+    }
+}
+
+// --------------------------------------------------------------- hsd filter
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The software filter never produces more phases than raw records,
+    /// never loses a detection, and assigns dense ids.
+    #[test]
+    fn filter_is_a_partition(
+        records in proptest::collection::vec(
+            proptest::collection::vec((0u64..32, 1u32..512), 1..12),
+            1..20,
+        )
+    ) {
+        use vacuum_packing::hsd::{filter_hot_spots, BranchProfile, FilterConfig, HotSpotRecord};
+        let recs: Vec<HotSpotRecord> = records
+            .iter()
+            .enumerate()
+            .map(|(i, branches)| HotSpotRecord {
+                at_branch: i as u64,
+                branches: branches
+                    .iter()
+                    .map(|&(b, e)| BranchProfile { addr: 0x1000 + 4 * b, exec: e, taken: e / 2 })
+                    .collect(),
+            })
+            .collect();
+        let phases = filter_hot_spots(&recs, &FilterConfig::default());
+        prop_assert!(!phases.is_empty());
+        prop_assert!(phases.len() <= recs.len());
+        let total: usize = phases.iter().map(|p| p.detections).sum();
+        prop_assert_eq!(total, recs.len(), "every record lands in exactly one phase");
+        for (i, p) in phases.iter().enumerate() {
+            prop_assert_eq!(p.id, i);
+            prop_assert!(!p.branches.is_empty());
+        }
+    }
+}
