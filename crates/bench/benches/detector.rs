@@ -1,25 +1,22 @@
 //! Hot Spot Detector throughput: the cost of observing one retiring
 //! branch, on streams with different BBB behavior.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use vacuum_packing::hsd::{HotSpotDetector, HsdConfig};
 
-fn bench_detector(c: &mut Criterion) {
-    let mut g = c.benchmark_group("hsd_observe");
-    for (name, working_set) in [("hot_loop_8", 8u64), ("warm_256", 256), ("cold_100k", 100_000)] {
-        g.throughput(Throughput::Elements(100_000));
-        g.bench_with_input(BenchmarkId::from_parameter(name), &working_set, |b, &ws| {
-            b.iter(|| {
-                let mut det = HotSpotDetector::new(HsdConfig::table2());
-                for i in 0..100_000u64 {
-                    det.observe(0x1000 + 4 * (i % ws), i % 3 != 0);
-                }
-                det.records().len()
-            });
+fn main() {
+    let mut r = bench::micro::runner();
+    for (name, working_set) in [
+        ("hot_loop_8", 8u64),
+        ("warm_256", 256),
+        ("cold_100k", 100_000),
+    ] {
+        r.bench_throughput(&format!("hsd_observe/{name}"), 100_000, || {
+            let mut det = HotSpotDetector::new(HsdConfig::table2());
+            for i in 0..100_000u64 {
+                det.observe(0x1000 + 4 * (i % working_set), i % 3 != 0);
+            }
+            det.records().len()
         });
     }
-    g.finish();
+    r.finish("bench:detector");
 }
-
-criterion_group!(benches, bench_detector);
-criterion_main!(benches);

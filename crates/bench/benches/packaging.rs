@@ -1,27 +1,38 @@
 //! Package construction + linking + rewriting cost for a full phase set,
 //! including the exhaustive-vs-greedy link-ordering ablation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use vacuum_packing::core::{pack, PackConfig};
 use vacuum_packing::hsd::HsdConfig;
 use vacuum_packing::metrics::profile;
 
-fn bench_packaging(c: &mut Criterion) {
-    let program = vacuum_packing::workloads::perl::build(vacuum_packing::workloads::perl::Input::A, 1);
+fn main() {
+    let program =
+        vacuum_packing::workloads::perl::build(vacuum_packing::workloads::perl::Input::A, 1);
     let pw = profile("134.perl A", program, &HsdConfig::table2(), None).unwrap();
 
-    let mut g = c.benchmark_group("pack");
+    let mut r = bench::micro::runner();
     for (name, cfg) in [
         ("inference+linking", PackConfig::default()),
-        ("no_linking", PackConfig { linking: false, ..PackConfig::default() }),
-        ("greedy_ordering", PackConfig { max_exhaustive_orderings: 1, ..PackConfig::default() }),
+        (
+            "no_linking",
+            PackConfig {
+                linking: false,
+                ..PackConfig::default()
+            },
+        ),
+        (
+            "greedy_ordering",
+            PackConfig {
+                max_exhaustive_orderings: 1,
+                ..PackConfig::default()
+            },
+        ),
     ] {
-        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
-            b.iter(|| pack(&pw.program, &pw.layout, &pw.phases, cfg).packages.len());
+        r.bench(&format!("pack/{name}"), || {
+            pack(&pw.program, &pw.layout, &pw.phases, &cfg)
+                .packages
+                .len()
         });
     }
-    g.finish();
+    r.finish("bench:packaging");
 }
-
-criterion_group!(benches, bench_packaging);
-criterion_main!(benches);

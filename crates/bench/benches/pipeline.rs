@@ -1,26 +1,22 @@
 //! End-to-end Vacuum Packing cost: profile-to-rewritten-binary, the
 //! operation a post-link optimizer would run per deployment.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use vacuum_packing::core::{pack, PackConfig};
 use vacuum_packing::hsd::HsdConfig;
 use vacuum_packing::metrics::profile;
 use vacuum_packing::opt::{optimize_packages, OptConfig};
 use vacuum_packing::sim::MachineConfig;
 
-fn bench_pipeline(c: &mut Criterion) {
+fn main() {
     let program = vacuum_packing::workloads::twolf::build(1);
     let pw = profile("300.twolf A", program, &HsdConfig::table2(), None).unwrap();
     let machine = MachineConfig::table2();
 
-    c.bench_function("pack_end_to_end", |b| {
-        b.iter(|| {
-            let out = pack(&pw.program, &pw.layout, &pw.phases, &PackConfig::default());
-            let (prog, order) = optimize_packages(&out, &machine, &OptConfig::default());
-            (out.packages.len(), prog.funcs.len(), order.funcs.len())
-        });
+    let mut r = bench::micro::runner();
+    r.bench("pack_end_to_end", || {
+        let out = pack(&pw.program, &pw.layout, &pw.phases, &PackConfig::default());
+        let (prog, order) = optimize_packages(&out, &machine, &OptConfig::default());
+        (out.packages.len(), prog.funcs.len(), order.funcs.len())
     });
+    r.finish("bench:pipeline");
 }
-
-criterion_group!(benches, bench_pipeline);
-criterion_main!(benches);

@@ -1,29 +1,37 @@
 //! Region identification cost: initial marking + inference fixpoint +
 //! heuristic growth for one detected phase.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use vacuum_packing::core::{identify_region, CfgCache, PackConfig};
 use vacuum_packing::hsd::HsdConfig;
 use vacuum_packing::metrics::profile;
 
-fn bench_region(c: &mut Criterion) {
-    let mut g = c.benchmark_group("identify_region");
+fn main() {
+    let mut r = bench::micro::runner();
     for (label, program) in [
         ("300.twolf", vacuum_packing::workloads::twolf::build(1)),
-        ("134.perl", vacuum_packing::workloads::perl::build(vacuum_packing::workloads::perl::Input::A, 1)),
+        (
+            "134.perl",
+            vacuum_packing::workloads::perl::build(vacuum_packing::workloads::perl::Input::A, 1),
+        ),
     ] {
         let pw = profile(label, program, &HsdConfig::table2(), None).unwrap();
-        let phase = pw.phases.iter().max_by_key(|p| p.branches.len()).unwrap().clone();
-        g.bench_with_input(BenchmarkId::from_parameter(label), &phase, |b, phase| {
-            b.iter(|| {
-                let mut cfgs = CfgCache::new();
-                identify_region(&pw.program, &pw.layout, &mut cfgs, phase, &PackConfig::default())
-                    .hot_block_count()
-            });
+        let phase = pw
+            .phases
+            .iter()
+            .max_by_key(|p| p.branches.len())
+            .unwrap()
+            .clone();
+        r.bench(&format!("identify_region/{label}"), || {
+            let mut cfgs = CfgCache::new();
+            identify_region(
+                &pw.program,
+                &pw.layout,
+                &mut cfgs,
+                &phase,
+                &PackConfig::default(),
+            )
+            .hot_block_count()
         });
     }
-    g.finish();
+    r.finish("bench:region");
 }
-
-criterion_group!(benches, bench_region);
-criterion_main!(benches);

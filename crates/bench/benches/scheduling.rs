@@ -1,6 +1,5 @@
 //! List-scheduler cost on blocks of varying size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use vacuum_packing::isa::{AluOp, Inst, Reg, Src};
 use vacuum_packing::opt::schedule_block;
 use vacuum_packing::sim::MachineConfig;
@@ -8,29 +7,34 @@ use vacuum_packing::sim::MachineConfig;
 fn block(n: usize) -> Vec<Inst> {
     (0..n)
         .map(|i| match i % 3 {
-            0 => Inst::Load { rd: Reg::int(20 + (i % 8) as u8), base: Reg::SP, offset: 8 * (i as i64 % 16) },
+            0 => Inst::Load {
+                rd: Reg::int(20 + (i % 8) as u8),
+                base: Reg::SP,
+                offset: 8 * (i as i64 % 16),
+            },
             1 => Inst::Alu {
                 op: AluOp::Add,
                 rd: Reg::int(20 + (i % 8) as u8),
                 rs1: Reg::int(20 + ((i + 1) % 8) as u8),
                 rs2: Src::Imm(i as i64),
             },
-            _ => Inst::Store { src: Reg::int(20 + (i % 8) as u8), base: Reg::SP, offset: 8 * (i as i64 % 16) },
+            _ => Inst::Store {
+                src: Reg::int(20 + (i % 8) as u8),
+                base: Reg::SP,
+                offset: 8 * (i as i64 % 16),
+            },
         })
         .collect()
 }
 
-fn bench_sched(c: &mut Criterion) {
+fn main() {
     let machine = MachineConfig::table2();
-    let mut g = c.benchmark_group("schedule_block");
+    let mut r = bench::micro::runner();
     for n in [8usize, 32, 128] {
         let insts = block(n);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &insts, |b, insts| {
-            b.iter(|| schedule_block(insts, &machine).1);
+        r.bench(&format!("schedule_block/{n}"), || {
+            schedule_block(&insts, &machine).1
         });
     }
-    g.finish();
+    r.finish("bench:scheduling");
 }
-
-criterion_group!(benches, bench_sched);
-criterion_main!(benches);

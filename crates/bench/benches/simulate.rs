@@ -1,9 +1,8 @@
 //! Executor and timing-model throughput (retired instructions per second).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use vacuum_packing::prelude::*;
 
-fn bench_simulate(c: &mut Criterion) {
+fn main() {
     let mut pb = ProgramBuilder::new();
     pb.func("main", |f| {
         let (i, acc) = (Reg::int(20), Reg::int(21));
@@ -18,27 +17,25 @@ fn bench_simulate(c: &mut Criterion) {
     let layout = Layout::natural(&p);
     let insts = {
         let mut counts = InstCounts::new();
-        Executor::new(&p, &layout).run(&mut counts, &RunConfig::default()).unwrap();
+        Executor::new(&p, &layout)
+            .run(&mut counts, &RunConfig::default())
+            .unwrap();
         counts.total
     };
 
-    let mut g = c.benchmark_group("simulate");
-    g.throughput(Throughput::Elements(insts));
-    g.bench_function("functional", |b| {
-        b.iter(|| {
-            let mut ex = Executor::new(&p, &layout);
-            ex.run(&mut NullSink, &RunConfig::default()).unwrap().retired
-        });
+    let mut r = bench::micro::runner();
+    r.bench_throughput("simulate/functional", insts, || {
+        let mut ex = Executor::new(&p, &layout);
+        ex.run(&mut NullSink, &RunConfig::default())
+            .unwrap()
+            .retired
     });
-    g.bench_function("functional+timing", |b| {
-        b.iter(|| {
-            let mut timing = TimingModel::new(MachineConfig::table2());
-            Executor::new(&p, &layout).run(&mut timing, &RunConfig::default()).unwrap();
-            timing.cycles()
-        });
+    r.bench_throughput("simulate/functional+timing", insts, || {
+        let mut timing = TimingModel::new(MachineConfig::table2());
+        Executor::new(&p, &layout)
+            .run(&mut timing, &RunConfig::default())
+            .unwrap();
+        timing.cycles()
     });
-    g.finish();
+    r.finish("bench:simulate");
 }
-
-criterion_group!(benches, bench_simulate);
-criterion_main!(benches);

@@ -16,22 +16,44 @@ use vacuum_packing::metrics::{evaluate, pct, profile, TextTable};
 use vacuum_packing::opt::OptConfig;
 
 fn main() {
+    let mut mf = bench::init("ablation");
     let workloads: Vec<(&str, vacuum_packing::program::Program)> = vec![
         ("175.vpr A", vacuum_packing::workloads::vpr::build(scale())),
-        ("300.twolf A", vacuum_packing::workloads::twolf::build(scale())),
-        ("134.perl A", vacuum_packing::workloads::perl::build(vacuum_packing::workloads::perl::Input::A, scale())),
+        (
+            "300.twolf A",
+            vacuum_packing::workloads::twolf::build(scale()),
+        ),
+        (
+            "134.perl A",
+            vacuum_packing::workloads::perl::build(
+                vacuum_packing::workloads::perl::Input::A,
+                scale(),
+            ),
+        ),
     ];
 
     // --- 1. BBB geometry x inference -----------------------------------
     println!("Ablation 1: BBB geometry x inference (coverage %)\n");
     let mut t = TextTable::new(vec![
-        "benchmark", "BBB", "phases", "noInf %", "inf %", "inf gain",
+        "benchmark",
+        "BBB",
+        "phases",
+        "noInf %",
+        "inf %",
+        "inf gain",
     ]);
     for (label, program) in &workloads {
         for (sets, ways) in [(512usize, 4usize), (16, 4), (4, 4), (2, 2)] {
-            let hsd = HsdConfig { bbb_sets: sets, bbb_ways: ways, ..HsdConfig::table2() };
+            let hsd = HsdConfig {
+                bbb_sets: sets,
+                bbb_ways: ways,
+                ..HsdConfig::table2()
+            };
             let pw = profile(label, program.clone(), &hsd, None).expect("profile");
-            let no_inf = PackConfig { inference: false, ..PackConfig::default() };
+            let no_inf = PackConfig {
+                inference: false,
+                ..PackConfig::default()
+            };
             let with = evaluate(&pw, &PackConfig::default(), &OptConfig::default(), None).unwrap();
             let without = evaluate(&pw, &no_inf, &OptConfig::default(), None).unwrap();
             t.row(vec![
@@ -45,6 +67,7 @@ fn main() {
         }
     }
     println!("{t}");
+    bench::add_table(&mut mf, "ablation1_bbb_geometry", &t);
 
     // --- 2. MAX_BLOCKS ---------------------------------------------------
     println!("Ablation 2: heuristic growth budget MAX_BLOCKS (coverage / expansion %)\n");
@@ -52,7 +75,10 @@ fn main() {
     for (label, program) in &workloads {
         let pw = profile(label, program.clone(), &HsdConfig::table2(), None).expect("profile");
         for mb in [0usize, 1, 2, 8] {
-            let cfg = PackConfig { max_growth_blocks: mb, ..PackConfig::default() };
+            let cfg = PackConfig {
+                max_growth_blocks: mb,
+                ..PackConfig::default()
+            };
             let out = evaluate(&pw, &cfg, &OptConfig::default(), None).unwrap();
             t.row(vec![
                 label.to_string(),
@@ -63,18 +89,43 @@ fn main() {
         }
     }
     println!("{t}");
+    bench::add_table(&mut mf, "ablation2_max_blocks", &t);
 
     // --- 4. Optimization passes (timed) ----------------------------------
     println!("Ablation 4: optimization passes (speedup on the Table 2 machine)\n");
     let machine = vacuum_packing::sim::MachineConfig::table2();
     let mut t4 = TextTable::new(vec!["benchmark", "passes", "speedup"]);
     for (label, program) in &workloads {
-        let pw = profile(label, program.clone(), &HsdConfig::table2(), Some(&machine))
-            .expect("profile");
+        let pw =
+            profile(label, program.clone(), &HsdConfig::table2(), Some(&machine)).expect("profile");
         for (name, ocfg) in [
-            ("none", OptConfig { relayout: false, reschedule: false, sink_cold: false, licm: false }),
-            ("resched", OptConfig { relayout: false, reschedule: true, sink_cold: false, licm: false }),
-            ("relayout", OptConfig { relayout: true, reschedule: false, sink_cold: false, licm: false }),
+            (
+                "none",
+                OptConfig {
+                    relayout: false,
+                    reschedule: false,
+                    sink_cold: false,
+                    licm: false,
+                },
+            ),
+            (
+                "resched",
+                OptConfig {
+                    relayout: false,
+                    reschedule: true,
+                    sink_cold: false,
+                    licm: false,
+                },
+            ),
+            (
+                "relayout",
+                OptConfig {
+                    relayout: true,
+                    reschedule: false,
+                    sink_cold: false,
+                    licm: false,
+                },
+            ),
             ("both (paper)", OptConfig::default()),
             ("all+sink+licm", OptConfig::full()),
         ] {
@@ -87,15 +138,24 @@ fn main() {
         }
     }
     println!("{t4}");
+    bench::add_table(&mut mf, "ablation4_opt_passes", &t4);
 
     // --- 5. Hardware detection history -----------------------------------
     println!("Ablation 5: hardware detection history (Section 3.1 enhancement)\n");
     let mut t5 = TextTable::new(vec![
-        "benchmark", "history", "raw records", "suppressed", "phases", "coverage %",
+        "benchmark",
+        "history",
+        "raw records",
+        "suppressed",
+        "phases",
+        "coverage %",
     ]);
     for (label, program) in &workloads {
         for depth in [0usize, 1, 2, 4] {
-            let hsd = HsdConfig { history_depth: depth, ..HsdConfig::table2() };
+            let hsd = HsdConfig {
+                history_depth: depth,
+                ..HsdConfig::table2()
+            };
             let pw = profile(label, program.clone(), &hsd, None).expect("profile");
             let out = evaluate(&pw, &PackConfig::default(), &OptConfig::default(), None).unwrap();
             t5.row(vec![
@@ -109,13 +169,18 @@ fn main() {
         }
     }
     println!("{t5}");
+    bench::add_table(&mut mf, "ablation5_history", &t5);
     println!("A deeper history transfers far fewer records to software while the");
     println!("software filter still recovers the same phases (coverage holds).\n");
 
     // --- 3. Hot-arc thresholds ------------------------------------------
     println!("Ablation 3: hot-arc rule (fraction, execution threshold)\n");
     let mut t = TextTable::new(vec![
-        "benchmark", "frac/thresh", "coverage %", "expansion %", "packages",
+        "benchmark",
+        "frac/thresh",
+        "coverage %",
+        "expansion %",
+        "packages",
     ]);
     for (label, program) in &workloads {
         let pw = profile(label, program.clone(), &HsdConfig::table2(), None).expect("profile");
@@ -136,4 +201,6 @@ fn main() {
         }
     }
     println!("{t}");
+    bench::add_table(&mut mf, "ablation3_hot_arc", &t);
+    bench::emit_manifest(mf);
 }

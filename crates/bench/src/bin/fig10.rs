@@ -6,6 +6,8 @@ use vacuum_packing::metrics::{bar, TextTable};
 use vacuum_packing::sim::MachineConfig;
 
 fn main() {
+    let mut mf = bench::init("fig10");
+    mf.set("figure", 10u64.into());
     let machine = MachineConfig::table2();
     let profiled = profile_suite(Some(&machine));
     let configs = PackConfig::evaluation_matrix();
@@ -13,8 +15,13 @@ fn main() {
 
     println!("Figure 10: Speedup from package relayout and rescheduling\n");
     let mut t = TextTable::new(vec![
-        "benchmark", CONFIG_LABELS[0], CONFIG_LABELS[1], CONFIG_LABELS[2], CONFIG_LABELS[3],
-        "base Mcyc", "bar(inf/link)",
+        "benchmark",
+        CONFIG_LABELS[0],
+        CONFIG_LABELS[1],
+        CONFIG_LABELS[2],
+        CONFIG_LABELS[3],
+        "base Mcyc",
+        "bar(inf/link)",
     ]);
     let mut sums = [0.0f64; 4];
     for (pw, outs) in profiled.iter().zip(&matrix) {
@@ -39,4 +46,6 @@ fn main() {
     println!("{t}");
     println!("Paper reference: average speedup improves across the four configurations,");
     println!("correlating with coverage; 197.parser gains ~8% extra from linking.");
+    bench::add_table(&mut mf, "fig10_speedup", &t);
+    bench::emit_manifest(mf);
 }

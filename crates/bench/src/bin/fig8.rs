@@ -6,14 +6,22 @@ use vacuum_packing::core::PackConfig;
 use vacuum_packing::metrics::{bar, pct, TextTable};
 
 fn main() {
+    let mut mf = bench::init("fig8");
+    mf.set("figure", 8u64.into());
     let profiled = profile_suite(None);
     let configs = PackConfig::evaluation_matrix();
     let matrix = evaluate_matrix(&profiled, &configs, None);
 
     println!("Figure 8: Percent of dynamic instructions from within packages\n");
     let mut t = TextTable::new(vec![
-        "benchmark", CONFIG_LABELS[0], CONFIG_LABELS[1], CONFIG_LABELS[2], CONFIG_LABELS[3],
-        "phases", "packages", "bar(inf/link)",
+        "benchmark",
+        CONFIG_LABELS[0],
+        CONFIG_LABELS[1],
+        CONFIG_LABELS[2],
+        CONFIG_LABELS[3],
+        "phases",
+        "packages",
+        "bar(inf/link)",
     ]);
     let mut sums = [0.0f64; 4];
     for (pw, outs) in profiled.iter().zip(&matrix) {
@@ -44,4 +52,6 @@ fn main() {
     ]);
     println!("{t}");
     println!("Paper reference: >80% average coverage with inference and linking enabled.");
+    bench::add_table(&mut mf, "fig8_coverage", &t);
+    bench::emit_manifest(mf);
 }

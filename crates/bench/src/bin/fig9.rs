@@ -4,8 +4,12 @@ use bench::profile_suite;
 use vacuum_packing::metrics::{categorize, pct, TextTable, CATEGORIES};
 
 fn main() {
+    let mut mf = bench::init("fig9");
+    mf.set("figure", 9u64.into());
     let profiled = profile_suite(None);
-    println!("Figure 9: Categorization of hot spot branch behavior (% of hot-spot branch executions)\n");
+    println!(
+        "Figure 9: Categorization of hot spot branch behavior (% of hot-spot branch executions)\n"
+    );
     let mut headers = vec!["benchmark".to_string()];
     headers.extend(CATEGORIES.iter().map(|c| c.label().to_string()));
     headers.push("hot cov %".to_string());
@@ -31,4 +35,6 @@ fn main() {
     println!("{t}");
     println!("Paper reference: unique branches mostly biased; Multi High+Low are the");
     println!("phase-customization opportunity (e.g. ~3% Multi High for 099.go).");
+    bench::add_table(&mut mf, "fig9_categorization", &t);
+    bench::emit_manifest(mf);
 }

@@ -10,7 +10,11 @@ use vacuum_packing::hsd::{assign_phases, FilterConfig, HotSpotDetector, HsdConfi
 use vacuum_packing::prelude::*;
 
 fn main() {
-    let label = std::env::args().nth(1).unwrap_or_else(|| "124.m88ksim A".to_string());
+    let mut mf = bench::init("phases");
+    let label = bench::cli_args()
+        .into_iter()
+        .next()
+        .unwrap_or_else(|| "124.m88ksim A".to_string());
     let Some(w) = vacuum_packing::workloads::by_label(&label, bench::scale()) else {
         eprintln!("unknown workload {label:?}; try e.g. \"300.twolf A\"");
         std::process::exit(1);
@@ -22,8 +26,12 @@ fn main() {
         .expect("workload runs");
     let (phases, assignment) = assign_phases(hsd.records(), &FilterConfig::default());
 
-    println!("{label}: {} retired instructions, {} raw detections, {} phases\n",
-        stats.retired, hsd.records().len(), phases.len());
+    println!(
+        "{label}: {} retired instructions, {} raw detections, {} phases\n",
+        stats.retired,
+        hsd.records().len(),
+        phases.len()
+    );
 
     // Timeline: bucket detections over the branch axis.
     const COLS: usize = 72;
@@ -46,7 +54,10 @@ fn main() {
 
     println!("\nper-phase hot branches:");
     for ph in &phases {
-        println!("  phase {} (first at branch {}):", ph.id, ph.first_detected_at);
+        println!(
+            "  phase {} (first at branch {}):",
+            ph.id, ph.first_detected_at
+        );
         for (addr, b) in ph.branches.iter().take(8) {
             if let Some(loc) = layout.branch_at(*addr) {
                 println!(
@@ -62,4 +73,10 @@ fn main() {
             println!("    ... and {} more", ph.branches.len() - 8);
         }
     }
+
+    mf.set("workload", label.as_str().into());
+    mf.set("retired", stats.retired.into());
+    mf.set("raw_detections", (hsd.records().len() as u64).into());
+    mf.set("phases", (phases.len() as u64).into());
+    bench::emit_manifest(mf);
 }

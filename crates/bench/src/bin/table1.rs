@@ -4,10 +4,18 @@ use bench::profile_suite;
 use vacuum_packing::metrics::TextTable;
 
 fn main() {
+    let mut mf = bench::init("table1");
+    mf.set("table", 1u64.into());
     let profiled = profile_suite(None);
     println!("Table 1: Benchmarks and inputs\n");
     let mut t = TextTable::new(vec![
-        "benchmark", "input", "# of inst", "dyn branches", "static inst", "phases", "raw detections",
+        "benchmark",
+        "input",
+        "# of inst",
+        "dyn branches",
+        "static inst",
+        "phases",
+        "raw detections",
     ]);
     for pw in &profiled {
         t.row(vec![
@@ -23,4 +31,6 @@ fn main() {
     println!("{t}");
     println!("(Workloads are scaled-down synthetic counterparts; the paper's runs");
     println!(" span 8M-1902M instructions on real SPEC/MediaBench binaries.)");
+    bench::add_table(&mut mf, "table1", &t);
+    bench::emit_manifest(mf);
 }

@@ -5,33 +5,97 @@ use vacuum_packing::metrics::TextTable;
 use vacuum_packing::sim::MachineConfig;
 
 fn main() {
+    let mut mf = bench::init("table2");
+    mf.set("table", 2u64.into());
     let m = MachineConfig::table2();
     let h = HsdConfig::table2();
     println!("Table 2: Simulated EPIC machine model\n");
     let mut t = TextTable::new(vec!["parameter", "value"]);
-    t.row(vec!["Instruction issue".to_string(), format!("{} units", m.issue_width)]);
-    t.row(vec!["Integer ALU".to_string(), format!("{} units", m.int_alu_units)]);
-    t.row(vec!["Floating point unit".to_string(), format!("{} units", m.fp_units)]);
-    t.row(vec!["Memory unit".to_string(), format!("{} units", m.mem_units)]);
-    t.row(vec!["Branch unit".to_string(), format!("{} units", m.branch_units)]);
-    t.row(vec!["L1 data cache".to_string(), format!("{} KB", m.l1d_bytes / 1024)]);
-    t.row(vec!["Unified L2 cache".to_string(), format!("{} KB", m.l2_bytes / 1024)]);
-    t.row(vec!["L1 instruction cache".to_string(), format!("{} KB", m.l1i_bytes / 1024)]);
-    t.row(vec!["RAS size".to_string(), format!("{} entry", m.ras_entries)]);
-    t.row(vec!["BTB size".to_string(), format!("{} entry", m.btb_entries)]);
-    t.row(vec!["Branch resolution".to_string(), format!("{} cycles", m.branch_resolution)]);
+    t.row(vec![
+        "Instruction issue".to_string(),
+        format!("{} units", m.issue_width),
+    ]);
+    t.row(vec![
+        "Integer ALU".to_string(),
+        format!("{} units", m.int_alu_units),
+    ]);
+    t.row(vec![
+        "Floating point unit".to_string(),
+        format!("{} units", m.fp_units),
+    ]);
+    t.row(vec![
+        "Memory unit".to_string(),
+        format!("{} units", m.mem_units),
+    ]);
+    t.row(vec![
+        "Branch unit".to_string(),
+        format!("{} units", m.branch_units),
+    ]);
+    t.row(vec![
+        "L1 data cache".to_string(),
+        format!("{} KB", m.l1d_bytes / 1024),
+    ]);
+    t.row(vec![
+        "Unified L2 cache".to_string(),
+        format!("{} KB", m.l2_bytes / 1024),
+    ]);
+    t.row(vec![
+        "L1 instruction cache".to_string(),
+        format!("{} KB", m.l1i_bytes / 1024),
+    ]);
+    t.row(vec![
+        "RAS size".to_string(),
+        format!("{} entry", m.ras_entries),
+    ]);
+    t.row(vec![
+        "BTB size".to_string(),
+        format!("{} entry", m.btb_entries),
+    ]);
+    t.row(vec![
+        "Branch resolution".to_string(),
+        format!("{} cycles", m.branch_resolution),
+    ]);
     t.row(vec![
         "Branch predictor".to_string(),
         format!("{}-bit history gshare", m.gshare_bits),
     ]);
-    t.row(vec!["BBB associativity".to_string(), format!("{}-way", h.bbb_ways)]);
-    t.row(vec!["Num BBB sets".to_string(), format!("{} set", h.bbb_sets)]);
-    t.row(vec!["Candidate branch threshold".to_string(), h.candidate_threshold.to_string()]);
-    t.row(vec!["Refresh timer interval".to_string(), format!("{} br", h.refresh_interval)]);
-    t.row(vec!["Clear timer interval".to_string(), format!("{} br", h.clear_interval)]);
-    t.row(vec!["Hot spot detection cntr size".to_string(), format!("{} bits", h.hdc_bits)]);
-    t.row(vec!["Hot spot detection cntr inc".to_string(), h.hdc_inc.to_string()]);
-    t.row(vec!["Hot spot detection cntr dec".to_string(), h.hdc_dec.to_string()]);
-    t.row(vec!["Exec and taken counter size".to_string(), format!("{} bits", h.counter_bits)]);
+    t.row(vec![
+        "BBB associativity".to_string(),
+        format!("{}-way", h.bbb_ways),
+    ]);
+    t.row(vec![
+        "Num BBB sets".to_string(),
+        format!("{} set", h.bbb_sets),
+    ]);
+    t.row(vec![
+        "Candidate branch threshold".to_string(),
+        h.candidate_threshold.to_string(),
+    ]);
+    t.row(vec![
+        "Refresh timer interval".to_string(),
+        format!("{} br", h.refresh_interval),
+    ]);
+    t.row(vec![
+        "Clear timer interval".to_string(),
+        format!("{} br", h.clear_interval),
+    ]);
+    t.row(vec![
+        "Hot spot detection cntr size".to_string(),
+        format!("{} bits", h.hdc_bits),
+    ]);
+    t.row(vec![
+        "Hot spot detection cntr inc".to_string(),
+        h.hdc_inc.to_string(),
+    ]);
+    t.row(vec![
+        "Hot spot detection cntr dec".to_string(),
+        h.hdc_dec.to_string(),
+    ]);
+    t.row(vec![
+        "Exec and taken counter size".to_string(),
+        format!("{} bits", h.counter_bits),
+    ]);
     println!("{t}");
+    bench::add_table(&mut mf, "table2", &t);
+    bench::emit_manifest(mf);
 }

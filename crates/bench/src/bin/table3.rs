@@ -5,13 +5,19 @@ use vacuum_packing::core::PackConfig;
 use vacuum_packing::metrics::{pct, TextTable};
 
 fn main() {
+    let mut mf = bench::init("table3");
+    mf.set("table", 3u64.into());
     let profiled = profile_suite(None);
     let configs = [PackConfig::default()];
     let matrix = evaluate_matrix(&profiled, &configs, None);
 
     println!("Table 3: Code expansion\n");
     let mut t = TextTable::new(vec![
-        "benchmark", "% incr in size", "% static inst selected", "replication", "packages",
+        "benchmark",
+        "% incr in size",
+        "% static inst selected",
+        "replication",
+        "packages",
     ]);
     let (mut se, mut ss, mut sr) = (0.0f64, 0.0f64, 0.0f64);
     for (pw, outs) in profiled.iter().zip(&matrix) {
@@ -37,4 +43,6 @@ fn main() {
     ]);
     println!("{t}");
     println!("Paper reference: average 12% growth, 4.5% selected, replication ~2.6.");
+    bench::add_table(&mut mf, "table3", &t);
+    bench::emit_manifest(mf);
 }

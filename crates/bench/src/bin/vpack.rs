@@ -30,7 +30,8 @@ fn usage() -> ! {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut mf = bench::init("vpack");
+    let args: Vec<String> = bench::cli_args();
     if args.iter().any(|a| a == "--list") {
         for w in vacuum_packing::workloads::suite(bench::scale()) {
             println!("{:<16} {}", w.label(), w.input_desc);
@@ -48,12 +49,19 @@ fn main() {
             "--no-inference" => cfg.inference = false,
             "--no-linking" => cfg.linking = false,
             "--max-blocks" => {
-                cfg.max_growth_blocks =
-                    it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                cfg.max_growth_blocks = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--opt" => match it.next().as_deref() {
                 Some("none") => {
-                    opt = OptConfig { relayout: false, reschedule: false, sink_cold: false, licm: false }
+                    opt = OptConfig {
+                        relayout: false,
+                        reschedule: false,
+                        sink_cold: false,
+                        licm: false,
+                    }
                 }
                 Some("paper") => opt = OptConfig::default(),
                 Some("full") => opt = OptConfig::full(),
@@ -73,8 +81,13 @@ fn main() {
     };
 
     let machine = MachineConfig::table2();
-    let pw = profile(&label, w.program, &HsdConfig::table2(), timing.then_some(&machine))
-        .expect("profiling succeeds");
+    let pw = profile(
+        &label,
+        w.program,
+        &HsdConfig::table2(),
+        timing.then_some(&machine),
+    )
+    .expect("profiling succeeds");
     println!(
         "{label}: {} dynamic instructions, {} phases ({} raw detections)",
         pw.dyn_insts,
@@ -90,7 +103,21 @@ fn main() {
     println!("selected:        {:.1}%", 100.0 * out.selected_fraction);
     println!("replication:     {:.2}x", out.replication);
     if let Some(s) = out.speedup {
-        println!("speedup:         {s:.3}x over {} Mcycles", pw.base_cycles.unwrap_or(0) / 1_000_000);
+        println!(
+            "speedup:         {s:.3}x over {} Mcycles",
+            pw.base_cycles.unwrap_or(0) / 1_000_000
+        );
+    }
+
+    mf.set("workload", label.as_str().into());
+    mf.set("dyn_insts", pw.dyn_insts.into());
+    mf.set("phases", (pw.phases.len() as u64).into());
+    mf.set("packages", (out.packages as u64).into());
+    mf.set("launch_points", (out.launch_points as u64).into());
+    mf.set("coverage", out.coverage.into());
+    mf.set("expansion", out.expansion.into());
+    if let Some(s) = out.speedup {
+        mf.set("speedup", s.into());
     }
 
     if dump {
@@ -108,4 +135,5 @@ fn main() {
             print!("{}", pretty::dump_function(&packed.program, pi.func, None));
         }
     }
+    bench::emit_manifest(mf);
 }

@@ -2,23 +2,33 @@
 //!
 //! Each binary in `src/bin/` regenerates one table or figure of the
 //! paper's evaluation section (see DESIGN.md's experiment index); this
-//! module provides the suite sweep they share.
+//! module provides the suite sweep they share, plus the tracing/manifest
+//! glue ([`init`], [`emit_manifest`]) and a dependency-free micro-benchmark
+//! harness ([`micro`]) for the `benches/` targets.
 //!
 //! Environment knobs:
 //!
 //! * `VP_SCALE` — workload scale multiplier (default 1);
 //! * `VP_THREADS` — sweep parallelism (default: available cores, capped at
-//!   the suite size).
+//!   the suite size);
+//! * `VP_TRACE` — `summary`, `json`, or `json:<path>` (see `vp-trace`);
+//!   every binary also accepts `--json` as a shorthand for `VP_TRACE=json`.
+
+pub mod micro;
 
 use std::sync::Mutex;
 use vacuum_packing::hsd::HsdConfig;
-use vacuum_packing::metrics::{profile, ProfiledWorkload};
+use vacuum_packing::metrics::{profile, ProfiledWorkload, TextTable};
 use vacuum_packing::sim::MachineConfig;
 use vacuum_packing::workloads::{suite, Workload};
+use vp_trace::{Manifest, Value};
 
 /// Workload scale from `VP_SCALE` (default 1).
 pub fn scale() -> u32 {
-    std::env::var("VP_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1)
+    std::env::var("VP_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
 }
 
 /// Sweep parallelism from `VP_THREADS` (default: available cores).
@@ -30,42 +40,145 @@ pub fn threads() -> usize {
         .max(1)
 }
 
-/// Profiles the whole Table 1 suite in parallel, preserving suite order.
-/// Timing (the original binary's cycles) is collected when `machine` is
-/// given — required by the Figure 10 speedup binary.
-pub fn profile_suite(machine: Option<&MachineConfig>) -> Vec<ProfiledWorkload> {
-    let workloads: Vec<Workload> = suite(scale());
-    let n = workloads.len();
-    let results: Mutex<Vec<Option<ProfiledWorkload>>> =
-        Mutex::new((0..n).map(|_| None).collect());
-    let work: Mutex<Vec<(usize, Workload)>> =
-        Mutex::new(workloads.into_iter().enumerate().collect());
+/// Initializes tracing for a table/figure binary and starts its run
+/// manifest: honours `VP_TRACE`, treats a `--json` CLI flag as
+/// `VP_TRACE=json`, and pre-populates the manifest with the run
+/// configuration (`scale`, `threads`).
+pub fn init(bin: &str) -> Manifest {
+    if std::env::args().skip(1).any(|a| a == "--json") && !vp_trace::installed() {
+        vp_trace::init_from_spec("json");
+    } else {
+        vp_trace::init_from_env();
+    }
+    let mut mf = Manifest::new(bin);
+    mf.set("scale", Value::from(scale() as u64).to_json());
+    mf.set("threads", Value::from(threads() as u64).to_json());
+    mf
+}
+
+/// CLI arguments after the binary name, with the flags [`init`] consumes
+/// (`--json`) removed — use in binaries that parse their own arguments.
+pub fn cli_args() -> Vec<String> {
+    std::env::args().skip(1).filter(|a| a != "--json").collect()
+}
+
+/// Attaches a rendered [`TextTable`] to a manifest under `name`.
+pub fn add_table(mf: &mut Manifest, name: &str, t: &TextTable) {
+    mf.table(name, t.headers(), t.rows());
+}
+
+/// Stamps span/counter totals into the manifest, emits it to the installed
+/// sink, and flushes. Call once at the end of a binary's `main`.
+pub fn emit_manifest(mut mf: Manifest) {
+    if vp_trace::installed() {
+        mf.stamp();
+        mf.emit();
+    }
+    vp_trace::finish();
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `jobs` on `threads().min(n)` worker threads, preserving input
+/// order. Worker panics are caught per job, so one failure neither poisons
+/// the shared queue nor takes down the other workers; the caller receives
+/// every job's individual outcome.
+fn parallel_sweep<J, T>(jobs: Vec<J>, f: impl Fn(&J) -> T + Sync) -> Vec<Result<T, String>>
+where
+    J: Send,
+    T: Send,
+{
+    let n = jobs.len();
+    let results: Mutex<Vec<Option<Result<T, String>>>> = Mutex::new((0..n).map(|_| None).collect());
+    let work: Mutex<Vec<(usize, J)>> = Mutex::new(jobs.into_iter().enumerate().collect());
 
     std::thread::scope(|s| {
         for _ in 0..threads().min(n) {
             s.spawn(|| loop {
-                let Some((idx, w)) = work.lock().expect("work queue").pop() else { break };
-                let label = w.label();
-                let pw = profile(&label, w.program, &HsdConfig::table2(), machine)
-                    .unwrap_or_else(|e| panic!("{label}: {e}"));
-                results.lock().expect("results")[idx] = Some(pw);
+                let job = match work.lock() {
+                    Ok(mut q) => q.pop(),
+                    Err(_) => break,
+                };
+                let Some((idx, j)) = job else { break };
+                let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&j)))
+                    .map_err(|p| panic_message(p.as_ref()));
+                if let Ok(mut r) = results.lock() {
+                    r[idx] = Some(out);
+                }
             });
         }
     });
     results
         .into_inner()
-        .expect("results")
+        .unwrap_or_else(|e| e.into_inner())
         .into_iter()
-        .map(|o| o.expect("every workload profiled"))
+        .map(|o| o.unwrap_or_else(|| Err("job was never run".to_string())))
         .collect()
 }
 
+/// Unwraps a sweep's outcomes, reporting *every* failing label before
+/// panicking once with a clean summary.
+fn collect_or_report<T>(what: &str, labeled: Vec<(String, Result<T, String>)>) -> Vec<T> {
+    let total = labeled.len();
+    let mut ok = Vec::with_capacity(total);
+    let mut failed: Vec<String> = Vec::new();
+    for (label, res) in labeled {
+        match res {
+            Ok(v) => ok.push(v),
+            Err(e) => {
+                eprintln!("{what}: {label} failed: {e}");
+                failed.push(label);
+            }
+        }
+    }
+    assert!(
+        failed.is_empty(),
+        "{what}: {}/{} workloads failed: {}",
+        failed.len(),
+        total,
+        failed.join(", ")
+    );
+    ok
+}
+
+/// Profiles the whole Table 1 suite in parallel, preserving suite order.
+/// Timing (the original binary's cycles) is collected when `machine` is
+/// given — required by the Figure 10 speedup binary.
+///
+/// # Panics
+///
+/// Panics after the sweep completes if any workload failed, listing every
+/// failing label (a single bad workload no longer masks the others behind
+/// a poisoned-mutex double panic).
+pub fn profile_suite(machine: Option<&MachineConfig>) -> Vec<ProfiledWorkload> {
+    let _s = vp_trace::span("bench.profile_suite");
+    let workloads: Vec<Workload> = suite(scale());
+    let labels: Vec<String> = workloads.iter().map(Workload::label).collect();
+    let results = parallel_sweep(workloads, |w| {
+        profile(&w.label(), w.program.clone(), &HsdConfig::table2(), machine)
+            .unwrap_or_else(|e| panic!("{e}"))
+    });
+    collect_or_report("profile_suite", labels.into_iter().zip(results).collect())
+}
+
 /// The paper's four-bar configuration labels, in Figure 8/10 order.
-pub const CONFIG_LABELS: [&str; 4] =
-    ["noInf/noLink", "noInf/link", "inf/noLink", "inf/link"];
+pub const CONFIG_LABELS: [&str; 4] = ["noInf/noLink", "noInf/link", "inf/noLink", "inf/link"];
 
 /// Evaluates every (workload, configuration) cell in parallel; the result
 /// is indexed `[workload][config]`.
+///
+/// # Panics
+///
+/// Panics after the sweep completes if any cell failed, listing every
+/// failing (workload, config) pair.
 pub fn evaluate_matrix(
     profiled: &[ProfiledWorkload],
     configs: &[vacuum_packing::core::PackConfig],
@@ -74,30 +187,19 @@ pub fn evaluate_matrix(
     use vacuum_packing::metrics::evaluate;
     use vacuum_packing::opt::OptConfig;
 
+    let _s = vp_trace::span("bench.evaluate_matrix");
     let cells: Vec<(usize, usize)> = (0..profiled.len())
         .flat_map(|w| (0..configs.len()).map(move |c| (w, c)))
         .collect();
-    let n = cells.len();
-    let results: Mutex<Vec<Option<vacuum_packing::metrics::ConfigOutcome>>> =
-        Mutex::new((0..n).map(|_| None).collect());
-    let work: Mutex<Vec<(usize, (usize, usize))>> =
-        Mutex::new(cells.into_iter().enumerate().collect());
-    std::thread::scope(|s| {
-        for _ in 0..threads().min(n) {
-            s.spawn(|| loop {
-                let Some((idx, (w, c))) = work.lock().expect("work queue").pop() else { break };
-                let out = evaluate(&profiled[w], &configs[c], &OptConfig::default(), machine)
-                    .unwrap_or_else(|e| panic!("{}: {e}", profiled[w].label));
-                results.lock().expect("results")[idx] = Some(out);
-            });
-        }
-    });
-    let flat: Vec<vacuum_packing::metrics::ConfigOutcome> = results
-        .into_inner()
-        .expect("results")
-        .into_iter()
-        .map(|o| o.expect("every cell evaluated"))
+    let labels: Vec<String> = cells
+        .iter()
+        .map(|&(w, c)| format!("{} [config {c}]", profiled[w].label))
         .collect();
+    let results = parallel_sweep(cells, |&(w, c)| {
+        evaluate(&profiled[w], &configs[c], &OptConfig::default(), machine)
+            .unwrap_or_else(|e| panic!("{e}"))
+    });
+    let flat = collect_or_report("evaluate_matrix", labels.into_iter().zip(results).collect());
     flat.chunks(configs.len()).map(|c| c.to_vec()).collect()
 }
 
@@ -109,5 +211,43 @@ mod tests {
     fn defaults_sane() {
         assert!(scale() >= 1);
         assert!(threads() >= 1);
+    }
+
+    #[test]
+    fn sweep_preserves_order() {
+        let out = parallel_sweep((0..32).collect(), |&i| i * 2);
+        let vals: Vec<i32> = out.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(vals, (0..32).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sweep_reports_individual_failures() {
+        let out = parallel_sweep((0..8).collect(), |&i: &i32| {
+            assert!(i != 3 && i != 6, "job {i} exploded");
+            i
+        });
+        let mut failed: Vec<usize> = Vec::new();
+        for (i, r) in out.iter().enumerate() {
+            match r {
+                Ok(v) => assert_eq!(*v, i as i32),
+                Err(e) => {
+                    assert!(e.contains("exploded"), "lost the panic message: {e}");
+                    failed.push(i);
+                }
+            }
+        }
+        assert_eq!(failed, vec![3, 6], "exactly the panicking jobs fail");
+    }
+
+    #[test]
+    #[should_panic(expected = "profile_suite")]
+    fn collect_or_report_names_failures() {
+        collect_or_report::<u32>(
+            "profile_suite",
+            vec![
+                ("a".to_string(), Ok(1)),
+                ("b".to_string(), Err("boom".to_string())),
+            ],
+        );
     }
 }

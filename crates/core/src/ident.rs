@@ -11,6 +11,30 @@ use std::collections::HashMap;
 use vp_hsd::Phase;
 use vp_isa::{BlockId, FuncId};
 use vp_program::{Cfg, EdgeKind, Layout, Program, Terminator};
+use vp_trace::Counter;
+
+/// Iterations of the Figure 4 inference fixpoint.
+static INFER_ITERATIONS: Counter = Counter::new("core.infer.iterations");
+/// Statement 3 fires: block inferred Cold from all-cold arcs.
+static INFER_STMT3: Counter = Counter::new("core.infer.stmt3");
+/// Statement 4 fires: block inferred Hot from a hot arc.
+static INFER_STMT4: Counter = Counter::new("core.infer.stmt4");
+/// Statement 6 fires: arc of a Cold block marked Cold.
+static INFER_STMT6: Counter = Counter::new("core.infer.stmt6");
+/// Statement 7 fires: last Unknown arc of a Hot block marked Hot.
+static INFER_STMT7: Counter = Counter::new("core.infer.stmt7");
+/// Statements 8-9 fires: hot call marked the callee prologue Hot.
+static INFER_STMT8: Counter = Counter::new("core.infer.stmt8");
+/// Unknown arcs between Hot blocks included by growth.
+static GROW_ARCS: Counter = Counter::new("core.grow.arc_inclusions");
+/// Blocks added by budget-limited predecessor growth.
+static GROW_BLOCKS: Counter = Counter::new("core.grow.blocks_added");
+/// Blocks Hot after region identification.
+static REGION_HOT: Counter = Counter::new("core.region.blocks_hot");
+/// Blocks Cold after region identification.
+static REGION_COLD: Counter = Counter::new("core.region.blocks_cold");
+/// Blocks still Unknown after region identification.
+static REGION_UNKNOWN: Counter = Counter::new("core.region.blocks_unknown");
 
 /// Lazily-built per-function CFG cache shared by the pipeline steps.
 #[derive(Debug, Default)]
@@ -26,7 +50,9 @@ impl CfgCache {
 
     /// The CFG of `f`, built on first use.
     pub fn get(&mut self, program: &Program, f: FuncId) -> &Cfg {
-        self.map.entry(f).or_insert_with(|| Cfg::new(program.func(f)))
+        self.map
+            .entry(f)
+            .or_insert_with(|| Cfg::new(program.func(f)))
     }
 }
 
@@ -45,6 +71,21 @@ pub fn identify_region(
     init_marking(program, layout, phase, cfg, &mut region);
     infer(program, cfgs, cfg, &mut region);
     grow(program, cfgs, cfg, &mut region);
+    if vp_trace::enabled() {
+        let (mut hot, mut cold, mut unknown) = (0u64, 0u64, 0u64);
+        for (&fid, m) in &region.marks {
+            for b in program.func(fid).block_ids() {
+                match m.block_temp(b) {
+                    Temp::Hot => hot += 1,
+                    Temp::Cold => cold += 1,
+                    Temp::Unknown => unknown += 1,
+                }
+            }
+        }
+        REGION_HOT.add(hot);
+        REGION_COLD.add(cold);
+        REGION_UNKNOWN.add(unknown);
+    }
     region
 }
 
@@ -57,7 +98,9 @@ fn init_marking(
     region: &mut Region,
 ) {
     for (&addr, pb) in &phase.branches {
-        let Some(bref) = layout.branch_at(addr) else { continue };
+        let Some(bref) = layout.branch_at(addr) else {
+            continue;
+        };
         let nblocks = program.func(bref.func).blocks.len();
         let m = region.mark_mut(bref.func, nblocks);
         m.set_block_temp(bref.block, Temp::Hot);
@@ -71,7 +114,10 @@ fn init_marking(
         let exec = pb.avg_exec().max(1);
         let arcs = [
             (EdgeKind::Taken, pb.avg_taken()),
-            (EdgeKind::NotTaken, pb.avg_exec().saturating_sub(pb.avg_taken())),
+            (
+                EdgeKind::NotTaken,
+                pb.avg_exec().saturating_sub(pb.avg_taken()),
+            ),
         ];
         for (kind, w) in arcs {
             let a = ArcKey::new(bref.block, kind);
@@ -100,7 +146,10 @@ fn out_arcs(program: &Program, f: FuncId, b: BlockId) -> Vec<(ArcKey, BlockId)> 
 }
 
 fn in_arcs(cfg: &Cfg, b: BlockId) -> Vec<ArcKey> {
-    cfg.preds(b).iter().map(|&(p, kind)| ArcKey::new(p, kind)).collect()
+    cfg.preds(b)
+        .iter()
+        .map(|&(p, kind)| ArcKey::new(p, kind))
+        .collect()
 }
 
 /// Whether `b` may be inferred Hot: with inference disabled, a block ending
@@ -118,6 +167,7 @@ fn may_infer_hot(program: &Program, m: &FuncMark, cfg: &PackConfig, b: BlockId) 
 /// Section 3.2.2 (Figure 4): the temperature-inference fixpoint.
 fn infer(program: &Program, cfgs: &mut CfgCache, cfg: &PackConfig, region: &mut Region) {
     loop {
+        INFER_ITERATIONS.incr();
         let mut changed = false;
         let fids: Vec<FuncId> = region.marks.keys().copied().collect();
         for fid in fids {
@@ -133,9 +183,10 @@ fn infer(program: &Program, cfgs: &mut CfgCache, cfg: &PackConfig, region: &mut 
                 if m.block_temp(b) == Temp::Unknown {
                     let all_in_cold =
                         !ins.is_empty() && ins.iter().all(|&a| m.arc_temp(a) == Temp::Cold);
-                    let all_out_cold = !outs.is_empty()
-                        && outs.iter().all(|&(a, _)| m.arc_temp(a) == Temp::Cold);
+                    let all_out_cold =
+                        !outs.is_empty() && outs.iter().all(|&(a, _)| m.arc_temp(a) == Temp::Cold);
                     if (all_in_cold || all_out_cold) && m.set_block_temp(b, Temp::Cold) {
+                        INFER_STMT3.incr();
                         changed = true;
                     }
                 }
@@ -145,6 +196,7 @@ fn infer(program: &Program, cfgs: &mut CfgCache, cfg: &PackConfig, region: &mut 
                     let any_hot = ins.iter().any(|&a| m.arc_temp(a) == Temp::Hot)
                         || outs.iter().any(|&(a, _)| m.arc_temp(a) == Temp::Hot);
                     if any_hot && m.set_block_temp(b, Temp::Hot) {
+                        INFER_STMT4.incr();
                         changed = true;
                     }
                 }
@@ -152,10 +204,16 @@ fn infer(program: &Program, cfgs: &mut CfgCache, cfg: &PackConfig, region: &mut 
                 // Statement 6: Cold block => all arcs in and out Cold.
                 if m.block_temp(b) == Temp::Cold {
                     for &a in &ins {
-                        changed |= m.set_arc_temp(a, Temp::Cold);
+                        if m.set_arc_temp(a, Temp::Cold) {
+                            INFER_STMT6.incr();
+                            changed = true;
+                        }
                     }
                     for &(a, _) in &outs {
-                        changed |= m.set_arc_temp(a, Temp::Cold);
+                        if m.set_arc_temp(a, Temp::Cold) {
+                            INFER_STMT6.incr();
+                            changed = true;
+                        }
                     }
                 }
 
@@ -163,15 +221,25 @@ fn infer(program: &Program, cfgs: &mut CfgCache, cfg: &PackConfig, region: &mut 
                 // out-arcs) are all Cold => the remaining Unknown arc is
                 // Hot (flow conservation).
                 if m.block_temp(b) == Temp::Hot {
-                    for side in [&ins[..], &outs.iter().map(|&(a, _)| a).collect::<Vec<_>>()[..]] {
-                        let unknown: Vec<ArcKey> =
-                            side.iter().copied().filter(|&a| m.arc_temp(a) == Temp::Unknown).collect();
+                    for side in [
+                        &ins[..],
+                        &outs.iter().map(|&(a, _)| a).collect::<Vec<_>>()[..],
+                    ] {
+                        let unknown: Vec<ArcKey> = side
+                            .iter()
+                            .copied()
+                            .filter(|&a| m.arc_temp(a) == Temp::Unknown)
+                            .collect();
                         let others_cold = side
                             .iter()
                             .filter(|&&a| m.arc_temp(a) != Temp::Unknown)
                             .all(|&a| m.arc_temp(a) == Temp::Cold);
-                        if unknown.len() == 1 && others_cold {
-                            changed |= m.set_arc_temp(unknown[0], Temp::Hot);
+                        if unknown.len() == 1
+                            && others_cold
+                            && m.set_arc_temp(unknown[0], Temp::Hot)
+                        {
+                            INFER_STMT7.incr();
+                            changed = true;
                         }
                     }
                 }
@@ -182,7 +250,10 @@ fn infer(program: &Program, cfgs: &mut CfgCache, cfg: &PackConfig, region: &mut 
                         let centry = program.func(callee).entry;
                         let cblocks = program.func(callee).blocks.len();
                         let cm = region.mark_mut(callee, cblocks);
-                        changed |= cm.set_block_temp(centry, Temp::Hot);
+                        if cm.set_block_temp(centry, Temp::Hot) {
+                            INFER_STMT8.incr();
+                            changed = true;
+                        }
                     }
                 }
             }
@@ -210,6 +281,7 @@ fn grow(program: &Program, cfgs: &mut CfgCache, cfg: &PackConfig, region: &mut R
             for (a, t) in out_arcs(program, fid, b) {
                 if m.block_temp(t) == Temp::Hot && m.arc_temp(a) == Temp::Unknown {
                     m.set_arc_temp(a, Temp::Hot);
+                    GROW_ARCS.incr();
                 }
             }
         }
@@ -221,7 +293,9 @@ fn grow(program: &Program, cfgs: &mut CfgCache, cfg: &PackConfig, region: &mut R
             .block_ids()
             .filter(|&b| {
                 m.block_temp(b) == Temp::Hot
-                    && !in_arcs(&func_cfg, b).iter().any(|&a| m.arc_temp(a) == Temp::Hot)
+                    && !in_arcs(&func_cfg, b)
+                        .iter()
+                        .any(|&a| m.arc_temp(a) == Temp::Hot)
             })
             .collect();
         for entry in entries {
@@ -245,6 +319,7 @@ fn grow(program: &Program, cfgs: &mut CfgCache, cfg: &PackConfig, region: &mut R
                     }
                     m.set_block_temp(p, Temp::Hot);
                     m.set_arc_temp(a, Temp::Hot);
+                    GROW_BLOCKS.incr();
                     budget -= 1;
                     grew = true;
                     frontier.push(p);
@@ -263,14 +338,19 @@ mod tests {
     use std::collections::BTreeMap;
     use vp_hsd::PhaseBranch;
     use vp_isa::{CodeRef, Cond, Reg, Src};
-    use vp_program::{ProgramBuilder};
+    use vp_program::ProgramBuilder;
 
     fn phase_from(layout: &Layout, branches: &[(CodeRef, u64, u64)]) -> Phase {
         let mut map = BTreeMap::new();
         for &(bref, exec, taken) in branches {
             map.insert(layout.branch_addr(bref), PhaseBranch::once(exec, taken));
         }
-        Phase { id: 0, branches: map, first_detected_at: 0, detections: 1 }
+        Phase {
+            id: 0,
+            branches: map,
+            first_detected_at: 0,
+            detections: 1,
+        }
     }
 
     /// A loop with a rarely-taken side path:
@@ -303,7 +383,10 @@ mod tests {
         let header = f0
             .blocks_iter()
             .find(|(_, b)| b.term.is_cond_branch())
-            .map(|(id, _)| CodeRef { func: FuncId(0), block: id })
+            .map(|(id, _)| CodeRef {
+                func: FuncId(0),
+                block: id,
+            })
             .unwrap();
         let phase = phase_from(&layout, &[(header, 100, 99)]);
         let mut cfgs = CfgCache::new();
@@ -325,8 +408,14 @@ mod tests {
             .map(|(id, _)| id)
             .collect();
         // Profile both branches: header taken 99%, inner branch taken 1%.
-        let header = CodeRef { func: FuncId(0), block: branches[0] };
-        let inner = CodeRef { func: FuncId(0), block: branches[1] };
+        let header = CodeRef {
+            func: FuncId(0),
+            block: branches[0],
+        };
+        let inner = CodeRef {
+            func: FuncId(0),
+            block: branches[1],
+        };
         let phase = phase_from(&layout, &[(header, 100, 99), (inner, 99, 1)]);
         let mut cfgs = CfgCache::new();
         let region = identify_region(&p, &layout, &mut cfgs, &phase, &PackConfig::default());
@@ -349,15 +438,23 @@ mod tests {
             .filter(|(_, b)| b.term.is_cond_branch())
             .map(|(id, _)| id)
             .collect();
-        let header = CodeRef { func: FuncId(0), block: branches[0] };
-        let inner = CodeRef { func: FuncId(0), block: branches[1] };
+        let header = CodeRef {
+            func: FuncId(0),
+            block: branches[0],
+        };
+        let inner = CodeRef {
+            func: FuncId(0),
+            block: branches[1],
+        };
         let phase = phase_from(&layout, &[(header, 100, 99), (inner, 99, 1)]);
         let mut cfgs = CfgCache::new();
         let region = identify_region(&p, &layout, &mut cfgs, &phase, &PackConfig::default());
         let m = region.mark(FuncId(0)).unwrap();
         // The common fall-through successor of the inner branch was never
         // profiled but must be inferred Hot (it joins back to the loop).
-        let common = ArcKey::new(inner.block, EdgeKind::NotTaken).target(f0).unwrap();
+        let common = ArcKey::new(inner.block, EdgeKind::NotTaken)
+            .target(f0)
+            .unwrap();
         assert_eq!(m.block_temp(common), Temp::Hot);
     }
 
@@ -389,7 +486,10 @@ mod tests {
         let header = mf
             .blocks_iter()
             .find(|(_, b)| b.term.is_cond_branch())
-            .map(|(id, _)| CodeRef { func: main, block: id })
+            .map(|(id, _)| CodeRef {
+                func: main,
+                block: id,
+            })
             .unwrap();
         let phase = phase_from(&layout, &[(header, 100, 99)]);
         let mut cfgs = CfgCache::new();
@@ -410,10 +510,16 @@ mod tests {
             .collect();
         // Profile ONLY the header; the inner branch is missing from the
         // BBB (contention).
-        let header = CodeRef { func: FuncId(0), block: branches[0] };
+        let header = CodeRef {
+            func: FuncId(0),
+            block: branches[0],
+        };
         let phase = phase_from(&layout, &[(header, 100, 99)]);
         let mut cfgs = CfgCache::new();
-        let no_inf = PackConfig { inference: false, ..PackConfig::default() };
+        let no_inf = PackConfig {
+            inference: false,
+            ..PackConfig::default()
+        };
         let region = identify_region(&p, &layout, &mut cfgs, &phase, &no_inf);
         let m = region.mark(FuncId(0)).unwrap();
         // The unprofiled inner branch block must not be inferred Hot.

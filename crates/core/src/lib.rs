@@ -91,10 +91,26 @@ impl PackConfig {
     pub fn evaluation_matrix() -> [PackConfig; 4] {
         let base = PackConfig::default();
         [
-            PackConfig { inference: false, linking: false, ..base },
-            PackConfig { inference: false, linking: true, ..base },
-            PackConfig { inference: true, linking: false, ..base },
-            PackConfig { inference: true, linking: true, ..base },
+            PackConfig {
+                inference: false,
+                linking: false,
+                ..base
+            },
+            PackConfig {
+                inference: false,
+                linking: true,
+                ..base
+            },
+            PackConfig {
+                inference: true,
+                linking: false,
+                ..base
+            },
+            PackConfig {
+                inference: true,
+                linking: true,
+                ..base
+            },
         ]
     }
 }
@@ -104,18 +120,22 @@ impl PackConfig {
 ///
 /// `layout` must be the layout of `program` (it maps the BBB's branch
 /// addresses back to blocks).
-pub fn pack(
-    program: &Program,
-    layout: &Layout,
-    phases: &[Phase],
-    cfg: &PackConfig,
-) -> PackOutput {
+pub fn pack(program: &Program, layout: &Layout, phases: &[Phase], cfg: &PackConfig) -> PackOutput {
     let mut cfgs = CfgCache::new();
-    let regions: Vec<Region> =
-        phases.iter().map(|ph| identify_region(program, layout, &mut cfgs, ph, cfg)).collect();
+    let regions: Vec<Region> = {
+        let _s = vp_trace::span("core.identify");
+        phases
+            .iter()
+            .map(|ph| identify_region(program, layout, &mut cfgs, ph, cfg))
+            .collect()
+    };
     let mut packages = Vec::new();
-    for region in &regions {
-        packages.extend(build_packages(program, &mut cfgs, region, cfg));
+    {
+        let _s = vp_trace::span("core.package");
+        for region in &regions {
+            packages.extend(build_packages(program, &mut cfgs, region, cfg));
+        }
     }
+    let _s = vp_trace::span("core.rewrite");
     rewrite(program, packages, regions, cfg)
 }

@@ -18,6 +18,16 @@ use crate::package::Package;
 use crate::PackConfig;
 use std::collections::BTreeMap;
 use vp_isa::{BlockId, CodeRef, FuncId};
+use vp_trace::Counter;
+
+/// Package groups ordered by exhaustive permutation search.
+static ORDER_EXHAUSTIVE: Counter = Counter::new("core.link.ordering_exhaustive");
+/// Package groups ordered by the greedy heuristic.
+static ORDER_GREEDY: Counter = Counter::new("core.link.ordering_greedy");
+/// Candidate orderings ranked across both strategies.
+static ORDERINGS_RANKED: Counter = Counter::new("core.link.orderings_ranked");
+/// Inter-package links installed.
+static LINKS_INSTALLED: Counter = Counter::new("core.link.links");
 
 /// One installed inter-package link.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,7 +68,12 @@ pub fn rank_ordering(packages: &[Package], order: &[usize]) -> (f64, Vec<Link>) 
                 let qpos = (pos + step) % n;
                 let gj = order[qpos];
                 if let Some(tb) = packages[gj].find_hot_block(meta.origin, &meta.context) {
-                    links.push(Link { from_pkg: gi, from_block: exit_block, to_pkg: gj, to_block: tb });
+                    links.push(Link {
+                        from_pkg: gi,
+                        from_block: exit_block,
+                        to_pkg: gj,
+                        to_block: tb,
+                    });
                     incoming[qpos] += 1;
                     break;
                 }
@@ -96,7 +111,7 @@ fn permutations(n: usize) -> Vec<Vec<usize>> {
         }
         for i in 0..k {
             heap(k - 1, cur, out);
-            if k % 2 == 0 {
+            if k.is_multiple_of(2) {
                 cur.swap(i, k - 1);
             } else {
                 cur.swap(0, k - 1);
@@ -112,16 +127,19 @@ fn permutations(n: usize) -> Vec<Vec<usize>> {
 /// `max_exhaustive_orderings`.
 fn best_order(packages: &[Package], group: &[usize], max_exhaustive: usize) -> (f64, Vec<usize>) {
     if group.len() <= max_exhaustive {
+        ORDER_EXHAUSTIVE.incr();
         let mut best: Option<(f64, Vec<usize>)> = None;
         for perm in permutations(group.len()) {
             let order: Vec<usize> = perm.iter().map(|&i| group[i]).collect();
             let (rank, _) = rank_ordering(packages, &order);
+            ORDERINGS_RANKED.incr();
             if best.as_ref().is_none_or(|(r, _)| rank > *r) {
                 best = Some((rank, order));
             }
         }
         best.expect("non-empty group")
     } else {
+        ORDER_GREEDY.incr();
         let mut remaining: Vec<usize> = group.to_vec();
         let mut order = Vec::new();
         while !remaining.is_empty() {
@@ -130,6 +148,7 @@ fn best_order(packages: &[Package], group: &[usize], max_exhaustive: usize) -> (
                 let mut trial = order.clone();
                 trial.push(cand);
                 let (rank, _) = rank_ordering(packages, &trial);
+                ORDERINGS_RANKED.incr();
                 if rank > best.0 {
                     best = (rank, i);
                 }
@@ -158,6 +177,7 @@ pub fn plan_links(packages: &[Package], cfg: &PackConfig) -> LinkPlan {
         let (order, rank) = if cfg.linking && group.len() > 1 {
             let (rank, order) = best_order(packages, &group, cfg.max_exhaustive_orderings);
             let (_, links) = rank_ordering(packages, &order);
+            LINKS_INSTALLED.add(links.len() as u64);
             plan.links.extend(links);
             (order, rank)
         } else {
@@ -183,16 +203,32 @@ mod tests {
 
     /// Builds a synthetic package whose blocks are: one hot block per
     /// `hot` origin, one exit per `exits` origin (contexts empty).
-    fn pkg(phase: usize, root: u32, hot: &[CodeRef], exits: &[CodeRef], branches: usize) -> Package {
+    fn pkg(
+        phase: usize,
+        root: u32,
+        hot: &[CodeRef],
+        exits: &[CodeRef],
+        branches: usize,
+    ) -> Package {
         let mut blocks = Vec::new();
         let mut meta = Vec::new();
         for &h in hot {
             blocks.push(Block::empty(Terminator::Ret));
-            meta.push(PkgBlockMeta { origin: h, context: vec![], is_exit: false, is_stub: false });
+            meta.push(PkgBlockMeta {
+                origin: h,
+                context: vec![],
+                is_exit: false,
+                is_stub: false,
+            });
         }
         for &e in exits {
             blocks.push(Block::empty(Terminator::Goto(e)));
-            meta.push(PkgBlockMeta { origin: e, context: vec![], is_exit: true, is_stub: false });
+            meta.push(PkgBlockMeta {
+                origin: e,
+                context: vec![],
+                is_exit: true,
+                is_stub: false,
+            });
         }
         let entries = vec![(BlockId(0), hot[0])];
         Package {
@@ -225,7 +261,10 @@ mod tests {
         let b_hot = CodeRef::new(0, 5);
         let pa = pkg(0, 0, &[a_hot], &[b_hot], 2);
         let pb = pkg(1, 0, &[b_hot], &[a_hot], 2);
-        let cfg = PackConfig { linking: false, ..PackConfig::default() };
+        let cfg = PackConfig {
+            linking: false,
+            ..PackConfig::default()
+        };
         let plan = plan_links(&[pa, pb], &cfg);
         assert!(plan.links.is_empty());
         // Shared entries still owned by the first package.
@@ -297,7 +336,10 @@ mod tests {
         let pkgs: Vec<Package> = (0..4)
             .map(|i| pkg(i, 0, &[h[i]], &[h[(i + 1) % 4]], 1))
             .collect();
-        let cfg = PackConfig { max_exhaustive_orderings: 2, ..PackConfig::default() };
+        let cfg = PackConfig {
+            max_exhaustive_orderings: 2,
+            ..PackConfig::default()
+        };
         let plan = plan_links(&pkgs, &cfg);
         assert!(!plan.links.is_empty());
     }

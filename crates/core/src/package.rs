@@ -24,6 +24,18 @@ use crate::PackConfig;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use vp_isa::{BlockId, CodeRef, FuncId, Inst};
 use vp_program::{Block, Cfg, EdgeKind, Function, Liveness, Program, Terminator};
+use vp_trace::Counter;
+
+/// Packages built.
+static PKG_BUILT: Counter = Counter::new("core.pkg.packages");
+/// Hot blocks copied into packages.
+static PKG_COPIED: Counter = Counter::new("core.pkg.blocks_copied");
+/// Blocks pruned (left behind) per instantiation.
+static PKG_PRUNED: Counter = Counter::new("core.pkg.blocks_pruned");
+/// Exit blocks inserted (heads only, not stubs/trampolines).
+static PKG_EXITS: Counter = Counter::new("core.pkg.exit_blocks");
+/// Partial-inline expansions performed.
+static PKG_INLINES: Counter = Counter::new("core.pkg.inlines");
 
 /// Sentinel function id marking package-internal targets before the
 /// rewriter assigns the package its real id.
@@ -103,7 +115,11 @@ fn arc_kept(m: &FuncMark, f: &Function, a: ArcKey) -> bool {
 
 /// Kept blocks reachable from `starts` through kept arcs.
 fn reachable_kept(m: &FuncMark, f: &Function, starts: &[BlockId]) -> BTreeSet<BlockId> {
-    let mut seen: BTreeSet<BlockId> = starts.iter().copied().filter(|&b| m.is_selected(b)).collect();
+    let mut seen: BTreeSet<BlockId> = starts
+        .iter()
+        .copied()
+        .filter(|&b| m.is_selected(b))
+        .collect();
     let mut work: Vec<BlockId> = seen.iter().copied().collect();
     while let Some(b) = work.pop() {
         for (t, kind) in f.successors(b) {
@@ -123,9 +139,7 @@ fn entry_blocks(m: &FuncMark, f: &Function, cfg: &Cfg) -> Vec<BlockId> {
         .filter(|&b| m.is_selected(b))
         .filter(|&b| {
             !cfg.preds(b).iter().any(|&(p, kind)| {
-                !cfg.is_back_edge(p, b)
-                    && m.is_selected(p)
-                    && arc_kept(m, f, ArcKey::new(p, kind))
+                !cfg.is_back_edge(p, b) && m.is_selected(p) && arc_kept(m, f, ArcKey::new(p, kind))
             })
         })
         .collect();
@@ -149,7 +163,9 @@ fn inlinable(m: &FuncMark, f: &Function) -> bool {
         return false;
     }
     let reach = reachable_kept(m, f, &[f.entry]);
-    reach.iter().any(|&b| matches!(f.block(b).term, Terminator::Ret))
+    reach
+        .iter()
+        .any(|&b| matches!(f.block(b).term, Terminator::Ret))
 }
 
 /// A call arc of the region call graph.
@@ -174,7 +190,11 @@ fn region_calls(program: &Program, region: &Region) -> Vec<RegionCall> {
                     .map(|cm| cm.hot_blocks().next().is_some())
                     .unwrap_or(false);
                 if callee_hot {
-                    calls.push(RegionCall { caller: fid, site: b, callee });
+                    calls.push(RegionCall {
+                        caller: fid,
+                        site: b,
+                        callee,
+                    });
                 }
             }
         }
@@ -248,10 +268,10 @@ impl<'p> PkgBuilder<'p> {
     fn live_in(&mut self, cfgs: &mut CfgCache, target: CodeRef) -> Vec<vp_isa::Reg> {
         let program = self.program;
         let f = target.func;
-        if !self.liveness.contains_key(&f) {
+        self.liveness.entry(f).or_insert_with(|| {
             let cfg = cfgs.get(program, f).clone();
-            self.liveness.insert(f, Liveness::new(program.func(f), &cfg));
-        }
+            Liveness::new(program.func(f), &cfg)
+        });
         self.liveness[&f].live_in(target.block).iter().collect()
     }
 
@@ -275,15 +295,23 @@ impl<'p> PkgBuilder<'p> {
             return b;
         }
         let live = self.live_in(cfgs, target);
-        let head =
-            self.alloc(PkgBlockMeta { origin: target, context: ctx.to_vec(), is_exit: true, is_stub: false });
+        PKG_EXITS.incr();
+        let head = self.alloc(PkgBlockMeta {
+            origin: target,
+            context: ctx.to_vec(),
+            is_exit: true,
+            is_stub: false,
+        });
 
         // Allocate the chain after the head: stubs for sites 1..k and one
         // trampoline per site.
         let mut chain: Vec<BlockId> = Vec::new();
         for (i, site) in ctx.iter().enumerate() {
             let cont = match self.program.func(site.func).block(site.block).term {
-                Terminator::Call { ret_to, .. } => CodeRef { func: site.func, block: ret_to },
+                Terminator::Call { ret_to, .. } => CodeRef {
+                    func: site.func,
+                    block: ret_to,
+                },
                 ref t => unreachable!("context site {site} is not a call: {t:?}"),
             };
             // Trampoline: lands here when the (i-th innermost-remaining)
@@ -327,12 +355,22 @@ impl<'p> PkgBuilder<'p> {
             for (i, &carrier) in carriers.iter().enumerate() {
                 let tr = chain[2 * i];
                 let next = if i + 1 < carriers.len() {
-                    CodeRef { func: PKG_SELF, block: carriers[i + 1] }
+                    CodeRef {
+                        func: PKG_SELF,
+                        block: carriers[i + 1],
+                    }
                 } else {
                     target
                 };
-                let insts = if i == 0 { vec![Inst::Consume { regs: live.clone() }] } else { vec![] };
-                self.blocks[carrier.0 as usize] = Some(Block { insts, term: term_for(next, tr) });
+                let insts = if i == 0 {
+                    vec![Inst::Consume { regs: live.clone() }]
+                } else {
+                    vec![]
+                };
+                self.blocks[carrier.0 as usize] = Some(Block {
+                    insts,
+                    term: term_for(next, tr),
+                });
             }
         }
         exits.insert(target, head);
@@ -355,14 +393,22 @@ impl<'p> PkgBuilder<'p> {
     ) -> HashMap<BlockId, BlockId> {
         let program = self.program;
         let f = program.func(fid);
-        let m = self.region.mark(fid).expect("instantiated function is marked");
+        let m = self
+            .region
+            .mark(fid)
+            .expect("instantiated function is marked");
         let kept = reachable_kept(m, f, starts);
+        PKG_COPIED.add(kept.len() as u64);
+        PKG_PRUNED.add((f.blocks.len() - kept.len()) as u64);
 
         // Phase 1: allocate ids.
         let mut map: HashMap<BlockId, BlockId> = HashMap::new();
         for &b in &kept {
             let id = self.alloc(PkgBlockMeta {
-                origin: CodeRef { func: fid, block: b },
+                origin: CodeRef {
+                    func: fid,
+                    block: b,
+                },
                 context: ctx.clone(),
                 is_exit: false,
                 is_stub: false,
@@ -386,26 +432,44 @@ impl<'p> PkgBuilder<'p> {
                         Terminator::Goto(pkg_ref(&map, t.block))
                     } else {
                         let e = self.exit_block(cfgs, &mut exits, &ctx, *t);
-                        Terminator::Goto(CodeRef { func: PKG_SELF, block: e })
+                        Terminator::Goto(CodeRef {
+                            func: PKG_SELF,
+                            block: e,
+                        })
                     }
                 }
-                Terminator::Br { cond, rs1, rs2, taken, not_taken } => {
+                Terminator::Br {
+                    cond,
+                    rs1,
+                    rs2,
+                    taken,
+                    not_taken,
+                } => {
                     self.branch_blocks += 1;
                     let resolve = |this: &mut Self,
-                                       cfgs: &mut CfgCache,
-                                       exits: &mut BTreeMap<CodeRef, BlockId>,
-                                       t: &CodeRef,
-                                       kind: EdgeKind| {
+                                   cfgs: &mut CfgCache,
+                                   exits: &mut BTreeMap<CodeRef, BlockId>,
+                                   t: &CodeRef,
+                                   kind: EdgeKind| {
                         if kept.contains(&t.block) && arc_kept(m, f, ArcKey::new(b, kind)) {
                             pkg_ref(&map, t.block)
                         } else {
                             let e = this.exit_block(cfgs, exits, &ctx, *t);
-                            CodeRef { func: PKG_SELF, block: e }
+                            CodeRef {
+                                func: PKG_SELF,
+                                block: e,
+                            }
                         }
                     };
                     let tk = resolve(self, cfgs, &mut exits, taken, EdgeKind::Taken);
                     let nt = resolve(self, cfgs, &mut exits, not_taken, EdgeKind::NotTaken);
-                    Terminator::Br { cond: *cond, rs1: *rs1, rs2: *rs2, taken: tk, not_taken: nt }
+                    Terminator::Br {
+                        cond: *cond,
+                        rs1: *rs1,
+                        rs2: *rs2,
+                        taken: tk,
+                        not_taken: nt,
+                    }
                 }
                 Terminator::Call { callee, ret_to } => {
                     let cont = if kept.contains(ret_to)
@@ -413,12 +477,31 @@ impl<'p> PkgBuilder<'p> {
                     {
                         map[ret_to]
                     } else {
-                        self.exit_block(cfgs, &mut exits, &ctx, CodeRef { func: fid, block: *ret_to })
+                        self.exit_block(
+                            cfgs,
+                            &mut exits,
+                            &ctx,
+                            CodeRef {
+                                func: fid,
+                                block: *ret_to,
+                            },
+                        )
                     };
-                    let site = CodeRef { func: fid, block: b };
+                    let site = CodeRef {
+                        func: fid,
+                        block: b,
+                    };
                     if self.should_inline(*callee, &ctx) {
                         let mut inner_ctx = ctx.clone();
                         inner_ctx.push(site);
+                        PKG_INLINES.incr();
+                        vp_trace::event(
+                            "core.pkg.inline",
+                            &[
+                                ("callee", vp_trace::Value::from(callee.0 as u64)),
+                                ("depth", vp_trace::Value::from(inner_ctx.len())),
+                            ],
+                        );
                         let inner_map = self.instantiate(
                             cfgs,
                             *callee,
@@ -427,17 +510,26 @@ impl<'p> PkgBuilder<'p> {
                             Some(cont),
                         );
                         let entry = inner_map[&program.func(*callee).entry];
-                        Terminator::Goto(CodeRef { func: PKG_SELF, block: entry })
+                        Terminator::Goto(CodeRef {
+                            func: PKG_SELF,
+                            block: entry,
+                        })
                     } else {
                         // Not inlined: call the original function (whose
                         // launch point may itself redirect to a package).
-                        Terminator::Call { callee: *callee, ret_to: cont }
+                        Terminator::Call {
+                            callee: *callee,
+                            ret_to: cont,
+                        }
                     }
                 }
                 Terminator::Ret => match ret_target {
                     // Inlined return: continue at the caller's
                     // continuation inside the package.
-                    Some(cont) => Terminator::Goto(CodeRef { func: PKG_SELF, block: cont }),
+                    Some(cont) => Terminator::Goto(CodeRef {
+                        func: PKG_SELF,
+                        block: cont,
+                    }),
                     None => Terminator::Ret,
                 },
                 Terminator::Halt => Terminator::Halt,
@@ -445,7 +537,10 @@ impl<'p> PkgBuilder<'p> {
                     unreachable!("original code never contains CallThrough")
                 }
             };
-            self.blocks[pkg_id.0 as usize] = Some(Block { insts: orig.insts.clone(), term });
+            self.blocks[pkg_id.0 as usize] = Some(Block {
+                insts: orig.insts.clone(),
+                term,
+            });
         }
         map
     }
@@ -454,16 +549,20 @@ impl<'p> PkgBuilder<'p> {
     /// inlinable, and not over-represented in the context chain
     /// (Section 3.3.3's self-recursion rule generalized to cycles).
     fn should_inline(&self, callee: FuncId, ctx: &[CodeRef]) -> bool {
-        let Some(cm) = self.region.mark(callee) else { return false };
+        let Some(cm) = self.region.mark(callee) else {
+            return false;
+        };
         if cm.hot_blocks().next().is_none() || !inlinable(cm, self.program.func(callee)) {
             return false;
         }
         let occurrences = ctx
             .iter()
-            .filter(|site| match self.program.func(site.func).block(site.block).term {
-                Terminator::Call { callee: c, .. } => c == callee,
-                _ => false,
-            })
+            .filter(
+                |site| match self.program.func(site.func).block(site.block).term {
+                    Terminator::Call { callee: c, .. } => c == callee,
+                    _ => false,
+                },
+            )
             .count();
         occurrences <= self.cfg.max_inline_depth_per_func
     }
@@ -504,13 +603,28 @@ pub fn build_packages(
         }
         let entry_pairs: Vec<(BlockId, CodeRef)> = entries
             .iter()
-            .filter_map(|e| map.get(e).map(|&pb| (pb, CodeRef { func: root, block: *e })))
+            .filter_map(|e| {
+                map.get(e).map(|&pb| {
+                    (
+                        pb,
+                        CodeRef {
+                            func: root,
+                            block: *e,
+                        },
+                    )
+                })
+            })
             .collect();
+        PKG_BUILT.incr();
         packages.push(Package {
             phase: region.phase,
             root,
             name: format!("pkg_p{}_{}", region.phase, f.name),
-            blocks: b.blocks.into_iter().map(|ob| ob.expect("block body filled")).collect(),
+            blocks: b
+                .blocks
+                .into_iter()
+                .map(|ob| ob.expect("block body filled"))
+                .collect(),
             meta: b.meta,
             entries: entry_pairs,
             branch_blocks: b.branch_blocks,
@@ -572,12 +686,20 @@ mod tests {
         for &(fid, exec, taken) in profiles {
             for (bid, b) in p.func(fid).blocks_iter() {
                 if b.term.is_cond_branch() {
-                    let addr = layout.branch_addr(CodeRef { func: fid, block: bid });
+                    let addr = layout.branch_addr(CodeRef {
+                        func: fid,
+                        block: bid,
+                    });
                     branches.insert(addr, PhaseBranch::once(exec, taken));
                 }
             }
         }
-        Phase { id: 0, branches, first_detected_at: 0, detections: 1 }
+        Phase {
+            id: 0,
+            branches,
+            first_detected_at: 0,
+            detections: 1,
+        }
     }
 
     fn build_for(p: &Program, phase: &Phase, cfg: &PackConfig) -> Vec<Package> {
@@ -601,23 +723,37 @@ mod tests {
         assert_eq!(pkg.root, main);
         // Helper blocks appear with a non-empty context.
         assert!(
-            pkg.meta.iter().any(|m| m.origin.func == helper && !m.context.is_empty()),
+            pkg.meta
+                .iter()
+                .any(|m| m.origin.func == helper && !m.context.is_empty()),
             "helper must be partially inlined"
         );
         // The cold path of helper must NOT be copied.
         let cold_block = p
             .func(helper)
             .blocks_iter()
-            .find(|(_, b)| b.insts.iter().any(|i| matches!(i, Inst::Li { rd, imm: 1 } if *rd == Reg::int(30))))
+            .find(|(_, b)| {
+                b.insts
+                    .iter()
+                    .any(|i| matches!(i, Inst::Li { rd, imm: 1 } if *rd == Reg::int(30)))
+            })
             .map(|(id, _)| id)
             .unwrap();
         assert!(
-            !pkg.meta.iter().any(|m| !m.is_exit && m.origin == CodeRef { func: helper, block: cold_block }),
+            !pkg.meta.iter().any(|m| !m.is_exit
+                && m.origin
+                    == CodeRef {
+                        func: helper,
+                        block: cold_block
+                    }),
             "cold path must be pruned"
         );
         // Exit blocks exist and carry dummy consumers.
         let (exit_id, _) = pkg.exits().next().expect("pruned paths create exits");
-        assert!(matches!(pkg.blocks[exit_id.0 as usize].insts[0], Inst::Consume { .. }));
+        assert!(matches!(
+            pkg.blocks[exit_id.0 as usize].insts[0],
+            Inst::Consume { .. }
+        ));
     }
 
     #[test]
@@ -679,7 +815,10 @@ mod tests {
         let phase = all_branch_phase(&p, &layout, &[(main, 100, 98), (rec, 2000, 100)]);
         let pkgs = build_for(&p, &phase, &PackConfig::default());
         let roots: Vec<FuncId> = pkgs.iter().map(|p| p.root).collect();
-        assert!(roots.contains(&rec), "self-recursive function must be a root: {roots:?}");
+        assert!(
+            roots.contains(&rec),
+            "self-recursive function must be a root: {roots:?}"
+        );
         // The rec package inlines rec into itself exactly once: some block
         // has context depth 1 and a recursive call remains.
         let rec_pkg = pkgs.iter().find(|p| p.root == rec).unwrap();
@@ -711,8 +850,11 @@ mod tests {
         let phase = all_branch_phase(&p, &layout, &[(FuncId(1), 200, 198), (FuncId(0), 200, 2)]);
         let pkgs = build_for(&p, &phase, &PackConfig::default());
         let pkg = &pkgs[0];
-        let counted =
-            pkg.blocks.iter().filter(|b| b.term.is_cond_branch()).count();
+        let counted = pkg
+            .blocks
+            .iter()
+            .filter(|b| b.term.is_cond_branch())
+            .count();
         assert_eq!(pkg.branch_blocks, counted);
         assert!(counted >= 1);
     }

@@ -40,7 +40,10 @@ impl ArcKey {
     /// Resolves the arc's target block within `f`, if the arc exists and is
     /// intra-function.
     pub fn target(&self, f: &Function) -> Option<BlockId> {
-        f.successors(self.from).into_iter().find(|&(_, k)| k == self.kind).map(|(b, _)| b)
+        f.successors(self.from)
+            .into_iter()
+            .find(|&(_, k)| k == self.kind)
+            .map(|(b, _)| b)
     }
 }
 
@@ -188,12 +191,17 @@ pub struct Region {
 impl Region {
     /// Creates an empty region for a phase.
     pub fn new(phase: usize) -> Region {
-        Region { phase, marks: BTreeMap::new() }
+        Region {
+            phase,
+            marks: BTreeMap::new(),
+        }
     }
 
     /// The marking for `f`, creating an all-`Unknown` one if absent.
     pub fn mark_mut(&mut self, f: FuncId, blocks: usize) -> &mut FuncMark {
-        self.marks.entry(f).or_insert_with(|| FuncMark::new(f, blocks))
+        self.marks
+            .entry(f)
+            .or_insert_with(|| FuncMark::new(f, blocks))
     }
 
     /// The marking for `f`, if the function is part of the region.
@@ -259,7 +267,8 @@ mod tests {
     #[test]
     fn region_creates_marks_on_demand() {
         let mut r = Region::new(0);
-        r.mark_mut(FuncId(2), 5).set_block_temp(BlockId(0), Temp::Hot);
+        r.mark_mut(FuncId(2), 5)
+            .set_block_temp(BlockId(0), Temp::Hot);
         assert_eq!(r.hot_block_count(), 1);
         assert_eq!(r.hot_funcs(), vec![FuncId(2)]);
         assert!(r.mark(FuncId(1)).is_none());

@@ -14,6 +14,12 @@ use crate::PackConfig;
 use std::collections::BTreeSet;
 use vp_isa::{BlockId, CodeRef, FuncId};
 use vp_program::{FuncKind, Function, Program, Terminator};
+use vp_trace::Counter;
+
+/// Launch points patched into original code.
+static LAUNCH_POINTS: Counter = Counter::new("core.rewrite.launch_points");
+/// Package functions installed into the rewritten program.
+static PKGS_INSTALLED: Counter = Counter::new("core.rewrite.packages_installed");
 
 /// Summary of one installed package.
 #[derive(Debug, Clone)]
@@ -104,7 +110,10 @@ pub fn rewrite(
         f.blocks = pkg.blocks.clone();
         // The function entry used by patched calls: the copy of the root's
         // real entry block when present, else the first package entry.
-        let root_entry = CodeRef { func: pkg.root, block: program.func(pkg.root).entry };
+        let root_entry = CodeRef {
+            func: pkg.root,
+            block: program.func(pkg.root).entry,
+        };
         f.entry = pkg
             .entries
             .iter()
@@ -124,7 +133,10 @@ pub fn rewrite(
     let mut links_out = vec![0usize; packages.len()];
     for l in &plan.links {
         let from_f = pkg_fids[l.from_pkg];
-        let target = CodeRef { func: pkg_fids[l.to_pkg], block: l.to_block };
+        let target = CodeRef {
+            func: pkg_fids[l.to_pkg],
+            block: l.to_block,
+        };
         out.func_mut(from_f).block_mut(l.from_block).term = Terminator::Goto(target);
         links_in[l.to_pkg] += 1;
         links_out[l.from_pkg] += 1;
@@ -159,7 +171,10 @@ pub fn rewrite(
         } else {
             // Mid-function launch: retarget intra-function transfers in the
             // original function.
-            let target = CodeRef { func: pkg_fid, block: pkg_block };
+            let target = CodeRef {
+                func: pkg_fid,
+                block: pkg_block,
+            };
             let f = out.func_mut(origin.func);
             for block in &mut f.blocks {
                 match &mut block.term {
@@ -167,7 +182,9 @@ pub fn rewrite(
                         *t = target;
                         launch_points += 1;
                     }
-                    Terminator::Br { taken, not_taken, .. } => {
+                    Terminator::Br {
+                        taken, not_taken, ..
+                    } => {
                         if *taken == origin {
                             *taken = target;
                             launch_points += 1;
@@ -190,8 +207,10 @@ pub fn rewrite(
         .iter()
         .flat_map(|p| p.meta.iter().filter(|m| !m.is_exit).map(|m| m.origin))
         .collect();
-    let selected_insts: u64 =
-        selected.iter().map(|r| program.block(*r).static_insts()).sum();
+    let selected_insts: u64 = selected
+        .iter()
+        .map(|r| program.block(*r).static_insts())
+        .sum();
 
     let infos: Vec<PackageInfo> = packages
         .iter()
@@ -211,6 +230,9 @@ pub fn rewrite(
 
     debug_assert_eq!(out.validate(), Ok(()), "rewritten program must stay valid");
 
+    LAUNCH_POINTS.add(launch_points as u64);
+    PKGS_INSTALLED.add(infos.len() as u64);
+
     PackOutput {
         program: out,
         regions,
@@ -229,12 +251,12 @@ fn remap_self(p: &mut Program, fid: FuncId) {
     let f = p.func_mut(fid);
     for block in &mut f.blocks {
         match &mut block.term {
-            Terminator::Goto(t) => {
-                if t.func == PKG_SELF {
-                    t.func = fid;
-                }
+            Terminator::Goto(t) if t.func == PKG_SELF => {
+                t.func = fid;
             }
-            Terminator::Br { taken, not_taken, .. } => {
+            Terminator::Br {
+                taken, not_taken, ..
+            } => {
                 if taken.func == PKG_SELF {
                     taken.func = fid;
                 }
@@ -242,10 +264,8 @@ fn remap_self(p: &mut Program, fid: FuncId) {
                     not_taken.func = fid;
                 }
             }
-            Terminator::CallThrough { target, .. } => {
-                if target.func == PKG_SELF {
-                    target.func = fid;
-                }
+            Terminator::CallThrough { target, .. } if target.func == PKG_SELF => {
+                target.func = fid;
             }
             _ => {}
         }
@@ -292,12 +312,20 @@ mod tests {
         for f in &p.funcs {
             for (bid, b) in f.blocks_iter() {
                 if b.term.is_cond_branch() {
-                    let addr = layout.branch_addr(CodeRef { func: f.id, block: bid });
+                    let addr = layout.branch_addr(CodeRef {
+                        func: f.id,
+                        block: bid,
+                    });
                     branches.insert(addr, PhaseBranch::once(100, 99));
                 }
             }
         }
-        Phase { id: 0, branches, first_detected_at: 0, detections: 1 }
+        Phase {
+            id: 0,
+            branches,
+            first_detected_at: 0,
+            detections: 1,
+        }
     }
 
     fn pack_it(p: &Program) -> PackOutput {
@@ -349,9 +377,9 @@ mod tests {
                 match &b.term {
                     Terminator::Call { callee, .. } if pkg_ids.contains(callee) => found = true,
                     Terminator::Goto(t) if pkg_ids.contains(&t.func) => found = true,
-                    Terminator::Br { taken, not_taken, .. }
-                        if pkg_ids.contains(&taken.func) || pkg_ids.contains(&not_taken.func) =>
-                    {
+                    Terminator::Br {
+                        taken, not_taken, ..
+                    } if pkg_ids.contains(&taken.func) || pkg_ids.contains(&not_taken.func) => {
                         found = true
                     }
                     _ => {}

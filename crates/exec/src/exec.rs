@@ -6,6 +6,14 @@ use vp_isa::reg::NUM_REGS;
 use vp_isa::{AluOp, CodeRef, FaluOp, FuClass, Inst, Reg, Src, INST_BYTES};
 use vp_program::builder::STACK_BASE;
 use vp_program::{Layout, Program, TermEncoding, Terminator};
+use vp_trace::Counter;
+
+/// Instructions retired across all runs.
+static RETIRED: Counter = Counter::new("exec.retired");
+/// Conditional branches retired across all runs.
+static COND_BRANCHES: Counter = Counter::new("exec.cond_branches");
+/// Instructions retired inside package functions (package residency).
+static IN_PACKAGE: Counter = Counter::new("exec.in_package");
 
 /// Execution limits.
 #[derive(Debug, Clone, Copy)]
@@ -18,7 +26,10 @@ pub struct RunConfig {
 
 impl Default for RunConfig {
     fn default() -> RunConfig {
-        RunConfig { max_insts: 500_000_000, max_depth: 100_000 }
+        RunConfig {
+            max_insts: 500_000_000,
+            max_depth: 100_000,
+        }
     }
 }
 
@@ -132,7 +143,14 @@ impl<'p> Executor<'p> {
     /// call-depth overflow.
     pub fn run(&mut self, sink: &mut impl Sink, cfg: &RunConfig) -> Result<RunStats, ExecError> {
         let entry = self.program.func(self.program.entry).entry;
-        self.run_from(CodeRef { func: self.program.entry, block: entry }, sink, cfg)
+        self.run_from(
+            CodeRef {
+                func: self.program.entry,
+                block: entry,
+            },
+            sink,
+            cfg,
+        )
     }
 
     /// Runs from an arbitrary code location until halt or a limit.
@@ -148,8 +166,12 @@ impl<'p> Executor<'p> {
         cfg: &RunConfig,
     ) -> Result<RunStats, ExecError> {
         let mut cur = start;
-        let mut stats =
-            RunStats { retired: 0, cond_branches: 0, in_package: 0, stop: StopReason::InstLimit };
+        let mut stats = RunStats {
+            retired: 0,
+            cond_branches: 0,
+            in_package: 0,
+            stop: StopReason::InstLimit,
+        };
 
         'outer: while stats.retired < cfg.max_insts {
             let func = self.program.func(cur.func);
@@ -183,11 +205,11 @@ impl<'p> Executor<'p> {
             let enc = self.layout.encoding(cur);
             let term_addr = base + block.insts.len() as u64 * INST_BYTES;
             let emit_ctrl = |this: &Self,
-                                 sink: &mut dyn Sink,
-                                 stats: &mut RunStats,
-                                 addr: u64,
-                                 ctrl: Ctrl,
-                                 uses: [Option<Reg>; 3]| {
+                             sink: &mut dyn Sink,
+                             stats: &mut RunStats,
+                             addr: u64,
+                             ctrl: Ctrl,
+                             uses: [Option<Reg>; 3]| {
                 stats.retired += 1;
                 if in_package {
                     stats.in_package += 1;
@@ -233,7 +255,13 @@ impl<'p> Executor<'p> {
                     }
                     *t
                 }
-                Terminator::Br { cond, rs1, rs2, taken, not_taken } => {
+                Terminator::Br {
+                    cond,
+                    rs1,
+                    rs2,
+                    taken,
+                    not_taken,
+                } => {
                     let a = self.reg(*rs1);
                     let b = self.read_src(*rs2);
                     let arch = cond.eval(a, b);
@@ -288,9 +316,15 @@ impl<'p> Executor<'p> {
                     if self.stack.len() >= cfg.max_depth {
                         return Err(ExecError::CallDepthExceeded(cur));
                     }
-                    self.stack.push(CodeRef { func: cur.func, block: *ret_to });
+                    self.stack.push(CodeRef {
+                        func: cur.func,
+                        block: *ret_to,
+                    });
                     let target = self.program.func(*callee);
-                    let next = CodeRef { func: *callee, block: target.entry };
+                    let next = CodeRef {
+                        func: *callee,
+                        block: target.entry,
+                    };
                     emit_ctrl(
                         self,
                         sink,
@@ -304,9 +338,10 @@ impl<'p> Executor<'p> {
                             is_call: true,
                             is_ret: false,
                             target: self.layout.addr_of(next),
-                            ret_addr: self
-                                .layout
-                                .addr_of(CodeRef { func: cur.func, block: *ret_to }),
+                            ret_addr: self.layout.addr_of(CodeRef {
+                                func: cur.func,
+                                block: *ret_to,
+                            }),
                         },
                         [None; 3],
                     );
@@ -316,7 +351,10 @@ impl<'p> Executor<'p> {
                     if self.stack.len() >= cfg.max_depth {
                         return Err(ExecError::CallDepthExceeded(cur));
                     }
-                    self.stack.push(CodeRef { func: cur.func, block: *ret_to });
+                    self.stack.push(CodeRef {
+                        func: cur.func,
+                        block: *ret_to,
+                    });
                     emit_ctrl(
                         self,
                         sink,
@@ -330,9 +368,10 @@ impl<'p> Executor<'p> {
                             is_call: true,
                             is_ret: false,
                             target: self.layout.addr_of(*target),
-                            ret_addr: self
-                                .layout
-                                .addr_of(CodeRef { func: cur.func, block: *ret_to }),
+                            ret_addr: self.layout.addr_of(CodeRef {
+                                func: cur.func,
+                                block: *ret_to,
+                            }),
                         },
                         [None; 3],
                     );
@@ -385,6 +424,9 @@ impl<'p> Executor<'p> {
             };
             cur = next;
         }
+        RETIRED.add(stats.retired);
+        COND_BRANCHES.add(stats.cond_branches);
+        IN_PACKAGE.add(stats.in_package);
         Ok(stats)
     }
 
@@ -512,8 +554,15 @@ mod tests {
         let p = pb.build();
         let layout = Layout::natural(&p);
         let mut ex = Executor::new(&p, &layout);
-        let stats = ex.run(&mut NullSink, &RunConfig::default()).expect("run failed");
-        let r = [ex.reg(Reg::int(20)), ex.reg(Reg::int(21)), ex.reg(Reg::int(22)), ex.reg(Reg::int(23))];
+        let stats = ex
+            .run(&mut NullSink, &RunConfig::default())
+            .expect("run failed");
+        let r = [
+            ex.reg(Reg::int(20)),
+            ex.reg(Reg::int(21)),
+            ex.reg(Reg::int(22)),
+            ex.reg(Reg::int(23)),
+        ];
         (p, stats, r)
     }
 
@@ -670,7 +719,15 @@ mod tests {
         let p = pb.build();
         let layout = Layout::natural(&p);
         let mut ex = Executor::new(&p, &layout);
-        let stats = ex.run(&mut NullSink, &RunConfig { max_insts: 1000, max_depth: 10 }).unwrap();
+        let stats = ex
+            .run(
+                &mut NullSink,
+                &RunConfig {
+                    max_insts: 1000,
+                    max_depth: 10,
+                },
+            )
+            .unwrap();
         assert_eq!(stats.stop, StopReason::InstLimit);
         assert!(stats.retired >= 1000);
     }
@@ -735,11 +792,17 @@ mod call_through_tests {
         // helper: b0 (entry, never run here) -> b1: r20 = 5; ret
         let mut helper = Function::new("helper");
         helper.push_block(Block {
-            insts: vec![Inst::Li { rd: Reg::int(20), imm: 999 }],
+            insts: vec![Inst::Li {
+                rd: Reg::int(20),
+                imm: 999,
+            }],
             term: Terminator::Goto(CodeRef::new(0, 1)),
         });
         helper.push_block(Block {
-            insts: vec![Inst::Li { rd: Reg::int(20), imm: 5 }],
+            insts: vec![Inst::Li {
+                rd: Reg::int(20),
+                imm: 5,
+            }],
             term: Terminator::Ret,
         });
         let helper_id = p.push_func(helper);
@@ -748,11 +811,17 @@ mod call_through_tests {
         let mut pkg = Function::new("pkg");
         pkg.kind = FuncKind::Package { phase: 0 };
         pkg.push_block(Block::empty(Terminator::CallThrough {
-            target: CodeRef { func: helper_id, block: vp_isa::BlockId(1) },
+            target: CodeRef {
+                func: helper_id,
+                block: vp_isa::BlockId(1),
+            },
             ret_to: vp_isa::BlockId(1),
         }));
         pkg.push_block(Block {
-            insts: vec![Inst::Li { rd: Reg::int(21), imm: 7 }],
+            insts: vec![Inst::Li {
+                rd: Reg::int(21),
+                imm: 7,
+            }],
             term: Terminator::Ret,
         });
         let pkg_id = p.push_func(pkg);
@@ -773,6 +842,10 @@ mod call_through_tests {
         let stats = ex.run(&mut NullSink, &RunConfig::default()).unwrap();
         assert_eq!(stats.stop, StopReason::Halted);
         assert_eq!(ex.reg(Reg::int(20)), 5, "entered helper at b1, not b0");
-        assert_eq!(ex.reg(Reg::int(21)), 7, "helper's ret reached the trampoline");
+        assert_eq!(
+            ex.reg(Reg::int(21)),
+            7,
+            "helper's ret reached the trampoline"
+        );
     }
 }

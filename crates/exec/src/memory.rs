@@ -42,7 +42,9 @@ impl Memory {
     pub fn write(&mut self, addr: u64, value: u64) {
         let page = addr / PAGE_BYTES;
         let idx = (addr % PAGE_BYTES) as usize / 8;
-        self.pages.entry(page).or_insert_with(|| Box::new([0; PAGE_WORDS]))[idx] = value;
+        self.pages
+            .entry(page)
+            .or_insert_with(|| Box::new([0; PAGE_WORDS]))[idx] = value;
     }
 
     /// Number of resident pages (for tests and footprint reporting).
@@ -82,7 +84,10 @@ mod tests {
 
     #[test]
     fn from_segments_initializes_words() {
-        let segs = vec![DataSegment { base: 0x2000, words: vec![10, 20, 30] }];
+        let segs = vec![DataSegment {
+            base: 0x2000,
+            words: vec![10, 20, 30],
+        }];
         let m = Memory::from_segments(&segs);
         assert_eq!(m.read(0x2000), 10);
         assert_eq!(m.read(0x2010), 30);

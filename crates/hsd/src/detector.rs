@@ -22,6 +22,25 @@
 
 use crate::signature::DetectionHistory;
 use vp_exec::{Retired, Sink};
+use vp_trace::Counter;
+
+/// Hot spots snapshotted into records.
+static DETECTIONS: Counter = Counter::new("hsd.detections");
+/// Detections swallowed by the hardware history.
+static SUPPRESSED: Counter = Counter::new("hsd.history_suppressed");
+/// New branches installed into the BBB (invalid way or after eviction).
+static BBB_INSERTIONS: Counter = Counter::new("hsd.bbb.insertions");
+/// Valid non-candidate entries displaced by an insertion.
+static BBB_EVICTIONS: Counter = Counter::new("hsd.bbb.evictions");
+/// Branches rejected because their set was full of candidates.
+static BBB_REJECTED: Counter = Counter::new("hsd.bbb.rejected");
+/// Executed counters freezing at their saturation value.
+static SATURATIONS: Counter = Counter::new("hsd.counter_saturations");
+/// HDC refresh-timer expiries.
+static REFRESH_EXPIRIES: Counter = Counter::new("hsd.refresh_expiries");
+/// BBB clear-timer expiries (stale-table flushes, not post-detection
+/// clears).
+static CLEAR_EXPIRIES: Counter = Counter::new("hsd.clear_expiries");
 
 /// Hot Spot Detector configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -171,7 +190,10 @@ pub struct HotSpotDetector {
 impl HotSpotDetector {
     /// Creates a detector.
     pub fn new(cfg: HsdConfig) -> HotSpotDetector {
-        assert!(cfg.bbb_sets.is_power_of_two(), "BBB set count must be a power of two");
+        assert!(
+            cfg.bbb_sets.is_power_of_two(),
+            "BBB set count must be a power of two"
+        );
         HotSpotDetector {
             table: vec![Entry::default(); cfg.bbb_sets * cfg.bbb_ways],
             hdc: 0,
@@ -235,11 +257,13 @@ impl HotSpotDetector {
         if self.branches_retired - self.last_refresh >= self.cfg.refresh_interval {
             self.hdc = 0;
             self.last_refresh = self.branches_retired;
+            REFRESH_EXPIRIES.incr();
         }
         // Clear timer: without a detection, flush the stale table so a new
         // phase's branches can enter.
         if self.branches_retired - self.last_clear >= self.cfg.clear_interval {
             self.clear();
+            CLEAR_EXPIRIES.incr();
         }
     }
 
@@ -256,6 +280,9 @@ impl HotSpotDetector {
                 if taken {
                     e.taken += 1;
                 }
+                if e.exec == self.cfg.counter_max() {
+                    SATURATIONS.incr();
+                }
             }
             // At saturation both counters freeze, preserving the fraction.
             return e.exec >= self.cfg.candidate_threshold;
@@ -268,15 +295,28 @@ impl HotSpotDetector {
         let threshold = self.cfg.candidate_threshold;
         let victim = match ways.iter_mut().find(|e| !e.valid) {
             Some(e) => Some(e),
-            None => ways.iter_mut().filter(|e| e.exec < threshold).min_by_key(|e| e.exec),
+            None => ways
+                .iter_mut()
+                .filter(|e| e.exec < threshold)
+                .min_by_key(|e| e.exec),
         };
         match victim {
             Some(e) => {
-                *e = Entry { valid: true, tag: addr, exec: 1, taken: taken as u32 };
+                if e.valid {
+                    BBB_EVICTIONS.incr();
+                }
+                BBB_INSERTIONS.incr();
+                *e = Entry {
+                    valid: true,
+                    tag: addr,
+                    exec: 1,
+                    taken: taken as u32,
+                };
                 false
             }
             None => {
                 self.rejected += 1;
+                BBB_REJECTED.incr();
                 false
             }
         }
@@ -287,12 +327,22 @@ impl HotSpotDetector {
             .table
             .iter()
             .filter(|e| e.valid && e.exec >= self.cfg.candidate_threshold)
-            .map(|e| BranchProfile { addr: e.tag, exec: e.exec, taken: e.taken })
+            .map(|e| BranchProfile {
+                addr: e.tag,
+                exec: e.exec,
+                taken: e.taken,
+            })
             .collect();
         if !branches.is_empty() {
-            let record = HotSpotRecord { at_branch: self.branches_retired, branches };
+            let record = HotSpotRecord {
+                at_branch: self.branches_retired,
+                branches,
+            };
             if self.history.admit(&record) {
+                DETECTIONS.incr();
                 self.records.push(record);
+            } else {
+                SUPPRESSED.incr();
             }
         }
         // Restart profiling for the next window; the recording itself marks
@@ -339,7 +389,10 @@ mod tests {
         let mut det = HotSpotDetector::new(HsdConfig::table2());
         let addrs: Vec<u64> = (0..8).map(|i| 0x1000 + 4 * i).collect();
         drive(&mut det, &addrs, &[true], 4000);
-        assert!(!det.records().is_empty(), "steady hot loop must be detected");
+        assert!(
+            !det.records().is_empty(),
+            "steady hot loop must be detected"
+        );
         let rec = &det.records()[0];
         assert!(rec.branches.len() <= 8);
         for b in &rec.branches {
@@ -367,15 +420,30 @@ mod tests {
         drive(&mut det, &phase2, &[false], 3000);
         let recs = det.records();
         assert!(recs.len() >= 2);
-        let first: Vec<u64> = recs.first().unwrap().branches.iter().map(|b| b.addr).collect();
-        let last: Vec<u64> = recs.last().unwrap().branches.iter().map(|b| b.addr).collect();
+        let first: Vec<u64> = recs
+            .first()
+            .unwrap()
+            .branches
+            .iter()
+            .map(|b| b.addr)
+            .collect();
+        let last: Vec<u64> = recs
+            .last()
+            .unwrap()
+            .branches
+            .iter()
+            .map(|b| b.addr)
+            .collect();
         assert!(first.iter().all(|a| *a < 0x9000));
         assert!(last.iter().all(|a| *a >= 0x9000));
     }
 
     #[test]
     fn counters_freeze_at_saturation_preserving_fraction() {
-        let cfg = HsdConfig { counter_bits: 4, ..HsdConfig::tiny() };
+        let cfg = HsdConfig {
+            counter_bits: 4,
+            ..HsdConfig::tiny()
+        };
         let mut det = HotSpotDetector::new(cfg);
         // One branch, 75% taken, far past saturation (max = 15).
         for i in 0..1000 {
@@ -404,7 +472,10 @@ mod tests {
         let first_four: Vec<u64> = (0..4).map(|i| 0x1000 + 4 * i).collect();
         drive(&mut det, &first_four, &[true], 10);
         det.observe(0x2000, true);
-        assert!(det.rejected() > 0, "full-of-candidates set must reject new branches");
+        assert!(
+            det.rejected() > 0,
+            "full-of-candidates set must reject new branches"
+        );
     }
 
     #[test]
@@ -413,19 +484,28 @@ mod tests {
         let addrs: Vec<u64> = (0..4).map(|i| 0x1000 + 4 * i).collect();
         drive(&mut det, &addrs, &[true], 4000);
         let n = det.records().len();
-        assert!(n >= 2, "steady phase is re-detected after each snapshot (got {n})");
+        assert!(
+            n >= 2,
+            "steady phase is re-detected after each snapshot (got {n})"
+        );
     }
 
     #[test]
     #[should_panic]
     fn non_power_of_two_sets_rejected() {
-        HotSpotDetector::new(HsdConfig { bbb_sets: 3, ..HsdConfig::tiny() });
+        HotSpotDetector::new(HsdConfig {
+            bbb_sets: 3,
+            ..HsdConfig::tiny()
+        });
     }
 
     #[test]
     fn hardware_history_suppresses_redundant_records() {
         let base = HsdConfig::table2();
-        let with_history = HsdConfig { history_depth: 2, ..base };
+        let with_history = HsdConfig {
+            history_depth: 2,
+            ..base
+        };
         let addrs: Vec<u64> = (0..8).map(|i| 0x1000 + 4 * i).collect();
         let run = |cfg: HsdConfig| {
             let mut det = HotSpotDetector::new(cfg);
@@ -435,20 +515,29 @@ mod tests {
         let (n_base, s_base) = run(base);
         let (n_hist, s_hist) = run(with_history);
         assert_eq!(s_base, 0);
-        assert!(n_hist < n_base, "history must reduce records: {n_hist} vs {n_base}");
+        assert!(
+            n_hist < n_base,
+            "history must reduce records: {n_hist} vs {n_base}"
+        );
         assert_eq!(n_hist, 1, "one steady phase records exactly once");
         assert!(s_hist > 0);
     }
 
     #[test]
     fn hardware_history_still_records_new_phases() {
-        let cfg = HsdConfig { history_depth: 2, ..HsdConfig::table2() };
+        let cfg = HsdConfig {
+            history_depth: 2,
+            ..HsdConfig::table2()
+        };
         let mut det = HotSpotDetector::new(cfg);
         let phase1: Vec<u64> = (0..8).map(|i| 0x1000 + 4 * i).collect();
         let phase2: Vec<u64> = (0..8).map(|i| 0x9000 + 4 * i).collect();
         drive(&mut det, &phase1, &[true], 3000);
         drive(&mut det, &phase2, &[false], 3000);
         assert!(det.records().len() >= 2, "both phases recorded");
-        assert!(det.records().len() <= 4, "but few redundant records survive");
+        assert!(
+            det.records().len() <= 4,
+            "but few redundant records survive"
+        );
     }
 }

@@ -18,6 +18,18 @@
 
 use crate::detector::HotSpotRecord;
 use std::collections::BTreeMap;
+use vp_trace::Counter;
+
+/// Raw records fed into the software filter.
+static FILTER_RECORDS: Counter = Counter::new("hsd.filter.records");
+/// Redundant records eliminated into an existing phase.
+static FILTER_MERGED: Counter = Counter::new("hsd.filter.merged");
+/// New phases opened.
+static FILTER_PHASES: Counter = Counter::new("hsd.filter.phases");
+/// Phase/record comparisons rejected by the 30%-missing rule (§3.1).
+static SPLIT_MISSING: Counter = Counter::new("hsd.filter.split.missing");
+/// Phase/record comparisons rejected by the bias-flip rule (§3.1).
+static SPLIT_BIAS_FLIP: Counter = Counter::new("hsd.filter.split.bias_flip");
 
 /// Filtering thresholds.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,7 +48,11 @@ pub struct FilterConfig {
 
 impl Default for FilterConfig {
     fn default() -> FilterConfig {
-        FilterConfig { missing_fraction: 0.30, bias_threshold: 0.70, bias_flip_threshold: 1 }
+        FilterConfig {
+            missing_fraction: 0.30,
+            bias_threshold: 0.70,
+            bias_flip_threshold: 1,
+        }
     }
 }
 
@@ -71,7 +87,11 @@ pub struct PhaseBranch {
 impl PhaseBranch {
     /// A profile from a single detection.
     pub fn once(exec: u64, taken: u64) -> PhaseBranch {
-        PhaseBranch { exec, taken, seen: 1 }
+        PhaseBranch {
+            exec,
+            taken,
+            seen: 1,
+        }
     }
 
     /// The hardware-counter-scale executed weight used by region
@@ -131,24 +151,35 @@ impl Phase {
     /// The hottest branch weight, used as a normalization reference by the
     /// region-identification step.
     pub fn max_weight(&self) -> u64 {
-        self.branches.values().map(|b| b.avg_exec()).max().unwrap_or(0)
+        self.branches
+            .values()
+            .map(|b| b.avg_exec())
+            .max()
+            .unwrap_or(0)
     }
 }
 
 fn same_hot_spot(cfg: &FilterConfig, phase: &Phase, rec: &HotSpotRecord) -> bool {
     let rec_addrs: Vec<u64> = rec.branches.iter().map(|b| b.addr).collect();
-    let missing_from_phase =
-        rec_addrs.iter().filter(|a| !phase.branches.contains_key(a)).count();
-    let missing_from_rec =
-        phase.branches.keys().filter(|a| !rec_addrs.contains(a)).count();
+    let missing_from_phase = rec_addrs
+        .iter()
+        .filter(|a| !phase.branches.contains_key(a))
+        .count();
+    let missing_from_rec = phase
+        .branches
+        .keys()
+        .filter(|a| !rec_addrs.contains(a))
+        .count();
     if !rec_addrs.is_empty()
         && missing_from_phase as f64 / rec_addrs.len() as f64 >= cfg.missing_fraction
     {
+        SPLIT_MISSING.incr();
         return false;
     }
     if !phase.branches.is_empty()
         && missing_from_rec as f64 / phase.branches.len() as f64 >= cfg.missing_fraction
     {
+        SPLIT_MISSING.incr();
         return false;
     }
     // Bias-flip criterion on common branches.
@@ -162,7 +193,11 @@ fn same_hot_spot(cfg: &FilterConfig, phase: &Phase, rec: &HotSpotRecord) -> bool
             }
         }
     }
-    flips < cfg.bias_flip_threshold
+    if flips >= cfg.bias_flip_threshold {
+        SPLIT_BIAS_FLIP.incr();
+        return false;
+    }
+    true
 }
 
 fn merge(phase: &mut Phase, rec: &HotSpotRecord) {
@@ -191,17 +226,17 @@ pub fn filter_hot_spots(records: &[HotSpotRecord], cfg: &FilterConfig) -> Vec<Ph
 
 /// Like [`filter_hot_spots`], additionally returning which phase each raw
 /// record landed in — the per-detection timeline of the run.
-pub fn assign_phases(
-    records: &[HotSpotRecord],
-    cfg: &FilterConfig,
-) -> (Vec<Phase>, Vec<usize>) {
+pub fn assign_phases(records: &[HotSpotRecord], cfg: &FilterConfig) -> (Vec<Phase>, Vec<usize>) {
     let mut phases: Vec<Phase> = Vec::new();
     let mut assignment = Vec::with_capacity(records.len());
     for rec in records {
+        FILTER_RECORDS.incr();
         if let Some(idx) = phases.iter().position(|p| same_hot_spot(cfg, p, rec)) {
+            FILTER_MERGED.incr();
             merge(&mut phases[idx], rec);
             assignment.push(idx);
         } else {
+            FILTER_PHASES.incr();
             let mut p = Phase {
                 id: phases.len(),
                 branches: BTreeMap::new(),
@@ -258,8 +293,7 @@ mod tests {
         for (i, e) in b.iter_mut().enumerate().take(3) {
             e.0 = 0x200 + 4 * i as u64;
         }
-        let phases =
-            filter_hot_spots(&[rec(1, &a), rec(2, &b)], &FilterConfig::default());
+        let phases = filter_hot_spots(&[rec(1, &a), rec(2, &b)], &FilterConfig::default());
         assert_eq!(phases.len(), 2);
     }
 
@@ -271,8 +305,7 @@ mod tests {
         for (i, e) in b.iter_mut().enumerate().take(2) {
             e.0 = 0x200 + 4 * i as u64;
         }
-        let phases =
-            filter_hot_spots(&[rec(1, &a), rec(2, &b)], &FilterConfig::default());
+        let phases = filter_hot_spots(&[rec(1, &a), rec(2, &b)], &FilterConfig::default());
         assert_eq!(phases.len(), 1);
         assert_eq!(phases[0].branches.len(), 12);
     }
@@ -290,7 +323,11 @@ mod tests {
         let a = rec(1, &[(0x10, 100, 60), (0x14, 100, 50)]);
         let b = rec(2, &[(0x10, 100, 40), (0x14, 100, 50)]);
         let phases = filter_hot_spots(&[a, b], &FilterConfig::default());
-        assert_eq!(phases.len(), 1, "drift between unbiased values must not split");
+        assert_eq!(
+            phases.len(),
+            1,
+            "drift between unbiased values must not split"
+        );
     }
 
     #[test]
@@ -303,7 +340,10 @@ mod tests {
 
     #[test]
     fn raised_flip_threshold_merges_single_flip() {
-        let cfg = FilterConfig { bias_flip_threshold: 2, ..FilterConfig::default() };
+        let cfg = FilterConfig {
+            bias_flip_threshold: 2,
+            ..FilterConfig::default()
+        };
         let a = rec(1, &[(0x10, 100, 95), (0x14, 100, 50)]);
         let b = rec(2, &[(0x10, 100, 5), (0x14, 100, 50)]);
         let phases = filter_hot_spots(&[a, b], &cfg);
@@ -324,8 +364,9 @@ mod tests {
     fn merged_detections_stay_in_counter_scale() {
         // Ten re-detections of the same hot spot must not inflate the
         // per-detection weight.
-        let recs: Vec<HotSpotRecord> =
-            (0..10).map(|i| rec(i, &[(0x10, 400, 360), (0x14, 400, 40)])).collect();
+        let recs: Vec<HotSpotRecord> = (0..10)
+            .map(|i| rec(i, &[(0x10, 400, 360), (0x14, 400, 40)]))
+            .collect();
         let phases = filter_hot_spots(&recs, &FilterConfig::default());
         assert_eq!(phases.len(), 1);
         assert_eq!(phases[0].branches[&0x10].avg_exec(), 400);
@@ -338,8 +379,9 @@ mod tests {
         // (same branch set, unbiased — no flip, so it matches), then more
         // steady records: the phase's taken fraction must stay at the
         // first record's 97%.
-        let mut recs: Vec<HotSpotRecord> =
-            (0..5).map(|i| rec(i, &[(0x10, 500, 485), (0x14, 500, 250)])).collect();
+        let mut recs: Vec<HotSpotRecord> = (0..5)
+            .map(|i| rec(i, &[(0x10, 500, 485), (0x14, 500, 250)]))
+            .collect();
         recs.push(rec(6, &[(0x10, 500, 250), (0x14, 500, 250)]));
         recs.extend((7..10).map(|i| rec(i, &[(0x10, 500, 485), (0x14, 500, 250)])));
         let phases = filter_hot_spots(&recs, &FilterConfig::default());

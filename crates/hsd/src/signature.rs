@@ -78,7 +78,13 @@ impl DetectionHistory {
     /// `threshold` is suppressed. `depth == 0` disables suppression (the
     /// baseline detector).
     pub fn new(depth: usize, threshold: f64) -> DetectionHistory {
-        DetectionHistory { depth, threshold, ring: Vec::new(), next: 0, suppressed: 0 }
+        DetectionHistory {
+            depth,
+            threshold,
+            ring: Vec::new(),
+            next: 0,
+            suppressed: 0,
+        }
     }
 
     /// Checks a candidate record against the history. Returns `true` if it
@@ -88,7 +94,11 @@ impl DetectionHistory {
             return true;
         }
         let sig = HotSpotSignature::of(record);
-        if self.ring.iter().any(|s| s.similarity(&sig) >= self.threshold) {
+        if self
+            .ring
+            .iter()
+            .any(|s| s.similarity(&sig) >= self.threshold)
+        {
             self.suppressed += 1;
             return false;
         }
@@ -115,7 +125,14 @@ mod tests {
     fn rec(addrs: &[u64]) -> HotSpotRecord {
         HotSpotRecord {
             at_branch: 0,
-            branches: addrs.iter().map(|&a| BranchProfile { addr: a, exec: 100, taken: 50 }).collect(),
+            branches: addrs
+                .iter()
+                .map(|&a| BranchProfile {
+                    addr: a,
+                    exec: 100,
+                    taken: 50,
+                })
+                .collect(),
         }
     }
 

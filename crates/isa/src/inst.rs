@@ -387,20 +387,29 @@ mod tests {
 
     #[test]
     fn store_has_no_defs() {
-        let i = Inst::Store { src: Reg::int(3), base: Reg::SP, offset: 8 };
+        let i = Inst::Store {
+            src: Reg::int(3),
+            base: Reg::SP,
+            offset: 8,
+        };
         assert!(i.defs().is_empty());
         assert_eq!(i.uses(), vec![Reg::int(3), Reg::SP]);
     }
 
     #[test]
     fn zero_register_not_reported_as_use() {
-        let i = Inst::Mov { rd: Reg::int(3), rs: Reg::ZERO };
+        let i = Inst::Mov {
+            rd: Reg::int(3),
+            rs: Reg::ZERO,
+        };
         assert!(i.uses().is_empty());
     }
 
     #[test]
     fn consume_uses_all_listed() {
-        let i = Inst::Consume { regs: vec![Reg::int(1), Reg::fp(2)] };
+        let i = Inst::Consume {
+            regs: vec![Reg::int(1), Reg::fp(2)],
+        };
         assert_eq!(i.uses().len(), 2);
         assert!(i.defs().is_empty());
     }
@@ -408,19 +417,46 @@ mod tests {
     #[test]
     fn latencies_follow_unit_classes() {
         assert_eq!(
-            Inst::Alu { op: AluOp::Div, rd: Reg::int(1), rs1: Reg::int(2), rs2: Src::Imm(3) }
-                .latency(),
+            Inst::Alu {
+                op: AluOp::Div,
+                rd: Reg::int(1),
+                rs1: Reg::int(2),
+                rs2: Src::Imm(3)
+            }
+            .latency(),
             12
         );
-        assert_eq!(Inst::Load { rd: Reg::int(1), base: Reg::SP, offset: 0 }.latency(), 2);
+        assert_eq!(
+            Inst::Load {
+                rd: Reg::int(1),
+                base: Reg::SP,
+                offset: 0
+            }
+            .latency(),
+            2
+        );
         assert_eq!(Inst::Nop.latency(), 1);
     }
 
     #[test]
     fn fu_classes() {
-        assert_eq!(Inst::Load { rd: Reg::int(1), base: Reg::SP, offset: 0 }.fu(), FuClass::Mem);
         assert_eq!(
-            Inst::Falu { op: FaluOp::Add, rd: Reg::fp(0), rs1: Reg::fp(1), rs2: Reg::fp(2) }.fu(),
+            Inst::Load {
+                rd: Reg::int(1),
+                base: Reg::SP,
+                offset: 0
+            }
+            .fu(),
+            FuClass::Mem
+        );
+        assert_eq!(
+            Inst::Falu {
+                op: FaluOp::Add,
+                rd: Reg::fp(0),
+                rs1: Reg::fp(1),
+                rs2: Reg::fp(2)
+            }
+            .fu(),
             FuClass::Fp
         );
         assert_eq!(Inst::Nop.fu(), FuClass::IntAlu);

@@ -66,7 +66,10 @@ impl CodeRef {
     /// assert_eq!(r.block.0, 7);
     /// ```
     pub fn new(func: u32, block: u32) -> Self {
-        CodeRef { func: FuncId(func), block: BlockId(block) }
+        CodeRef {
+            func: FuncId(func),
+            block: BlockId(block),
+        }
     }
 }
 

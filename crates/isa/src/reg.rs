@@ -164,7 +164,9 @@ impl RegSet {
 
     /// Iterates over the members in ascending register-index order.
     pub fn iter(&self) -> impl Iterator<Item = Reg> + '_ {
-        (0..super::reg::NUM_REGS).filter(|&i| self.bits & (1u128 << i) != 0).map(Reg::from_index)
+        (0..super::reg::NUM_REGS)
+            .filter(|&i| self.bits & (1u128 << i) != 0)
+            .map(Reg::from_index)
     }
 }
 

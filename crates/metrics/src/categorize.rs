@@ -76,7 +76,10 @@ pub struct Categorization {
 impl Categorization {
     /// Fraction for one category.
     pub fn of(&self, c: BranchCategory) -> f64 {
-        self.fraction[CATEGORIES.iter().position(|&x| x == c).expect("known category")]
+        self.fraction[CATEGORIES
+            .iter()
+            .position(|&x| x == c)
+            .expect("known category")]
     }
 
     /// Fraction of all dynamic branches covered by hot-spot branches.
@@ -101,7 +104,10 @@ pub fn categorize(phases: &[Phase], counts: &BranchCounts, bias_threshold: f64) 
         }
     }
 
-    let mut out = Categorization { total_dynamic: counts.total(), ..Categorization::default() };
+    let mut out = Categorization {
+        total_dynamic: counts.total(),
+        ..Categorization::default()
+    };
     let mut weights = [0u64; 6];
     for (addr, fracs) in seen {
         let weight = counts.exec(addr);
@@ -130,13 +136,16 @@ pub fn categorize(phases: &[Phase], counts: &BranchCounts, bias_threshold: f64) 
                 BranchCategory::MultiSame
             }
         };
-        let idx = CATEGORIES.iter().position(|&x| x == cat).expect("known category");
+        let idx = CATEGORIES
+            .iter()
+            .position(|&x| x == cat)
+            .expect("known category");
         weights[idx] += weight;
         out.statics[idx] += 1;
     }
     if out.hot_dynamic > 0 {
-        for i in 0..6 {
-            out.fraction[i] = weights[i] as f64 / out.hot_dynamic as f64;
+        for (f, &w) in out.fraction.iter_mut().zip(&weights) {
+            *f = w as f64 / out.hot_dynamic as f64;
         }
     }
     out
@@ -154,7 +163,12 @@ mod tests {
         for &(a, e, t) in branches {
             map.insert(a, PhaseBranch::once(e, t));
         }
-        Phase { id, branches: map, first_detected_at: 0, detections: 1 }
+        Phase {
+            id,
+            branches: map,
+            first_detected_at: 0,
+            detections: 1,
+        }
     }
 
     fn counts_for(entries: &[(u64, u64)]) -> BranchCounts {
@@ -162,7 +176,10 @@ mod tests {
         let mut bc = BranchCounts::new();
         for &(addr, execs) in entries {
             for i in 0..execs {
-                bc.retire(&crate::branches::tests_support::branch_event(addr, i % 2 == 0));
+                bc.retire(&crate::branches::tests_support::branch_event(
+                    addr,
+                    i % 2 == 0,
+                ));
             }
         }
         bc

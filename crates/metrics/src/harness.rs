@@ -51,23 +51,34 @@ pub fn profile(
     let mut counts = BranchCounts::new();
     let run_cfg = RunConfig::default();
 
-    let (stats, base_cycles) = match machine {
-        Some(m) => {
-            let mut timing = TimingModel::new(*m);
-            let mut sink = (&mut hsd, &mut counts, &mut timing);
-            let stats = Executor::new(&program, &layout).run(&mut sink, &run_cfg)?;
-            (stats, Some(timing.cycles()))
-        }
-        None => {
-            let mut sink = (&mut hsd, &mut counts);
-            let stats = Executor::new(&program, &layout).run(&mut sink, &run_cfg)?;
-            (stats, None)
+    let (stats, base_cycles) = {
+        let _s = vp_trace::span("metrics.profile.run");
+        match machine {
+            Some(m) => {
+                let mut timing = TimingModel::new(*m);
+                let mut sink = (&mut hsd, &mut counts, &mut timing);
+                let stats = Executor::new(&program, &layout).run(&mut sink, &run_cfg)?;
+                timing.emit_trace();
+                (stats, Some(timing.cycles()))
+            }
+            None => {
+                let mut sink = (&mut hsd, &mut counts);
+                let stats = Executor::new(&program, &layout).run(&mut sink, &run_cfg)?;
+                (stats, None)
+            }
         }
     };
-    debug_assert_eq!(stats.stop, StopReason::Halted, "{label}: workload must halt");
+    debug_assert_eq!(
+        stats.stop,
+        StopReason::Halted,
+        "{label}: workload must halt"
+    );
 
     let raw_detections = hsd.records().len();
-    let phases = filter_hot_spots(hsd.records(), &FilterConfig::default());
+    let phases = {
+        let _s = vp_trace::span("metrics.profile.filter");
+        filter_hot_spots(hsd.records(), &FilterConfig::default())
+    };
     Ok(ProfiledWorkload {
         label: label.to_string(),
         program,
@@ -116,22 +127,31 @@ pub fn evaluate(
     opt_cfg: &OptConfig,
     machine: Option<&MachineConfig>,
 ) -> Result<ConfigOutcome, ExecError> {
-    let out: PackOutput = pack(&pw.program, &pw.layout, &pw.phases, cfg);
+    let out: PackOutput = {
+        let _s = vp_trace::span("metrics.evaluate.pack");
+        pack(&pw.program, &pw.layout, &pw.phases, cfg)
+    };
     let run_cfg = RunConfig::default();
 
     let (counts, opt_cycles) = match machine {
         Some(m) => {
-            let (opt_prog, order) = optimize_packages(&out, m, opt_cfg);
+            let (opt_prog, order) = {
+                let _s = vp_trace::span("metrics.evaluate.optimize");
+                optimize_packages(&out, m, opt_cfg)
+            };
             let opt_layout = Layout::new(&opt_prog, &order);
             let mut counts = InstCounts::new();
             let mut timing = TimingModel::new(*m);
             let mut sink = (&mut counts, &mut timing);
+            let _s = vp_trace::span("metrics.evaluate.measure");
             run_measure(&opt_prog, &opt_layout, &mut sink, &run_cfg, &pw.label)?;
+            timing.emit_trace();
             (counts, Some(timing.cycles()))
         }
         None => {
             let layout = Layout::natural(&out.program);
             let mut counts = InstCounts::new();
+            let _s = vp_trace::span("metrics.evaluate.measure");
             run_measure(&out.program, &layout, &mut counts, &run_cfg, &pw.label)?;
             (counts, None)
         }
@@ -162,7 +182,11 @@ fn run_measure(
     label: &str,
 ) -> Result<(), ExecError> {
     let stats = Executor::new(program, layout).run(sink, run_cfg)?;
-    debug_assert_eq!(stats.stop, StopReason::Halted, "{label}: packed binary must halt");
+    debug_assert_eq!(
+        stats.stop,
+        StopReason::Halted,
+        "{label}: packed binary must halt"
+    );
     Ok(())
 }
 
@@ -177,7 +201,11 @@ mod tests {
         // multiple phases and the packed binary must reach high coverage.
         let program = twolf::build(1);
         let pw = profile("300.twolf A", program, &HsdConfig::table2(), None).unwrap();
-        assert!(pw.phases.len() >= 2, "expected multiple phases, got {}", pw.phases.len());
+        assert!(
+            pw.phases.len() >= 2,
+            "expected multiple phases, got {}",
+            pw.phases.len()
+        );
         assert!(pw.raw_detections >= pw.phases.len());
 
         let cfg = PackConfig::default();
@@ -193,7 +221,10 @@ mod tests {
         let program = twolf::build(1);
         let pw = profile("300.twolf A", program, &HsdConfig::table2(), None).unwrap();
         let base = PackConfig::default();
-        let no_link = PackConfig { linking: false, ..base };
+        let no_link = PackConfig {
+            linking: false,
+            ..base
+        };
         let with = evaluate(&pw, &base, &OptConfig::default(), None).unwrap();
         let without = evaluate(&pw, &no_link, &OptConfig::default(), None).unwrap();
         assert!(
@@ -210,8 +241,13 @@ mod tests {
         let machine = MachineConfig::table2();
         let pw = profile("300.twolf A", program, &HsdConfig::table2(), Some(&machine)).unwrap();
         assert!(pw.base_cycles.unwrap() > 0);
-        let out =
-            evaluate(&pw, &PackConfig::default(), &OptConfig::default(), Some(&machine)).unwrap();
+        let out = evaluate(
+            &pw,
+            &PackConfig::default(),
+            &OptConfig::default(),
+            Some(&machine),
+        )
+        .unwrap();
         let s = out.speedup.unwrap();
         assert!(s > 0.8 && s < 2.0, "speedup {s:.3} out of plausible range");
     }

@@ -11,7 +11,10 @@ pub struct TextTable {
 impl TextTable {
     /// Creates a table with the given column headers.
     pub fn new<S: Into<String>>(headers: Vec<S>) -> TextTable {
-        TextTable { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -24,6 +27,16 @@ impl TextTable {
         assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
         self.rows.push(cells);
         self
+    }
+
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The rows appended so far.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
     }
 
     /// Renders to a string (also used by `Display`).
@@ -41,7 +54,10 @@ impl TextTable {
                     s.push_str("  ");
                 }
                 // Right-align numeric-looking cells, left-align the rest.
-                if c.chars().next().is_some_and(|ch| ch.is_ascii_digit() || ch == '-') {
+                if c.chars()
+                    .next()
+                    .is_some_and(|ch| ch.is_ascii_digit() || ch == '-')
+                {
                     s.push_str(&format!("{c:>w$}", w = widths[i]));
                 } else {
                     s.push_str(&format!("{c:<w$}", w = widths[i]));
@@ -72,7 +88,9 @@ pub fn bar(value: f64, max: f64, width: usize) -> String {
     let filled = if max <= 0.0 {
         0
     } else {
-        ((value / max) * width as f64).round().clamp(0.0, width as f64) as usize
+        ((value / max) * width as f64)
+            .round()
+            .clamp(0.0, width as f64) as usize
     };
     format!("{}{}", "#".repeat(filled), " ".repeat(width - filled))
 }

@@ -87,9 +87,9 @@ fn ordered_f64(x: f64) -> u64 {
 mod tests {
     use super::*;
     use crate::weights::propagate_weights;
-    use vp_isa::{Cond, Reg, Src};
     use vp_isa::FuncId;
-    use vp_program::{Cfg, Layout, LayoutOrder, ProgramBuilder, Program, TermEncoding};
+    use vp_isa::{Cond, Reg, Src};
+    use vp_program::{Cfg, Layout, LayoutOrder, Program, ProgramBuilder, TermEncoding};
 
     fn biased_diamond(p_taken: f64) -> (Program, Vec<BlockId>) {
         let mut pb = ProgramBuilder::new();
@@ -103,7 +103,12 @@ mod tests {
         let p = pb.build();
         let f = p.func(FuncId(0));
         let cfg = Cfg::new(f);
-        let w = propagate_weights(f, &cfg, |_| p_taken, |b| if b == f.entry { 1.0 } else { 0.0 });
+        let w = propagate_weights(
+            f,
+            &cfg,
+            |_| p_taken,
+            |b| if b == f.entry { 1.0 } else { 0.0 },
+        );
         let order = chain_layout(f, &w);
         (p, order)
     }
@@ -113,16 +118,23 @@ mod tests {
         // Strongly taken: the then-arm (block 1) must immediately follow
         // the branch block (block 0).
         let (_, order) = biased_diamond(0.95);
-        let pos =
-            |b: u32| order.iter().position(|x| x.0 == b).unwrap();
-        assert_eq!(pos(1), pos(0) + 1, "hot taken arm should fall through: {order:?}");
+        let pos = |b: u32| order.iter().position(|x| x.0 == b).unwrap();
+        assert_eq!(
+            pos(1),
+            pos(0) + 1,
+            "hot taken arm should fall through: {order:?}"
+        );
     }
 
     #[test]
     fn cold_arm_follows_when_not_taken_biased() {
         let (_, order) = biased_diamond(0.05);
         let pos = |b: u32| order.iter().position(|x| x.0 == b).unwrap();
-        assert_eq!(pos(2), pos(0) + 1, "not-taken arm should fall through: {order:?}");
+        assert_eq!(
+            pos(2),
+            pos(0) + 1,
+            "not-taken arm should fall through: {order:?}"
+        );
     }
 
     #[test]
@@ -145,7 +157,10 @@ mod tests {
         let mut lo = LayoutOrder::natural(&p);
         lo.set_block_order(FuncId(0), order);
         let l = Layout::new(&p, &lo);
-        assert_eq!(l.encoding(vp_isa::CodeRef::new(0, 0)), TermEncoding::BrInverted);
+        assert_eq!(
+            l.encoding(vp_isa::CodeRef::new(0, 0)),
+            TermEncoding::BrInverted
+        );
     }
 
     #[test]

@@ -32,6 +32,14 @@ pub use weights::{propagate_weights, Weights};
 use vp_core::{PackOutput, Region};
 use vp_program::{Cfg, Function, LayoutOrder, Program};
 use vp_sim::MachineConfig;
+use vp_trace::Counter;
+
+static OPT_PACKAGES: Counter = Counter::new("opt.packages");
+static OPT_INSTS_SUNK: Counter = Counter::new("opt.insts_sunk");
+static OPT_INSTS_HOISTED: Counter = Counter::new("opt.insts_hoisted");
+static OPT_BLOCKS_RESCHEDULED: Counter = Counter::new("opt.blocks_rescheduled");
+static OPT_INSTS_RESCHEDULED: Counter = Counter::new("opt.insts_rescheduled");
+static OPT_BLOCKS_RELAID: Counter = Counter::new("opt.blocks_relaid_out");
 
 /// Which optimization passes to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,7 +61,12 @@ pub struct OptConfig {
 
 impl Default for OptConfig {
     fn default() -> OptConfig {
-        OptConfig { relayout: true, reschedule: true, sink_cold: false, licm: false }
+        OptConfig {
+            relayout: true,
+            reschedule: true,
+            sink_cold: false,
+            licm: false,
+        }
     }
 }
 
@@ -61,7 +74,12 @@ impl OptConfig {
     /// Every pass on, including the extensions the paper suggests but does
     /// not evaluate (cold-instruction sinking, LICM).
     pub fn full() -> OptConfig {
-        OptConfig { relayout: true, reschedule: true, sink_cold: true, licm: true }
+        OptConfig {
+            relayout: true,
+            reschedule: true,
+            sink_cold: true,
+            licm: true,
+        }
     }
 }
 
@@ -77,8 +95,10 @@ pub fn optimize_packages(
 ) -> (Program, LayoutOrder) {
     let mut prog = out.program.clone();
     let mut order = LayoutOrder::natural(&prog);
+    let _s = vp_trace::span("opt.optimize");
 
     for pi in &out.packages {
+        OPT_PACKAGES.incr();
         let region = out
             .regions
             .iter()
@@ -86,18 +106,31 @@ pub fn optimize_packages(
             .expect("package's region present");
 
         if cfg.sink_cold {
-            sink_cold_instructions(prog.func_mut(pi.func), &pi.meta);
+            let sunk = sink_cold_instructions(prog.func_mut(pi.func), &pi.meta);
+            OPT_INSTS_SUNK.add(sunk as u64);
         }
 
         if cfg.licm && pi.links_in == 0 {
             let entries: Vec<vp_isa::BlockId> = pi.entry_blocks.iter().map(|(b, _)| *b).collect();
-            hoist_loop_invariants(prog.func_mut(pi.func), &entries);
+            let hoisted = hoist_loop_invariants(prog.func_mut(pi.func), &entries);
+            OPT_INSTS_HOISTED.add(hoisted as u64);
         }
 
         if cfg.reschedule {
             let f = prog.func_mut(pi.func);
             for block in &mut f.blocks {
                 let (scheduled, _) = schedule_block(&block.insts, machine);
+                if vp_trace::enabled() {
+                    let moved = scheduled
+                        .iter()
+                        .zip(block.insts.iter())
+                        .filter(|(a, b)| a != b)
+                        .count();
+                    if moved > 0 {
+                        OPT_BLOCKS_RESCHEDULED.incr();
+                        OPT_INSTS_RESCHEDULED.add(moved as u64);
+                    }
+                }
                 block.insts = scheduled;
             }
         }
@@ -106,8 +139,7 @@ pub fn optimize_packages(
             let f = prog.func(pi.func);
             let fcfg = Cfg::new(f);
             let taken_prob = |b: vp_isa::BlockId| package_taken_prob(pi, region, b);
-            let entries: Vec<vp_isa::BlockId> =
-                pi.entry_blocks.iter().map(|(b, _)| *b).collect();
+            let entries: Vec<vp_isa::BlockId> = pi.entry_blocks.iter().map(|(b, _)| *b).collect();
             let fentry = f.entry;
             let entry_weight = move |b: vp_isa::BlockId| {
                 if b == fentry || entries.contains(&b) {
@@ -117,7 +149,9 @@ pub fn optimize_packages(
                 }
             };
             let w = propagate_weights(f, &fcfg, taken_prob, entry_weight);
-            order.set_block_order(pi.func, chain_layout(f, &w));
+            let chained = chain_layout(f, &w);
+            OPT_BLOCKS_RELAID.add(chained.len() as u64);
+            order.set_block_order(pi.func, chained);
         }
     }
     (prog, order)
@@ -125,12 +159,10 @@ pub fn optimize_packages(
 
 /// Taken probability of a package block's branch, looked up through its
 /// provenance in the phase region; unprofiled branches report 0.5.
-fn package_taken_prob(
-    pi: &vp_core::PackageInfo,
-    region: &Region,
-    b: vp_isa::BlockId,
-) -> f64 {
-    let Some(meta) = pi.meta.get(b.0 as usize) else { return 0.5 };
+fn package_taken_prob(pi: &vp_core::PackageInfo, region: &Region, b: vp_isa::BlockId) -> f64 {
+    let Some(meta) = pi.meta.get(b.0 as usize) else {
+        return 0.5;
+    };
     if meta.is_exit {
         return 0.5;
     }
@@ -184,18 +216,34 @@ mod tests {
         let mut branches = BTreeMap::new();
         for (bid, b) in p.func(FuncId(0)).blocks_iter() {
             if b.term.is_cond_branch() {
-                let addr = layout.branch_addr(CodeRef { func: FuncId(0), block: bid });
+                let addr = layout.branch_addr(CodeRef {
+                    func: FuncId(0),
+                    block: bid,
+                });
                 branches.insert(addr, PhaseBranch::once(500, 499));
             }
         }
-        (p, Phase { id: 0, branches, first_detected_at: 0, detections: 1 })
+        (
+            p,
+            Phase {
+                id: 0,
+                branches,
+                first_detected_at: 0,
+                detections: 1,
+            },
+        )
     }
 
     #[test]
     fn optimize_produces_valid_program_and_layout() {
         let (p, phase) = sample();
         let layout = Layout::natural(&p);
-        let out = pack(&p, &layout, std::slice::from_ref(&phase), &PackConfig::default());
+        let out = pack(
+            &p,
+            &layout,
+            std::slice::from_ref(&phase),
+            &PackConfig::default(),
+        );
         assert!(!out.packages.is_empty());
         let (opt, order) = optimize_packages(&out, &MachineConfig::table2(), &OptConfig::default());
         assert!(opt.validate().is_ok());
@@ -206,8 +254,18 @@ mod tests {
     fn reschedule_only_keeps_block_order() {
         let (p, phase) = sample();
         let layout = Layout::natural(&p);
-        let out = pack(&p, &layout, std::slice::from_ref(&phase), &PackConfig::default());
-        let cfg = OptConfig { relayout: false, reschedule: true, sink_cold: false, licm: false };
+        let out = pack(
+            &p,
+            &layout,
+            std::slice::from_ref(&phase),
+            &PackConfig::default(),
+        );
+        let cfg = OptConfig {
+            relayout: false,
+            reschedule: true,
+            sink_cold: false,
+            licm: false,
+        };
         let (opt, order) = optimize_packages(&out, &MachineConfig::table2(), &cfg);
         let natural = LayoutOrder::natural(&opt);
         for (a, b) in order.blocks.iter().zip(natural.blocks.iter()) {
@@ -219,7 +277,12 @@ mod tests {
     fn relayout_moves_exit_blocks_off_hot_path() {
         let (p, phase) = sample();
         let layout = Layout::natural(&p);
-        let out = pack(&p, &layout, std::slice::from_ref(&phase), &PackConfig::default());
+        let out = pack(
+            &p,
+            &layout,
+            std::slice::from_ref(&phase),
+            &PackConfig::default(),
+        );
         let (_, order) = optimize_packages(&out, &MachineConfig::table2(), &OptConfig::default());
         let pi = &out.packages[0];
         let block_order = &order.blocks[pi.func.0 as usize];
@@ -231,7 +294,10 @@ mod tests {
             .iter()
             .rposition(|b| !pi.meta[b.0 as usize].is_exit);
         if let (Some(fe), Some(lh)) = (first_exit, last_hot) {
-            assert!(fe > 0, "an exit block must not lead the package: {block_order:?}");
+            assert!(
+                fe > 0,
+                "an exit block must not lead the package: {block_order:?}"
+            );
             let _ = lh;
         }
     }

@@ -94,7 +94,10 @@ pub fn hoist_loop_invariants(f: &mut Function, entries: &[BlockId]) -> usize {
             let latches: BTreeSet<BlockId> = l.latches.iter().copied().collect();
             let pre = f.push_block(Block {
                 insts: hoisted,
-                term: Terminator::Goto(CodeRef { func: f.id, block: header }),
+                term: Terminator::Goto(CodeRef {
+                    func: f.id,
+                    block: header,
+                }),
             });
             let self_id = f.id;
             for (bid, _) in f.blocks_iter().map(|(b, _)| (b, ())).collect::<Vec<_>>() {
@@ -121,7 +124,9 @@ fn retarget(block: &mut Block, func: vp_isa::FuncId, header: BlockId, pre: Block
     let new_ref = CodeRef { func, block: pre };
     match &mut block.term {
         Terminator::Goto(t) if is_header(t) => *t = new_ref,
-        Terminator::Br { taken, not_taken, .. } => {
+        Terminator::Br {
+            taken, not_taken, ..
+        } => {
             if is_header(taken) {
                 *taken = new_ref;
             }

@@ -199,15 +199,28 @@ mod tests {
     use vp_isa::{AluOp, Reg, Src};
 
     fn add(rd: u8, rs1: u8, rs2: u8) -> Inst {
-        Inst::Alu { op: AluOp::Add, rd: Reg::int(rd), rs1: Reg::int(rs1), rs2: Src::Reg(Reg::int(rs2)) }
+        Inst::Alu {
+            op: AluOp::Add,
+            rd: Reg::int(rd),
+            rs1: Reg::int(rs1),
+            rs2: Src::Reg(Reg::int(rs2)),
+        }
     }
 
     fn load(rd: u8, base: u8, off: i64) -> Inst {
-        Inst::Load { rd: Reg::int(rd), base: Reg::int(base), offset: off }
+        Inst::Load {
+            rd: Reg::int(rd),
+            base: Reg::int(base),
+            offset: off,
+        }
     }
 
     fn store(src: u8, base: u8, off: i64) -> Inst {
-        Inst::Store { src: Reg::int(src), base: Reg::int(base), offset: off }
+        Inst::Store {
+            src: Reg::int(src),
+            base: Reg::int(base),
+            offset: off,
+        }
     }
 
     #[test]
@@ -227,10 +240,16 @@ mod tests {
         let (sched, cycles) = schedule_block(&insts, &m);
         assert_eq!(sched.len(), insts.len());
         let seq = sequential_cycles(&insts, &m);
-        assert!(cycles <= seq, "scheduled {cycles} must not exceed sequential {seq}");
+        assert!(
+            cycles <= seq,
+            "scheduled {cycles} must not exceed sequential {seq}"
+        );
         // Independent adds should fill a load-shadow slot: strictly fewer
         // cycles than the naive order's 3 (load; stall; add) pattern.
-        assert!(cycles <= 3, "schedule should hide load latency, got {cycles}");
+        assert!(
+            cycles <= 3,
+            "schedule should hide load latency, got {cycles}"
+        );
     }
 
     #[test]
@@ -255,11 +274,23 @@ mod tests {
     #[test]
     fn war_allows_same_cycle_but_not_inversion() {
         // i0 reads r20; i1 writes r20: i1 must not move before i0.
-        let insts = vec![add(21, 20, 20), Inst::Li { rd: Reg::int(20), imm: 5 }];
+        let insts = vec![
+            add(21, 20, 20),
+            Inst::Li {
+                rd: Reg::int(20),
+                imm: 5,
+            },
+        ];
         let m = MachineConfig::table2();
         let (sched, _) = schedule_block(&insts, &m);
-        let w = sched.iter().position(|i| matches!(i, Inst::Li { .. })).unwrap();
-        let r = sched.iter().position(|i| matches!(i, Inst::Alu { .. })).unwrap();
+        let w = sched
+            .iter()
+            .position(|i| matches!(i, Inst::Li { .. }))
+            .unwrap();
+        let r = sched
+            .iter()
+            .position(|i| matches!(i, Inst::Alu { .. }))
+            .unwrap();
         assert!(r < w);
     }
 

@@ -47,8 +47,11 @@ pub fn sink_cold_instructions(f: &mut Function, meta: &[PkgBlockMeta]) -> usize 
                 continue;
             }
             let succs = cfg.succs(bid);
-            let exit_succs: Vec<BlockId> =
-                succs.iter().map(|&(s, _)| s).filter(|&s| is_exit(s)).collect();
+            let exit_succs: Vec<BlockId> = succs
+                .iter()
+                .map(|&(s, _)| s)
+                .filter(|&s| is_exit(s))
+                .collect();
             if exit_succs.is_empty() {
                 continue;
             }
@@ -58,7 +61,9 @@ pub fn sink_cold_instructions(f: &mut Function, meta: &[PkgBlockMeta]) -> usize 
                 if inst.is_mem() || matches!(inst, Inst::Consume { .. }) {
                     continue;
                 }
-                let Some(def) = inst.defs().first().copied() else { continue };
+                let Some(def) = inst.defs().first().copied() else {
+                    continue;
+                };
                 // Used later in this block or by the terminator?
                 let used_later = block.insts[i + 1..]
                     .iter()
@@ -97,7 +102,9 @@ pub fn sink_cold_instructions(f: &mut Function, meta: &[PkgBlockMeta]) -> usize 
             }
         }
 
-        let Some((bid, i, targets)) = change else { break };
+        let Some((bid, i, targets)) = change else {
+            break;
+        };
         let inst = f.block_mut(bid).insts.remove(i);
         for t in targets {
             f.block_mut(t).insts.insert(0, inst.clone());
@@ -122,31 +129,67 @@ mod tests {
         f.kind = FuncKind::Package { phase: 0 };
         f.push_block(Block {
             insts: vec![
-                Inst::Alu { op: AluOp::Add, rd: Reg::int(20), rs1: Reg::int(21), rs2: Src::Reg(Reg::int(22)) },
-                Inst::Alu { op: AluOp::Mul, rd: Reg::int(23), rs1: Reg::int(21), rs2: Src::Imm(2) },
+                Inst::Alu {
+                    op: AluOp::Add,
+                    rd: Reg::int(20),
+                    rs1: Reg::int(21),
+                    rs2: Src::Reg(Reg::int(22)),
+                },
+                Inst::Alu {
+                    op: AluOp::Mul,
+                    rd: Reg::int(23),
+                    rs1: Reg::int(21),
+                    rs2: Src::Imm(2),
+                },
             ],
             term: Terminator::Br {
                 cond: Cond::Eq,
                 rs1: Reg::int(24),
                 rs2: Src::Imm(0),
-                taken: CodeRef { func: FuncId(u32::MAX - 1), block: BlockId(2) },
-                not_taken: CodeRef { func: FuncId(u32::MAX - 1), block: BlockId(1) },
+                taken: CodeRef {
+                    func: FuncId(u32::MAX - 1),
+                    block: BlockId(2),
+                },
+                not_taken: CodeRef {
+                    func: FuncId(u32::MAX - 1),
+                    block: BlockId(1),
+                },
             },
         });
         f.push_block(Block {
-            insts: vec![Inst::Mov { rd: Reg::ARG0, rs: Reg::int(23) }],
+            insts: vec![Inst::Mov {
+                rd: Reg::ARG0,
+                rs: Reg::int(23),
+            }],
             term: Terminator::Ret,
         });
         f.push_block(Block {
-            insts: vec![Inst::Consume { regs: vec![Reg::int(20)] }],
+            insts: vec![Inst::Consume {
+                regs: vec![Reg::int(20)],
+            }],
             term: Terminator::Goto(CodeRef::new(0, 5)),
         });
         // Fix self references: blocks refer to this function's id (0 here).
         f.id = FuncId(u32::MAX - 1);
         let meta = vec![
-            PkgBlockMeta { origin: CodeRef::new(0, 0), context: vec![], is_exit: false, is_stub: false },
-            PkgBlockMeta { origin: CodeRef::new(0, 1), context: vec![], is_exit: false, is_stub: false },
-            PkgBlockMeta { origin: CodeRef::new(0, 5), context: vec![], is_exit: true, is_stub: false },
+            PkgBlockMeta {
+                origin: CodeRef::new(0, 0),
+                context: vec![],
+                is_exit: false,
+                is_stub: false,
+            },
+            PkgBlockMeta {
+                origin: CodeRef::new(0, 1),
+                context: vec![],
+                is_exit: false,
+                is_stub: false,
+            },
+            PkgBlockMeta {
+                origin: CodeRef::new(0, 5),
+                context: vec![],
+                is_exit: true,
+                is_stub: false,
+            },
         ];
         (f, meta)
     }
@@ -158,7 +201,10 @@ mod tests {
         assert_eq!(moved, 1);
         // r20's producer left the hot block...
         assert_eq!(f.block(BlockId(0)).insts.len(), 1);
-        assert!(matches!(f.block(BlockId(0)).insts[0], Inst::Alu { op: AluOp::Mul, .. }));
+        assert!(matches!(
+            f.block(BlockId(0)).insts[0],
+            Inst::Alu { op: AluOp::Mul, .. }
+        ));
         // ...and landed in the exit block, ahead of the consumers.
         let exit = f.block(BlockId(2));
         assert!(matches!(exit.insts[0], Inst::Alu { op: AluOp::Add, .. }));
@@ -182,7 +228,11 @@ mod tests {
         let (mut f, meta) = package_like();
         // Replace the dead add with a dead load: must not move (a store
         // could intervene on the original path).
-        f.block_mut(BlockId(0)).insts[0] = Inst::Load { rd: Reg::int(20), base: Reg::SP, offset: 0 };
+        f.block_mut(BlockId(0)).insts[0] = Inst::Load {
+            rd: Reg::int(20),
+            base: Reg::SP,
+            offset: 0,
+        };
         let moved = sink_cold_instructions(&mut f, &meta);
         assert_eq!(moved, 0);
         assert_eq!(f.block(BlockId(0)).insts.len(), 2);
@@ -197,20 +247,40 @@ mod tests {
             cond: Cond::Ne,
             rs1: Reg::int(24),
             rs2: Src::Imm(0),
-            taken: CodeRef { func: self_id, block: BlockId(2) },
-            not_taken: CodeRef { func: self_id, block: BlockId(1) },
+            taken: CodeRef {
+                func: self_id,
+                block: BlockId(2),
+            },
+            not_taken: CodeRef {
+                func: self_id,
+                block: BlockId(1),
+            },
         }));
-        meta.push(PkgBlockMeta { origin: CodeRef::new(0, 9), context: vec![], is_exit: false, is_stub: false });
+        meta.push(PkgBlockMeta {
+            origin: CodeRef::new(0, 9),
+            context: vec![],
+            is_exit: false,
+            is_stub: false,
+        });
         // Make b3 reachable: b0's hot successor now goes through b3.
         f.block_mut(BlockId(0)).term = Terminator::Br {
             cond: Cond::Eq,
             rs1: Reg::int(24),
             rs2: Src::Imm(0),
-            taken: CodeRef { func: self_id, block: BlockId(2) },
-            not_taken: CodeRef { func: self_id, block: BlockId(3) },
+            taken: CodeRef {
+                func: self_id,
+                block: BlockId(2),
+            },
+            not_taken: CodeRef {
+                func: self_id,
+                block: BlockId(3),
+            },
         };
         let moved = sink_cold_instructions(&mut f, &meta);
-        assert_eq!(moved, 0, "two predecessors share the exit: nothing may sink");
+        assert_eq!(
+            moved, 0,
+            "two predecessors share the exit: nothing may sink"
+        );
     }
 
     #[test]
@@ -219,9 +289,24 @@ mod tests {
         // instructions sink (fixpoint).
         let (mut f, meta) = package_like();
         f.block_mut(BlockId(0)).insts = vec![
-            Inst::Alu { op: AluOp::Xor, rd: Reg::int(25), rs1: Reg::int(21), rs2: Src::Imm(5) },
-            Inst::Alu { op: AluOp::Add, rd: Reg::int(20), rs1: Reg::int(25), rs2: Src::Imm(1) },
-            Inst::Alu { op: AluOp::Mul, rd: Reg::int(23), rs1: Reg::int(21), rs2: Src::Imm(2) },
+            Inst::Alu {
+                op: AluOp::Xor,
+                rd: Reg::int(25),
+                rs1: Reg::int(21),
+                rs2: Src::Imm(5),
+            },
+            Inst::Alu {
+                op: AluOp::Add,
+                rd: Reg::int(20),
+                rs1: Reg::int(25),
+                rs2: Src::Imm(1),
+            },
+            Inst::Alu {
+                op: AluOp::Mul,
+                rd: Reg::int(23),
+                rs1: Reg::int(21),
+                rs2: Src::Imm(2),
+            },
         ];
         let moved = sink_cold_instructions(&mut f, &meta);
         assert_eq!(moved, 2);

@@ -87,8 +87,9 @@ pub fn propagate_weights(
             for &(p, kind) in cfg.preds(b) {
                 let pw = w[p.0 as usize];
                 if pw > 0.0 {
-                    if let Some(&(_, _, frac)) =
-                        split[p.0 as usize].iter().find(|&&(t, k, _)| t == b && k == kind)
+                    if let Some(&(_, _, frac)) = split[p.0 as usize]
+                        .iter()
+                        .find(|&&(t, k, _)| t == b && k == kind)
                     {
                         incoming += pw * frac;
                     }
@@ -116,8 +117,8 @@ pub fn propagate_weights(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vp_isa::{Cond, Reg, Src};
     use vp_isa::FuncId;
+    use vp_isa::{Cond, Reg, Src};
     use vp_program::ProgramBuilder;
 
     fn entry_only(entry: BlockId) -> impl Fn(BlockId) -> f64 {
@@ -150,10 +151,7 @@ mod tests {
         pb.func("main", |f| {
             let i = Reg::int(8);
             f.li(i, 0);
-            f.while_(
-                |f| f.cond(Cond::Lt, i, Src::Imm(10)),
-                |f| f.addi(i, i, 1),
-            );
+            f.while_(|f| f.cond(Cond::Lt, i, Src::Imm(10)), |f| f.addi(i, i, 1));
             f.halt();
         });
         let p = pb.build();
@@ -195,10 +193,7 @@ mod tests {
         pb.func("main", |f| {
             let i = Reg::int(8);
             f.li(i, 0);
-            f.while_(
-                |f| f.cond(Cond::Lt, i, Src::Imm(10)),
-                |f| f.addi(i, i, 1),
-            );
+            f.while_(|f| f.cond(Cond::Lt, i, Src::Imm(10)), |f| f.addi(i, i, 1));
             f.halt();
         });
         let p = pb.build();

@@ -62,7 +62,9 @@ impl Terminator {
     pub fn code_targets(&self) -> Vec<CodeRef> {
         match self {
             Terminator::Goto(t) => vec![*t],
-            Terminator::Br { taken, not_taken, .. } => vec![*taken, *not_taken],
+            Terminator::Br {
+                taken, not_taken, ..
+            } => vec![*taken, *not_taken],
             Terminator::CallThrough { target, .. } => vec![*target],
             Terminator::Call { .. } | Terminator::Ret | Terminator::Halt => vec![],
         }
@@ -137,7 +139,10 @@ pub struct Block {
 impl Block {
     /// A block holding only a terminator.
     pub fn empty(term: Terminator) -> Block {
-        Block { insts: vec![], term }
+        Block {
+            insts: vec![],
+            term,
+        }
     }
 
     /// Intra-function successor edges (call continuations included,
@@ -146,7 +151,9 @@ impl Block {
         match &self.term {
             Terminator::Goto(t) if t.func == here => vec![(t.block, EdgeKind::Goto)],
             Terminator::Goto(_) => vec![],
-            Terminator::Br { taken, not_taken, .. } => {
+            Terminator::Br {
+                taken, not_taken, ..
+            } => {
                 let mut v = Vec::with_capacity(2);
                 if taken.func == here {
                     v.push((taken.block, EdgeKind::Taken));
@@ -183,7 +190,13 @@ mod tests {
             not_taken: CodeRef::new(0, 2),
         });
         let succ = b.successors(FuncId(0));
-        assert_eq!(succ, vec![(BlockId(1), EdgeKind::Taken), (BlockId(2), EdgeKind::NotTaken)]);
+        assert_eq!(
+            succ,
+            vec![
+                (BlockId(1), EdgeKind::Taken),
+                (BlockId(2), EdgeKind::NotTaken)
+            ]
+        );
     }
 
     #[test]
@@ -195,8 +208,14 @@ mod tests {
 
     #[test]
     fn call_successor_is_continuation() {
-        let b = Block::empty(Terminator::Call { callee: FuncId(3), ret_to: BlockId(9) });
-        assert_eq!(b.successors(FuncId(0)), vec![(BlockId(9), EdgeKind::CallCont)]);
+        let b = Block::empty(Terminator::Call {
+            callee: FuncId(3),
+            ret_to: BlockId(9),
+        });
+        assert_eq!(
+            b.successors(FuncId(0)),
+            vec![(BlockId(9), EdgeKind::CallCont)]
+        );
     }
 
     #[test]

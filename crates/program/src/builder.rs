@@ -62,7 +62,10 @@ pub struct ProgramBuilder {
 impl ProgramBuilder {
     /// Creates an empty builder.
     pub fn new() -> ProgramBuilder {
-        ProgramBuilder { next_data: DATA_BASE, ..ProgramBuilder::default() }
+        ProgramBuilder {
+            next_data: DATA_BASE,
+            ..ProgramBuilder::default()
+        }
     }
 
     /// Declares a function name, returning its id. Bodies may reference
@@ -72,7 +75,10 @@ impl ProgramBuilder {
     ///
     /// Panics if the name was already declared.
     pub fn declare(&mut self, name: &str) -> FuncId {
-        assert!(!self.names.contains_key(name), "function {name} declared twice");
+        assert!(
+            !self.names.contains_key(name),
+            "function {name} declared twice"
+        );
         let id = FuncId(self.funcs.len() as u32);
         let mut f = Function::new(name);
         f.id = id;
@@ -138,7 +144,11 @@ impl ProgramBuilder {
     /// assembled program fails validation.
     pub fn build(self) -> Program {
         for (i, d) in self.defined.iter().enumerate() {
-            assert!(*d, "function {} declared but never defined", self.funcs[i].name);
+            assert!(
+                *d,
+                "function {} declared but never defined",
+                self.funcs[i].name
+            );
         }
         let p = Program {
             funcs: self.funcs,
@@ -157,6 +167,10 @@ struct ProtoBlock {
     term: Option<Terminator>,
 }
 
+/// One arm of [`FunctionBuilder::switch`]: the selector constant and the
+/// closure that emits the arm's body.
+pub type SwitchArm<'a> = (i64, Box<dyn FnOnce(&mut FunctionBuilder) + 'a>);
+
 /// Builds one function's body.
 pub struct FunctionBuilder {
     fid: FuncId,
@@ -166,7 +180,14 @@ pub struct FunctionBuilder {
 
 impl FunctionBuilder {
     fn new(fid: FuncId) -> FunctionBuilder {
-        FunctionBuilder { fid, blocks: vec![ProtoBlock { insts: vec![], term: None }], cur: 0 }
+        FunctionBuilder {
+            fid,
+            blocks: vec![ProtoBlock {
+                insts: vec![],
+                term: None,
+            }],
+            cur: 0,
+        }
     }
 
     /// The id of the function being built.
@@ -180,13 +201,19 @@ impl FunctionBuilder {
     }
 
     fn cref(&self, b: BlockId) -> CodeRef {
-        CodeRef { func: self.fid, block: b }
+        CodeRef {
+            func: self.fid,
+            block: b,
+        }
     }
 
     /// Creates a new, empty, unterminated block without switching to it.
     pub fn new_block(&mut self) -> BlockId {
         let id = BlockId(self.blocks.len() as u32);
-        self.blocks.push(ProtoBlock { insts: vec![], term: None });
+        self.blocks.push(ProtoBlock {
+            insts: vec![],
+            term: None,
+        });
         id
     }
 
@@ -201,7 +228,10 @@ impl FunctionBuilder {
             "switching away from unterminated block {}",
             self.cur
         );
-        assert!(self.blocks[b.0 as usize].term.is_none(), "switching to terminated block {b}");
+        assert!(
+            self.blocks[b.0 as usize].term.is_none(),
+            "switching to terminated block {b}"
+        );
         self.cur = b.0 as usize;
     }
 
@@ -211,12 +241,18 @@ impl FunctionBuilder {
     ///
     /// Panics if the current block is already terminated.
     pub fn emit(&mut self, i: Inst) {
-        assert!(self.blocks[self.cur].term.is_none(), "emitting into terminated block");
+        assert!(
+            self.blocks[self.cur].term.is_none(),
+            "emitting into terminated block"
+        );
         self.blocks[self.cur].insts.push(i);
     }
 
     fn terminate(&mut self, t: Terminator) {
-        assert!(self.blocks[self.cur].term.is_none(), "block terminated twice");
+        assert!(
+            self.blocks[self.cur].term.is_none(),
+            "block terminated twice"
+        );
         self.blocks[self.cur].term = Some(t);
     }
 
@@ -239,7 +275,12 @@ impl FunctionBuilder {
 
     /// `rd = op(rs1, rs2)`.
     pub fn alu(&mut self, op: AluOp, rd: Reg, rs1: Reg, rs2: impl Into<Src>) {
-        self.emit(Inst::Alu { op, rd, rs1, rs2: rs2.into() });
+        self.emit(Inst::Alu {
+            op,
+            rd,
+            rs1,
+            rs2: rs2.into(),
+        });
     }
 
     /// `rd = rs1 + rs2`.
@@ -329,7 +370,11 @@ impl FunctionBuilder {
 
     /// Builds a [`CondExpr`] for use with the structured constructs.
     pub fn cond(&mut self, cond: Cond, rs1: Reg, rs2: impl Into<Src>) -> CondExpr {
-        CondExpr { cond, rs1, rs2: rs2.into() }
+        CondExpr {
+            cond,
+            rs1,
+            rs2: rs2.into(),
+        }
     }
 
     // ---- terminators -------------------------------------------------------
@@ -343,14 +388,23 @@ impl FunctionBuilder {
     /// Ends the current block with a conditional branch.
     pub fn branch(&mut self, c: CondExpr, taken: BlockId, not_taken: BlockId) {
         let (t, nt) = (self.cref(taken), self.cref(not_taken));
-        self.terminate(Terminator::Br { cond: c.cond, rs1: c.rs1, rs2: c.rs2, taken: t, not_taken: nt });
+        self.terminate(Terminator::Br {
+            cond: c.cond,
+            rs1: c.rs1,
+            rs2: c.rs2,
+            taken: t,
+            not_taken: nt,
+        });
     }
 
     /// Ends the current block with a call; emission continues in a fresh
     /// continuation block.
     pub fn call(&mut self, callee: FuncId) {
         let cont = self.new_block();
-        self.terminate(Terminator::Call { callee, ret_to: cont });
+        self.terminate(Terminator::Call {
+            callee,
+            ret_to: cont,
+        });
         self.cur = cont.0 as usize;
     }
 
@@ -401,7 +455,12 @@ impl FunctionBuilder {
     }
 
     /// `if cond { then } else { els }`.
-    pub fn if_else(&mut self, c: CondExpr, then: impl FnOnce(&mut Self), els: impl FnOnce(&mut Self)) {
+    pub fn if_else(
+        &mut self,
+        c: CondExpr,
+        then: impl FnOnce(&mut Self),
+        els: impl FnOnce(&mut Self),
+    ) {
         let then_b = self.new_block();
         let else_b = self.new_block();
         let join = self.new_block();
@@ -421,7 +480,11 @@ impl FunctionBuilder {
 
     /// `while cond { body }`. The `header` closure may emit instructions to
     /// compute the condition; it runs once per iteration.
-    pub fn while_(&mut self, header: impl FnOnce(&mut Self) -> CondExpr, body: impl FnOnce(&mut Self)) {
+    pub fn while_(
+        &mut self,
+        header: impl FnOnce(&mut Self) -> CondExpr,
+        body: impl FnOnce(&mut Self),
+    ) {
         let head = self.new_block();
         let body_b = self.new_block();
         let exit = self.new_block();
@@ -439,7 +502,11 @@ impl FunctionBuilder {
 
     /// `do { body } while cond`: the body runs at least once; the trailer
     /// closure computes the loop-back condition.
-    pub fn do_while(&mut self, body: impl FnOnce(&mut Self), trailer: impl FnOnce(&mut Self) -> CondExpr) {
+    pub fn do_while(
+        &mut self,
+        body: impl FnOnce(&mut Self),
+        trailer: impl FnOnce(&mut Self) -> CondExpr,
+    ) {
         let body_b = self.new_block();
         let exit = self.new_block();
         self.goto(body_b);
@@ -451,7 +518,13 @@ impl FunctionBuilder {
     }
 
     /// `for i in start..end { body }` with `i` held in `counter`.
-    pub fn for_range(&mut self, counter: Reg, start: i64, end: impl Into<Src>, body: impl FnOnce(&mut Self)) {
+    pub fn for_range(
+        &mut self,
+        counter: Reg,
+        start: i64,
+        end: impl Into<Src>,
+        body: impl FnOnce(&mut Self),
+    ) {
         let end = end.into();
         self.li(counter, start);
         self.while_(
@@ -465,7 +538,12 @@ impl FunctionBuilder {
 
     /// A dispatch ladder comparing `selector` against each arm's constant:
     /// the software equivalent of a switch statement.
-    pub fn switch(&mut self, selector: Reg, arms: Vec<(i64, Box<dyn FnOnce(&mut Self) + '_>)>, default: impl FnOnce(&mut Self)) {
+    pub fn switch(
+        &mut self,
+        selector: Reg,
+        arms: Vec<SwitchArm<'_>>,
+        default: impl FnOnce(&mut Self),
+    ) {
         let join = self.new_block();
         for (value, arm) in arms {
             let arm_b = self.new_block();
@@ -536,7 +614,10 @@ impl FunctionBuilder {
                     None if !referenced[i] => Terminator::Halt,
                     None => panic!("block b{i} left unterminated"),
                 };
-                Block { insts: pb.insts, term }
+                Block {
+                    insts: pb.insts,
+                    term,
+                }
             })
             .collect()
     }
@@ -571,10 +652,7 @@ mod tests {
         pb.func("main", |f| {
             let i = Reg::int(8);
             f.li(i, 0);
-            f.while_(
-                |f| f.cond(Cond::Lt, i, Src::Imm(5)),
-                |f| f.addi(i, i, 1),
-            );
+            f.while_(|f| f.cond(Cond::Lt, i, Src::Imm(5)), |f| f.addi(i, i, 1));
             f.halt();
         });
         let p = pb.build();
@@ -612,8 +690,20 @@ mod tests {
         let p = pb.build();
         let b0 = p.func(main).block(BlockId(0));
         assert_eq!(b0.insts.len(), 2);
-        assert_eq!(b0.insts[0], Inst::Li { rd: Reg::arg(0), imm: 7 });
-        assert_eq!(b0.insts[1], Inst::Mov { rd: Reg::arg(1), rs: Reg::int(20) });
+        assert_eq!(
+            b0.insts[0],
+            Inst::Li {
+                rd: Reg::arg(0),
+                imm: 7
+            }
+        );
+        assert_eq!(
+            b0.insts[1],
+            Inst::Mov {
+                rd: Reg::arg(1),
+                rs: Reg::int(20)
+            }
+        );
     }
 
     #[test]
@@ -625,8 +715,14 @@ mod tests {
             f.switch(
                 s,
                 vec![
-                    (1, Box::new(|f: &mut FunctionBuilder| f.li(Reg::int(9), 100))),
-                    (2, Box::new(|f: &mut FunctionBuilder| f.li(Reg::int(9), 200))),
+                    (
+                        1,
+                        Box::new(|f: &mut FunctionBuilder| f.li(Reg::int(9), 100)),
+                    ),
+                    (
+                        2,
+                        Box::new(|f: &mut FunctionBuilder| f.li(Reg::int(9), 200)),
+                    ),
                 ],
                 |f| f.li(Reg::int(9), 0),
             );

@@ -32,7 +32,11 @@ impl CallGraph {
         for f in &p.funcs {
             for (bid, block) in f.blocks_iter() {
                 if let Terminator::Call { callee, .. } = block.term {
-                    let site = CallSite { caller: f.id, block: bid, callee };
+                    let site = CallSite {
+                        caller: f.id,
+                        block: bid,
+                        callee,
+                    };
                     callees[f.id.0 as usize].push(site);
                     callers[callee.0 as usize].push(site);
                 }
@@ -74,7 +78,10 @@ mod tests {
     use crate::func::Function;
 
     fn call_block(callee: u32, ret_to: u32) -> Block {
-        Block::empty(Terminator::Call { callee: FuncId(callee), ret_to: BlockId(ret_to) })
+        Block::empty(Terminator::Call {
+            callee: FuncId(callee),
+            ret_to: BlockId(ret_to),
+        })
     }
 
     fn program_abc() -> Program {
@@ -102,7 +109,10 @@ mod tests {
         let cg = CallGraph::new(&p);
         assert_eq!(cg.calls_from(FuncId(0)).len(), 2);
         assert_eq!(cg.calls_to(FuncId(1)).len(), 2);
-        assert_eq!(cg.caller_funcs(FuncId(2)), [FuncId(1), FuncId(2)].into_iter().collect());
+        assert_eq!(
+            cg.caller_funcs(FuncId(2)),
+            [FuncId(1), FuncId(2)].into_iter().collect()
+        );
     }
 
     #[test]

@@ -67,7 +67,14 @@ impl Cfg {
         }
         let reachable: Vec<bool> = state.iter().map(|&s| s == 2).collect();
         post.reverse();
-        Cfg { entry: f.entry, succs, preds, rpo: post, back_edges, reachable }
+        Cfg {
+            entry: f.entry,
+            succs,
+            preds,
+            rpo: post,
+            back_edges,
+            reachable,
+        }
     }
 
     /// The function entry block.
@@ -119,7 +126,11 @@ impl Cfg {
     /// Predecessors of `b` excluding back edges: the notion used when
     /// selecting entry blocks (Section 3.3.2).
     pub fn forward_preds(&self, b: BlockId) -> Vec<(BlockId, EdgeKind)> {
-        self.preds(b).iter().copied().filter(|&(p, _)| !self.is_back_edge(p, b)).collect()
+        self.preds(b)
+            .iter()
+            .copied()
+            .filter(|&(p, _)| !self.is_back_edge(p, b))
+            .collect()
     }
 }
 
@@ -189,8 +200,9 @@ mod tests {
     fn rpo_respects_topological_order_on_dag_part() {
         let f = diamond_loop();
         let cfg = Cfg::new(&f);
-        let pos: Vec<usize> =
-            (0..5).map(|i| cfg.rpo().iter().position(|b| b.0 == i).unwrap()).collect();
+        let pos: Vec<usize> = (0..5)
+            .map(|i| cfg.rpo().iter().position(|b| b.0 == i).unwrap())
+            .collect();
         assert!(pos[0] < pos[1]);
         assert!(pos[0] < pos[2]);
         assert!(pos[1] < pos[3]);

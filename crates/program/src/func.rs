@@ -71,7 +71,10 @@ impl Function {
 
     /// Iterates `(BlockId, &Block)` pairs in id order.
     pub fn blocks_iter(&self) -> impl Iterator<Item = (BlockId, &Block)> {
-        self.blocks.iter().enumerate().map(|(i, b)| (BlockId(i as u32), b))
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId(i as u32), b))
     }
 
     /// All block ids in this function.

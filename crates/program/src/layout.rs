@@ -100,13 +100,20 @@ impl Layout {
     /// Panics if `order` is not a complete permutation of `p`'s functions
     /// and blocks.
     pub fn new(p: &Program, order: &LayoutOrder) -> Layout {
-        assert_eq!(order.funcs.len(), p.funcs.len(), "layout must order every function");
+        assert_eq!(
+            order.funcs.len(),
+            p.funcs.len(),
+            "layout must order every function"
+        );
         let mut block_addr: Vec<Vec<u64>> =
             p.funcs.iter().map(|f| vec![0; f.blocks.len()]).collect();
         let mut block_insts: Vec<Vec<u64>> =
             p.funcs.iter().map(|f| vec![0; f.blocks.len()]).collect();
-        let mut encoding: Vec<Vec<TermEncoding>> =
-            p.funcs.iter().map(|f| vec![TermEncoding::Halt; f.blocks.len()]).collect();
+        let mut encoding: Vec<Vec<TermEncoding>> = p
+            .funcs
+            .iter()
+            .map(|f| vec![TermEncoding::Halt; f.blocks.len()])
+            .collect();
         let mut func_range = vec![(0u64, 0u64); p.funcs.len()];
         let mut branch_index = HashMap::new();
 
@@ -115,14 +122,24 @@ impl Layout {
         for &fid in &order.funcs {
             let f = p.func(fid);
             let blocks = &order.blocks[fid.0 as usize];
-            assert_eq!(blocks.len(), f.blocks.len(), "layout must order every block of {fid}");
+            assert_eq!(
+                blocks.len(),
+                f.blocks.len(),
+                "layout must order every block of {fid}"
+            );
             let mut seen = vec![false; f.blocks.len()];
             for &b in blocks {
-                assert!(!std::mem::replace(&mut seen[b.0 as usize], true), "duplicate block {b}");
+                assert!(
+                    !std::mem::replace(&mut seen[b.0 as usize], true),
+                    "duplicate block {b}"
+                );
             }
             let func_start = addr;
             for (pos, &b) in blocks.iter().enumerate() {
-                let next = blocks.get(pos + 1).map(|&nb| CodeRef { func: fid, block: nb });
+                let next = blocks.get(pos + 1).map(|&nb| CodeRef {
+                    func: fid,
+                    block: nb,
+                });
                 let block = f.block(b);
                 let enc = encode(&block.term, next);
                 let insts = block.insts.len() as u64 + enc.insts();
@@ -132,14 +149,29 @@ impl Layout {
                 if block.term.is_cond_branch() {
                     // The branch is the first terminator slot.
                     let br = addr + block.insts.len() as u64 * INST_BYTES;
-                    branch_index.insert(br, CodeRef { func: fid, block: b });
+                    branch_index.insert(
+                        br,
+                        CodeRef {
+                            func: fid,
+                            block: b,
+                        },
+                    );
                 }
                 addr += insts * INST_BYTES;
                 total_insts += insts;
             }
             func_range[fid.0 as usize] = (func_start, addr);
         }
-        Layout { base: CODE_BASE, block_addr, block_insts, encoding, branch_index, func_range, total_insts, end: addr }
+        Layout {
+            base: CODE_BASE,
+            block_addr,
+            block_insts,
+            encoding,
+            branch_index,
+            func_range,
+            total_insts,
+            end: addr,
+        }
     }
 
     /// Lays out `p` in natural order.
@@ -187,7 +219,10 @@ impl Layout {
         let block_insts = self.insts_of(b);
         let enc = self.encoding(b);
         assert!(
-            matches!(enc, TermEncoding::BrFall | TermEncoding::BrInverted | TermEncoding::BrJump),
+            matches!(
+                enc,
+                TermEncoding::BrFall | TermEncoding::BrInverted | TermEncoding::BrJump
+            ),
             "{b} does not end in a conditional branch"
         );
         base + (block_insts - enc.insts()) * INST_BYTES
@@ -225,7 +260,9 @@ fn encode(term: &Terminator, next: Option<CodeRef>) -> TermEncoding {
                 TermEncoding::Jump
             }
         }
-        Terminator::Br { taken, not_taken, .. } => {
+        Terminator::Br {
+            taken, not_taken, ..
+        } => {
             if Some(*not_taken) == next {
                 TermEncoding::BrFall
             } else if Some(*taken) == next {
@@ -251,7 +288,10 @@ mod tests {
         let mut p = Program::default();
         let mut f = Function::new("main");
         f.push_block(Block {
-            insts: vec![Inst::Li { rd: Reg::int(8), imm: 1 }],
+            insts: vec![Inst::Li {
+                rd: Reg::int(8),
+                imm: 1,
+            }],
             term: Terminator::Br {
                 cond: Cond::Eq,
                 rs1: Reg::int(8),

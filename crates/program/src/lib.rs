@@ -133,7 +133,10 @@ impl std::fmt::Display for ValidateError {
                 write!(f, "terminator at {from} targets nonexistent block {to}")
             }
             ValidateError::CrossFuncBranch { from, to } => {
-                write!(f, "original function branches across functions: {from} -> {to}")
+                write!(
+                    f,
+                    "original function branches across functions: {from} -> {to}"
+                )
             }
             ValidateError::MisalignedData(a) => write!(f, "data segment base {a:#x} misaligned"),
             ValidateError::OverlappingData(a, b) => {
@@ -206,10 +209,16 @@ impl Program {
                 return Err(ValidateError::BadFuncEntry(f.id, f.entry));
             }
             for (bid, block) in f.blocks_iter() {
-                let from = CodeRef { func: f.id, block: bid };
+                let from = CodeRef {
+                    func: f.id,
+                    block: bid,
+                };
                 for target in block.term.code_targets() {
                     let Some(tf) = self.funcs.get(target.func.0 as usize) else {
-                        return Err(ValidateError::BadFuncRef { from, to: target.func });
+                        return Err(ValidateError::BadFuncRef {
+                            from,
+                            to: target.func,
+                        });
                     };
                     if target.block.0 as usize >= tf.blocks.len() {
                         return Err(ValidateError::BadBlockRef { from, to: target });
@@ -233,7 +242,10 @@ impl Program {
                         if ret_to.0 as usize >= f.blocks.len() {
                             return Err(ValidateError::BadBlockRef {
                                 from,
-                                to: CodeRef { func: f.id, block: ret_to },
+                                to: CodeRef {
+                                    func: f.id,
+                                    block: ret_to,
+                                },
                             });
                         }
                     }
@@ -244,7 +256,10 @@ impl Program {
                         if ret_to.0 as usize >= f.blocks.len() {
                             return Err(ValidateError::BadBlockRef {
                                 from,
-                                to: CodeRef { func: f.id, block: ret_to },
+                                to: CodeRef {
+                                    func: f.id,
+                                    block: ret_to,
+                                },
                             });
                         }
                     }
@@ -274,7 +289,10 @@ mod tests {
 
     fn leaf_func(name: &str) -> Function {
         let mut f = Function::new(name);
-        f.push_block(Block { insts: vec![], term: Terminator::Halt });
+        f.push_block(Block {
+            insts: vec![],
+            term: Terminator::Halt,
+        });
         f
     }
 
@@ -302,10 +320,16 @@ mod tests {
     fn cross_function_branch_rejected_for_original_code() {
         let mut p = Program::default();
         let mut f = Function::new("a");
-        f.push_block(Block { insts: vec![], term: Terminator::Goto(CodeRef::new(1, 0)) });
+        f.push_block(Block {
+            insts: vec![],
+            term: Terminator::Goto(CodeRef::new(1, 0)),
+        });
         p.push_func(f);
         p.push_func(leaf_func("b"));
-        assert!(matches!(p.validate(), Err(ValidateError::CrossFuncBranch { .. })));
+        assert!(matches!(
+            p.validate(),
+            Err(ValidateError::CrossFuncBranch { .. })
+        ));
     }
 
     #[test]
@@ -313,7 +337,10 @@ mod tests {
         let mut p = Program::default();
         let mut f = Function::new("pkg");
         f.kind = FuncKind::Package { phase: 0 };
-        f.push_block(Block { insts: vec![], term: Terminator::Goto(CodeRef::new(1, 0)) });
+        f.push_block(Block {
+            insts: vec![],
+            term: Terminator::Goto(CodeRef::new(1, 0)),
+        });
         p.push_func(f);
         p.push_func(leaf_func("b"));
         p.entry = FuncId(1);
@@ -324,8 +351,17 @@ mod tests {
     fn overlapping_data_rejected() {
         let mut p = Program::default();
         p.push_func(leaf_func("main"));
-        p.data.push(DataSegment { base: 0x1000, words: vec![0; 4] });
-        p.data.push(DataSegment { base: 0x1010, words: vec![0; 4] });
-        assert!(matches!(p.validate(), Err(ValidateError::OverlappingData(..))));
+        p.data.push(DataSegment {
+            base: 0x1000,
+            words: vec![0; 4],
+        });
+        p.data.push(DataSegment {
+            base: 0x1010,
+            words: vec![0; 4],
+        });
+        assert!(matches!(
+            p.validate(),
+            Err(ValidateError::OverlappingData(..))
+        ));
     }
 }

@@ -99,7 +99,12 @@ mod tests {
     use vp_isa::{AluOp, CodeRef, Cond, Inst, Reg, Src};
 
     fn add(rd: u8, rs1: u8, rs2: u8) -> Inst {
-        Inst::Alu { op: AluOp::Add, rd: Reg::int(rd), rs1: Reg::int(rs1), rs2: Reg::int(rs2).into() }
+        Inst::Alu {
+            op: AluOp::Add,
+            rd: Reg::int(rd),
+            rs1: Reg::int(rs1),
+            rs2: Reg::int(rs2).into(),
+        }
     }
 
     /// b0: r20 = r21 + r22; branch on r20 -> b1 / b2

@@ -185,7 +185,11 @@ mod tests {
         assert_eq!(loops.len(), 2, "outer and inner loop");
         // The inner loop is strictly contained in the outer.
         let (a, b) = (&loops[0], &loops[1]);
-        let (outer, inner) = if a.body.len() > b.body.len() { (a, b) } else { (b, a) };
+        let (outer, inner) = if a.body.len() > b.body.len() {
+            (a, b)
+        } else {
+            (b, a)
+        };
         assert!(inner.body.iter().all(|blk| outer.contains(*blk)));
         assert!(outer.body.len() > inner.body.len());
         for l in &loops {

@@ -28,7 +28,15 @@ pub fn dump_function(p: &Program, id: FuncId, layout: Option<&Layout>) -> String
     let _ = writeln!(out, "{} <{}>{}:", f.id, f.name, kind);
     for (bid, block) in f.blocks_iter() {
         let addr = layout
-            .map(|l| format!("{:#08x} ", l.addr_of(CodeRef { func: id, block: bid })))
+            .map(|l| {
+                format!(
+                    "{:#08x} ",
+                    l.addr_of(CodeRef {
+                        func: id,
+                        block: bid
+                    })
+                )
+            })
             .unwrap_or_default();
         let entry = if bid == f.entry { " (entry)" } else { "" };
         let _ = writeln!(out, "{addr}{bid}{entry}:");
@@ -58,7 +66,13 @@ fn render_ref(p: &Program, r: CodeRef) -> String {
 fn render_term(p: &Program, t: &Terminator) -> String {
     match t {
         Terminator::Goto(r) => format!("goto {}", render_ref(p, *r)),
-        Terminator::Br { cond, rs1, rs2, taken, not_taken } => format!(
+        Terminator::Br {
+            cond,
+            rs1,
+            rs2,
+            taken,
+            not_taken,
+        } => format!(
             "br.{cond:?} {rs1}, {rs2} -> {} | {}",
             render_ref(p, *taken),
             render_ref(p, *not_taken)
@@ -119,6 +133,9 @@ mod tests {
         let p = sample();
         let layout = Layout::natural(&p);
         let text = dump_program(&p, Some(&layout));
-        assert!(text.contains("0x010000"), "code-base addresses rendered: {text}");
+        assert!(
+            text.contains("0x010000"),
+            "code-base addresses rendered: {text}"
+        );
     }
 }

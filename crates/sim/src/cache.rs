@@ -26,9 +26,15 @@ impl Cache {
     /// number of sets.
     pub fn new(size_bytes: usize, ways: usize, line_bytes: usize) -> Cache {
         let lines = size_bytes / line_bytes;
-        assert!(lines >= ways && lines % ways == 0, "bad cache geometry");
+        assert!(
+            lines >= ways && lines.is_multiple_of(ways),
+            "bad cache geometry"
+        );
         let sets = lines / ways;
-        assert!(sets.is_power_of_two(), "cache set count must be a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "cache set count must be a power of two"
+        );
         Cache {
             sets,
             ways,

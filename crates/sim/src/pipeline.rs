@@ -38,7 +38,11 @@ struct IssueRing {
 
 impl IssueRing {
     fn new() -> IssueRing {
-        IssueRing { cycle_of: vec![u64::MAX; RING], issued: vec![0; RING], fu: vec![[0; 4]; RING] }
+        IssueRing {
+            cycle_of: vec![u64::MAX; RING],
+            issued: vec![0; RING],
+            fu: vec![[0; 4]; RING],
+        }
     }
 
     fn slot(&mut self, t: u64) -> usize {
@@ -76,7 +80,67 @@ pub struct TimingStats {
     pub dcache_misses: u64,
     /// Unified L2 misses.
     pub l2_misses: u64,
+    /// Conditional branches replayed (direction-predictor lookups).
+    pub cond_branches: u64,
+    /// Return instructions replayed (RAS lookups).
+    pub returns: u64,
+    /// Instruction-cache demand accesses (one per fetched line).
+    pub icache_accesses: u64,
+    /// L1 data-cache accesses.
+    pub dcache_accesses: u64,
+    /// Unified L2 accesses (L1 misses from either side).
+    pub l2_accesses: u64,
 }
+
+impl TimingStats {
+    /// Fraction of predicted transfers (conditional branches and returns)
+    /// resolved without a redirect.
+    pub fn predictor_hit_rate(&self) -> f64 {
+        let predicted = self.cond_branches + self.returns;
+        if predicted == 0 {
+            return 1.0;
+        }
+        1.0 - self.mispredicts as f64 / predicted as f64
+    }
+
+    /// Instruction-cache miss rate.
+    pub fn icache_miss_rate(&self) -> f64 {
+        rate(self.icache_misses, self.icache_accesses)
+    }
+
+    /// L1 data-cache miss rate.
+    pub fn dcache_miss_rate(&self) -> f64 {
+        rate(self.dcache_misses, self.dcache_accesses)
+    }
+
+    /// Unified L2 miss rate (relative to L2 accesses, i.e. L1 misses).
+    pub fn l2_miss_rate(&self) -> f64 {
+        rate(self.l2_misses, self.l2_accesses)
+    }
+}
+
+fn rate(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 / whole as f64
+    }
+}
+
+use vp_trace::{Counter, Value};
+
+static SIM_CYCLES: Counter = Counter::new("sim.cycles");
+static SIM_RETIRED: Counter = Counter::new("sim.retired");
+static SIM_MISPREDICTS: Counter = Counter::new("sim.mispredicts");
+static SIM_COND_BRANCHES: Counter = Counter::new("sim.cond_branches");
+static SIM_RETURNS: Counter = Counter::new("sim.returns");
+static SIM_TAKEN_REDIRECTS: Counter = Counter::new("sim.taken_redirects");
+static SIM_ICACHE_ACCESSES: Counter = Counter::new("sim.icache.accesses");
+static SIM_ICACHE_MISSES: Counter = Counter::new("sim.icache.misses");
+static SIM_DCACHE_ACCESSES: Counter = Counter::new("sim.dcache.accesses");
+static SIM_DCACHE_MISSES: Counter = Counter::new("sim.dcache.misses");
+static SIM_L2_ACCESSES: Counter = Counter::new("sim.l2.accesses");
+static SIM_L2_MISSES: Counter = Counter::new("sim.l2.misses");
 
 /// The timing model. Attach to an execution as a [`Sink`], then read
 /// [`TimingModel::cycles`].
@@ -134,6 +198,37 @@ impl TimingModel {
         self.stats
     }
 
+    /// Publishes the model's aggregate statistics as `sim.*` trace
+    /// counters plus a `sim.rates` event carrying the predictor hit rate
+    /// and per-cache miss rates. Call once per completed run.
+    pub fn emit_trace(&self) {
+        if !vp_trace::enabled() {
+            return;
+        }
+        let s = &self.stats;
+        SIM_CYCLES.add(self.cycles());
+        SIM_RETIRED.add(s.retired);
+        SIM_MISPREDICTS.add(s.mispredicts);
+        SIM_COND_BRANCHES.add(s.cond_branches);
+        SIM_RETURNS.add(s.returns);
+        SIM_TAKEN_REDIRECTS.add(s.taken_redirects);
+        SIM_ICACHE_ACCESSES.add(s.icache_accesses);
+        SIM_ICACHE_MISSES.add(s.icache_misses);
+        SIM_DCACHE_ACCESSES.add(s.dcache_accesses);
+        SIM_DCACHE_MISSES.add(s.dcache_misses);
+        SIM_L2_ACCESSES.add(s.l2_accesses);
+        SIM_L2_MISSES.add(s.l2_misses);
+        vp_trace::event(
+            "sim.rates",
+            &[
+                ("predictor_hit", Value::from(s.predictor_hit_rate())),
+                ("icache_miss", Value::from(s.icache_miss_rate())),
+                ("dcache_miss", Value::from(s.dcache_miss_rate())),
+                ("l2_miss", Value::from(s.l2_miss_rate())),
+            ],
+        );
+    }
+
     fn units(&self, c: FuClass) -> u32 {
         match c {
             FuClass::IntAlu => self.cfg.int_alu_units,
@@ -145,10 +240,12 @@ impl TimingModel {
 
     /// Extra latency of a data access through L1D → L2 → memory.
     fn daccess(&mut self, addr: u64) -> u32 {
+        self.stats.dcache_accesses += 1;
         if self.l1d.access(addr) {
             0
         } else {
             self.stats.dcache_misses += 1;
+            self.stats.l2_accesses += 1;
             if self.l2.access(addr) {
                 self.cfg.l2_latency
             } else {
@@ -160,10 +257,12 @@ impl TimingModel {
 
     /// Extra latency of an instruction fetch through L1I → L2 → memory.
     fn iaccess(&mut self, addr: u64) -> u32 {
+        self.stats.icache_accesses += 1;
         if self.l1i.access(addr) {
             0
         } else {
             self.stats.icache_misses += 1;
+            self.stats.l2_accesses += 1;
             if self.l2.access(addr) {
                 self.cfg.l2_latency
             } else {
@@ -228,6 +327,7 @@ impl Sink for TimingModel {
         if let Some(c) = &r.ctrl {
             let mut mispredict = false;
             if c.is_cond {
+                self.stats.cond_branches += 1;
                 let pred = self.gshare.predict(r.addr);
                 if pred != c.taken {
                     mispredict = true;
@@ -240,6 +340,7 @@ impl Sink for TimingModel {
                     self.btb.update(r.addr, c.target);
                 }
             } else if c.is_ret {
+                self.stats.returns += 1;
                 if self.ras.pop() != Some(c.target) {
                     mispredict = true;
                 }
@@ -260,9 +361,14 @@ impl Sink for TimingModel {
                     }
                     // Those touches are speculative fetches, not demand
                     // misses of committed code.
-                    self.stats.icache_misses = self.stats.icache_misses.saturating_sub(
-                        self.cfg.branch_resolution as u64,
-                    );
+                    self.stats.icache_misses = self
+                        .stats
+                        .icache_misses
+                        .saturating_sub(self.cfg.branch_resolution as u64);
+                    self.stats.icache_accesses = self
+                        .stats
+                        .icache_accesses
+                        .saturating_sub(self.cfg.branch_resolution as u64);
                 }
                 self.fetch_cycle = t + self.cfg.branch_resolution as u64;
                 self.fetch_left = self.cfg.issue_width;
@@ -281,7 +387,13 @@ mod tests {
     use super::*;
     use vp_isa::{CodeRef, Reg};
 
-    fn inst(addr: u64, fu: FuClass, def: Option<Reg>, uses: [Option<Reg>; 3], latency: u32) -> Retired {
+    fn inst(
+        addr: u64,
+        fu: FuClass,
+        def: Option<Reg>,
+        uses: [Option<Reg>; 3],
+        latency: u32,
+    ) -> Retired {
         Retired {
             loc: CodeRef::new(0, 0),
             addr,
@@ -300,7 +412,13 @@ mod tests {
     fn independent_alu_ops_bounded_by_unit_count() {
         let mut tm = TimingModel::new(MachineConfig::table2());
         for i in 0..1000u64 {
-            tm.retire(&inst(0x1000 + 4 * (i % 16), FuClass::IntAlu, Some(Reg::int(20)), [None; 3], 1));
+            tm.retire(&inst(
+                0x1000 + 4 * (i % 16),
+                FuClass::IntAlu,
+                Some(Reg::int(20)),
+                [None; 3],
+                1,
+            ));
         }
         // 5 integer ALUs: ~200 cycles, plus the cold-start I-cache miss
         // (L1I + L2 both miss once) and pipeline fill.
@@ -313,10 +431,19 @@ mod tests {
         let mut tm = TimingModel::new(MachineConfig::table2());
         let r = Reg::int(20);
         for i in 0..1000u64 {
-            tm.retire(&inst(0x1000 + 4 * (i % 16), FuClass::IntAlu, Some(r), [Some(r), None, None], 1));
+            tm.retire(&inst(
+                0x1000 + 4 * (i % 16),
+                FuClass::IntAlu,
+                Some(r),
+                [Some(r), None, None],
+                1,
+            ));
         }
         let c = tm.cycles();
-        assert!(c >= 1000, "a dependence chain runs at one per cycle, got {c}");
+        assert!(
+            c >= 1000,
+            "a dependence chain runs at one per cycle, got {c}"
+        );
     }
 
     #[test]
@@ -333,7 +460,13 @@ mod tests {
             ld.mem_addr = Some(0x9000);
             tm.retire(&ld);
             // Dependent consumer.
-            tm.retire(&inst(0x1014, FuClass::IntAlu, Some(Reg::int(22)), [Some(Reg::int(21)), None, None], 1));
+            tm.retire(&inst(
+                0x1014,
+                FuClass::IntAlu,
+                Some(Reg::int(22)),
+                [Some(Reg::int(21)), None, None],
+                1,
+            ));
         }
         assert!(
             miss.cycles() > hit.cycles(),
@@ -362,7 +495,13 @@ mod tests {
                     ret_addr: 0,
                 });
                 tm.retire(&br);
-                tm.retire(&inst(if taken { 0x2000 } else { 0x1004 }, FuClass::IntAlu, None, [None; 3], 1));
+                tm.retire(&inst(
+                    if taken { 0x2000 } else { 0x1004 },
+                    FuClass::IntAlu,
+                    None,
+                    [None; 3],
+                    1,
+                ));
             }
             tm
         };
@@ -394,9 +533,21 @@ mod tests {
         let mut tiny_loop = TimingModel::new(cfg);
         let mut huge_stride = TimingModel::new(cfg);
         for i in 0..2000u64 {
-            tiny_loop.retire(&inst(0x1000 + 4 * (i % 8), FuClass::IntAlu, None, [None; 3], 1));
+            tiny_loop.retire(&inst(
+                0x1000 + 4 * (i % 8),
+                FuClass::IntAlu,
+                None,
+                [None; 3],
+                1,
+            ));
             // Stride exceeding L1I capacity: every line misses.
-            huge_stride.retire(&inst(0x1000 + 4096 * i, FuClass::IntAlu, None, [None; 3], 1));
+            huge_stride.retire(&inst(
+                0x1000 + 4096 * i,
+                FuClass::IntAlu,
+                None,
+                [None; 3],
+                1,
+            ));
         }
         assert!(huge_stride.stats().icache_misses > 1900);
         assert!(huge_stride.cycles() > tiny_loop.cycles() * 5);
@@ -416,7 +567,7 @@ mod tests {
 #[cfg(test)]
 mod ras_tests {
     use super::*;
-    use vp_exec::{Executor, RunConfig, Sink};
+    use vp_exec::{Executor, RunConfig};
     use vp_isa::{Cond, Reg, Src};
     use vp_program::{Layout, ProgramBuilder};
 
@@ -446,7 +597,9 @@ mod ras_tests {
         let p = pb.build();
         let layout = Layout::natural(&p);
         let mut tm = TimingModel::new(MachineConfig::table2());
-        Executor::new(&p, &layout).run(&mut tm, &RunConfig::default()).unwrap();
+        Executor::new(&p, &layout)
+            .run(&mut tm, &RunConfig::default())
+            .unwrap();
         // 2000 returns; after warmup virtually all predicted.
         assert!(
             tm.stats().mispredicts < 50,

@@ -14,7 +14,11 @@ impl Gshare {
     /// Creates a predictor with `history_bits` of global history and a
     /// `2^history_bits`-entry pattern table initialized weakly taken.
     pub fn new(history_bits: u32) -> Gshare {
-        Gshare { history_bits, history: 0, counters: vec![2; 1 << history_bits] }
+        Gshare {
+            history_bits,
+            history: 0,
+            counters: vec![2; 1 << history_bits],
+        }
     }
 
     fn index(&self, addr: u64) -> usize {
@@ -54,7 +58,9 @@ impl Btb {
     /// Panics unless `entries` is a power of two.
     pub fn new(entries: usize) -> Btb {
         assert!(entries.is_power_of_two());
-        Btb { entries: vec![None; entries] }
+        Btb {
+            entries: vec![None; entries],
+        }
     }
 
     fn index(&self, addr: u64) -> usize {
@@ -87,7 +93,11 @@ pub struct Ras {
 impl Ras {
     /// Creates a RAS holding up to `capacity` return addresses.
     pub fn new(capacity: usize) -> Ras {
-        Ras { stack: Vec::with_capacity(capacity), capacity, overflowed: 0 }
+        Ras {
+            stack: Vec::with_capacity(capacity),
+            capacity,
+            overflowed: 0,
+        }
     }
 
     /// Pushes a return address at a call; the oldest entry is dropped on
@@ -143,7 +153,10 @@ mod tests {
             g.update(0x2000, taken);
             taken = !taken;
         }
-        assert!(correct > 290, "gshare must learn the alternating pattern, got {correct}/300");
+        assert!(
+            correct > 290,
+            "gshare must learn the alternating pattern, got {correct}/300"
+        );
     }
 
     #[test]

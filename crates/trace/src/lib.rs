@@ -1,0 +1,516 @@
+//! `vp-trace`: zero-dependency structured tracing for the vacuum-packing
+//! pipeline.
+//!
+//! Three primitives:
+//!
+//! * [`span`] — RAII stage timers; drop records wall time;
+//! * [`Counter`] — named monotonic counters, cheap enough for hot loops;
+//! * [`event`] — typed one-shot events with key/value fields.
+//!
+//! Tracing is **off by default**: every instrumentation site is guarded by
+//! [`enabled`], a single relaxed load of an atomic, so instrumented hot
+//! loops cost one predictable branch when nothing is listening.
+//!
+//! Output goes to a pluggable [`sink::TraceSink`] selected via the
+//! `VP_TRACE` environment variable (`summary`, `json`, or `json:<path>`),
+//! or installed programmatically with [`install`]. Tests use [`scoped`],
+//! which enables tracing on the current thread's behalf and returns every
+//! counter increment, span, and event the closure produced — deterministic
+//! even under `cargo test`'s thread pool, because collection is
+//! thread-local.
+//!
+//! Run manifests (config + stage times + counters + result tables) are
+//! built with [`manifest::Manifest`] and emitted as single JSONL objects.
+
+pub mod json;
+pub mod manifest;
+pub mod sink;
+
+pub use json::Json;
+pub use manifest::Manifest;
+pub use sink::{JsonlSink, MemorySink, SummarySink, TraceSink};
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// One trace record, as delivered to sinks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// A completed span: total wall time in nanoseconds.
+    Span {
+        /// Stage name, e.g. `"profile.run"`.
+        name: String,
+        /// Elapsed wall time in nanoseconds.
+        nanos: u64,
+    },
+    /// A counter total, flushed by [`finish`].
+    Count {
+        /// Counter name, e.g. `"hsd.detections"`.
+        name: String,
+        /// Accumulated value.
+        value: u64,
+    },
+    /// A typed event with fields.
+    Event {
+        /// Event name, e.g. `"core.pkg.inline"`.
+        name: String,
+        /// Ordered key/value fields.
+        fields: Vec<(String, Value)>,
+    },
+}
+
+/// A field value attached to an [`Record::Event`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::U64(v)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::U64(v as u64)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Value {
+        Value::U64(u64::from(v))
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::F64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+/// Count of reasons tracing is on: an installed sink plus any live
+/// [`scoped`] regions. Zero means every instrumentation site is a single
+/// predicted-not-taken branch.
+static ACTIVE: AtomicUsize = AtomicUsize::new(0);
+
+/// Whether any instrumentation consumer is active.
+///
+/// This is the mandated fast path: one relaxed atomic load.
+#[inline]
+pub fn enabled() -> bool {
+    ACTIVE.load(Ordering::Relaxed) != 0
+}
+
+fn registry() -> &'static Mutex<BTreeMap<&'static str, &'static AtomicU64>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<&'static str, &'static AtomicU64>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn span_totals() -> &'static Mutex<BTreeMap<String, (u64, u64)>> {
+    static TOTALS: OnceLock<Mutex<BTreeMap<String, (u64, u64)>>> = OnceLock::new();
+    TOTALS.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn sink_slot() -> &'static Mutex<Option<Arc<dyn TraceSink>>> {
+    static SINK: OnceLock<Mutex<Option<Arc<dyn TraceSink>>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(None))
+}
+
+fn current_sink() -> Option<Arc<dyn TraceSink>> {
+    sink_slot().lock().expect("trace sink").clone()
+}
+
+#[derive(Debug, Default)]
+struct ScopeState {
+    counters: BTreeMap<&'static str, u64>,
+    spans: Vec<(String, u64)>,
+    events: Vec<(String, Vec<(String, Value)>)>,
+}
+
+thread_local! {
+    static SCOPES: RefCell<Vec<ScopeState>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A named monotonic counter.
+///
+/// Declare as a `static`, bump with [`Counter::add`] / [`Counter::incr`].
+/// The first increment registers the counter in a global registry; totals
+/// are read via [`counters_snapshot`] and flushed to the sink by
+/// [`finish`]. Increments made inside a [`scoped`] region on the same
+/// thread are additionally captured in that scope's [`TraceReport`].
+pub struct Counter {
+    name: &'static str,
+    cell: OnceLock<&'static AtomicU64>,
+}
+
+impl Counter {
+    /// Creates a counter; `const`, so it works in `static` position.
+    pub const fn new(name: &'static str) -> Counter {
+        Counter {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// The counter's registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Adds `n`; a no-op single branch when tracing is disabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.record(n);
+        }
+    }
+
+    /// Adds one; a no-op single branch when tracing is disabled.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    #[cold]
+    fn record(&self, n: u64) {
+        let cell = self.cell.get_or_init(|| {
+            let mut reg = registry().lock().expect("trace registry");
+            reg.entry(self.name)
+                .or_insert_with(|| Box::leak(Box::new(AtomicU64::new(0))))
+        });
+        cell.fetch_add(n, Ordering::Relaxed);
+        SCOPES.with(|s| {
+            for scope in s.borrow_mut().iter_mut() {
+                *scope.counters.entry(self.name).or_insert(0) += n;
+            }
+        });
+    }
+}
+
+/// An RAII stage timer; created by [`span`], records on drop.
+pub struct Span {
+    live: Option<(String, Instant)>,
+}
+
+/// Starts a stage timer named `name`.
+///
+/// When tracing is disabled this neither allocates nor reads the clock.
+#[inline]
+pub fn span(name: &str) -> Span {
+    if enabled() {
+        Span {
+            live: Some((name.to_string(), Instant::now())),
+        }
+    } else {
+        Span { live: None }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((name, start)) = self.live.take() {
+            let nanos = start.elapsed().as_nanos() as u64;
+            {
+                let mut totals = span_totals().lock().expect("trace span totals");
+                let e = totals.entry(name.clone()).or_insert((0, 0));
+                e.0 += 1;
+                e.1 += nanos;
+            }
+            SCOPES.with(|s| {
+                for scope in s.borrow_mut().iter_mut() {
+                    scope.spans.push((name.clone(), nanos));
+                }
+            });
+            if let Some(sink) = current_sink() {
+                sink.record(&Record::Span { name, nanos });
+            }
+        }
+    }
+}
+
+/// Emits a typed event with fields; a no-op branch when tracing is off.
+#[inline]
+pub fn event(name: &str, fields: &[(&str, Value)]) {
+    if enabled() {
+        event_slow(name, fields);
+    }
+}
+
+#[cold]
+fn event_slow(name: &str, fields: &[(&str, Value)]) {
+    let owned: Vec<(String, Value)> = fields
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.clone()))
+        .collect();
+    SCOPES.with(|s| {
+        for scope in s.borrow_mut().iter_mut() {
+            scope.events.push((name.to_string(), owned.clone()));
+        }
+    });
+    if let Some(sink) = current_sink() {
+        sink.record(&Record::Event {
+            name: name.to_string(),
+            fields: owned,
+        });
+    }
+}
+
+/// Everything a [`scoped`] closure produced on its thread.
+#[derive(Debug, Default, Clone)]
+pub struct TraceReport {
+    /// Counter deltas, by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Spans in completion order: `(name, nanos)`.
+    pub spans: Vec<(String, u64)>,
+    /// Events in emission order.
+    pub events: Vec<(String, Vec<(String, Value)>)>,
+}
+
+impl TraceReport {
+    /// The delta of `name` inside the scope (0 if it never fired).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// How many events named `name` fired inside the scope.
+    pub fn event_count(&self, name: &str) -> usize {
+        self.events.iter().filter(|(n, _)| n == name).count()
+    }
+
+    /// Whether a span named `name` completed inside the scope.
+    pub fn has_span(&self, name: &str) -> bool {
+        self.spans.iter().any(|(n, _)| n == name)
+    }
+}
+
+struct ScopeGuard;
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        ACTIVE.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Runs `f` with tracing enabled and collects everything it recorded on
+/// this thread.
+///
+/// Counter increments, spans, and events from other threads are *not*
+/// captured (they still reach the global registry/sink), which keeps
+/// reports deterministic under `cargo test`'s parallel runner.
+pub fn scoped<T>(f: impl FnOnce() -> T) -> (T, TraceReport) {
+    ACTIVE.fetch_add(1, Ordering::Relaxed);
+    let _guard = ScopeGuard;
+    SCOPES.with(|s| s.borrow_mut().push(ScopeState::default()));
+    let out = f();
+    let state = SCOPES.with(|s| s.borrow_mut().pop()).unwrap_or_default();
+    let report = TraceReport {
+        counters: state
+            .counters
+            .iter()
+            .map(|(k, v)| (k.to_string(), *v))
+            .collect(),
+        spans: state.spans,
+        events: state.events,
+    };
+    (out, report)
+}
+
+/// Installs `sink` as the global trace destination and enables tracing.
+///
+/// Replacing an existing sink keeps tracing enabled; installing over
+/// `None` turns it on.
+pub fn install(sink: Arc<dyn TraceSink>) {
+    let mut slot = sink_slot().lock().expect("trace sink");
+    if slot.is_none() {
+        ACTIVE.fetch_add(1, Ordering::Relaxed);
+    }
+    *slot = Some(sink);
+}
+
+/// Whether a global sink is installed.
+pub fn installed() -> bool {
+    sink_slot().lock().expect("trace sink").is_some()
+}
+
+/// Installs a sink according to `VP_TRACE`.
+///
+/// * `summary` — aggregate table printed to stderr at [`finish`];
+/// * `json` — JSONL records to stderr;
+/// * `json:<path>` — JSONL records appended to `<path>`;
+/// * unset / empty / `0` / `off` — tracing stays disabled.
+///
+/// Returns `true` if a sink was installed.
+pub fn init_from_env() -> bool {
+    match std::env::var("VP_TRACE") {
+        Ok(v) => init_from_spec(&v),
+        Err(_) => false,
+    }
+}
+
+/// Installs a sink from a `VP_TRACE`-style spec string. See
+/// [`init_from_env`].
+pub fn init_from_spec(spec: &str) -> bool {
+    let spec = spec.trim();
+    match spec {
+        "" | "0" | "off" | "none" => false,
+        "summary" => {
+            install(Arc::new(SummarySink::new()));
+            true
+        }
+        "json" => {
+            install(Arc::new(JsonlSink::stderr()));
+            true
+        }
+        _ => {
+            if let Some(path) = spec.strip_prefix("json:") {
+                match JsonlSink::file(path) {
+                    Ok(s) => install(Arc::new(s)),
+                    Err(e) => {
+                        eprintln!("vp-trace: cannot open {path}: {e}; falling back to stderr");
+                        install(Arc::new(JsonlSink::stderr()));
+                    }
+                }
+                true
+            } else {
+                eprintln!("vp-trace: unknown VP_TRACE value {spec:?}; tracing disabled");
+                false
+            }
+        }
+    }
+}
+
+/// A snapshot of every registered counter's current total.
+pub fn counters_snapshot() -> BTreeMap<String, u64> {
+    registry()
+        .lock()
+        .expect("trace registry")
+        .iter()
+        .map(|(name, cell)| (name.to_string(), cell.load(Ordering::Relaxed)))
+        .collect()
+}
+
+/// A snapshot of aggregated span wall times: name → `(count, total nanos)`.
+pub fn spans_snapshot() -> BTreeMap<String, (u64, u64)> {
+    span_totals().lock().expect("trace span totals").clone()
+}
+
+/// Zeroes all counters and clears span aggregates.
+pub fn reset() {
+    for cell in registry().lock().expect("trace registry").values() {
+        cell.store(0, Ordering::Relaxed);
+    }
+    span_totals().lock().expect("trace span totals").clear();
+}
+
+/// Sends a serialized manifest line to the installed sink (if any).
+pub fn emit_manifest(json: &str) {
+    if let Some(sink) = current_sink() {
+        sink.manifest(json);
+    }
+}
+
+/// Flushes counter totals to the sink, flushes the sink, and uninstalls
+/// it (disabling tracing unless scopes are still live).
+pub fn finish() {
+    let sink = {
+        let mut slot = sink_slot().lock().expect("trace sink");
+        let taken = slot.take();
+        if taken.is_some() {
+            ACTIVE.fetch_sub(1, Ordering::Relaxed);
+        }
+        taken
+    };
+    if let Some(sink) = sink {
+        for (name, value) in counters_snapshot() {
+            if value > 0 {
+                sink.record(&Record::Count { name, value });
+            }
+        }
+        sink.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static TEST_COUNTER_A: Counter = Counter::new("test.lib.a");
+    static TEST_COUNTER_B: Counter = Counter::new("test.lib.b");
+
+    #[test]
+    fn disabled_counter_does_not_count() {
+        // No sink, no scope on this thread: increments are dropped.
+        TEST_COUNTER_B.add(5);
+        let ((), report) = scoped(|| {});
+        assert_eq!(report.counter("test.lib.b"), 0);
+    }
+
+    #[test]
+    fn scoped_captures_counters_spans_events() {
+        let (val, report) = scoped(|| {
+            let _s = span("test.stage");
+            TEST_COUNTER_A.add(3);
+            TEST_COUNTER_A.incr();
+            event(
+                "test.ev",
+                &[("k", Value::from(7u64)), ("s", Value::from("x"))],
+            );
+            42
+        });
+        assert_eq!(val, 42);
+        assert_eq!(report.counter("test.lib.a"), 4);
+        assert!(report.has_span("test.stage"));
+        assert_eq!(report.event_count("test.ev"), 1);
+        assert_eq!(report.events[0].1[0], ("k".to_string(), Value::U64(7)));
+    }
+
+    #[test]
+    fn nested_scopes_both_observe() {
+        let ((), outer) = scoped(|| {
+            TEST_COUNTER_A.incr();
+            let ((), inner) = scoped(|| {
+                TEST_COUNTER_A.add(2);
+            });
+            assert_eq!(inner.counter("test.lib.a"), 2);
+        });
+        assert_eq!(outer.counter("test.lib.a"), 3);
+    }
+
+    #[test]
+    fn init_from_spec_rejects_unknown_and_off() {
+        assert!(!init_from_spec(""));
+        assert!(!init_from_spec("off"));
+        assert!(!init_from_spec("0"));
+        assert!(!init_from_spec("definitely-not-a-mode"));
+    }
+}

@@ -1,0 +1,132 @@
+//! Per-run manifests: one JSON object capturing everything needed to
+//! reproduce and diff a bench run — binary name, config, scale/seed,
+//! per-stage wall times, counter totals, and the emitted tables/figures.
+
+use crate::json::Json;
+
+/// Builder for a run manifest.
+///
+/// ```
+/// let mut m = vp_trace::Manifest::new("fig8");
+/// m.set("scale", 1u64.into());
+/// m.table("fig8", &["config".into()], &[vec!["baseline".into()]]);
+/// let line = m.render();
+/// assert!(line.starts_with(r#"{"t":"manifest","schema":"vp-manifest/1","bin":"fig8""#));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Manifest {
+    root: Json,
+    tables: Vec<Json>,
+}
+
+impl Manifest {
+    /// Starts a manifest for the binary `bin`.
+    pub fn new(bin: &str) -> Manifest {
+        let mut root = Json::obj();
+        root.set("t", "manifest".into());
+        root.set("schema", "vp-manifest/1".into());
+        root.set("bin", bin.into());
+        Manifest {
+            root,
+            tables: Vec::new(),
+        }
+    }
+
+    /// Attaches an arbitrary top-level field.
+    pub fn set(&mut self, key: &str, value: Json) -> &mut Manifest {
+        self.root.set(key, value);
+        self
+    }
+
+    /// Attaches a named result table (headers plus stringified rows).
+    pub fn table(&mut self, name: &str, headers: &[String], rows: &[Vec<String>]) -> &mut Manifest {
+        let mut t = Json::obj();
+        t.set("name", name.into());
+        t.set(
+            "headers",
+            Json::Arr(headers.iter().map(|h| h.as_str().into()).collect()),
+        );
+        t.set(
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| Json::Arr(r.iter().map(|c| c.as_str().into()).collect()))
+                    .collect(),
+            ),
+        );
+        self.tables.push(t);
+        self
+    }
+
+    /// Captures the current global counter totals and aggregated span wall
+    /// times into the manifest.
+    pub fn stamp(&mut self) -> &mut Manifest {
+        let mut spans = Json::obj();
+        for (name, (count, nanos)) in crate::spans_snapshot() {
+            let mut s = Json::obj();
+            s.set("count", Json::U64(count));
+            s.set("ms", Json::F64(nanos as f64 / 1e6));
+            spans.set(&name, s);
+        }
+        self.root.set("spans", spans);
+        let mut counters = Json::obj();
+        for (name, value) in crate::counters_snapshot() {
+            if value > 0 {
+                counters.set(&name, Json::U64(value));
+            }
+        }
+        self.root.set("counters", counters);
+        self
+    }
+
+    /// Serializes to one compact JSON line.
+    pub fn render(&self) -> String {
+        let mut root = self.root.clone();
+        if !self.tables.is_empty() {
+            root.set("tables", Json::Arr(self.tables.clone()));
+        }
+        root.render()
+    }
+
+    /// Renders and sends the manifest to the installed sink; returns the
+    /// serialized line either way.
+    pub fn emit(&self) -> String {
+        let line = self.render();
+        crate::emit_manifest(&line);
+        line
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_shape() {
+        let mut m = Manifest::new("table1");
+        m.set("scale", Json::U64(2));
+        m.table(
+            "t",
+            &["a".to_string(), "b".to_string()],
+            &[vec!["1".to_string(), "2".to_string()]],
+        );
+        let line = m.render();
+        assert!(line.contains(r#""bin":"table1""#));
+        assert!(line.contains(r#""scale":2"#));
+        assert!(line.contains(r#""tables":[{"name":"t","headers":["a","b"],"rows":[["1","2"]]}]"#));
+    }
+
+    #[test]
+    fn stamp_attaches_counters_and_spans() {
+        static C: crate::Counter = crate::Counter::new("test.manifest.c");
+        let ((), _report) = crate::scoped(|| {
+            let _s = crate::span("test.manifest.stage");
+            C.add(2);
+        });
+        let mut m = Manifest::new("x");
+        m.stamp();
+        let line = m.render();
+        assert!(line.contains(r#""test.manifest.c":"#));
+        assert!(line.contains(r#""test.manifest.stage""#));
+    }
+}

@@ -1,0 +1,280 @@
+//! Pluggable trace sinks: where span, counter, and event records go.
+//!
+//! Three sinks ship with the crate:
+//!
+//! * [`MemorySink`] — collects records in memory for programmatic
+//!   assertions (tests use the thread-local scope instead when possible);
+//! * [`SummarySink`] — aggregates and prints a human-readable table on
+//!   [`TraceSink::flush`];
+//! * [`JsonlSink`] — streams one JSON object per record (and per
+//!   manifest) to a file or to stderr.
+
+use crate::json::Json;
+use crate::{Record, Value};
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::sync::Mutex;
+
+/// Destination for trace records.
+pub trait TraceSink: Send + Sync {
+    /// Consumes one record.
+    fn record(&self, r: &Record);
+
+    /// Consumes a complete run manifest (already serialized).
+    fn manifest(&self, json: &str) {
+        let _ = json;
+    }
+
+    /// Final flush: called by [`crate::finish`] after counters are drained.
+    fn flush(&self) {}
+}
+
+/// Collects every record in memory.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    records: Mutex<Vec<Record>>,
+    manifests: Mutex<Vec<String>>,
+}
+
+impl MemorySink {
+    /// Creates an empty collector.
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// A copy of the records seen so far.
+    pub fn records(&self) -> Vec<Record> {
+        self.records.lock().expect("memory sink").clone()
+    }
+
+    /// Manifests received so far (serialized JSON lines).
+    pub fn manifests(&self) -> Vec<String> {
+        self.manifests.lock().expect("memory sink").clone()
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&self, r: &Record) {
+        self.records.lock().expect("memory sink").push(r.clone());
+    }
+
+    fn manifest(&self, json: &str) {
+        self.manifests
+            .lock()
+            .expect("memory sink")
+            .push(json.to_string());
+    }
+}
+
+#[derive(Debug, Default)]
+struct SummaryState {
+    spans: BTreeMap<String, (u64, u64)>,
+    counters: BTreeMap<String, u64>,
+    events: BTreeMap<String, u64>,
+}
+
+/// Aggregates spans/counters/events and prints a table to stderr on flush.
+#[derive(Debug, Default)]
+pub struct SummarySink {
+    state: Mutex<SummaryState>,
+}
+
+impl SummarySink {
+    /// Creates an empty summary.
+    pub fn new() -> SummarySink {
+        SummarySink::default()
+    }
+}
+
+impl TraceSink for SummarySink {
+    fn record(&self, r: &Record) {
+        let mut s = self.state.lock().expect("summary sink");
+        match r {
+            Record::Span { name, nanos } => {
+                let e = s.spans.entry(name.clone()).or_insert((0, 0));
+                e.0 += 1;
+                e.1 += nanos;
+            }
+            Record::Count { name, value } => {
+                *s.counters.entry(name.clone()).or_insert(0) += value;
+            }
+            Record::Event { name, .. } => {
+                *s.events.entry(name.clone()).or_insert(0) += 1;
+            }
+        }
+    }
+
+    fn flush(&self) {
+        let s = self.state.lock().expect("summary sink");
+        let mut out = String::from("== vp-trace summary ==\n");
+        if !s.spans.is_empty() {
+            out.push_str("-- stage wall times --\n");
+            for (name, (count, nanos)) in &s.spans {
+                out.push_str(&format!(
+                    "{name:<40} {count:>8} x  {:>12.3} ms total\n",
+                    *nanos as f64 / 1e6
+                ));
+            }
+        }
+        if !s.counters.is_empty() {
+            out.push_str("-- counters --\n");
+            for (name, value) in &s.counters {
+                out.push_str(&format!("{name:<40} {value:>12}\n"));
+            }
+        }
+        if !s.events.is_empty() {
+            out.push_str("-- events --\n");
+            for (name, count) in &s.events {
+                out.push_str(&format!("{name:<40} {count:>12}\n"));
+            }
+        }
+        eprint!("{out}");
+    }
+}
+
+enum JsonlTarget {
+    Stderr,
+    File(std::fs::File),
+}
+
+/// Streams records as JSON lines to stderr or an append-mode file.
+pub struct JsonlSink {
+    target: Mutex<JsonlTarget>,
+}
+
+impl JsonlSink {
+    /// Creates a sink writing to stderr.
+    pub fn stderr() -> JsonlSink {
+        JsonlSink {
+            target: Mutex::new(JsonlTarget::Stderr),
+        }
+    }
+
+    /// Creates a sink appending to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the file cannot be opened.
+    pub fn file(path: &str) -> std::io::Result<JsonlSink> {
+        let f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(JsonlSink {
+            target: Mutex::new(JsonlTarget::File(f)),
+        })
+    }
+
+    fn write_line(&self, line: &str) {
+        let mut t = self.target.lock().expect("jsonl sink");
+        match &mut *t {
+            JsonlTarget::Stderr => {
+                let _ = writeln!(std::io::stderr(), "{line}");
+            }
+            JsonlTarget::File(f) => {
+                let _ = writeln!(f, "{line}");
+            }
+        }
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn record(&self, r: &Record) {
+        self.write_line(&record_json(r).render());
+    }
+
+    fn manifest(&self, json: &str) {
+        self.write_line(json);
+    }
+
+    fn flush(&self) {
+        if let JsonlTarget::File(f) = &mut *self.target.lock().expect("jsonl sink") {
+            let _ = f.flush();
+        }
+    }
+}
+
+/// The JSONL encoding of one record.
+pub fn record_json(r: &Record) -> Json {
+    let mut j = Json::obj();
+    match r {
+        Record::Span { name, nanos } => {
+            j.set("t", "span".into());
+            j.set("name", name.as_str().into());
+            j.set("ns", Json::U64(*nanos));
+        }
+        Record::Count { name, value } => {
+            j.set("t", "count".into());
+            j.set("name", name.as_str().into());
+            j.set("value", Json::U64(*value));
+        }
+        Record::Event { name, fields } => {
+            j.set("t", "event".into());
+            j.set("name", name.as_str().into());
+            let mut obj = Json::obj();
+            for (k, v) in fields {
+                obj.set(k, v.to_json());
+            }
+            j.set("fields", obj);
+        }
+    }
+    j
+}
+
+impl Value {
+    /// The JSON encoding of this field value.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Value::U64(v) => Json::U64(*v),
+            Value::I64(v) => Json::I64(*v),
+            Value::F64(v) => Json::F64(*v),
+            Value::Bool(v) => Json::Bool(*v),
+            Value::Str(v) => Json::Str(v.clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_json_shapes() {
+        let r = Record::Span {
+            name: "pack".into(),
+            nanos: 1500,
+        };
+        assert_eq!(
+            record_json(&r).render(),
+            r#"{"t":"span","name":"pack","ns":1500}"#
+        );
+        let r = Record::Count {
+            name: "hsd.detections".into(),
+            value: 7,
+        };
+        assert_eq!(
+            record_json(&r).render(),
+            r#"{"t":"count","name":"hsd.detections","value":7}"#
+        );
+        let r = Record::Event {
+            name: "inline".into(),
+            fields: vec![("depth".into(), Value::U64(2))],
+        };
+        assert_eq!(
+            record_json(&r).render(),
+            r#"{"t":"event","name":"inline","fields":{"depth":2}}"#
+        );
+    }
+
+    #[test]
+    fn memory_sink_collects() {
+        let s = MemorySink::new();
+        s.record(&Record::Count {
+            name: "a".into(),
+            value: 1,
+        });
+        s.manifest("{}");
+        assert_eq!(s.records().len(), 1);
+        assert_eq!(s.manifests(), vec!["{}".to_string()]);
+    }
+}

@@ -17,6 +17,7 @@
 //! | [`opt`] | `vp-opt` | weight propagation, relayout, rescheduling |
 //! | [`workloads`] | `vp-workloads` | the Table 1 benchmark suite |
 //! | [`metrics`] | `vp-metrics` | experiment harness, Figure 9 taxonomy, rendering |
+//! | [`trace`] | `vp-trace` | structured tracing: spans, counters, events, JSON manifests |
 //!
 //! ## Quickstart
 //!
@@ -42,6 +43,7 @@ pub use vp_metrics as metrics;
 pub use vp_opt as opt;
 pub use vp_program as program;
 pub use vp_sim as sim;
+pub use vp_trace as trace;
 pub use vp_workloads as workloads;
 
 /// The most commonly used items in one import.
@@ -54,5 +56,6 @@ pub mod prelude {
     pub use vp_opt::{optimize_packages, OptConfig};
     pub use vp_program::{Layout, LayoutOrder, Program, ProgramBuilder};
     pub use vp_sim::{MachineConfig, TimingModel};
+    pub use vp_trace::{Manifest, MemorySink, SummarySink, TraceSink};
     pub use vp_workloads::{suite, Workload};
 }

@@ -7,7 +7,6 @@
 //! (shared between phases with a large bias swing).
 
 use crate::util::{add_service, lcg_bits, lcg_step, rng};
-use rand::Rng;
 use vp_isa::{Cond, Reg, Src};
 use vp_program::{Program, ProgramBuilder};
 
@@ -21,8 +20,24 @@ pub fn build(scale: u32) -> Program {
 
     // Opening board: ~8% occupied; endgame board: ~92% occupied — the
     // occupancy branch flips bias between the game stages.
-    let sparse: Vec<u64> = (0..POINTS).map(|_| if r.gen_range(0..100) < 8 { 1 + r.gen_range(0..2u64) } else { 0 }).collect();
-    let dense: Vec<u64> = (0..POINTS).map(|_| if r.gen_range(0..100) < 92 { 1 + r.gen_range(0..2u64) } else { 0 }).collect();
+    let sparse: Vec<u64> = (0..POINTS)
+        .map(|_| {
+            if r.gen_range(0..100) < 8 {
+                1 + r.gen_range(0..2u64)
+            } else {
+                0
+            }
+        })
+        .collect();
+    let dense: Vec<u64> = (0..POINTS)
+        .map(|_| {
+            if r.gen_range(0..100) < 92 {
+                1 + r.gen_range(0..2u64)
+            } else {
+                0
+            }
+        })
+        .collect();
     let sparse_base = pb.data(sparse);
     let dense_base = pb.data(dense);
     let influence = pb.zeros(POINTS as usize);
@@ -159,7 +174,9 @@ mod tests {
         let p = build(1);
         p.validate().unwrap();
         let layout = Layout::natural(&p);
-        let stats = Executor::new(&p, &layout).run(&mut NullSink, &RunConfig::default()).unwrap();
+        let stats = Executor::new(&p, &layout)
+            .run(&mut NullSink, &RunConfig::default())
+            .unwrap();
         assert_eq!(stats.stop, vp_exec::StopReason::Halted);
         assert!(stats.retired > 500_000);
     }
@@ -174,7 +191,9 @@ mod tests {
         let mut ex = Executor::new(&p, &layout);
         ex.run(&mut NullSink, &RunConfig::default()).unwrap();
         let infl = p.data[2].base;
-        let touched = (0..POINTS as u64).filter(|i| ex.memory().read(infl + 8 * i) > 0).count();
+        let touched = (0..POINTS as u64)
+            .filter(|i| ex.memory().read(infl + 8 * i) > 0)
+            .count();
         assert!(touched > 50, "influence map barely touched: {touched}");
     }
 }

@@ -16,7 +16,7 @@ const HASH_SIZE: i64 = 4096;
 /// Builds the workload; `scale` multiplies the number of passes.
 pub fn build(scale: u32) -> Program {
     let scale = scale.max(1) as i64;
-    let mut r = rng(0x16_4);
+    let mut r = rng(0x0164);
     let mut pb = ProgramBuilder::new();
 
     // Input: first half highly repetitive (period striding), second half
@@ -217,7 +217,9 @@ mod tests {
         let p = build(1);
         p.validate().unwrap();
         let layout = Layout::natural(&p);
-        let stats = Executor::new(&p, &layout).run(&mut NullSink, &RunConfig::default()).unwrap();
+        let stats = Executor::new(&p, &layout)
+            .run(&mut NullSink, &RunConfig::default())
+            .unwrap();
         assert_eq!(stats.stop, vp_exec::StopReason::Halted);
         assert!(stats.retired > 1_000_000, "retired {}", stats.retired);
     }

@@ -8,7 +8,6 @@
 //! bias exactly as different photographic inputs did in the original.
 
 use crate::util::{add_service, random_words, rng};
-use rand::Rng;
 use vp_isa::{Cond, FaluOp, Reg, Src};
 use vp_program::{Program, ProgramBuilder};
 
@@ -29,16 +28,24 @@ const BLOCK_WORDS: usize = 64;
 /// Builds the workload.
 pub fn build(input: Input, scale: u32) -> Program {
     let scale = scale.max(1) as i64;
-    let mut r = rng(0x13_2);
+    let mut r = rng(0x0132);
     let mut pb = ProgramBuilder::new();
 
     // Image: BLOCKS blocks of 64 samples; smoothness by input.
     let n_samples = BLOCKS as usize * BLOCK_WORDS;
     let image: Vec<u64> = match input {
-        Input::B => (0..n_samples).map(|i| 128 + ((i / 64) % 8) as u64).collect(),
+        Input::B => (0..n_samples)
+            .map(|i| 128 + ((i / 64) % 8) as u64)
+            .collect(),
         Input::C => random_words(&mut r, n_samples, 256),
         Input::A => (0..n_samples)
-            .map(|i| if (i / (64 * 200)) % 2 == 0 { 128 + (i % 4) as u64 } else { r.gen_range(0..256) })
+            .map(|i| {
+                if (i / (64 * 200)) % 2 == 0 {
+                    128 + (i % 4) as u64
+                } else {
+                    r.gen_range(0..256u64)
+                }
+            })
             .collect(),
     };
     let image_base = pb.data(image);
@@ -179,8 +186,9 @@ mod tests {
             let p = build(input, 1);
             p.validate().unwrap();
             let layout = Layout::natural(&p);
-            let stats =
-                Executor::new(&p, &layout).run(&mut NullSink, &RunConfig::default()).unwrap();
+            let stats = Executor::new(&p, &layout)
+                .run(&mut NullSink, &RunConfig::default())
+                .unwrap();
             assert_eq!(stats.stop, vp_exec::StopReason::Halted, "{input:?}");
             assert!(stats.retired > 500_000);
         }

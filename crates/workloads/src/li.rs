@@ -281,7 +281,9 @@ mod tests {
     fn input_a_runs() {
         let p = build(Input::A, 1);
         let layout = Layout::natural(&p);
-        let stats = Executor::new(&p, &layout).run(&mut NullSink, &RunConfig::default()).unwrap();
+        let stats = Executor::new(&p, &layout)
+            .run(&mut NullSink, &RunConfig::default())
+            .unwrap();
         assert_eq!(stats.stop, vp_exec::StopReason::Halted);
         assert!(stats.retired > 200_000);
     }
@@ -301,8 +303,12 @@ mod tests {
     fn input_c_is_longer_than_a() {
         let (pa, pc) = (build(Input::A, 1), build(Input::C, 1));
         let (la, lc) = (Layout::natural(&pa), Layout::natural(&pc));
-        let sa = Executor::new(&pa, &la).run(&mut NullSink, &RunConfig::default()).unwrap();
-        let sc = Executor::new(&pc, &lc).run(&mut NullSink, &RunConfig::default()).unwrap();
+        let sa = Executor::new(&pa, &la)
+            .run(&mut NullSink, &RunConfig::default())
+            .unwrap();
+        let sc = Executor::new(&pc, &lc)
+            .run(&mut NullSink, &RunConfig::default())
+            .unwrap();
         assert!(sc.retired > sa.retired * 2);
     }
 }

@@ -36,6 +36,7 @@ pub mod mcf;
 pub mod mpeg2dec;
 pub mod parser;
 pub mod perl;
+pub mod rng;
 pub mod twolf;
 pub mod util;
 pub mod vortex;
@@ -67,25 +68,70 @@ impl Workload {
 /// experiment harness; tests use smaller values through the individual
 /// generators).
 pub fn suite(scale: u32) -> Vec<Workload> {
-    let w = |bench, input, input_desc, program| Workload { bench, input, input_desc, program };
+    let w = |bench, input, input_desc, program| Workload {
+        bench,
+        input,
+        input_desc,
+        program,
+    };
     vec![
         w("099.go", "A", "SPEC Train", go::build(scale)),
         w("124.m88ksim", "A", "SPEC Train", m88ksim::build(scale)),
         w("130.li", "A", "SPEC Train", li::build(li::Input::A, scale)),
         w("130.li", "B", "6 Queens", li::build(li::Input::B, scale)),
         w("130.li", "C", "Reduced Ref", li::build(li::Input::C, scale)),
-        w("132.ijpeg", "A", "SPEC Train", ijpeg::build(ijpeg::Input::A, scale)),
-        w("132.ijpeg", "B", "Custom Faces", ijpeg::build(ijpeg::Input::B, scale)),
-        w("132.ijpeg", "C", "Custom Scenery", ijpeg::build(ijpeg::Input::C, scale)),
-        w("134.perl", "A", "SPEC Train 1", perl::build(perl::Input::A, scale)),
-        w("134.perl", "B", "SPEC Train 2", perl::build(perl::Input::B, scale)),
-        w("134.perl", "C", "SPEC Train 3", perl::build(perl::Input::C, scale)),
+        w(
+            "132.ijpeg",
+            "A",
+            "SPEC Train",
+            ijpeg::build(ijpeg::Input::A, scale),
+        ),
+        w(
+            "132.ijpeg",
+            "B",
+            "Custom Faces",
+            ijpeg::build(ijpeg::Input::B, scale),
+        ),
+        w(
+            "132.ijpeg",
+            "C",
+            "Custom Scenery",
+            ijpeg::build(ijpeg::Input::C, scale),
+        ),
+        w(
+            "134.perl",
+            "A",
+            "SPEC Train 1",
+            perl::build(perl::Input::A, scale),
+        ),
+        w(
+            "134.perl",
+            "B",
+            "SPEC Train 2",
+            perl::build(perl::Input::B, scale),
+        ),
+        w(
+            "134.perl",
+            "C",
+            "SPEC Train 3",
+            perl::build(perl::Input::C, scale),
+        ),
         w("164.gzip", "A", "SPEC Train", gzip::build(scale)),
         w("175.vpr", "A", "SPEC Test", vpr::build(scale)),
         w("181.mcf", "A", "SPEC Test", mcf::build(scale)),
         w("197.parser", "A", "UMN_sm_red", parser::build(scale)),
-        w("255.vortex", "A", "UMN_sm_red", vortex::build(vortex::Input::A, scale)),
-        w("255.vortex", "B", "UMN_md_red", vortex::build(vortex::Input::B, scale)),
+        w(
+            "255.vortex",
+            "A",
+            "UMN_sm_red",
+            vortex::build(vortex::Input::A, scale),
+        ),
+        w(
+            "255.vortex",
+            "B",
+            "UMN_md_red",
+            vortex::build(vortex::Input::B, scale),
+        ),
         w("300.twolf", "A", "UMN_sm_red", twolf::build(scale)),
         w("mpeg2dec", "A", "Media Train", mpeg2dec::build(scale)),
     ]
@@ -107,7 +153,9 @@ mod tests {
         let benches: std::collections::BTreeSet<&str> = s.iter().map(|w| w.bench).collect();
         assert_eq!(benches.len(), 12, "12 distinct benchmarks");
         for w in &s {
-            w.program.validate().unwrap_or_else(|e| panic!("{} invalid: {e}", w.label()));
+            w.program
+                .validate()
+                .unwrap_or_else(|e| panic!("{} invalid: {e}", w.label()));
         }
     }
 

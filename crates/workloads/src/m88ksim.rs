@@ -23,11 +23,15 @@ pub fn build(scale: u32) -> Program {
     // Binary 1: ~98.5% of words carry the relocation flag (low bit set) —
     // rare enough on the other side that the direct-copy path stays Cold
     // in this phase's region.
-    let bin1: Vec<u64> =
-        random_words(&mut r, bin_words, 1 << 16).iter().map(|w| (w << 1) | ((w % 64 != 0) as u64)).collect();
+    let bin1: Vec<u64> = random_words(&mut r, bin_words, 1 << 16)
+        .iter()
+        .map(|w| (w << 1) | ((w % 64 != 0) as u64))
+        .collect();
     // Binary 2: only ~1.5% relocatable — the same static branch, flipped.
-    let bin2: Vec<u64> =
-        random_words(&mut r, bin_words, 1 << 16).iter().map(|w| (w << 1) | ((w % 64 == 0) as u64)).collect();
+    let bin2: Vec<u64> = random_words(&mut r, bin_words, 1 << 16)
+        .iter()
+        .map(|w| (w << 1) | ((w % 64 == 0) as u64))
+        .collect();
     // Simulated program: 4096 words of opcode-encoded instructions.
     let sim_prog: Vec<u64> = random_words(&mut r, 4096, 1 << 24);
 
@@ -95,41 +99,56 @@ pub fn build(scale: u32) -> Program {
             f.switch(
                 op,
                 vec![
-                    (0, Box::new(|f: &mut vp_program::FunctionBuilder| {
-                        f.shr(Reg::int(31), Reg::int(26), 3);
-                        f.add(Reg::int(25), Reg::int(25), Reg::int(31));
-                    })),
-                    (1, Box::new(|f: &mut vp_program::FunctionBuilder| {
-                        f.shr(Reg::int(31), Reg::int(26), 3);
-                        f.sub(Reg::int(25), Reg::int(25), Reg::int(31));
-                    })),
-                    (2, Box::new(move |f: &mut vp_program::FunctionBuilder| {
-                        // load from data
-                        f.shr(Reg::int(31), Reg::int(26), 3);
-                        f.and(Reg::int(31), Reg::int(31), 4095);
-                        f.shl(Reg::int(31), Reg::int(31), 3);
-                        f.add(Reg::int(31), Reg::int(31), data);
-                        f.load(Reg::int(32), Reg::int(31), 0);
-                        f.add(Reg::int(25), Reg::int(25), Reg::int(32));
-                    })),
-                    (3, Box::new(move |f: &mut vp_program::FunctionBuilder| {
-                        // store to data
-                        f.shr(Reg::int(31), Reg::int(26), 3);
-                        f.and(Reg::int(31), Reg::int(31), 4095);
-                        f.shl(Reg::int(31), Reg::int(31), 3);
-                        f.add(Reg::int(31), Reg::int(31), data);
-                        f.store(Reg::int(25), Reg::int(31), 0);
-                    })),
-                    (4, Box::new(|f: &mut vp_program::FunctionBuilder| {
-                        // conditional jump when acc negative
-                        let c = f.cond(Cond::Lt, Reg::int(25), Src::Imm(0));
-                        f.if_(c, |f| {
+                    (
+                        0,
+                        Box::new(|f: &mut vp_program::FunctionBuilder| {
+                            f.shr(Reg::int(31), Reg::int(26), 3);
+                            f.add(Reg::int(25), Reg::int(25), Reg::int(31));
+                        }),
+                    ),
+                    (
+                        1,
+                        Box::new(|f: &mut vp_program::FunctionBuilder| {
+                            f.shr(Reg::int(31), Reg::int(26), 3);
+                            f.sub(Reg::int(25), Reg::int(25), Reg::int(31));
+                        }),
+                    ),
+                    (
+                        2,
+                        Box::new(move |f: &mut vp_program::FunctionBuilder| {
+                            // load from data
                             f.shr(Reg::int(31), Reg::int(26), 3);
                             f.and(Reg::int(31), Reg::int(31), 4095);
-                            f.mov(Reg::int(24), Reg::int(31));
-                            f.li(Reg::int(25), 1);
-                        });
-                    })),
+                            f.shl(Reg::int(31), Reg::int(31), 3);
+                            f.add(Reg::int(31), Reg::int(31), data);
+                            f.load(Reg::int(32), Reg::int(31), 0);
+                            f.add(Reg::int(25), Reg::int(25), Reg::int(32));
+                        }),
+                    ),
+                    (
+                        3,
+                        Box::new(move |f: &mut vp_program::FunctionBuilder| {
+                            // store to data
+                            f.shr(Reg::int(31), Reg::int(26), 3);
+                            f.and(Reg::int(31), Reg::int(31), 4095);
+                            f.shl(Reg::int(31), Reg::int(31), 3);
+                            f.add(Reg::int(31), Reg::int(31), data);
+                            f.store(Reg::int(25), Reg::int(31), 0);
+                        }),
+                    ),
+                    (
+                        4,
+                        Box::new(|f: &mut vp_program::FunctionBuilder| {
+                            // conditional jump when acc negative
+                            let c = f.cond(Cond::Lt, Reg::int(25), Src::Imm(0));
+                            f.if_(c, |f| {
+                                f.shr(Reg::int(31), Reg::int(26), 3);
+                                f.and(Reg::int(31), Reg::int(31), 4095);
+                                f.mov(Reg::int(24), Reg::int(31));
+                                f.li(Reg::int(25), 1);
+                            });
+                        }),
+                    ),
                 ],
                 |f| {
                     // nop-like: slight mix
@@ -214,7 +233,9 @@ mod tests {
         p.validate().unwrap();
         let layout = Layout::natural(&p);
         let mut counts = InstCounts::new();
-        let stats = Executor::new(&p, &layout).run(&mut counts, &RunConfig::default()).unwrap();
+        let stats = Executor::new(&p, &layout)
+            .run(&mut counts, &RunConfig::default())
+            .unwrap();
         assert_eq!(stats.stop, vp_exec::StopReason::Halted);
         assert!(stats.retired > 500_000, "retired {}", stats.retired);
         assert!(counts.cond_branches > 100_000);
@@ -225,8 +246,12 @@ mod tests {
         let (p1, p2) = (build(1), build(1));
         let l1 = Layout::natural(&p1);
         let l2 = Layout::natural(&p2);
-        let s1 = Executor::new(&p1, &l1).run(&mut NullSink, &RunConfig::default()).unwrap();
-        let s2 = Executor::new(&p2, &l2).run(&mut NullSink, &RunConfig::default()).unwrap();
+        let s1 = Executor::new(&p1, &l1)
+            .run(&mut NullSink, &RunConfig::default())
+            .unwrap();
+        let s2 = Executor::new(&p2, &l2)
+            .run(&mut NullSink, &RunConfig::default())
+            .unwrap();
         assert_eq!(s1.retired, s2.retired);
     }
 }

@@ -15,7 +15,7 @@ const ARCS: usize = 32 * 1024;
 /// Builds the workload.
 pub fn build(scale: u32) -> Program {
     let scale = scale.max(1) as i64;
-    let mut r = rng(0x18_1);
+    let mut r = rng(0x0181);
     let mut pb = ProgramBuilder::new();
 
     let next = pb.data(permutation_cycle(&mut r, ARCS));
@@ -125,7 +125,9 @@ mod tests {
         let p = build(1);
         p.validate().unwrap();
         let layout = Layout::natural(&p);
-        let stats = Executor::new(&p, &layout).run(&mut NullSink, &RunConfig::default()).unwrap();
+        let stats = Executor::new(&p, &layout)
+            .run(&mut NullSink, &RunConfig::default())
+            .unwrap();
         assert_eq!(stats.stop, vp_exec::StopReason::Halted);
         assert!(stats.retired > 1_000_000);
     }
@@ -139,7 +141,12 @@ mod tests {
         let mut ex = Executor::new(&p, &layout);
         ex.run(&mut NullSink, &RunConfig::default()).unwrap();
         let flow_base = p.data[2].base;
-        let touched = (0..1000).filter(|i| ex.memory().read(flow_base + 8 * i) > 0).count();
-        assert!(touched > 100, "only {touched} of the first 1000 flow words touched");
+        let touched = (0..1000)
+            .filter(|i| ex.memory().read(flow_base + 8 * i) > 0)
+            .count();
+        assert!(
+            touched > 100,
+            "only {touched} of the first 1000 flow words touched"
+        );
     }
 }

@@ -25,8 +25,16 @@ pub fn build(scale: u32) -> Program {
     let reference = pb.data(random_words(&mut r, n_words, 256));
     let frame = pb.zeros(n_words);
     // Coded-block-pattern words: static scene = sparse, motion = dense.
-    let cbp_static = pb.data((0..MB_PER_FRAME as usize).map(|i| ((i % 10) == 0) as u64).collect());
-    let cbp_motion = pb.data((0..MB_PER_FRAME as usize).map(|i| ((i % 10) != 0) as u64).collect());
+    let cbp_static = pb.data(
+        (0..MB_PER_FRAME as usize)
+            .map(|i| ((i % 10) == 0) as u64)
+            .collect(),
+    );
+    let cbp_motion = pb.data(
+        (0..MB_PER_FRAME as usize)
+            .map(|i| ((i % 10) != 0) as u64)
+            .collect(),
+    );
 
     // decode_intra(mb=arg0): inverse-transform one macroblock.
     let decode_intra = pb.declare("decode_intra");
@@ -39,7 +47,7 @@ pub fn build(scale: u32) -> Program {
         let facc = Reg::fp(9);
         let fc = Reg::fp(10);
         f.fli(facc, 0.0);
-        f.fli(fc, 0.70710678);
+        f.fli(fc, std::f64::consts::FRAC_1_SQRT_2);
         f.mul(a, mb, (MB_WORDS * 8) as i64);
         f.add(a, a, Src::Imm(bitstream as i64));
         let base = Reg::int(27);
@@ -165,7 +173,9 @@ mod tests {
         let p = build(1);
         p.validate().unwrap();
         let layout = Layout::natural(&p);
-        let stats = Executor::new(&p, &layout).run(&mut NullSink, &RunConfig::default()).unwrap();
+        let stats = Executor::new(&p, &layout)
+            .run(&mut NullSink, &RunConfig::default())
+            .unwrap();
         assert_eq!(stats.stop, vp_exec::StopReason::Halted);
         assert!(stats.retired > 1_000_000);
     }
@@ -177,7 +187,9 @@ mod tests {
         let mut ex = Executor::new(&p, &layout);
         ex.run(&mut NullSink, &RunConfig::default()).unwrap();
         let frame_base = p.data[2].base;
-        let nonzero = (0..512).filter(|i| ex.memory().read(frame_base + 8 * i) != 0).count();
+        let nonzero = (0..512)
+            .filter(|i| ex.memory().read(frame_base + 8 * i) != 0)
+            .count();
         assert!(nonzero > 256, "frame mostly empty: {nonzero}");
     }
 }

@@ -15,7 +15,7 @@ const DICT_SIZE: i64 = 1024;
 /// Builds the workload.
 pub fn build(scale: u32) -> Program {
     let scale = scale.max(1) as i64;
-    let mut r = rng(0x19_7);
+    let mut r = rng(0x0197);
     let mut pb = ProgramBuilder::new();
 
     // Text: small integers standing for characters; 0 = space.
@@ -200,7 +200,9 @@ mod tests {
         let p = build(1);
         p.validate().unwrap();
         let layout = Layout::natural(&p);
-        let stats = Executor::new(&p, &layout).run(&mut NullSink, &RunConfig::default()).unwrap();
+        let stats = Executor::new(&p, &layout)
+            .run(&mut NullSink, &RunConfig::default())
+            .unwrap();
         assert_eq!(stats.stop, vp_exec::StopReason::Halted);
         assert!(stats.retired > 800_000, "retired {}", stats.retired);
     }
@@ -212,7 +214,9 @@ mod tests {
         let mut ex = Executor::new(&p, &layout);
         ex.run(&mut NullSink, &RunConfig::default()).unwrap();
         let dict = p.data[1].base;
-        let hits: u64 = (0..DICT_SIZE as u64).map(|i| ex.memory().read(dict + 8 * i)).sum();
+        let hits: u64 = (0..DICT_SIZE as u64)
+            .map(|i| ex.memory().read(dict + 8 * i))
+            .sum();
         assert!(hits > 10_000, "dictionary probes: {hits}");
     }
 }

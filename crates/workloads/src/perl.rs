@@ -187,8 +187,9 @@ mod tests {
             let p = build(input, 1);
             p.validate().unwrap();
             let layout = Layout::natural(&p);
-            let stats =
-                Executor::new(&p, &layout).run(&mut NullSink, &RunConfig::default()).unwrap();
+            let stats = Executor::new(&p, &layout)
+                .run(&mut NullSink, &RunConfig::default())
+                .unwrap();
             assert_eq!(stats.stop, vp_exec::StopReason::Halted, "{input:?}");
         }
     }

@@ -1,0 +1,138 @@
+//! Deterministic host-side RNG for workload data generation.
+//!
+//! A SplitMix64 generator with a `gen_range` surface mirroring the subset
+//! of `rand` the generators use. Hand-rolled so the workspace builds with
+//! zero external dependencies (tier-1 must succeed offline); streams are
+//! fixed by seed, so generated workload data is stable across runs.
+
+use std::ops::{Range, RangeInclusive};
+
+/// SplitMix64: a tiny, high-quality, seedable 64-bit generator
+/// (Steele, Lea & Flood, OOPSLA 2014).
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 raw bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform sample from `range` (half-open or inclusive integer
+    /// ranges).
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+}
+
+/// Uniform mapping of one raw draw onto `0..span` via the multiply-shift
+/// reduction; bias is < span/2^64, irrelevant for workload data.
+fn bounded(rng: &mut SplitMix64, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64
+}
+
+/// Range types [`SplitMix64::gen_range`] accepts.
+pub trait SampleRange {
+    /// The sampled element type.
+    type Output;
+    /// Draws one uniform sample.
+    fn sample(self, rng: &mut SplitMix64) -> Self::Output;
+}
+
+impl SampleRange for Range<u64> {
+    type Output = u64;
+    fn sample(self, rng: &mut SplitMix64) -> u64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + bounded(rng, self.end - self.start)
+    }
+}
+
+impl SampleRange for Range<u32> {
+    type Output = u32;
+    fn sample(self, rng: &mut SplitMix64) -> u32 {
+        assert!(self.start < self.end, "empty range");
+        self.start + bounded(rng, u64::from(self.end - self.start)) as u32
+    }
+}
+
+impl SampleRange for Range<usize> {
+    type Output = usize;
+    fn sample(self, rng: &mut SplitMix64) -> usize {
+        assert!(self.start < self.end, "empty range");
+        self.start + bounded(rng, (self.end - self.start) as u64) as usize
+    }
+}
+
+impl SampleRange for Range<i32> {
+    type Output = i32;
+    fn sample(self, rng: &mut SplitMix64) -> i32 {
+        assert!(self.start < self.end, "empty range");
+        let span = (i64::from(self.end) - i64::from(self.start)) as u64;
+        (i64::from(self.start) + bounded(rng, span) as i64) as i32
+    }
+}
+
+impl SampleRange for RangeInclusive<usize> {
+    type Output = usize;
+    fn sample(self, rng: &mut SplitMix64) -> usize {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "empty range");
+        start + bounded(rng, (end - start) as u64 + 1) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_by_seed() {
+        let mut a = SplitMix64::seed_from_u64(42);
+        let mut b = SplitMix64::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::seed_from_u64(43);
+        assert_ne!(SplitMix64::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SplitMix64::seed_from_u64(7);
+        for _ in 0..1000 {
+            assert!(r.gen_range(0..10u64) < 10);
+            let v = r.gen_range(5..8u32);
+            assert!((5..8).contains(&v));
+            let v = r.gen_range(0..3usize);
+            assert!(v < 3);
+            let v = r.gen_range(0..=4usize);
+            assert!(v <= 4);
+            let v = r.gen_range(-3..3);
+            assert!((-3..3).contains(&v));
+        }
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let mut r = SplitMix64::seed_from_u64(11);
+        let mut buckets = [0usize; 10];
+        for _ in 0..10_000 {
+            buckets[r.gen_range(0..10usize)] += 1;
+        }
+        for (i, b) in buckets.iter().enumerate() {
+            assert!((800..1200).contains(b), "bucket {i} = {b} far from 1000");
+        }
+    }
+}

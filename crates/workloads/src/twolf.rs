@@ -15,7 +15,7 @@ const CELLS: usize = 4096;
 /// Builds the workload.
 pub fn build(scale: u32) -> Program {
     let scale = scale.max(1) as i64;
-    let mut r = rng(0x30_0);
+    let mut r = rng(0x0300);
     let mut pb = ProgramBuilder::new();
 
     let xpos = pb.data(random_words(&mut r, CELLS, 1024));
@@ -145,7 +145,9 @@ mod tests {
         p.validate().unwrap();
         let layout = Layout::natural(&p);
         let mut counts = InstCounts::new();
-        let stats = Executor::new(&p, &layout).run(&mut counts, &RunConfig::default()).unwrap();
+        let stats = Executor::new(&p, &layout)
+            .run(&mut counts, &RunConfig::default())
+            .unwrap();
         assert_eq!(stats.stop, vp_exec::StopReason::Halted);
         assert!(counts.cond_branches > 300_000);
     }
@@ -156,8 +158,18 @@ mod tests {
         let layout = Layout::natural(&p);
         let mut ex = Executor::new(&p, &layout);
         ex.run(&mut NullSink, &RunConfig::default()).unwrap();
-        let (hot, mid, frozen) = (ex.reg(Reg::int(56)), ex.reg(Reg::int(57)), ex.reg(Reg::int(58)));
-        assert!(hot > mid && mid > frozen, "accept counts must cool: {hot} {mid} {frozen}");
-        assert!(hot > frozen * 5, "bias must flip strongly: {hot} vs {frozen}");
+        let (hot, mid, frozen) = (
+            ex.reg(Reg::int(56)),
+            ex.reg(Reg::int(57)),
+            ex.reg(Reg::int(58)),
+        );
+        assert!(
+            hot > mid && mid > frozen,
+            "accept counts must cool: {hot} {mid} {frozen}"
+        );
+        assert!(
+            hot > frozen * 5,
+            "bias must flip strongly: {hot} vs {frozen}"
+        );
     }
 }

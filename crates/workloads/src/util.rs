@@ -1,7 +1,6 @@
 //! Shared helpers for workload construction.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 use vp_isa::Reg;
 use vp_program::FunctionBuilder;
 
@@ -23,23 +22,23 @@ pub fn lcg_step(f: &mut FunctionBuilder, state: Reg) {
 /// from the LCG state.
 pub fn lcg_bits(f: &mut FunctionBuilder, state: Reg, dst: Reg, bits: u32) {
     f.shr(dst, state, 33);
-    f.and(dst, dst, ((1i64 << bits) - 1) as i64);
+    f.and(dst, dst, (1i64 << bits) - 1);
 }
 
 /// Deterministic RNG for host-side data generation, seeded per workload.
-pub fn rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+pub fn rng(seed: u64) -> SplitMix64 {
+    SplitMix64::seed_from_u64(seed)
 }
 
 /// `n` random words in `0..range`.
-pub fn random_words(rng: &mut StdRng, n: usize, range: u64) -> Vec<u64> {
+pub fn random_words(rng: &mut SplitMix64, n: usize, range: u64) -> Vec<u64> {
     (0..n).map(|_| rng.gen_range(0..range)).collect()
 }
 
 /// `n` words forming a random permutation cycle of `0..n` — chasing it
 /// visits every element in pseudo-random order (the classic
 /// pointer-chasing pattern of 181.mcf).
-pub fn permutation_cycle(rng: &mut StdRng, n: usize) -> Vec<u64> {
+pub fn permutation_cycle(rng: &mut SplitMix64, n: usize) -> Vec<u64> {
     let mut order: Vec<usize> = (0..n).collect();
     // Fisher-Yates.
     for i in (1..n).rev() {
@@ -74,7 +73,7 @@ pub struct ServiceCode {
 /// Adds `nfuncs` service functions of `sections` branch sections each.
 pub fn add_service(
     pb: &mut vp_program::ProgramBuilder,
-    rng: &mut StdRng,
+    rng: &mut SplitMix64,
     tag: &str,
     nfuncs: usize,
     sections: usize,
@@ -164,7 +163,9 @@ mod tests {
         let p = pb.build();
         let layout = Layout::natural(&p);
         let mut counts = vp_exec::InstCounts::new();
-        Executor::new(&p, &layout).run(&mut counts, &RunConfig::default()).unwrap();
+        Executor::new(&p, &layout)
+            .run(&mut counts, &RunConfig::default())
+            .unwrap();
         // 2 functions x 50 sections x 3 rounds: 300 conditional branches.
         assert_eq!(counts.cond_branches, 300);
         assert_eq!(svc.len(), 2);
@@ -195,14 +196,17 @@ mod tests {
         let mut ex = Executor::new(&p, &layout);
         ex.run(&mut NullSink, &RunConfig::default()).unwrap();
         let low = ex.reg(Reg::int(22));
-        assert!((400..600).contains(&low), "low-half count {low} should be ~500");
+        assert!(
+            (400..600).contains(&low),
+            "low-half count {low} should be ~500"
+        );
     }
 
     #[test]
     fn permutation_cycle_visits_everything() {
         let mut r = rng(7);
         let next = permutation_cycle(&mut r, 64);
-        let mut seen = vec![false; 64];
+        let mut seen = [false; 64];
         let mut at = 0usize;
         for _ in 0..64 {
             assert!(!seen[at], "cycle revisited {at} early");

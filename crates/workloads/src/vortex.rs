@@ -6,7 +6,6 @@
 //! gaining from both inference and linking in the speedup experiment.
 
 use crate::util::{add_service, lcg_bits, lcg_step, rng};
-use rand::Rng;
 use vp_isa::{Cond, Reg, Src};
 use vp_program::{Program, ProgramBuilder};
 
@@ -37,7 +36,7 @@ pub fn build(input: Input, scale: u32) -> Program {
         Input::B => 26_000 * scale,
         Input::C => 34_000 * scale,
     };
-    let mut r = rng(0x25_5);
+    let mut r = rng(0x0255);
     let _ = r.gen_range(0..2u32);
     let mut pb = ProgramBuilder::new();
 
@@ -237,8 +236,9 @@ mod tests {
             let p = build(input, 1);
             p.validate().unwrap();
             let layout = Layout::natural(&p);
-            let stats =
-                Executor::new(&p, &layout).run(&mut NullSink, &RunConfig::default()).unwrap();
+            let stats = Executor::new(&p, &layout)
+                .run(&mut NullSink, &RunConfig::default())
+                .unwrap();
             assert_eq!(stats.stop, vp_exec::StopReason::Halted, "{input:?}");
         }
     }
@@ -267,8 +267,12 @@ mod tests {
     fn input_b_is_larger() {
         let (pa, pb_) = (build(Input::A, 1), build(Input::B, 1));
         let (la, lb) = (Layout::natural(&pa), Layout::natural(&pb_));
-        let sa = Executor::new(&pa, &la).run(&mut NullSink, &RunConfig::default()).unwrap();
-        let sb = Executor::new(&pb_, &lb).run(&mut NullSink, &RunConfig::default()).unwrap();
+        let sa = Executor::new(&pa, &la)
+            .run(&mut NullSink, &RunConfig::default())
+            .unwrap();
+        let sb = Executor::new(&pb_, &lb)
+            .run(&mut NullSink, &RunConfig::default())
+            .unwrap();
         assert!(sb.retired > sa.retired * 3);
     }
 }

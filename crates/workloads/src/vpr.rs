@@ -17,12 +17,17 @@ const NETS: usize = 2048;
 /// Builds the workload.
 pub fn build(scale: u32) -> Program {
     let scale = scale.max(1) as i64;
-    let mut r = rng(0x17_5);
+    let mut r = rng(0x0175);
     let mut pb = ProgramBuilder::new();
 
     let netx = pb.data(random_words(&mut r, NETS, GRID as u64));
     let nety = pb.data(random_words(&mut r, NETS, GRID as u64));
-    let fanout = pb.data(random_words(&mut r, NETS, 6).iter().map(|w| w + 2).collect());
+    let fanout = pb.data(
+        random_words(&mut r, NETS, 6)
+            .iter()
+            .map(|w| w + 2)
+            .collect(),
+    );
     let occupancy = pb.zeros((GRID * GRID) as usize);
 
     // place(moves=arg0, thresh=arg1): annealing with a bounding-box loop.
@@ -182,7 +187,9 @@ mod tests {
         let p = build(1);
         p.validate().unwrap();
         let layout = Layout::natural(&p);
-        let stats = Executor::new(&p, &layout).run(&mut NullSink, &RunConfig::default()).unwrap();
+        let stats = Executor::new(&p, &layout)
+            .run(&mut NullSink, &RunConfig::default())
+            .unwrap();
         assert_eq!(stats.stop, vp_exec::StopReason::Halted);
         assert!(stats.retired > 1_000_000);
     }

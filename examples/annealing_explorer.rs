@@ -23,13 +23,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut per_branch: std::collections::BTreeMap<u64, Vec<(usize, f64)>> = Default::default();
     for ph in &profiled.phases {
         for (&addr, b) in &ph.branches {
-            per_branch.entry(addr).or_default().push((ph.id, b.taken_fraction()));
+            per_branch
+                .entry(addr)
+                .or_default()
+                .push((ph.id, b.taken_fraction()));
         }
     }
     for (addr, obs) in per_branch.iter().filter(|(_, v)| v.len() > 1) {
-        let loc = profiled.layout.branch_at(*addr).expect("profiled branch maps to code");
-        let fracs: Vec<String> =
-            obs.iter().map(|(p, f)| format!("phase{p}: {:.0}%", 100.0 * f)).collect();
+        let loc = profiled
+            .layout
+            .branch_at(*addr)
+            .expect("profiled branch maps to code");
+        let fracs: Vec<String> = obs
+            .iter()
+            .map(|(p, f)| format!("phase{p}: {:.0}%", 100.0 * f))
+            .collect();
         println!(
             "  {} in `{}`: {}",
             loc,
@@ -50,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // (b) Sweep MAX_BLOCKS and the evaluation matrix.
     let mut t = TextTable::new(vec!["config", "coverage %", "expansion %", "packages"]);
     for max_blocks in [0usize, 1, 4] {
-        let cfg = PackConfig { max_growth_blocks: max_blocks, ..PackConfig::default() };
+        let cfg = PackConfig {
+            max_growth_blocks: max_blocks,
+            ..PackConfig::default()
+        };
         let out = evaluate(&profiled, &cfg, &OptConfig::default(), None)?;
         t.row(vec![
             format!("MAX_BLOCKS={max_blocks}"),
@@ -74,7 +85,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n{t}");
 
     // Show the package inventory for the default configuration.
-    let out = pack(&profiled.program, &profiled.layout, &profiled.phases, &PackConfig::default());
+    let out = pack(
+        &profiled.program,
+        &profiled.layout,
+        &profiled.phases,
+        &PackConfig::default(),
+    );
     println!("package inventory (inference + linking):");
     for pi in &out.packages {
         println!(

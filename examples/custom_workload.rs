@@ -22,8 +22,13 @@ fn build_filter_program() -> Program {
     let blur = pb.declare("blur");
     pb.define(blur, |f| {
         let rounds = Reg::arg(0);
-        let (k, i, a, x, y) =
-            (Reg::int(24), Reg::int(25), Reg::int(26), Reg::int(27), Reg::int(28));
+        let (k, i, a, x, y) = (
+            Reg::int(24),
+            Reg::int(25),
+            Reg::int(26),
+            Reg::int(27),
+            Reg::int(28),
+        );
         f.mov(Reg::int(29), rounds);
         f.for_range(k, 0, Src::Reg(Reg::int(29)), |f| {
             f.for_range(i, 0, 4095, |f| {
@@ -109,6 +114,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let packed_layout = Layout::natural(&out.program);
     let mut counts = InstCounts::new();
     Executor::new(&out.program, &packed_layout).run(&mut counts, &RunConfig::default())?;
-    println!("package coverage: {:.1}%", 100.0 * counts.package_coverage());
+    println!(
+        "package coverage: {:.1}%",
+        100.0 * counts.package_coverage()
+    );
     Ok(())
 }

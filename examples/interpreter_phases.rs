@@ -11,13 +11,22 @@ use vacuum_packing::metrics::{evaluate, profile};
 use vacuum_packing::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let program = vacuum_packing::workloads::perl::build(vacuum_packing::workloads::perl::Input::A, 1);
+    let program =
+        vacuum_packing::workloads::perl::build(vacuum_packing::workloads::perl::Input::A, 1);
     let profiled = profile("134.perl A", program, &HsdConfig::table2(), None)?;
-    println!("{} phases detected in the interpreter run", profiled.phases.len());
+    println!(
+        "{} phases detected in the interpreter run",
+        profiled.phases.len()
+    );
 
     // Inspect the packages: several share the interpreter's command loop
     // as their root function.
-    let out = pack(&profiled.program, &profiled.layout, &profiled.phases, &PackConfig::default());
+    let out = pack(
+        &profiled.program,
+        &profiled.layout,
+        &profiled.phases,
+        &PackConfig::default(),
+    );
     println!("\npackages:");
     for pi in &out.packages {
         println!(
@@ -41,10 +50,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The point of linking: with a shared launch point, only one package is
     // directly reachable; links let the others be reached through cold
     // exits.
-    let with = evaluate(&profiled, &PackConfig::default(), &OptConfig::default(), None)?;
+    let with = evaluate(
+        &profiled,
+        &PackConfig::default(),
+        &OptConfig::default(),
+        None,
+    )?;
     let without = evaluate(
         &profiled,
-        &PackConfig { linking: false, ..PackConfig::default() },
+        &PackConfig {
+            linking: false,
+            ..PackConfig::default()
+        },
         &OptConfig::default(),
         None,
     )?;

@@ -44,7 +44,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Vacuum-pack and measure, with the paper's default configuration
     //    (inference + linking on).
-    let outcome = evaluate(&profiled, &PackConfig::default(), &OptConfig::default(), Some(&machine))?;
+    let outcome = evaluate(
+        &profiled,
+        &PackConfig::default(),
+        &OptConfig::default(),
+        Some(&machine),
+    )?;
     println!("\nresults:");
     println!("  packages built:        {}", outcome.packages);
     println!("  launch points patched: {}", outcome.launch_points);

@@ -21,6 +21,7 @@ use vacuum_packing::prelude::*;
 use vacuum_packing::program::{Block, EdgeKind, FuncKind, Function, Terminator};
 
 // Block indices within function A (A1 = index 0, ... A10 = index 9) and B.
+#[allow(dead_code)] // keeps the figure's numbering complete
 const A1: u32 = 0;
 const A2: u32 = 1;
 const A3: u32 = 2;
@@ -39,7 +40,13 @@ const B5: u32 = 4;
 const B6: u32 = 5;
 
 fn br(rs1: Reg, taken: CodeRef, not_taken: CodeRef) -> Terminator {
-    Terminator::Br { cond: Cond::Eq, rs1, rs2: Src::Imm(0), taken, not_taken }
+    Terminator::Br {
+        cond: Cond::Eq,
+        rs1,
+        rs2: Src::Imm(0),
+        taken,
+        not_taken,
+    }
 }
 
 /// Builds the example program: function ids — A = 0, B = 1.
@@ -60,13 +67,21 @@ fn figure3_program() -> Program {
     });
     // A3: unprofiled straight-line block on the hot path.
     fa.push_block(Block {
-        insts: vec![Inst::Alu { op: vacuum_packing::isa::AluOp::Add, rd: r, rs1: r, rs2: Src::Imm(1) }],
+        insts: vec![Inst::Alu {
+            op: vacuum_packing::isa::AluOp::Add,
+            rd: r,
+            rs1: r,
+            rs2: Src::Imm(1),
+        }],
         term: Terminator::Goto(a(A9)),
     });
     // A4: rare alternative entry path.
     fa.push_block(Block::empty(Terminator::Goto(a(A2))));
     // A5: the hot call to B.
-    fa.push_block(Block::empty(Terminator::Call { callee: FuncId(1), ret_to: BlockId(A6) }));
+    fa.push_block(Block::empty(Terminator::Call {
+        callee: FuncId(1),
+        ret_to: BlockId(A6),
+    }));
     // A6: loop-back branch, profiled strongly taken.
     fa.push_block(Block::empty(br(r, a(A2), a(A8))));
     // A7: cold side path.
@@ -112,7 +127,12 @@ fn figure3_phase(layout: &Layout) -> Phase {
     add(CodeRef::new(0, A9), 500, 5); // strongly not-taken
     add(CodeRef::new(0, A6), 500, 495); // loop back, strongly taken
     add(CodeRef::new(1, B4), 500, 495); // strongly taken to the epilogue
-    Phase { id: 0, branches, first_detected_at: 0, detections: 1 }
+    Phase {
+        id: 0,
+        branches,
+        first_detected_at: 0,
+        detections: 1,
+    }
 }
 
 #[test]
@@ -127,14 +147,23 @@ fn figure3_inference_matches_the_papers_walkthrough() {
     use vacuum_packing::core::ArcKey;
 
     // "the flow to A7 is identified as Cold"
-    assert_eq!(ma.arc_temp(ArcKey::new(BlockId(A2), EdgeKind::Taken)), Temp::Cold);
+    assert_eq!(
+        ma.arc_temp(ArcKey::new(BlockId(A2), EdgeKind::Taken)),
+        Temp::Cold
+    );
     // "block A7 must be Cold (Statement 3)"
     assert_eq!(ma.block_temp(BlockId(A7)), Temp::Cold);
     // "The flow from A9 to A10 is similarly identified as Cold"
-    assert_eq!(ma.arc_temp(ArcKey::new(BlockId(A9), EdgeKind::Taken)), Temp::Cold);
+    assert_eq!(
+        ma.arc_temp(ArcKey::new(BlockId(A9), EdgeKind::Taken)),
+        Temp::Cold
+    );
     // "the flow to A3 is Hot ... propagated to block A3 by Statement 4
     //  even though it was missing from the hot branch profile"
-    assert_eq!(ma.arc_temp(ArcKey::new(BlockId(A2), EdgeKind::NotTaken)), Temp::Hot);
+    assert_eq!(
+        ma.arc_temp(ArcKey::new(BlockId(A2), EdgeKind::NotTaken)),
+        Temp::Hot
+    );
     assert_eq!(ma.block_temp(BlockId(A3)), Temp::Hot);
     assert!(!ma.is_profiled(BlockId(A3)));
     // The call block A5 joins the region (it sits between two hot blocks).
@@ -147,6 +176,43 @@ fn figure3_inference_matches_the_papers_walkthrough() {
     assert_eq!(mb.block_temp(BlockId(B6)), Temp::Hot);
     // The prologue is Hot through the hot call (Statement 9).
     assert_eq!(mb.block_temp(BlockId(B1)), Temp::Hot);
+}
+
+#[test]
+fn figure3_inference_rule_fire_counts() {
+    // The same walkthrough, observed through the tracing layer: each
+    // Figure 4 inference rule fires an exact, deterministic number of
+    // times on this example.
+    let p = figure3_program();
+    let layout = Layout::natural(&p);
+    let phase = figure3_phase(&layout);
+    let (region, report) = vacuum_packing::trace::scoped(|| {
+        let mut cfgs = CfgCache::new();
+        identify_region(&p, &layout, &mut cfgs, &phase, &PackConfig::default())
+    });
+    assert!(region.hot_block_count() > 0);
+
+    // The fixpoint converges on the third pass (the second pass derives
+    // B's temperatures through the call, the third finds nothing new).
+    assert_eq!(report.counter("core.infer.iterations"), 3);
+    // Statement 3 (cold arc -> cold block): the A2->A7 and A9->A10 cold
+    // flows and their downstream merges.
+    assert_eq!(report.counter("core.infer.stmt3"), 4);
+    // Statement 4 (hot arc -> hot block): A3 — "propagated ... even
+    // though it was missing from the hot branch profile" — plus B's
+    // unprofiled hot blocks.
+    assert_eq!(report.counter("core.infer.stmt4"), 4);
+    assert_eq!(report.counter("core.infer.stmt6"), 3);
+    // Statement 7 (single non-cold outgoing arc of a hot block is hot):
+    // includes "the fact that B4 is Hot implies B6 is Hot".
+    assert_eq!(report.counter("core.infer.stmt7"), 4);
+    assert_eq!(report.counter("core.infer.stmt8"), 1);
+
+    // Final temperature census: 9 hot blocks (A2 A3 A5 A6 A9, B1 B2 B4
+    // B6 — exactly the paper's hot region), the rest cold or unknown.
+    assert_eq!(report.counter("core.region.blocks_hot"), 9);
+    assert_eq!(report.counter("core.region.blocks_cold"), 4);
+    assert_eq!(report.counter("core.region.blocks_unknown"), 3);
 }
 
 #[test]
@@ -166,7 +232,10 @@ fn figure3_package_inlines_b_and_excludes_cold_blocks() {
 
     // B was partially inlined: its hot blocks appear under a non-empty
     // context, and no call to B remains inside the package.
-    assert!(pkg.meta.iter().any(|m| m.origin.func == FuncId(1) && !m.context.is_empty()));
+    assert!(pkg
+        .meta
+        .iter()
+        .any(|m| m.origin.func == FuncId(1) && !m.context.is_empty()));
     assert!(!pkg
         .blocks
         .iter()
@@ -176,7 +245,9 @@ fn figure3_package_inlines_b_and_excludes_cold_blocks() {
     // exit targets).
     for cold in [A7, A10] {
         assert!(
-            !pkg.meta.iter().any(|m| !m.is_exit && m.origin == CodeRef::new(0, cold)),
+            !pkg.meta
+                .iter()
+                .any(|m| !m.is_exit && m.origin == CodeRef::new(0, cold)),
             "A{} must be pruned",
             cold + 1
         );
@@ -185,7 +256,10 @@ fn figure3_package_inlines_b_and_excludes_cold_blocks() {
     assert!(pkg.exits().count() >= 2, "cold flows become exit blocks");
     for (b, _) in pkg.exits() {
         assert!(
-            matches!(pkg.blocks[b.0 as usize].insts.first(), Some(Inst::Consume { .. })),
+            matches!(
+                pkg.blocks[b.0 as usize].insts.first(),
+                Some(Inst::Consume { .. })
+            ),
             "exit blocks carry dummy consumers"
         );
     }

@@ -18,8 +18,14 @@ fn coverage_is_a_fraction_and_configs_are_ordered() {
         coverages.push((cfg, out.coverage));
     }
     // Linking can only help within the same inference setting.
-    assert!(coverages[1].1 + 1e-9 >= coverages[0].1, "noInf: link >= noLink");
-    assert!(coverages[3].1 + 1e-9 >= coverages[2].1, "inf: link >= noLink");
+    assert!(
+        coverages[1].1 + 1e-9 >= coverages[0].1,
+        "noInf: link >= noLink"
+    );
+    assert!(
+        coverages[3].1 + 1e-9 >= coverages[2].1,
+        "inf: link >= noLink"
+    );
 }
 
 #[test]
@@ -31,7 +37,9 @@ fn packed_program_always_validates() {
         let pw = profiled(label, program);
         for cfg in PackConfig::evaluation_matrix() {
             let out = pack(&pw.program, &pw.layout, &pw.phases, &cfg);
-            out.program.validate().unwrap_or_else(|e| panic!("{label}: {e}"));
+            out.program
+                .validate()
+                .unwrap_or_else(|e| panic!("{label}: {e}"));
             // Package functions are marked and non-empty.
             for pi in &out.packages {
                 assert!(out.program.func(pi.func).is_package());
@@ -48,7 +56,10 @@ fn packed_program_always_validates() {
 
 #[test]
 fn m88ksim_loader_phases_share_launch_point_and_link() {
-    let pw = profiled("124.m88ksim A", vacuum_packing::workloads::m88ksim::build(1));
+    let pw = profiled(
+        "124.m88ksim A",
+        vacuum_packing::workloads::m88ksim::build(1),
+    );
     let out = pack(&pw.program, &pw.layout, &pw.phases, &PackConfig::default());
     // Find loader packages: roots named load_binary.
     let loaders: Vec<_> = out
@@ -56,7 +67,10 @@ fn m88ksim_loader_phases_share_launch_point_and_link() {
         .iter()
         .filter(|pi| out.program.func(pi.root).name == "load_binary")
         .collect();
-    assert!(loaders.len() >= 2, "two loader phases must produce two packages");
+    assert!(
+        loaders.len() >= 2,
+        "two loader phases must produce two packages"
+    );
     // They are linked: at least one link in or out per loader group.
     let linked: usize = loaders.iter().map(|pi| pi.links_in + pi.links_out).sum();
     assert!(linked > 0, "loader packages must be linked together");
@@ -64,7 +78,10 @@ fn m88ksim_loader_phases_share_launch_point_and_link() {
     let with = evaluate(&pw, &PackConfig::default(), &OptConfig::default(), None).unwrap();
     let without = evaluate(
         &pw,
-        &PackConfig { linking: false, ..PackConfig::default() },
+        &PackConfig {
+            linking: false,
+            ..PackConfig::default()
+        },
         &OptConfig::default(),
         None,
     )
@@ -86,8 +103,16 @@ fn li_weak_callers_limit_coverage() {
         vacuum_packing::workloads::li::build(vacuum_packing::workloads::li::Input::A, 1),
     );
     let out = evaluate(&pw, &PackConfig::default(), &OptConfig::default(), None).unwrap();
-    assert!(out.coverage > 0.7, "most execution still packaged: {:.3}", out.coverage);
-    assert!(out.coverage < 0.995, "weak-caller execution must be missed: {:.3}", out.coverage);
+    assert!(
+        out.coverage > 0.7,
+        "most execution still packaged: {:.3}",
+        out.coverage
+    );
+    assert!(
+        out.coverage < 0.995,
+        "weak-caller execution must be missed: {:.3}",
+        out.coverage
+    );
 }
 
 #[test]
@@ -103,7 +128,10 @@ fn twolf_accept_branch_is_multi_high() {
 #[test]
 fn detector_is_deterministic() {
     let build = || {
-        let p = vacuum_packing::workloads::vortex::build(vacuum_packing::workloads::vortex::Input::A, 1);
+        let p = vacuum_packing::workloads::vortex::build(
+            vacuum_packing::workloads::vortex::Input::A,
+            1,
+        );
         let pw = profiled("255.vortex A", p);
         (pw.phases.len(), pw.dyn_insts, pw.raw_detections)
     };
@@ -115,13 +143,25 @@ fn speedup_correlates_with_optimization() {
     // Rescheduling + relayout must not slow the packed binary down
     // relative to packing alone.
     let machine = MachineConfig::table2();
-    let program = vacuum_packing::workloads::ijpeg::build(vacuum_packing::workloads::ijpeg::Input::B, 1);
+    let program =
+        vacuum_packing::workloads::ijpeg::build(vacuum_packing::workloads::ijpeg::Input::B, 1);
     let pw = profile("132.ijpeg B", program, &HsdConfig::table2(), Some(&machine)).unwrap();
-    let full = evaluate(&pw, &PackConfig::default(), &OptConfig::default(), Some(&machine)).unwrap();
+    let full = evaluate(
+        &pw,
+        &PackConfig::default(),
+        &OptConfig::default(),
+        Some(&machine),
+    )
+    .unwrap();
     let none = evaluate(
         &pw,
         &PackConfig::default(),
-        &OptConfig { relayout: false, reschedule: false, sink_cold: false, licm: false },
+        &OptConfig {
+            relayout: false,
+            reschedule: false,
+            sink_cold: false,
+            licm: false,
+        },
         Some(&machine),
     )
     .unwrap();
@@ -130,7 +170,10 @@ fn speedup_correlates_with_optimization() {
         s_full >= s_none - 0.01,
         "optimization should help or be neutral: {s_full:.3} vs {s_none:.3}"
     );
-    assert!(s_full > 1.0, "ijpeg gains from package optimization: {s_full:.3}");
+    assert!(
+        s_full > 1.0,
+        "ijpeg gains from package optimization: {s_full:.3}"
+    );
 }
 
 #[test]
@@ -198,11 +241,18 @@ fn two_level_inlined_exits_reconstruct_frames() {
         .packages
         .iter()
         .any(|pi| pi.meta.iter().any(|m| m.context.len() == 2));
-    assert!(deep, "inner must be inlined through outer (depth-2 context)");
+    assert!(
+        deep,
+        "inner must be inlined through outer (depth-2 context)"
+    );
     let packed_layout = Layout::natural(&out.program);
     let mut ex = Executor::new(&out.program, &packed_layout);
     let mut counts = InstCounts::new();
     ex.run(&mut counts, &RunConfig::default()).unwrap();
-    assert_eq!(ex.reg(Reg::int(57)), want, "deep-exit frames must reconstruct");
+    assert_eq!(
+        ex.reg(Reg::int(57)),
+        want,
+        "deep-exit frames must reconstruct"
+    );
     assert!(counts.package_coverage() > 0.8);
 }

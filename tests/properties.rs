@@ -1,38 +1,57 @@
 //! Property-based tests over the core data structures and the
 //! transformations that must preserve program semantics.
+//!
+//! Uses a hand-rolled deterministic case generator (SplitMix64-driven, a
+//! fixed number of cases per property) instead of an external property
+//! testing crate, so the suite builds with no registry access. Every case
+//! is reproducible: failures report the case index, and the generator is
+//! seeded per-property.
 
-use proptest::prelude::*;
 use vacuum_packing::isa::{reg::RegSet, AluOp, Cond, Inst};
 use vacuum_packing::opt::schedule_block;
 use vacuum_packing::prelude::*;
 use vacuum_packing::program::LayoutOrder;
+use vacuum_packing::workloads::rng::SplitMix64;
 
 // ---------------------------------------------------------------- scheduler
 
-/// Strategy: a straight-line instruction over registers r20..r27 and a
+/// Generates a straight-line instruction over registers r20..r27 and a
 /// 16-word scratch buffer addressed through r19.
-fn arb_inst() -> impl Strategy<Value = Inst> {
-    let reg = || (20u8..28).prop_map(Reg::int);
-    let op = prop_oneof![
-        Just(AluOp::Add),
-        Just(AluOp::Sub),
-        Just(AluOp::Mul),
-        Just(AluOp::Xor),
-        Just(AluOp::And),
-        Just(AluOp::Or),
+fn arb_inst(rng: &mut SplitMix64) -> Inst {
+    const OPS: [AluOp; 6] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::Xor,
+        AluOp::And,
+        AluOp::Or,
     ];
-    prop_oneof![
-        (reg(), -100i64..100).prop_map(|(rd, imm)| Inst::Li { rd, imm }),
-        (op, reg(), reg(), reg()).prop_map(|(op, rd, rs1, rs2)| Inst::Alu {
-            op,
-            rd,
-            rs1,
-            rs2: Src::Reg(rs2)
-        }),
-        (reg(), 0i64..16).prop_map(|(rd, slot)| Inst::Load { rd, base: Reg::int(19), offset: 8 * slot }),
-        (reg(), 0i64..16)
-            .prop_map(|(src, slot)| Inst::Store { src, base: Reg::int(19), offset: 8 * slot }),
-    ]
+    let reg = |rng: &mut SplitMix64| Reg::int(rng.gen_range(20..28u32) as u8);
+    match rng.gen_range(0..4u32) {
+        0 => Inst::Li {
+            rd: reg(rng),
+            imm: rng.gen_range(-100..100i32) as i64,
+        },
+        1 => {
+            let op = OPS[rng.gen_range(0..OPS.len())];
+            Inst::Alu {
+                op,
+                rd: reg(rng),
+                rs1: reg(rng),
+                rs2: Src::Reg(reg(rng)),
+            }
+        }
+        2 => Inst::Load {
+            rd: reg(rng),
+            base: Reg::int(19),
+            offset: 8 * rng.gen_range(0..16u32) as i64,
+        },
+        _ => Inst::Store {
+            src: reg(rng),
+            base: Reg::int(19),
+            offset: 8 * rng.gen_range(0..16u32) as i64,
+        },
+    }
 }
 
 /// Executes `insts` as a single block against a fresh 16-word buffer and
@@ -50,42 +69,50 @@ fn run_block(insts: &[Inst], seed: &[u64]) -> (Vec<u64>, Vec<u64>) {
     let p = pb.build();
     let layout = Layout::natural(&p);
     let mut ex = Executor::new(&p, &layout);
-    ex.run(&mut NullSink, &RunConfig::default()).expect("block runs");
+    ex.run(&mut NullSink, &RunConfig::default())
+        .expect("block runs");
     let regs = (20..28).map(|i| ex.reg(Reg::int(i))).collect();
-    let mem = (0..seed.len()).map(|i| ex.memory().read(base + 8 * i as u64)).collect();
+    let mem = (0..seed.len())
+        .map(|i| ex.memory().read(base + 8 * i as u64))
+        .collect();
     (regs, mem)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// List scheduling may reorder instructions but must preserve the
-    /// architectural result exactly — the dependence DAG is the proof
-    /// obligation, execution is the check.
-    #[test]
-    fn scheduling_preserves_semantics(
-        insts in proptest::collection::vec(arb_inst(), 0..24),
-        seed in proptest::collection::vec(0u64..1000, 16),
-    ) {
-        let machine = MachineConfig::table2();
+/// List scheduling may reorder instructions but must preserve the
+/// architectural result exactly — the dependence DAG is the proof
+/// obligation, execution is the check.
+#[test]
+fn scheduling_preserves_semantics() {
+    let machine = MachineConfig::table2();
+    let mut rng = SplitMix64::seed_from_u64(0x5eed_0001);
+    for case in 0..64 {
+        let n = rng.gen_range(0..24usize);
+        let insts: Vec<Inst> = (0..n).map(|_| arb_inst(&mut rng)).collect();
+        let seed: Vec<u64> = (0..16).map(|_| rng.gen_range(0..1000u64)).collect();
         let (sched, cycles) = schedule_block(&insts, &machine);
-        prop_assert_eq!(sched.len(), insts.len());
-        prop_assert!(cycles as usize <= insts.len().max(1) * 16);
+        assert_eq!(sched.len(), insts.len(), "case {case}");
+        assert!(cycles as usize <= insts.len().max(1) * 16, "case {case}");
         let before = run_block(&insts, &seed);
         let after = run_block(&sched, &seed);
-        prop_assert_eq!(before, after);
+        assert_eq!(before, after, "case {case}: scheduling changed semantics");
     }
+}
 
-    /// Scheduling is idempotent on its own output in terms of semantics
-    /// and never increases the estimated cycle count.
-    #[test]
-    fn rescheduling_never_lengthens(
-        insts in proptest::collection::vec(arb_inst(), 0..24),
-    ) {
-        let machine = MachineConfig::table2();
+/// Scheduling is idempotent on its own output in terms of semantics
+/// and never increases the estimated cycle count.
+#[test]
+fn rescheduling_never_lengthens() {
+    let machine = MachineConfig::table2();
+    let mut rng = SplitMix64::seed_from_u64(0x5eed_0002);
+    for case in 0..64 {
+        let n = rng.gen_range(0..24usize);
+        let insts: Vec<Inst> = (0..n).map(|_| arb_inst(&mut rng)).collect();
         let (s1, c1) = schedule_block(&insts, &machine);
         let (_s2, c2) = schedule_block(&s1, &machine);
-        prop_assert!(c2 <= c1 + 1, "rescheduling regressed: {} -> {}", c1, c2);
+        assert!(
+            c2 <= c1 + 1,
+            "case {case}: rescheduling regressed: {c1} -> {c2}"
+        );
     }
 }
 
@@ -107,14 +134,15 @@ fn looped_program(bias: i64) -> Program {
     pb.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Any permutation of a function's blocks encodes to a program with
-    /// identical architectural behavior: layout only changes encodings
-    /// (fall-through vs jumps), never semantics.
-    #[test]
-    fn block_order_is_semantics_free(bias in 1i64..7, perm_seed in 0u64..1000) {
+/// Any permutation of a function's blocks encodes to a program with
+/// identical architectural behavior: layout only changes encodings
+/// (fall-through vs jumps), never semantics.
+#[test]
+fn block_order_is_semantics_free() {
+    let mut rng = SplitMix64::seed_from_u64(0x5eed_0003);
+    for case in 0..48 {
+        let bias = rng.gen_range(1..7i32) as i64;
+        let perm_seed = rng.gen_range(0..1000u64);
         let p = looped_program(bias);
         let natural = Layout::natural(&p);
         let mut ex = Executor::new(&p, &natural);
@@ -126,7 +154,9 @@ proptest! {
         let mut order: Vec<BlockId> = (0..n as u32).map(BlockId).collect();
         let mut state = perm_seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         for i in (1..n).rev() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let j = (state >> 33) as usize % (i + 1);
             order.swap(i, j);
         }
@@ -135,71 +165,116 @@ proptest! {
         let shuffled = Layout::new(&p, &lo);
         let mut ex = Executor::new(&p, &shuffled);
         let s1 = ex.run(&mut NullSink, &RunConfig::default()).unwrap();
-        prop_assert_eq!(ex.reg(Reg::int(21)), acc0);
+        assert_eq!(ex.reg(Reg::int(21)), acc0, "case {case}");
         // Architectural branch counts match; total retired may differ by
         // the extra jumps the layout introduces.
-        prop_assert_eq!(s0.cond_branches, s1.cond_branches);
-        prop_assert!(s1.retired >= s0.retired.min(s1.retired));
+        assert_eq!(s0.cond_branches, s1.cond_branches, "case {case}");
+        assert!(s1.retired >= s0.retired.min(s1.retired), "case {case}");
     }
+}
 
-    /// Layout never overlaps blocks and accounts for every instruction.
-    #[test]
-    fn layout_is_contiguous(bias in 1i64..7) {
+/// Layout never overlaps blocks and accounts for every instruction.
+#[test]
+fn layout_is_contiguous() {
+    for bias in 1..7i64 {
         let p = looped_program(bias);
         let layout = Layout::natural(&p);
         let mut spans: Vec<(u64, u64)> = Vec::new();
         for f in &p.funcs {
             for (bid, _) in f.blocks_iter() {
-                let r = CodeRef { func: f.id, block: bid };
+                let r = CodeRef {
+                    func: f.id,
+                    block: bid,
+                };
                 spans.push((layout.addr_of(r), layout.insts_of(r) * 4));
             }
         }
         spans.sort_unstable();
         let total: u64 = spans.iter().map(|s| s.1).sum();
-        prop_assert_eq!(total, layout.total_bytes());
+        assert_eq!(total, layout.total_bytes(), "bias {bias}");
         for w in spans.windows(2) {
-            prop_assert!(w[0].0 + w[0].1 <= w[1].0, "blocks overlap: {:?}", w);
+            assert!(
+                w[0].0 + w[0].1 <= w[1].0,
+                "bias {bias}: blocks overlap: {w:?}"
+            );
         }
     }
 }
 
 // ------------------------------------------------------------- small models
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// RegSet behaves like a BTreeSet of register indices.
-    #[test]
-    fn regset_matches_model(ops in proptest::collection::vec((0usize..96, any::<bool>()), 0..64)) {
+/// RegSet behaves like a BTreeSet of register indices.
+#[test]
+fn regset_matches_model() {
+    let mut rng = SplitMix64::seed_from_u64(0x5eed_0004);
+    for case in 0..128 {
+        let n = rng.gen_range(0..64usize);
         let mut s = RegSet::new();
         let mut model = std::collections::BTreeSet::new();
-        for (idx, insert) in ops {
+        for _ in 0..n {
+            let idx = rng.gen_range(0..96usize);
+            let insert = rng.next_u64() & 1 == 0;
             let r = Reg::from_index(idx);
             if insert {
-                prop_assert_eq!(s.insert(r), model.insert(idx));
+                assert_eq!(s.insert(r), model.insert(idx), "case {case}");
             } else {
-                prop_assert_eq!(s.remove(r), model.remove(&idx));
+                assert_eq!(s.remove(r), model.remove(&idx), "case {case}");
             }
         }
-        prop_assert_eq!(s.len(), model.len());
+        assert_eq!(s.len(), model.len(), "case {case}");
         let got: Vec<usize> = s.iter().map(|r| r.index()).collect();
         let want: Vec<usize> = model.into_iter().collect();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want, "case {case}");
     }
+}
 
-    /// A condition and its negation partition every input pair.
-    #[test]
-    fn cond_negation_partitions(a in any::<u64>(), b in any::<u64>()) {
+/// A condition and its negation partition every input pair.
+#[test]
+fn cond_negation_partitions() {
+    let mut rng = SplitMix64::seed_from_u64(0x5eed_0005);
+    for case in 0..128 {
+        // Mix raw draws with boundary-heavy values: equality and wraparound
+        // edges are where comparison predicates disagree.
+        const EDGES: [u64; 6] = [
+            0,
+            1,
+            u64::MAX,
+            u64::MAX - 1,
+            i64::MAX as u64,
+            i64::MIN as u64,
+        ];
+        let pick = |rng: &mut SplitMix64| {
+            if rng.next_u64() & 3 == 0 {
+                EDGES[rng.gen_range(0..EDGES.len())]
+            } else {
+                rng.next_u64()
+            }
+        };
+        let a = pick(&mut rng);
+        let b = if rng.next_u64() & 7 == 0 {
+            a
+        } else {
+            pick(&mut rng)
+        };
         for c in [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge, Cond::Ltu, Cond::Geu] {
-            prop_assert_ne!(c.eval(a, b), c.negate().eval(a, b));
+            assert_ne!(
+                c.eval(a, b),
+                c.negate().eval(a, b),
+                "case {case}: {c:?} on ({a}, {b})"
+            );
         }
     }
+}
 
-    /// Sparse memory behaves like a word-granular map.
-    #[test]
-    fn memory_matches_model(
-        writes in proptest::collection::vec((0u64..1_000_000, any::<u64>()), 0..64)
-    ) {
+/// Sparse memory behaves like a word-granular map.
+#[test]
+fn memory_matches_model() {
+    let mut rng = SplitMix64::seed_from_u64(0x5eed_0006);
+    for case in 0..128 {
+        let n = rng.gen_range(0..64usize);
+        let writes: Vec<(u64, u64)> = (0..n)
+            .map(|_| (rng.gen_range(0..1_000_000u64), rng.next_u64()))
+            .collect();
         let mut mem = vacuum_packing::exec::Memory::new();
         let mut model = std::collections::HashMap::new();
         for (addr, val) in &writes {
@@ -209,45 +284,52 @@ proptest! {
         }
         for (addr, _) in &writes {
             let word = (addr / 8) * 8;
-            prop_assert_eq!(mem.read(*addr), model[&word]);
+            assert_eq!(mem.read(*addr), model[&word], "case {case}");
         }
     }
 }
 
 // --------------------------------------------------------------- hsd filter
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The software filter never produces more phases than raw records,
-    /// never loses a detection, and assigns dense ids.
-    #[test]
-    fn filter_is_a_partition(
-        records in proptest::collection::vec(
-            proptest::collection::vec((0u64..32, 1u32..512), 1..12),
-            1..20,
-        )
-    ) {
-        use vacuum_packing::hsd::{filter_hot_spots, BranchProfile, FilterConfig, HotSpotRecord};
-        let recs: Vec<HotSpotRecord> = records
-            .iter()
-            .enumerate()
-            .map(|(i, branches)| HotSpotRecord {
-                at_branch: i as u64,
-                branches: branches
-                    .iter()
-                    .map(|&(b, e)| BranchProfile { addr: 0x1000 + 4 * b, exec: e, taken: e / 2 })
-                    .collect(),
+/// The software filter never produces more phases than raw records,
+/// never loses a detection, and assigns dense ids.
+#[test]
+fn filter_is_a_partition() {
+    use vacuum_packing::hsd::{filter_hot_spots, BranchProfile, FilterConfig, HotSpotRecord};
+    let mut rng = SplitMix64::seed_from_u64(0x5eed_0007);
+    for case in 0..64 {
+        let nrecs = rng.gen_range(1..=20usize);
+        let recs: Vec<HotSpotRecord> = (0..nrecs)
+            .map(|i| {
+                let nbranches = rng.gen_range(1..=12usize);
+                HotSpotRecord {
+                    at_branch: i as u64,
+                    branches: (0..nbranches)
+                        .map(|_| {
+                            let b = rng.gen_range(0..32u64);
+                            let e = rng.gen_range(1..512u32);
+                            BranchProfile {
+                                addr: 0x1000 + 4 * b,
+                                exec: e,
+                                taken: e / 2,
+                            }
+                        })
+                        .collect(),
+                }
             })
             .collect();
         let phases = filter_hot_spots(&recs, &FilterConfig::default());
-        prop_assert!(!phases.is_empty());
-        prop_assert!(phases.len() <= recs.len());
+        assert!(!phases.is_empty(), "case {case}");
+        assert!(phases.len() <= recs.len(), "case {case}");
         let total: usize = phases.iter().map(|p| p.detections).sum();
-        prop_assert_eq!(total, recs.len(), "every record lands in exactly one phase");
+        assert_eq!(
+            total,
+            recs.len(),
+            "case {case}: every record lands in exactly one phase"
+        );
         for (i, p) in phases.iter().enumerate() {
-            prop_assert_eq!(p.id, i);
-            prop_assert!(!p.branches.is_empty());
+            assert_eq!(p.id, i, "case {case}");
+            assert!(!p.branches.is_empty(), "case {case}");
         }
     }
 }

@@ -15,13 +15,19 @@ use vacuum_packing::prelude::*;
 /// Runs `program` under `layout` and snapshots the architectural state.
 fn run_and_snapshot(program: &Program, layout: &Layout) -> (Vec<u64>, Vec<Vec<u64>>) {
     let mut ex = Executor::new(program, layout);
-    let stats = ex.run(&mut NullSink, &RunConfig::default()).expect("run succeeds");
+    let stats = ex
+        .run(&mut NullSink, &RunConfig::default())
+        .expect("run succeeds");
     assert_eq!(stats.stop, vacuum_packing::exec::StopReason::Halted);
     let regs: Vec<u64> = (0..64).map(|i| ex.reg(Reg::int(i))).collect();
     let mem: Vec<Vec<u64>> = program
         .data
         .iter()
-        .map(|seg| (0..seg.words.len()).map(|i| ex.memory().read(seg.base + 8 * i as u64)).collect())
+        .map(|seg| {
+            (0..seg.words.len())
+                .map(|i| ex.memory().read(seg.base + 8 * i as u64))
+                .collect()
+        })
         .collect();
     (regs, mem)
 }
@@ -47,14 +53,20 @@ fn assert_equivalent(label: &str, program: Program) {
     let (opt_prog, order) = optimize_packages(&out, &machine, &OptConfig::default());
     let opt_layout = Layout::new(&opt_prog, &order);
     let (regs2, mem2) = run_and_snapshot(&opt_prog, &opt_layout);
-    assert_eq!(regs0, regs2, "{label}: registers diverged after optimization");
+    assert_eq!(
+        regs0, regs2,
+        "{label}: registers diverged after optimization"
+    );
     assert_eq!(mem0, mem2, "{label}: memory diverged after optimization");
 
     // Every pass on, including cold-instruction sinking.
     let (full_prog, order) = optimize_packages(&out, &machine, &OptConfig::full());
     let full_layout = Layout::new(&full_prog, &order);
     let (regs3, mem3) = run_and_snapshot(&full_prog, &full_layout);
-    assert_eq!(regs0, regs3, "{label}: registers diverged after cold sinking");
+    assert_eq!(
+        regs0, regs3,
+        "{label}: registers diverged after cold sinking"
+    );
     assert_eq!(mem0, mem3, "{label}: memory diverged after cold sinking");
 }
 
@@ -63,7 +75,10 @@ fn weak_caller_interpreter_is_preserved() {
     // 130.li A exits from *inlined* eval_expr code into the original
     // callee: the frame-reconstruction stubs must make the callee's
     // return land back in the middle of the original caller.
-    assert_equivalent("130.li A", vacuum_packing::workloads::li::build(vacuum_packing::workloads::li::Input::A, 1));
+    assert_equivalent(
+        "130.li A",
+        vacuum_packing::workloads::li::build(vacuum_packing::workloads::li::Input::A, 1),
+    );
 }
 
 #[test]
@@ -79,7 +94,10 @@ fn database_with_inlined_probes_is_preserved() {
 
 #[test]
 fn queens_solver_is_preserved() {
-    assert_equivalent("130.li B", vacuum_packing::workloads::li::build(vacuum_packing::workloads::li::Input::B, 1));
+    assert_equivalent(
+        "130.li B",
+        vacuum_packing::workloads::li::build(vacuum_packing::workloads::li::Input::B, 1),
+    );
 }
 
 #[test]
@@ -99,7 +117,10 @@ fn annealer_is_preserved() {
 fn loader_with_linked_packages_is_preserved() {
     // m88ksim migrates between linked loader packages mid-run: the
     // riskiest control-flow path in the rewriter.
-    assert_equivalent("124.m88ksim A", vacuum_packing::workloads::m88ksim::build(1));
+    assert_equivalent(
+        "124.m88ksim A",
+        vacuum_packing::workloads::m88ksim::build(1),
+    );
 }
 
 #[test]
