@@ -1,0 +1,39 @@
+//! Replay vs. re-execution: the cost of feeding a `Sink` from a recorded
+//! [`CapturedTrace`] against interpreting the program again — the saving
+//! the harness banks every time `TraceStore` serves a profile from cache.
+
+use vacuum_packing::exec::{CapturedTrace, Executor, InstCounts, RunConfig};
+use vacuum_packing::program::Layout;
+
+fn main() {
+    let program = vacuum_packing::workloads::twolf::build(1);
+    let layout = Layout::natural(&program);
+    let cfg = RunConfig::default();
+    let trace = CapturedTrace::capture(&program, &layout, &cfg).unwrap();
+    let events = trace.events();
+    println!(
+        "captured {events} retired instructions in {} bytes ({:.2} B/inst)",
+        trace.bytes(),
+        trace.bytes() as f64 / events as f64
+    );
+
+    let mut r = bench::micro::runner();
+    r.bench_throughput("retire_stream/execute", events, || {
+        let mut counts = InstCounts::new();
+        Executor::new(&program, &layout)
+            .run(&mut counts, &cfg)
+            .unwrap();
+        counts.total
+    });
+    r.bench_throughput("retire_stream/replay", events, || {
+        let mut counts = InstCounts::new();
+        trace.replay(&mut counts);
+        counts.total
+    });
+    r.bench_throughput("retire_stream/capture", events, || {
+        CapturedTrace::capture(&program, &layout, &cfg)
+            .unwrap()
+            .events()
+    });
+    r.finish("bench:replay");
+}

@@ -12,7 +12,12 @@
 //! * `VP_THREADS` — sweep parallelism (default: available cores, capped at
 //!   the suite size);
 //! * `VP_TRACE` — `summary`, `json`, or `json:<path>` (see `vp-trace`);
-//!   every binary also accepts `--json` as a shorthand for `VP_TRACE=json`.
+//!   every binary also accepts `--json` as a shorthand for `VP_TRACE=json`;
+//! * `VP_TRACE_CACHE_MB` — byte budget of the retired-trace capture cache
+//!   (default 512) that lets repeated profiles of one workload replay a
+//!   recorded stream instead of re-executing (see
+//!   `vp_exec::TraceStore`); the `trace_store.*` counters in each run
+//!   manifest report captures/replays/hits/evictions.
 
 pub mod micro;
 
@@ -53,6 +58,8 @@ pub fn init(bin: &str) -> Manifest {
     let mut mf = Manifest::new(bin);
     mf.set("scale", Value::from(scale() as u64).to_json());
     mf.set("threads", Value::from(threads() as u64).to_json());
+    let cache = vacuum_packing::exec::TraceStore::global().capacity_bytes() / (1024 * 1024);
+    mf.set("trace_cache_mb", Value::from(cache as u64).to_json());
     mf
 }
 

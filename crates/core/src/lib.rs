@@ -16,7 +16,7 @@
 //! 3. **links packages** that share launch points and ranks orderings with
 //!    the accumulator formula ([`linking`], Section 3.3.4);
 //! 4. **rewrites the binary** — appends package functions, patches launch
-//!    points, and installs inter-package links ([`rewrite`]).
+//!    points, and installs inter-package links ([`rewrite()`]).
 //!
 //! The end-to-end pipeline is [`pack`]; the two evaluation axes of the
 //! paper's Figures 8 and 10 (`inference`, `linking`) are switches on

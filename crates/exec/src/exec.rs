@@ -16,7 +16,10 @@ static COND_BRANCHES: Counter = Counter::new("exec.cond_branches");
 static IN_PACKAGE: Counter = Counter::new("exec.in_package");
 
 /// Execution limits.
-#[derive(Debug, Clone, Copy)]
+///
+/// Part of the [`crate::TraceKey`] cache identity: two runs of the same
+/// program under different limits produce different retired streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RunConfig {
     /// Maximum retired instructions before the run stops.
     pub max_insts: u64,

@@ -33,13 +33,58 @@
 //! assert_eq!(stats.retired, 3); // li, add, halt
 //! # Ok::<(), vp_exec::ExecError>(())
 //! ```
+//!
+//! ## Capture and replay
+//!
+//! Interpreting a workload is the most expensive step of the experiment
+//! pipeline, and every consumer — the Hot Spot Detector, branch-count
+//! oracles, the timing model — wants the *same* retired stream. The
+//! [`trace_store`] module decouples collection from consumption:
+//!
+//! 1. **Capture** once: [`CapturedTrace::capture`] (or `capture_with`, which
+//!    also feeds live sinks during the recording run) executes the program
+//!    and records the stream into a compact delta-coded encoding, typically
+//!    one to two bytes per retired instruction.
+//! 2. **Replay** many times: [`CapturedTrace::replay`] reconstructs every
+//!    [`Retired`] event bit-for-bit and pushes it through any [`Sink`] — no
+//!    register file, no memory image, no interpretation.
+//! 3. **Cache** across consumers: [`TraceStore`] memoizes captures by
+//!    [`TraceKey`] `(workload, program/layout fingerprint, RunConfig)`
+//!    under a byte budget (`VP_TRACE_CACHE_MB`, default 512) with LRU
+//!    eviction, so sweeps that revisit a workload replay instead of
+//!    re-executing — and degrade gracefully to re-execution when the
+//!    budget is exceeded.
+//!
+//! ```
+//! use vp_program::{ProgramBuilder, Layout};
+//! use vp_exec::{CapturedTrace, InstCounts, RunConfig};
+//! use vp_isa::Reg;
+//!
+//! let mut pb = ProgramBuilder::new();
+//! pb.func("main", |f| {
+//!     let i = Reg::int(8);
+//!     f.li(i, 0);
+//!     f.for_range(i, 0, 10, |f| f.nop());
+//!     f.halt();
+//! });
+//! let p = pb.build();
+//! let layout = Layout::natural(&p);
+//!
+//! let trace = CapturedTrace::capture(&p, &layout, &RunConfig::default())?;
+//! let mut counts = InstCounts::new();
+//! let stats = trace.replay(&mut counts); // no Executor involved
+//! assert_eq!(counts.total, stats.retired);
+//! # Ok::<(), vp_exec::ExecError>(())
+//! ```
 
 #![warn(missing_docs)]
 
 pub mod event;
 pub mod exec;
 pub mod memory;
+pub mod trace_store;
 
 pub use event::{Ctrl, InstCounts, NullSink, Retired, Sink};
 pub use exec::{ExecError, Executor, RunConfig, RunStats, StopReason};
 pub use memory::Memory;
+pub use trace_store::{CapturedTrace, TraceKey, TraceRecorder, TraceStore, DEFAULT_CACHE_MB};

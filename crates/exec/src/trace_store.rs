@@ -1,0 +1,782 @@
+//! Retired-trace capture and replay: record a workload's retired-instruction
+//! stream once, then feed it to any number of [`Sink`] consumers without
+//! re-executing the program.
+//!
+//! The paper separates *collection* (the Hot Spot Detector watches the
+//! retired-branch stream in hardware) from *consumption* (region
+//! identification, packaging, timing). This module gives the harness the
+//! same separation: one architectural execution produces a
+//! [`CapturedTrace`]; every later consumer — another detector
+//! configuration, the `vp-sim` timing model, branch-count oracles —
+//! replays the recorded stream instead of re-interpreting the program.
+//!
+//! # Encoding
+//!
+//! Almost every field of a [`Retired`] event is *static*: for a fixed
+//! program and layout, the instruction at a given fetch address always has
+//! the same location, FU class, latency, register defs/uses, and
+//! control-transfer kind. The recorder therefore splits the stream:
+//!
+//! * a **static side-table** with one entry per distinct fetch address,
+//!   holding a template `Retired` event plus the (at most two) observed
+//!   control-transfer targets, keyed densely in first-seen order;
+//! * a **dynamic byte stream** with one record per retired instruction: a
+//!   flags byte (sequential-index bit, memory bit, branch directions),
+//!   then optional LEB128 varints — a zig-zag table-index delta when
+//!   execution did not fall through to the next recorded address, a
+//!   zig-zag delta-coded effective address for loads/stores, and an
+//!   explicit target only for returns (the one transfer whose target is
+//!   not a function of the address and direction).
+//!
+//! Straight-line code costs one byte per instruction; the amortized cost
+//! stays well under the 8-bytes-per-instruction budget even on
+//! memory-heavy workloads (see `tests/trace_replay.rs`).
+//!
+//! # Caching
+//!
+//! [`TraceStore`] is a bounded, thread-safe map from [`TraceKey`]
+//! (workload label + structural fingerprint + [`RunConfig`] limits) to
+//! shared captures. [`TraceStore::capture_or_replay`] is the one-call
+//! front door used by the experiment harness: a hit replays, a miss
+//! executes once while recording. The byte budget comes from
+//! `VP_TRACE_CACHE_MB` (default 512); least-recently-used captures are
+//! evicted when it is exceeded, so oversubscribed sweeps degrade to
+//! re-execution instead of exhausting memory.
+//!
+//! Instrumentation (`vp-trace` counters, stamped into every run
+//! manifest): `trace_store.captures`, `.replays`, `.hits`, `.evictions`,
+//! `.bytes`.
+//!
+//! ```
+//! use vp_program::{ProgramBuilder, Layout};
+//! use vp_exec::{CapturedTrace, InstCounts, RunConfig};
+//! use vp_isa::Reg;
+//!
+//! let mut pb = ProgramBuilder::new();
+//! pb.func("main", |f| {
+//!     let i = Reg::int(8);
+//!     f.li(i, 0);
+//!     f.for_range(i, 0, 100, |f| f.nop());
+//!     f.halt();
+//! });
+//! let p = pb.build();
+//! let layout = Layout::natural(&p);
+//!
+//! // Execute once, recording the retired stream...
+//! let trace = CapturedTrace::capture(&p, &layout, &RunConfig::default())?;
+//!
+//! // ...then replay it through as many sinks as needed, no executor.
+//! let mut counts = InstCounts::new();
+//! let stats = trace.replay(&mut counts);
+//! assert_eq!(counts.total, stats.retired);
+//! assert_eq!(stats.retired, trace.stats().retired);
+//! # Ok::<(), vp_exec::ExecError>(())
+//! ```
+
+use crate::event::{Retired, Sink};
+use crate::exec::{ExecError, Executor, RunConfig, RunStats};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+use vp_program::{Layout, Program};
+use vp_trace::Counter;
+
+/// Architectural executions performed because no capture was available.
+static CAPTURES: Counter = Counter::new("trace_store.captures");
+/// Full replays of a captured trace through a sink.
+static REPLAYS: Counter = Counter::new("trace_store.replays");
+/// Store lookups answered from cache.
+static HITS: Counter = Counter::new("trace_store.hits");
+/// Captures evicted to stay inside the byte budget.
+static EVICTIONS: Counter = Counter::new("trace_store.evictions");
+/// Total encoded bytes captured (monotonic, not resident).
+static BYTES: Counter = Counter::new("trace_store.bytes");
+
+/// Default cache budget when `VP_TRACE_CACHE_MB` is unset.
+pub const DEFAULT_CACHE_MB: usize = 512;
+
+// ---------------------------------------------------------------- varints
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &[u8], pos: &mut usize) -> u64 {
+    let mut v = 0u64;
+    let mut shift = 0;
+    loop {
+        let byte = buf[*pos];
+        *pos += 1;
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return v;
+        }
+        shift += 7;
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+// ---------------------------------------------------------- static table
+
+/// Per-address static information: a template event plus the observed
+/// control targets, indexed by architectural direction.
+#[derive(Debug, Clone)]
+struct StaticSlot {
+    template: Retired,
+    targets: [Option<u64>; 2],
+}
+
+const FLAG_SEQ: u8 = 1 << 0;
+const FLAG_MEM: u8 = 1 << 1;
+const FLAG_ARCH_TAKEN: u8 = 1 << 2;
+const FLAG_TAKEN: u8 = 1 << 3;
+
+/// A [`Sink`] that records the retired stream it observes.
+///
+/// Attach it (alone or tupled with live consumers) to an
+/// [`Executor`] run, then call [`TraceRecorder::finish`] with the run's
+/// stats to obtain the immutable [`CapturedTrace`].
+#[derive(Debug, Default)]
+pub struct TraceRecorder {
+    slots: Vec<StaticSlot>,
+    by_addr: HashMap<u64, u32>,
+    stream: Vec<u8>,
+    prev_idx: i64,
+    last_mem: u64,
+    events: u64,
+}
+
+impl TraceRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> TraceRecorder {
+        TraceRecorder {
+            prev_idx: -1,
+            ..TraceRecorder::default()
+        }
+    }
+
+    /// Seals the recording into a [`CapturedTrace`].
+    pub fn finish(self, stats: RunStats) -> CapturedTrace {
+        let trace = CapturedTrace {
+            slots: self.slots,
+            stream: self.stream,
+            stats,
+            events: self.events,
+        };
+        CAPTURES.incr();
+        BYTES.add(trace.bytes() as u64);
+        trace
+    }
+}
+
+impl Sink for TraceRecorder {
+    fn retire(&mut self, r: &Retired) {
+        let idx = match self.by_addr.get(&r.addr) {
+            Some(&i) => i,
+            None => {
+                let i = self.slots.len() as u32;
+                let mut template = *r;
+                template.mem_addr = None;
+                if let Some(c) = &mut template.ctrl {
+                    c.arch_taken = false;
+                    c.taken = false;
+                    c.target = 0;
+                }
+                self.slots.push(StaticSlot {
+                    template,
+                    targets: [None; 2],
+                });
+                self.by_addr.insert(r.addr, i);
+                i
+            }
+        };
+
+        let mut flags = 0u8;
+        let seq = i64::from(idx) == self.prev_idx + 1;
+        if seq {
+            flags |= FLAG_SEQ;
+        }
+        if r.mem_addr.is_some() {
+            flags |= FLAG_MEM;
+        }
+        if let Some(c) = &r.ctrl {
+            if c.arch_taken {
+                flags |= FLAG_ARCH_TAKEN;
+            }
+            if c.taken {
+                flags |= FLAG_TAKEN;
+            }
+        }
+        self.stream.push(flags);
+        if !seq {
+            put_varint(
+                &mut self.stream,
+                zigzag(i64::from(idx) - (self.prev_idx + 1)),
+            );
+        }
+        self.prev_idx = i64::from(idx);
+
+        if let Some(m) = r.mem_addr {
+            put_varint(
+                &mut self.stream,
+                zigzag(m.wrapping_sub(self.last_mem) as i64),
+            );
+            self.last_mem = m;
+        }
+        if let Some(c) = &r.ctrl {
+            let slot = &mut self.slots[idx as usize];
+            debug_assert_eq!(
+                slot.template.loc, r.loc,
+                "static fields must be constant per address"
+            );
+            if c.is_ret {
+                // A return's target depends on the dynamic call stack.
+                put_varint(
+                    &mut self.stream,
+                    zigzag(c.target.wrapping_sub(r.addr) as i64),
+                );
+            } else {
+                let dir = &mut slot.targets[usize::from(c.arch_taken)];
+                match dir {
+                    Some(t) => debug_assert_eq!(*t, c.target, "per-direction target is static"),
+                    None => *dir = Some(c.target),
+                }
+            }
+        }
+        self.events += 1;
+    }
+}
+
+// ------------------------------------------------------------- the trace
+
+/// A recorded retired-instruction stream, replayable through any [`Sink`].
+#[derive(Debug)]
+pub struct CapturedTrace {
+    slots: Vec<StaticSlot>,
+    stream: Vec<u8>,
+    stats: RunStats,
+    events: u64,
+}
+
+impl CapturedTrace {
+    /// Executes `program` once under `cfg`, recording the retired stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ExecError`] from the executor; nothing is recorded on
+    /// error.
+    pub fn capture(
+        program: &Program,
+        layout: &Layout,
+        cfg: &RunConfig,
+    ) -> Result<CapturedTrace, ExecError> {
+        Self::capture_with(program, layout, cfg, &mut crate::event::NullSink)
+    }
+
+    /// Like [`CapturedTrace::capture`], but also feeds `sink` during the
+    /// recording run, so first-time consumers do not pay a separate
+    /// replay pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ExecError`] from the executor.
+    pub fn capture_with(
+        program: &Program,
+        layout: &Layout,
+        cfg: &RunConfig,
+        sink: &mut impl Sink,
+    ) -> Result<CapturedTrace, ExecError> {
+        let mut rec = TraceRecorder::new();
+        let stats = Executor::new(program, layout).run(&mut (&mut rec, sink), cfg)?;
+        Ok(rec.finish(stats))
+    }
+
+    /// Replays the recorded stream into `sink`, reconstructing every
+    /// [`Retired`] event bit-for-bit, and returns the original run's
+    /// [`RunStats`].
+    pub fn replay(&self, sink: &mut impl Sink) -> RunStats {
+        REPLAYS.incr();
+        let mut pos = 0usize;
+        let mut prev_idx: i64 = -1;
+        let mut last_mem = 0u64;
+        while pos < self.stream.len() {
+            let flags = self.stream[pos];
+            pos += 1;
+            let idx = if flags & FLAG_SEQ != 0 {
+                prev_idx + 1
+            } else {
+                prev_idx + 1 + unzigzag(get_varint(&self.stream, &mut pos))
+            };
+            prev_idx = idx;
+            let slot = &self.slots[idx as usize];
+            let mut ev = slot.template;
+            if flags & FLAG_MEM != 0 {
+                last_mem =
+                    last_mem.wrapping_add(unzigzag(get_varint(&self.stream, &mut pos)) as u64);
+                ev.mem_addr = Some(last_mem);
+            }
+            if let Some(c) = &mut ev.ctrl {
+                c.arch_taken = flags & FLAG_ARCH_TAKEN != 0;
+                c.taken = flags & FLAG_TAKEN != 0;
+                c.target = if c.is_ret {
+                    ev.addr
+                        .wrapping_add(unzigzag(get_varint(&self.stream, &mut pos)) as u64)
+                } else {
+                    slot.targets[usize::from(c.arch_taken)]
+                        .expect("observed direction has a recorded target")
+                };
+            }
+            sink.retire(&ev);
+        }
+        self.stats
+    }
+
+    /// The recorded run's summary statistics.
+    pub fn stats(&self) -> RunStats {
+        self.stats
+    }
+
+    /// Number of retired instructions recorded.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Approximate resident size of the capture in bytes.
+    pub fn bytes(&self) -> usize {
+        self.stream.len() + self.slots.len() * std::mem::size_of::<StaticSlot>()
+    }
+}
+
+// --------------------------------------------------------------- the key
+
+/// Cache key for a capture: which workload ran, a structural fingerprint
+/// of the program *and* its layout, and the [`RunConfig`] limits.
+///
+/// The fingerprint hashes every block's instruction count and laid-out
+/// address, so regenerating the same workload (same builder, same scale)
+/// maps to the same key while any structural or layout change misses.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TraceKey {
+    /// Workload label, e.g. `"300.twolf A"`.
+    pub workload: String,
+    /// Structural checksum of (program, layout).
+    pub fingerprint: u64,
+    /// [`RunConfig::max_insts`] of the run.
+    pub max_insts: u64,
+    /// [`RunConfig::max_depth`] of the run.
+    pub max_depth: u64,
+}
+
+impl TraceKey {
+    /// Builds the key for running `program` under `layout` and `cfg`.
+    pub fn new(workload: &str, program: &Program, layout: &Layout, cfg: &RunConfig) -> TraceKey {
+        // FNV-1a over the structural outline; cheap relative to one run.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        mix(program.funcs.len() as u64);
+        mix(u64::from(program.entry.0));
+        for (fi, f) in program.funcs.iter().enumerate() {
+            mix(f.blocks.len() as u64);
+            for (bi, b) in f.blocks.iter().enumerate() {
+                mix(b.insts.len() as u64);
+                mix(layout.addr_of(vp_isa::CodeRef::new(fi as u32, bi as u32)));
+            }
+        }
+        TraceKey {
+            workload: workload.to_string(),
+            fingerprint: h,
+            max_insts: cfg.max_insts,
+            max_depth: cfg.max_depth as u64,
+        }
+    }
+}
+
+// ------------------------------------------------------------- the store
+
+struct StoreEntry {
+    trace: Arc<CapturedTrace>,
+    last_used: u64,
+}
+
+struct StoreInner {
+    map: HashMap<TraceKey, StoreEntry>,
+    clock: u64,
+    bytes: usize,
+}
+
+/// A bounded, thread-safe cache of [`CapturedTrace`]s keyed by
+/// [`TraceKey`], with least-recently-used eviction.
+pub struct TraceStore {
+    cap_bytes: usize,
+    inner: Mutex<StoreInner>,
+}
+
+impl std::fmt::Debug for TraceStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceStore")
+            .field("cap_bytes", &self.cap_bytes)
+            .field("resident_bytes", &self.resident_bytes())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// Parses a `VP_TRACE_CACHE_MB`-style value; `None`/unparsable falls back
+/// to [`DEFAULT_CACHE_MB`].
+fn cache_mb_from(spec: Option<&str>) -> usize {
+    spec.and_then(|s| s.trim().parse().ok())
+        .unwrap_or(DEFAULT_CACHE_MB)
+}
+
+impl TraceStore {
+    /// Creates a store bounded to `cap_bytes` of encoded trace data.
+    pub fn new(cap_bytes: usize) -> TraceStore {
+        TraceStore {
+            cap_bytes,
+            inner: Mutex::new(StoreInner {
+                map: HashMap::new(),
+                clock: 0,
+                bytes: 0,
+            }),
+        }
+    }
+
+    /// Creates a store bounded to `mb` megabytes.
+    pub fn with_capacity_mb(mb: usize) -> TraceStore {
+        TraceStore::new(mb * 1024 * 1024)
+    }
+
+    /// The process-wide store used by the experiment harness, sized from
+    /// `VP_TRACE_CACHE_MB` (default 512) at first use.
+    pub fn global() -> &'static TraceStore {
+        static GLOBAL: OnceLock<TraceStore> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            TraceStore::with_capacity_mb(cache_mb_from(
+                std::env::var("VP_TRACE_CACHE_MB").ok().as_deref(),
+            ))
+        })
+    }
+
+    /// Looks `key` up, refreshing its recency on a hit.
+    pub fn get(&self, key: &TraceKey) -> Option<Arc<CapturedTrace>> {
+        let mut inner = self.inner.lock().expect("trace store");
+        inner.clock += 1;
+        let clock = inner.clock;
+        let hit = inner.map.get_mut(key).map(|e| {
+            e.last_used = clock;
+            Arc::clone(&e.trace)
+        });
+        if hit.is_some() {
+            HITS.incr();
+        }
+        hit
+    }
+
+    /// Inserts a capture, evicting least-recently-used entries until the
+    /// byte budget holds. A capture larger than the whole budget is not
+    /// cached at all: callers keep their `Arc` and later requests
+    /// re-execute.
+    pub fn insert(&self, key: TraceKey, trace: Arc<CapturedTrace>) {
+        let size = trace.bytes();
+        if size > self.cap_bytes {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("trace store");
+        inner.clock += 1;
+        let clock = inner.clock;
+        if let Some(old) = inner.map.remove(&key) {
+            inner.bytes -= old.trace.bytes();
+        }
+        while inner.bytes + size > self.cap_bytes {
+            let Some(victim) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            if let Some(e) = inner.map.remove(&victim) {
+                inner.bytes -= e.trace.bytes();
+                EVICTIONS.incr();
+            }
+        }
+        inner.bytes += size;
+        inner.map.insert(
+            key,
+            StoreEntry {
+                trace,
+                last_used: clock,
+            },
+        );
+    }
+
+    /// Replays `key`'s capture into `sink` if cached; otherwise executes
+    /// `program` once with the recorder (and `sink`) attached and caches
+    /// the result. Returns the run's stats either way.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ExecError`] from a capture run; failed runs are never
+    /// cached.
+    pub fn capture_or_replay(
+        &self,
+        key: TraceKey,
+        program: &Program,
+        layout: &Layout,
+        cfg: &RunConfig,
+        sink: &mut impl Sink,
+    ) -> Result<RunStats, ExecError> {
+        if let Some(trace) = self.get(&key) {
+            return Ok(trace.replay(sink));
+        }
+        let trace = Arc::new(CapturedTrace::capture_with(program, layout, cfg, sink)?);
+        let stats = trace.stats();
+        self.insert(key, trace);
+        Ok(stats)
+    }
+
+    /// Number of cached captures.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("trace store").map.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes currently resident across all cached captures.
+    pub fn resident_bytes(&self) -> usize {
+        self.inner.lock().expect("trace store").bytes
+    }
+
+    /// The configured byte budget.
+    pub fn capacity_bytes(&self) -> usize {
+        self.cap_bytes
+    }
+
+    /// Drops every cached capture.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("trace store");
+        inner.map.clear();
+        inner.bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::InstCounts;
+    use vp_isa::{Cond, Reg, Src};
+    use vp_program::ProgramBuilder;
+
+    fn sample_program() -> (Program, Layout) {
+        let mut pb = ProgramBuilder::new();
+        let table = pb.data(vec![3, 1, 4, 1, 5, 9, 2, 6]);
+        let callee = pb.declare("callee");
+        pb.define(callee, |f| {
+            f.mul(Reg::ARG0, Reg::ARG0, Reg::ARG0);
+            f.ret();
+        });
+        let main = pb.declare("main");
+        pb.define(main, |f| {
+            let i = Reg::int(20);
+            let acc = Reg::int(21);
+            let base = Reg::int(22);
+            f.li(acc, 0);
+            f.li(base, table as i64);
+            f.for_range(i, 0, 8, |f| {
+                let v = Reg::int(23);
+                f.alu(vp_isa::AluOp::Shl, v, i, Src::Imm(3));
+                f.add(v, v, base);
+                f.load(v, v, 0);
+                let c = f.cond(Cond::Lt, v, Src::Imm(4));
+                f.if_else(c, |f| f.add(acc, acc, v), |f| f.store(v, base, 0));
+            });
+            f.call_args(callee, &[Src::Imm(7)]);
+            f.halt();
+        });
+        pb.set_entry(main);
+        let p = pb.build();
+        let layout = Layout::natural(&p);
+        (p, layout)
+    }
+
+    /// Collects every replayed event verbatim.
+    #[derive(Default)]
+    struct Collect(Vec<Retired>);
+    impl Sink for Collect {
+        fn retire(&mut self, r: &Retired) {
+            self.0.push(*r);
+        }
+    }
+
+    #[test]
+    fn replay_reproduces_stream_exactly() {
+        let (p, layout) = sample_program();
+        let cfg = RunConfig::default();
+        let mut live = Collect::default();
+        let stats = Executor::new(&p, &layout).run(&mut live, &cfg).unwrap();
+
+        let trace = CapturedTrace::capture(&p, &layout, &cfg).unwrap();
+        let mut replayed = Collect::default();
+        let rstats = trace.replay(&mut replayed);
+
+        assert_eq!(stats, rstats);
+        assert_eq!(live.0.len(), replayed.0.len());
+        for (a, b) in live.0.iter().zip(&replayed.0) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn capture_with_feeds_sink_during_recording() {
+        let (p, layout) = sample_program();
+        let cfg = RunConfig::default();
+        let mut counts = InstCounts::new();
+        let trace = CapturedTrace::capture_with(&p, &layout, &cfg, &mut counts).unwrap();
+        assert_eq!(counts.total, trace.stats().retired);
+        assert_eq!(trace.events(), trace.stats().retired);
+    }
+
+    #[test]
+    fn encoding_meets_byte_budget() {
+        // The budget is amortized: the static side-table is bounded by the
+        // program's static size, so the run must be long enough for the
+        // dynamic stream to dominate — as any real workload is.
+        let mut pb = ProgramBuilder::new();
+        let table = pb.data(vec![0; 64]);
+        pb.func("main", |f| {
+            let i = Reg::int(20);
+            let b = Reg::int(21);
+            let v = Reg::int(22);
+            f.li(b, table as i64);
+            f.for_range(i, 0, 2000, |f| {
+                f.alu(vp_isa::AluOp::And, v, i, Src::Imm(63));
+                f.alu(vp_isa::AluOp::Shl, v, v, Src::Imm(3));
+                f.add(v, v, b);
+                f.load(v, v, 0);
+                f.store(v, b, 0);
+            });
+            f.halt();
+        });
+        let p = pb.build();
+        let layout = Layout::natural(&p);
+        let trace = CapturedTrace::capture(&p, &layout, &RunConfig::default()).unwrap();
+        assert!(
+            trace.bytes() as u64 <= 8 * trace.events(),
+            "{} bytes for {} events",
+            trace.bytes(),
+            trace.events()
+        );
+    }
+
+    #[test]
+    fn store_hits_and_replays_equivalently() {
+        let (p, layout) = sample_program();
+        let cfg = RunConfig::default();
+        let store = TraceStore::with_capacity_mb(4);
+        let key = TraceKey::new("sample", &p, &layout, &cfg);
+
+        let mut first = InstCounts::new();
+        store
+            .capture_or_replay(key.clone(), &p, &layout, &cfg, &mut first)
+            .unwrap();
+        assert_eq!(store.len(), 1);
+
+        let mut second = InstCounts::new();
+        store
+            .capture_or_replay(key, &p, &layout, &cfg, &mut second)
+            .unwrap();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn store_evicts_lru_under_pressure() {
+        let (p, layout) = sample_program();
+        let cfg = RunConfig::default();
+        let trace = Arc::new(CapturedTrace::capture(&p, &layout, &cfg).unwrap());
+        let one = trace.bytes();
+        // Room for exactly two captures.
+        let store = TraceStore::new(2 * one + 1);
+        for label in ["a", "b", "c"] {
+            store.insert(TraceKey::new(label, &p, &layout, &cfg), Arc::clone(&trace));
+        }
+        assert_eq!(store.len(), 2, "third insert evicts the oldest");
+        assert!(store.resident_bytes() <= store.capacity_bytes());
+        assert!(store.get(&TraceKey::new("a", &p, &layout, &cfg)).is_none());
+        assert!(store.get(&TraceKey::new("c", &p, &layout, &cfg)).is_some());
+    }
+
+    #[test]
+    fn oversized_capture_is_not_cached() {
+        let (p, layout) = sample_program();
+        let cfg = RunConfig::default();
+        let store = TraceStore::new(16);
+        let mut sink = crate::event::NullSink;
+        store
+            .capture_or_replay(
+                TraceKey::new("big", &p, &layout, &cfg),
+                &p,
+                &layout,
+                &cfg,
+                &mut sink,
+            )
+            .unwrap();
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn key_distinguishes_config_and_structure() {
+        let (p, layout) = sample_program();
+        let base = RunConfig::default();
+        let limited = RunConfig {
+            max_insts: 10,
+            ..base
+        };
+        let k1 = TraceKey::new("w", &p, &layout, &base);
+        let k2 = TraceKey::new("w", &p, &layout, &limited);
+        assert_ne!(k1, k2);
+        assert_eq!(k1, TraceKey::new("w", &p, &layout, &base));
+    }
+
+    #[test]
+    fn cache_mb_parsing() {
+        assert_eq!(cache_mb_from(None), DEFAULT_CACHE_MB);
+        assert_eq!(cache_mb_from(Some("1")), 1);
+        assert_eq!(cache_mb_from(Some(" 64 ")), 64);
+        assert_eq!(cache_mb_from(Some("nonsense")), DEFAULT_CACHE_MB);
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        let mut buf = Vec::new();
+        let values = [0i64, 1, -1, 63, -64, 300, -300, i64::MAX / 2, i64::MIN / 2];
+        for &v in &values {
+            put_varint(&mut buf, zigzag(v));
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(unzigzag(get_varint(&buf, &mut pos)), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+}

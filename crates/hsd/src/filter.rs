@@ -41,7 +41,7 @@ pub struct FilterConfig {
     /// value, and *biased not-taken* when at most `1 - bias_threshold`.
     pub bias_threshold: f64,
     /// Number of common biased branches whose bias must flip before two hot
-    /// spots are considered different (paper: 1; its [4] reference notes the
+    /// spots are considered different (paper: 1; its \[4\] reference notes the
     /// threshold could be raised to yield fewer unique hot spots).
     pub bias_flip_threshold: usize,
 }

@@ -27,6 +27,12 @@
 //! let phases = filter_hot_spots(det.records(), &FilterConfig::default());
 //! assert_eq!(phases.len(), 1);
 //! ```
+//!
+//! The detector is a pure function of the retired stream it observes: it
+//! behaves identically whether that stream comes from a live
+//! `vp_exec::Executor` run or from a `vp_exec::CapturedTrace` replay,
+//! which is what lets the harness profile a workload under many detector
+//! configurations from a single recorded execution (see `vp-metrics`).
 
 #![warn(missing_docs)]
 

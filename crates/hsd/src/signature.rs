@@ -5,7 +5,7 @@
 //! window and relies on software to discard the duplicates. The paper
 //! sketches two hardware refinements:
 //!
-//! * a BBB *history* (after its reference [4]) "records a phase only when
+//! * a BBB *history* (after its reference \[4\]) "records a phase only when
 //!   it is different than the previous phase", extensible "to more than
 //!   one to greatly reduce the number of hot spots recorded";
 //! * *working set signatures* (after Dhodapkar & Smith) "extended to hot

@@ -3,10 +3,24 @@
 //! One profiled workload ([`profile`]) can be evaluated under many pipeline
 //! configurations ([`evaluate`]) — exactly how the paper's Figures 8 and 10
 //! sweep the {inference} × {linking} matrix over each benchmark/input.
+//!
+//! Collection is decoupled from consumption through the capture/replay
+//! layer in `vp-exec`: [`profile`] obtains the original binary's retired
+//! stream through the global [`TraceStore`] — one architectural execution
+//! per `(workload, RunConfig)` key, process-wide — and every consumer
+//! (the Hot Spot Detector, the branch-count oracle, baseline timing on
+//! the Table 2 machine) runs off that shared capture. Re-profiling the
+//! same workload under a different detector configuration, as the
+//! ablation sweeps do, replays instead of re-executing. Packed binaries
+//! are still executed live: rewriting changes the stream.
 
 use crate::branches::BranchCounts;
+use std::sync::Arc;
 use vp_core::{pack, PackConfig, PackOutput};
-use vp_exec::{ExecError, Executor, InstCounts, RunConfig, Sink, StopReason};
+use vp_exec::{
+    CapturedTrace, ExecError, Executor, InstCounts, RunConfig, Sink, StopReason, TraceKey,
+    TraceStore,
+};
 use vp_hsd::{filter_hot_spots, FilterConfig, HotSpotDetector, HsdConfig, Phase};
 use vp_opt::{optimize_packages, OptConfig};
 use vp_program::{Layout, Program};
@@ -32,10 +46,18 @@ pub struct ProfiledWorkload {
     pub base_cycles: Option<u64>,
     /// Raw (unfiltered) hot-spot detections.
     pub raw_detections: usize,
+    /// The captured retired stream of the profiling run, shared with
+    /// [`evaluate`] (baseline timing) and any later consumer.
+    pub trace: Arc<CapturedTrace>,
 }
 
 /// Profiles `program` with the Hot Spot Detector attached, optionally
 /// timing the original binary on `machine`.
+///
+/// The retired stream comes from [`TraceStore::global`]: the first
+/// profile of a `(workload, RunConfig)` key executes the program once
+/// while recording; later profiles (e.g. detector-configuration sweeps)
+/// replay the capture. Baseline cycles are always produced by replay.
 ///
 /// # Errors
 ///
@@ -50,21 +72,20 @@ pub fn profile(
     let mut hsd = HotSpotDetector::new(*hsd_cfg);
     let mut counts = BranchCounts::new();
     let run_cfg = RunConfig::default();
+    let store = TraceStore::global();
+    let key = TraceKey::new(label, &program, &layout, &run_cfg);
 
-    let (stats, base_cycles) = {
+    let (stats, trace) = {
         let _s = vp_trace::span("metrics.profile.run");
-        match machine {
-            Some(m) => {
-                let mut timing = TimingModel::new(*m);
-                let mut sink = (&mut hsd, &mut counts, &mut timing);
-                let stats = Executor::new(&program, &layout).run(&mut sink, &run_cfg)?;
-                timing.emit_trace();
-                (stats, Some(timing.cycles()))
-            }
+        let mut sink = (&mut hsd, &mut counts);
+        match store.get(&key) {
+            Some(trace) => (trace.replay(&mut sink), trace),
             None => {
-                let mut sink = (&mut hsd, &mut counts);
-                let stats = Executor::new(&program, &layout).run(&mut sink, &run_cfg)?;
-                (stats, None)
+                let trace = Arc::new(CapturedTrace::capture_with(
+                    &program, &layout, &run_cfg, &mut sink,
+                )?);
+                store.insert(key, Arc::clone(&trace));
+                (trace.stats(), trace)
             }
         }
     };
@@ -73,6 +94,14 @@ pub fn profile(
         StopReason::Halted,
         "{label}: workload must halt"
     );
+
+    let base_cycles = machine.map(|m| {
+        let _s = vp_trace::span("metrics.profile.base_timing");
+        let mut timing = TimingModel::new(*m);
+        trace.replay(&mut timing);
+        timing.emit_trace();
+        timing.cycles()
+    });
 
     let raw_detections = hsd.records().len();
     let phases = {
@@ -88,6 +117,7 @@ pub fn profile(
         dyn_insts: stats.retired,
         base_cycles,
         raw_detections,
+        trace,
     })
 }
 
@@ -117,6 +147,12 @@ pub struct ConfigOutcome {
 
 /// Runs the Vacuum Packing pipeline on a profiled workload under one
 /// configuration, measuring coverage and (optionally) speedup.
+///
+/// The packed binary executes live (rewriting changes the retired
+/// stream), but the original binary never re-executes here: baseline
+/// cycles come from [`ProfiledWorkload::base_cycles`] when the profile
+/// was timed, and are otherwise derived by replaying the profile's
+/// shared capture through a fresh [`TimingModel`].
 ///
 /// # Errors
 ///
@@ -157,7 +193,19 @@ pub fn evaluate(
         }
     };
 
-    let speedup = match (pw.base_cycles, opt_cycles) {
+    let base_cycles = match (pw.base_cycles, machine) {
+        (Some(base), _) => Some(base),
+        (None, Some(m)) => {
+            // The profile ran untimed; recover baseline cycles from its
+            // capture instead of re-executing the original binary.
+            let _s = vp_trace::span("metrics.evaluate.base_timing");
+            let mut timing = TimingModel::new(*m);
+            pw.trace.replay(&mut timing);
+            Some(timing.cycles())
+        }
+        (None, None) => None,
+    };
+    let speedup = match (base_cycles, opt_cycles) {
         (Some(base), Some(opt)) => Some(base as f64 / opt.max(1) as f64),
         _ => None,
     };
@@ -233,6 +281,54 @@ mod tests {
             with.coverage,
             without.coverage
         );
+    }
+
+    #[test]
+    fn reprofile_replays_instead_of_reexecuting() {
+        // First profile may capture or hit (the store is process-global and
+        // other tests share it); the point is that the *second* profile of
+        // the same workload must be a pure cache hit. Scoped counter deltas
+        // are thread-local, so parallel tests don't perturb them.
+        let first = profile("300.twolf A", twolf::build(1), &HsdConfig::table2(), None).unwrap();
+        let (second, report) = vp_trace::scoped(|| {
+            profile("300.twolf A", twolf::build(1), &HsdConfig::table2(), None).unwrap()
+        });
+        assert_eq!(report.counter("trace_store.captures"), 0);
+        assert_eq!(report.counter("trace_store.hits"), 1);
+        assert_eq!(report.counter("trace_store.replays"), 1);
+        assert_eq!(first.phases, second.phases);
+        assert_eq!(first.dyn_insts, second.dyn_insts);
+    }
+
+    #[test]
+    fn untimed_profile_still_yields_speedup_via_replay() {
+        let machine = MachineConfig::table2();
+        let pw = profile("300.twolf A", twolf::build(1), &HsdConfig::table2(), None).unwrap();
+        assert!(pw.base_cycles.is_none());
+        let out = evaluate(
+            &pw,
+            &PackConfig::default(),
+            &OptConfig::default(),
+            Some(&machine),
+        )
+        .unwrap();
+
+        let timed = profile(
+            "300.twolf A",
+            twolf::build(1),
+            &HsdConfig::table2(),
+            Some(&machine),
+        )
+        .unwrap();
+        let out_timed = evaluate(
+            &timed,
+            &PackConfig::default(),
+            &OptConfig::default(),
+            Some(&machine),
+        )
+        .unwrap();
+        assert_eq!(out.opt_cycles, out_timed.opt_cycles);
+        assert_eq!(out.speedup, out_timed.speedup);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! Three passes compose:
 //!
 //! * [`propagate_weights`] — block/arc weight estimation from the BBB taken
-//!   probabilities (the method of the paper's reference [4]);
+//!   probabilities (the method of the paper's reference \[4\]);
 //! * [`chain_layout`] — profile-guided relayout: heaviest arcs become
 //!   fall-throughs, cold exits sink to the end;
 //! * [`schedule_block`] — list rescheduling for the Table 2 machine.

@@ -1,6 +1,6 @@
 //! Profile-weight propagation from taken probabilities.
 //!
-//! The paper (Section 5.4, after [4]) computes block and arc weights for
+//! The paper (Section 5.4, after \[4\]) computes block and arc weights for
 //! the extracted packages from the taken probabilities the BBB recorded for
 //! each branch. This module solves the flow equations with damped
 //! Gauss-Seidel iteration in reverse postorder: entries inject weight,

@@ -46,7 +46,7 @@ pub struct MachineConfig {
     /// Model wrong-path instruction fetch on mispredictions: the fetch
     /// unit speculatively touches I-cache lines down the wrong direction
     /// until the branch resolves, polluting the cache (the paper's
-    /// emulator "fully accounts for ... wrong path execution [and] cache
+    /// emulator "fully accounts for ... wrong path execution \[and\] cache
     /// utilization and pollution"). One line per front-end fetch cycle of
     /// the resolution window.
     pub wrong_path_fetch: bool,

@@ -10,7 +10,7 @@
 //! |---|---|---|
 //! | [`isa`] | `vp-isa` | EPIC-style instruction set |
 //! | [`program`] | `vp-program` | CFG/call-graph program model, builder DSL, liveness, layout |
-//! | [`exec`] | `vp-exec` | architectural executor + retired-instruction stream |
+//! | [`exec`] | `vp-exec` | architectural executor + retired-instruction stream + capture/replay trace cache |
 //! | [`sim`] | `vp-sim` | Table 2 timing model (caches, predictors, pipeline) |
 //! | [`hsd`] | `vp-hsd` | Hot Spot Detector + phase filtering |
 //! | [`core`] | `vp-core` | **the paper's contribution**: region identification, package construction, linking, rewriting |
@@ -49,7 +49,9 @@ pub use vp_workloads as workloads;
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use vp_core::{pack, PackConfig, PackOutput};
-    pub use vp_exec::{Executor, InstCounts, NullSink, RunConfig, Sink};
+    pub use vp_exec::{
+        CapturedTrace, Executor, InstCounts, NullSink, RunConfig, Sink, TraceKey, TraceStore,
+    };
     pub use vp_hsd::{filter_hot_spots, FilterConfig, HotSpotDetector, HsdConfig, Phase};
     pub use vp_isa::{BlockId, CodeRef, Cond, FuncId, Inst, Reg, Src};
     pub use vp_metrics::{categorize, evaluate, profile, BranchCounts, TextTable};

@@ -1,0 +1,174 @@
+//! Capture/replay equivalence: a replayed [`CapturedTrace`] must be
+//! indistinguishable from live execution for every consumer of the retired
+//! stream — instruction counts, the Hot Spot Detector, and the timing
+//! model — and the [`TraceStore`] cache must degrade to re-execution (not
+//! wrong answers) under memory pressure.
+
+use vacuum_packing::hsd::{filter_hot_spots, FilterConfig, HotSpotDetector, HsdConfig};
+use vacuum_packing::prelude::*;
+use vacuum_packing::trace;
+use vp_program::Program;
+
+fn three_workloads() -> Vec<(&'static str, Program)> {
+    vec![
+        ("300.twolf", vacuum_packing::workloads::twolf::build(1)),
+        ("164.gzip", vacuum_packing::workloads::gzip::build(1)),
+        ("124.m88ksim", vacuum_packing::workloads::m88ksim::build(1)),
+    ]
+}
+
+/// For three real workloads: one live run and one capture+replay must
+/// produce *exactly* equal instruction counts, detector records, filtered
+/// phases, and baseline cycle counts.
+#[test]
+fn replay_is_bit_equal_to_live_execution() {
+    let cfg = RunConfig::default();
+    let machine = MachineConfig::table2();
+    for (name, program) in three_workloads() {
+        let layout = Layout::natural(&program);
+
+        // Live: interpret the program, fanning out to all three consumers.
+        let mut live_hsd = HotSpotDetector::new(HsdConfig::table2());
+        let mut live_counts = InstCounts::new();
+        let mut live_timing = TimingModel::new(machine);
+        let live_stats = Executor::new(&program, &layout)
+            .run(
+                &mut (&mut live_hsd, &mut live_counts, &mut live_timing),
+                &cfg,
+            )
+            .unwrap_or_else(|e| panic!("{name}: live run failed: {e}"));
+
+        // Replayed: capture once, then feed fresh consumers from the trace.
+        let capture = CapturedTrace::capture(&program, &layout, &cfg)
+            .unwrap_or_else(|e| panic!("{name}: capture failed: {e}"));
+        let mut replay_hsd = HotSpotDetector::new(HsdConfig::table2());
+        let mut replay_counts = InstCounts::new();
+        let mut replay_timing = TimingModel::new(machine);
+        let replay_stats =
+            capture.replay(&mut (&mut replay_hsd, &mut replay_counts, &mut replay_timing));
+
+        assert_eq!(live_stats, replay_stats, "{name}: RunStats diverged");
+        assert_eq!(live_counts, replay_counts, "{name}: InstCounts diverged");
+        assert_eq!(
+            live_hsd.records(),
+            replay_hsd.records(),
+            "{name}: detector records diverged"
+        );
+        assert_eq!(
+            filter_hot_spots(live_hsd.records(), &FilterConfig::default()),
+            filter_hot_spots(replay_hsd.records(), &FilterConfig::default()),
+            "{name}: filtered phases diverged"
+        );
+        assert_eq!(
+            live_timing.cycles(),
+            replay_timing.cycles(),
+            "{name}: baseline cycles diverged"
+        );
+    }
+}
+
+/// The encoding stays within its amortized byte budget on a real workload,
+/// not just on synthetic loops.
+#[test]
+fn capture_of_real_workload_is_compact() {
+    let program = vacuum_packing::workloads::twolf::build(1);
+    let layout = Layout::natural(&program);
+    let capture = CapturedTrace::capture(&program, &layout, &RunConfig::default()).unwrap();
+    let per_inst = capture.bytes() as f64 / capture.events() as f64;
+    assert!(
+        per_inst <= 8.0,
+        "amortized encoding must stay under 8 B/inst, got {per_inst:.2}"
+    );
+}
+
+fn loop_program(label: u64, iters: u64) -> Program {
+    let mut pb = ProgramBuilder::new();
+    pb.func("main", |f| {
+        let i = Reg::int(8);
+        let a = Reg::int(9);
+        f.li(i, 0);
+        f.li(a, label as i64);
+        f.for_range(i, 0, iters as i64, |f| {
+            f.addi(a, a, 1);
+        });
+        f.halt();
+    });
+    pb.build()
+}
+
+/// A 1 MB store (the `VP_TRACE_CACHE_MB=1` configuration) forced to evict:
+/// every run's results stay identical to direct execution — the cache only
+/// trades time, never correctness — and eviction is observable in the
+/// `trace_store.*` counters.
+#[test]
+fn one_megabyte_store_evicts_without_changing_results() {
+    let cfg = RunConfig::default();
+    // Each trace is a few hundred kilobytes — small enough to be cached
+    // individually, but four of them overflow 1 MB.
+    let programs: Vec<(String, Program)> = (0..4)
+        .map(|n| (format!("loop{n}"), loop_program(n, 100_000)))
+        .collect();
+
+    let (_, report) = trace::scoped(|| {
+        let store = TraceStore::with_capacity_mb(1);
+        // Two sweeps over the set: the second revisits keys that may or
+        // may not have survived eviction.
+        for sweep in 0..2 {
+            for (label, program) in &programs {
+                let layout = Layout::natural(program);
+                let key = TraceKey::new(label, program, &layout, &cfg);
+
+                let mut cached = InstCounts::new();
+                let stats = store
+                    .capture_or_replay(key, program, &layout, &cfg, &mut cached)
+                    .expect("run succeeds");
+
+                let mut direct = InstCounts::new();
+                let direct_stats = Executor::new(program, &layout)
+                    .run(&mut direct, &cfg)
+                    .expect("run succeeds");
+
+                assert_eq!(stats, direct_stats, "sweep {sweep} {label}: stats");
+                assert_eq!(cached, direct, "sweep {sweep} {label}: counts");
+            }
+        }
+        assert!(
+            store.resident_bytes() <= store.capacity_bytes(),
+            "store must respect its byte budget"
+        );
+    });
+    assert!(
+        report.counter("trace_store.evictions") > 0,
+        "four ~400 KB traces must not all fit in 1 MB"
+    );
+    assert!(
+        report.counter("trace_store.captures") > report.counter("trace_store.hits"),
+        "evictions force re-capture on the second sweep"
+    );
+}
+
+/// An over-budget store behaves like an infinite cache for this working
+/// set: the second sweep is all hits.
+#[test]
+fn large_store_serves_second_sweep_from_cache() {
+    let cfg = RunConfig::default();
+    let programs: Vec<(String, Program)> = (0..3)
+        .map(|n| (format!("loop{n}"), loop_program(100 + n, 50_000)))
+        .collect();
+
+    let (_, report) = trace::scoped(|| {
+        let store = TraceStore::with_capacity_mb(64);
+        for (label, program) in programs.iter().chain(programs.iter()) {
+            let layout = Layout::natural(program);
+            let key = TraceKey::new(label, program, &layout, &cfg);
+            let mut counts = InstCounts::new();
+            store
+                .capture_or_replay(key, program, &layout, &cfg, &mut counts)
+                .expect("run succeeds");
+        }
+    });
+    assert_eq!(report.counter("trace_store.captures"), 3);
+    assert_eq!(report.counter("trace_store.hits"), 3);
+    assert_eq!(report.counter("trace_store.replays"), 3);
+    assert_eq!(report.counter("trace_store.evictions"), 0);
+}
