@@ -1,0 +1,101 @@
+//! Sharded evaluation sweep over the (workload × config) matrix, plus the
+//! merge subcommand that joins per-shard manifests into one report.
+//!
+//! ```text
+//! sweep [--timing] [--only SUBSTR]...   # run this process's shard
+//! sweep merge FILE.jsonl...             # join shard manifests
+//! ```
+//!
+//! Sharding comes from `VP_SHARD=i/n` (unset = the whole matrix). Each run
+//! emits its cell rows in its `vp-manifest/1` manifest (`VP_TRACE=json:<path>`),
+//! which `merge` validates for exact single coverage of the matrix before
+//! printing the report an unsharded run would have produced, byte for byte.
+
+use bench::sweep::{merge_manifests, render_report, sweep_cells, ShardSpec, CELL_HEADERS};
+use vacuum_packing::sim::MachineConfig;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("sweep: {msg}");
+    std::process::exit(2);
+}
+
+fn merge_main(files: &[String]) -> ! {
+    if files.is_empty() {
+        fail("merge: no manifest files given");
+    }
+    let inputs: Vec<(String, String)> = files
+        .iter()
+        .map(|f| match std::fs::read_to_string(f) {
+            Ok(c) => (f.clone(), c),
+            Err(e) => fail(&format!("merge: cannot read {f}: {e}")),
+        })
+        .collect();
+    match merge_manifests(&inputs) {
+        Ok(report) => {
+            print!("{report}");
+            std::process::exit(0);
+        }
+        Err(e) => fail(&format!("merge: {e}")),
+    }
+}
+
+fn main() {
+    let args = bench::cli_args();
+    if args.first().map(String::as_str) == Some("merge") {
+        merge_main(&args[1..]);
+    }
+
+    let mut timing = false;
+    let mut only: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--timing" => timing = true,
+            "--only" => match it.next() {
+                Some(f) => only.push(f),
+                None => fail("--only needs a substring argument"),
+            },
+            other => fail(&format!(
+                "unknown argument {other:?} (usage: sweep [--timing] [--only SUBSTR]... | sweep merge FILE...)"
+            )),
+        }
+    }
+
+    let shard = match ShardSpec::from_env() {
+        Ok(s) => s,
+        Err(e) => fail(&e),
+    };
+
+    let mut mf = bench::init("sweep");
+    if let Some(s) = &shard {
+        mf.set("shard", s.label().into());
+    }
+    if !only.is_empty() {
+        mf.set(
+            "only",
+            vp_trace::Json::Arr(only.iter().map(|s| s.as_str().into()).collect()),
+        );
+    }
+    mf.set("timing", timing.into());
+
+    let machine = MachineConfig::table2();
+    let outcome = sweep_cells(shard.as_ref(), timing.then_some(&machine), &only);
+
+    mf.set("cells_total", (outcome.cells_total as u64).into());
+    mf.set("cells_done", outcome.rows.len().into());
+    let headers: Vec<String> = CELL_HEADERS.iter().map(|h| (*h).to_string()).collect();
+    mf.table("cells", &headers, &outcome.rows);
+
+    if let Some(s) = &shard {
+        // A shard's stdout is informational; the authoritative joined
+        // report comes from `sweep merge` over the emitted manifests.
+        println!(
+            "shard {}: {} of {} cells\n",
+            s.label(),
+            outcome.rows.len(),
+            outcome.cells_total
+        );
+    }
+    print!("{}", render_report(&outcome.rows));
+    bench::emit_manifest(mf);
+}

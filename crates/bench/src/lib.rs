@@ -17,9 +17,15 @@
 //!   (default 512) that lets repeated profiles of one workload replay a
 //!   recorded stream instead of re-executing (see
 //!   `vp_exec::TraceStore`); the `trace_store.*` counters in each run
-//!   manifest report captures/replays/hits/evictions.
+//!   manifest report captures/replays/hits/evictions;
+//! * `VP_TRACE_DIR` / `VP_TRACE_DISK_MB` — on-disk persistence tier of the
+//!   trace cache (see `vp_exec::DiskTier`): captures survive across
+//!   processes, so warmed reruns and sharded sweeps skip live execution;
+//! * `VP_SHARD` — `i/n` cell partition for the `sweep` binary (see
+//!   [`sweep::ShardSpec`]); shard manifests are joined by `sweep merge`.
 
 pub mod micro;
+pub mod sweep;
 
 use std::sync::Mutex;
 use vacuum_packing::hsd::HsdConfig;
@@ -94,18 +100,23 @@ fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Runs `jobs` on `threads().min(n)` worker threads, preserving input
-/// order. Worker panics are caught per job, so one failure neither poisons
-/// the shared queue nor takes down the other workers; the caller receives
-/// every job's individual outcome.
-fn parallel_sweep<J, T>(jobs: Vec<J>, f: impl Fn(&J) -> T + Sync) -> Vec<Result<T, String>>
+/// Runs labeled `jobs` on `threads().min(n)` worker threads, preserving
+/// input order. Worker panics are caught per job, so one failure neither
+/// poisons the shared queue nor takes down the other workers; a failed
+/// job's `Err` string carries both the originating job's label and the
+/// panic payload, so a crash deep inside a sweep names its cell.
+pub(crate) fn parallel_sweep<J, T>(
+    jobs: Vec<(String, J)>,
+    f: impl Fn(&J) -> T + Sync,
+) -> Vec<(String, Result<T, String>)>
 where
     J: Send,
     T: Send,
 {
     let n = jobs.len();
+    let labels: Vec<String> = jobs.iter().map(|(l, _)| l.clone()).collect();
     let results: Mutex<Vec<Option<Result<T, String>>>> = Mutex::new((0..n).map(|_| None).collect());
-    let work: Mutex<Vec<(usize, J)>> = Mutex::new(jobs.into_iter().enumerate().collect());
+    let work: Mutex<Vec<(usize, (String, J))>> = Mutex::new(jobs.into_iter().enumerate().collect());
 
     std::thread::scope(|s| {
         for _ in 0..threads().min(n) {
@@ -114,21 +125,22 @@ where
                     Ok(mut q) => q.pop(),
                     Err(_) => break,
                 };
-                let Some((idx, j)) = job else { break };
+                let Some((idx, (label, j))) = job else { break };
                 let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&j)))
-                    .map_err(|p| panic_message(p.as_ref()));
+                    .map_err(|p| format!("{label}: {}", panic_message(p.as_ref())));
                 if let Ok(mut r) = results.lock() {
                     r[idx] = Some(out);
                 }
             });
         }
     });
-    results
+    let outs = results
         .into_inner()
         .unwrap_or_else(|e| e.into_inner())
         .into_iter()
-        .map(|o| o.unwrap_or_else(|| Err("job was never run".to_string())))
-        .collect()
+        .zip(&labels)
+        .map(|(o, l)| o.unwrap_or_else(|| Err(format!("{l}: job was never run"))));
+    labels.iter().cloned().zip(outs).collect()
 }
 
 /// Unwraps a sweep's outcomes, reporting *every* failing label before
@@ -141,14 +153,14 @@ fn collect_or_report<T>(what: &str, labeled: Vec<(String, Result<T, String>)>) -
         match res {
             Ok(v) => ok.push(v),
             Err(e) => {
-                eprintln!("{what}: {label} failed: {e}");
+                eprintln!("{what}: {e}");
                 failed.push(label);
             }
         }
     }
     assert!(
         failed.is_empty(),
-        "{what}: {}/{} workloads failed: {}",
+        "{what}: {}/{} jobs failed: {}",
         failed.len(),
         total,
         failed.join(", ")
@@ -166,14 +178,28 @@ fn collect_or_report<T>(what: &str, labeled: Vec<(String, Result<T, String>)>) -
 /// failing label (a single bad workload no longer masks the others behind
 /// a poisoned-mutex double panic).
 pub fn profile_suite(machine: Option<&MachineConfig>) -> Vec<ProfiledWorkload> {
+    profile_workloads(suite(scale()), machine)
+}
+
+/// Profiles an explicit workload list in parallel, preserving input order —
+/// [`profile_suite`] over the full suite, the shard sweep over the subset
+/// of workloads its cells actually need.
+///
+/// # Panics
+///
+/// Panics after the sweep completes if any workload failed, listing every
+/// failing label.
+pub fn profile_workloads(
+    workloads: Vec<Workload>,
+    machine: Option<&MachineConfig>,
+) -> Vec<ProfiledWorkload> {
     let _s = vp_trace::span("bench.profile_suite");
-    let workloads: Vec<Workload> = suite(scale());
-    let labels: Vec<String> = workloads.iter().map(Workload::label).collect();
-    let results = parallel_sweep(workloads, |w| {
+    let jobs: Vec<(String, Workload)> = workloads.into_iter().map(|w| (w.label(), w)).collect();
+    let results = parallel_sweep(jobs, |w| {
         profile(&w.label(), w.program.clone(), &HsdConfig::table2(), machine)
             .unwrap_or_else(|e| panic!("{e}"))
     });
-    collect_or_report("profile_suite", labels.into_iter().zip(results).collect())
+    collect_or_report("profile_suite", results)
 }
 
 /// The paper's four-bar configuration labels, in Figure 8/10 order.
@@ -195,18 +221,15 @@ pub fn evaluate_matrix(
     use vacuum_packing::opt::OptConfig;
 
     let _s = vp_trace::span("bench.evaluate_matrix");
-    let cells: Vec<(usize, usize)> = (0..profiled.len())
+    let cells: Vec<(String, (usize, usize))> = (0..profiled.len())
         .flat_map(|w| (0..configs.len()).map(move |c| (w, c)))
-        .collect();
-    let labels: Vec<String> = cells
-        .iter()
-        .map(|&(w, c)| format!("{} [config {c}]", profiled[w].label))
+        .map(|(w, c)| (format!("{} [config {c}]", profiled[w].label), (w, c)))
         .collect();
     let results = parallel_sweep(cells, |&(w, c)| {
         evaluate(&profiled[w], &configs[c], &OptConfig::default(), machine)
             .unwrap_or_else(|e| panic!("{e}"))
     });
-    let flat = collect_or_report("evaluate_matrix", labels.into_iter().zip(results).collect());
+    let flat = collect_or_report("evaluate_matrix", results);
     flat.chunks(configs.len()).map(|c| c.to_vec()).collect()
 }
 
@@ -220,25 +243,34 @@ mod tests {
         assert!(threads() >= 1);
     }
 
+    fn labeled(range: std::ops::Range<i32>) -> Vec<(String, i32)> {
+        range.map(|i| (format!("job{i}"), i)).collect()
+    }
+
     #[test]
     fn sweep_preserves_order() {
-        let out = parallel_sweep((0..32).collect(), |&i| i * 2);
-        let vals: Vec<i32> = out.into_iter().map(|r| r.unwrap()).collect();
+        let out = parallel_sweep(labeled(0..32), |&i| i * 2);
+        let vals: Vec<i32> = out.into_iter().map(|(_, r)| r.unwrap()).collect();
         assert_eq!(vals, (0..32).map(|i| i * 2).collect::<Vec<_>>());
     }
 
     #[test]
-    fn sweep_reports_individual_failures() {
-        let out = parallel_sweep((0..8).collect(), |&i: &i32| {
+    fn sweep_reports_individual_failures_with_labels() {
+        let out = parallel_sweep(labeled(0..8), |&i: &i32| {
             assert!(i != 3 && i != 6, "job {i} exploded");
             i
         });
         let mut failed: Vec<usize> = Vec::new();
-        for (i, r) in out.iter().enumerate() {
+        for (i, (label, r)) in out.iter().enumerate() {
+            assert_eq!(label, &format!("job{i}"), "labels stay in input order");
             match r {
                 Ok(v) => assert_eq!(*v, i as i32),
                 Err(e) => {
                     assert!(e.contains("exploded"), "lost the panic message: {e}");
+                    assert!(
+                        e.starts_with(&format!("job{i}: ")),
+                        "Err must name the originating cell: {e}"
+                    );
                     failed.push(i);
                 }
             }

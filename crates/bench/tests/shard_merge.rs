@@ -1,0 +1,170 @@
+//! End-to-end tests of the `sweep` binary: sharded runs must merge into
+//! the exact unsharded report, a shared `VP_TRACE_DIR` must let a warmed
+//! rerun skip every live capture, and merge must reject incomplete or
+//! overlapping shard sets.
+//!
+//! Each test drives the real binary via `CARGO_BIN_EXE_sweep`, restricted
+//! with `--only` to one workload so debug-mode runtimes stay small.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    static N: AtomicU32 = AtomicU32::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "vpsweep-test-{}-{tag}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Runs the sweep binary with a scrubbed environment: no inherited
+/// `VP_*` knobs, tracing/sharding only as given in `envs`.
+fn sweep(args: &[&str], envs: &[(&str, &Path)]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_sweep"));
+    for var in ["VP_SHARD", "VP_TRACE", "VP_TRACE_DIR", "VP_TRACE_DISK_MB"] {
+        cmd.env_remove(var);
+    }
+    cmd.env("VP_SCALE", "1");
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    cmd.args(args).output().expect("spawn sweep binary")
+}
+
+fn stdout(out: &Output) -> String {
+    assert!(
+        out.status.success(),
+        "sweep failed\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout.clone()).expect("utf-8 stdout")
+}
+
+#[test]
+fn sharded_merge_reproduces_unsharded_report_byte_for_byte() {
+    let dir = tmp_dir("merge");
+    let unsharded = stdout(&sweep(&["--only", "gzip"], &[]));
+    assert!(unsharded.contains("Sweep report"), "{unsharded}");
+
+    let s0 = dir.join("shard0.jsonl");
+    let s1 = dir.join("shard1.jsonl");
+    let spec0 = format!("json:{}", s0.display());
+    let spec1 = format!("json:{}", s1.display());
+    let out0 = sweep(
+        &["--only", "gzip"],
+        &[
+            ("VP_SHARD", Path::new("0/2")),
+            ("VP_TRACE", Path::new(&spec0)),
+        ],
+    );
+    let out1 = sweep(
+        &["--only", "gzip"],
+        &[
+            ("VP_SHARD", Path::new("1/2")),
+            ("VP_TRACE", Path::new(&spec1)),
+        ],
+    );
+    let shard0 = stdout(&out0);
+    assert!(shard0.starts_with("shard 0/2:"), "{shard0}");
+    stdout(&out1);
+
+    let merged = stdout(&sweep(
+        &["merge", s0.to_str().unwrap(), s1.to_str().unwrap()],
+        &[],
+    ));
+    assert_eq!(
+        merged, unsharded,
+        "merged shard report must equal the unsharded one byte for byte"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn warmed_trace_dir_rerun_performs_zero_live_captures() {
+    let dir = tmp_dir("warm");
+    let traces = dir.join("traces");
+    let cold_jsonl = dir.join("cold.jsonl");
+    let warm_jsonl = dir.join("warm.jsonl");
+
+    let cold_spec = format!("json:{}", cold_jsonl.display());
+    let cold = stdout(&sweep(
+        &["--only", "gzip"],
+        &[
+            ("VP_TRACE_DIR", traces.as_path()),
+            ("VP_TRACE", Path::new(&cold_spec)),
+        ],
+    ));
+    let warm_spec = format!("json:{}", warm_jsonl.display());
+    let warm = stdout(&sweep(
+        &["--only", "gzip"],
+        &[
+            ("VP_TRACE_DIR", traces.as_path()),
+            ("VP_TRACE", Path::new(&warm_spec)),
+        ],
+    ));
+    assert_eq!(cold, warm, "warmed rerun must print the identical report");
+
+    let cold_mf = std::fs::read_to_string(&cold_jsonl).expect("cold manifest");
+    let warm_mf = std::fs::read_to_string(&warm_jsonl).expect("warm manifest");
+    assert!(
+        cold_mf.contains("\"trace_store.captures\":"),
+        "cold run must capture live: {cold_mf}"
+    );
+    // Zero-valued counters are omitted from the manifest, so a warmed run
+    // that captured nothing has no trace_store.captures key at all.
+    assert!(
+        !warm_mf.contains("\"trace_store.captures\":"),
+        "warmed run must perform zero live captures: {warm_mf}"
+    );
+    assert!(
+        warm_mf.contains("\"trace_store.disk_hits\":"),
+        "warmed run must be served from the disk tier: {warm_mf}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn merge_rejects_incomplete_and_overlapping_shards() {
+    let dir = tmp_dir("reject");
+    let s0 = dir.join("shard0.jsonl");
+    let spec0 = format!("json:{}", s0.display());
+    stdout(&sweep(
+        &["--only", "gzip"],
+        &[
+            ("VP_SHARD", Path::new("0/2")),
+            ("VP_TRACE", Path::new(&spec0)),
+        ],
+    ));
+
+    // Half the matrix only: merge must name the missing cells.
+    let out = sweep(&["merge", s0.to_str().unwrap()], &[]);
+    assert!(!out.status.success(), "merge of half a matrix must fail");
+    let err = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(err.contains("missing"), "{err}");
+
+    // The same shard twice: merge must flag the duplicate coverage.
+    let out = sweep(&["merge", s0.to_str().unwrap(), s0.to_str().unwrap()], &[]);
+    assert!(!out.status.success(), "merge of duplicate shards must fail");
+    let err = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(err.contains("appears in both"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_shard_spec_is_a_hard_error() {
+    for bad in ["2/2", "x", "0/0"] {
+        let out = sweep(&["--only", "gzip"], &[("VP_SHARD", Path::new(bad))]);
+        assert!(
+            !out.status.success(),
+            "VP_SHARD={bad} must be rejected, not silently ignored"
+        );
+        let err = String::from_utf8_lossy(&out.stderr).to_string();
+        assert!(err.contains("invalid shard spec"), "{err}");
+    }
+}

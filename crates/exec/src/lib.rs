@@ -53,7 +53,12 @@
 //!    under a byte budget (`VP_TRACE_CACHE_MB`, default 512) with LRU
 //!    eviction, so sweeps that revisit a workload replay instead of
 //!    re-executing — and degrade gracefully to re-execution when the
-//!    budget is exceeded.
+//!    budget is exceeded. Concurrent requests for the same key are
+//!    single-flighted: one thread interprets, the rest replay.
+//! 4. **Persist** across processes: with `VP_TRACE_DIR` set, captures are
+//!    serialized to disk ([`DiskTier`], versioned header + CRC, budget
+//!    `VP_TRACE_DISK_MB` with mtime-LRU eviction), so a warmed cache
+//!    survives restarts and is shared by sharded sweep processes.
 //!
 //! ```
 //! use vp_program::{ProgramBuilder, Layout};
@@ -87,4 +92,7 @@ pub mod trace_store;
 pub use event::{Ctrl, InstCounts, NullSink, Retired, Sink};
 pub use exec::{ExecError, Executor, RunConfig, RunStats, StopReason};
 pub use memory::Memory;
-pub use trace_store::{CapturedTrace, TraceKey, TraceRecorder, TraceStore, DEFAULT_CACHE_MB};
+pub use trace_store::{
+    CapturedTrace, DiskTier, TraceKey, TraceRecorder, TraceStore, DEFAULT_CACHE_MB,
+    DEFAULT_DISK_MB, FORMAT_VERSION as TRACE_FORMAT_VERSION,
+};

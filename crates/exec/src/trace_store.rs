@@ -38,14 +38,30 @@
 //! (workload label + structural fingerprint + [`RunConfig`] limits) to
 //! shared captures. [`TraceStore::capture_or_replay`] is the one-call
 //! front door used by the experiment harness: a hit replays, a miss
-//! executes once while recording. The byte budget comes from
-//! `VP_TRACE_CACHE_MB` (default 512); least-recently-used captures are
-//! evicted when it is exceeded, so oversubscribed sweeps degrade to
-//! re-execution instead of exhausting memory.
+//! executes once while recording — and concurrent misses on the same key
+//! are single-flighted, so exactly one thread interprets while the rest
+//! wait and replay. The byte budget comes from `VP_TRACE_CACHE_MB`
+//! (default 512); least-recently-used captures are evicted when it is
+//! exceeded, so oversubscribed sweeps degrade to re-execution instead of
+//! exhausting memory. `VP_TRACE_CACHE_MB=0` disables the memory tier
+//! cleanly: with no disk tier either, runs execute directly and pay no
+//! recording cost at all.
+//!
+//! # Persistence
+//!
+//! When `VP_TRACE_DIR` is set, the global store layers an on-disk tier
+//! ([`persist::DiskTier`]) under the memory LRU: lookups resolve
+//! memory-hit → disk-hit (load, CRC-verify, promote) → live capture
+//! (write-through), so a warmed cache survives process restarts and is
+//! shared between concurrently running shard processes. The disk budget
+//! is `VP_TRACE_DISK_MB` (default 2048), enforced by mtime-LRU eviction.
+//! Corrupted or version-mismatched files are refused and re-captured,
+//! never replayed wrong.
 //!
 //! Instrumentation (`vp-trace` counters, stamped into every run
 //! manifest): `trace_store.captures`, `.replays`, `.hits`, `.evictions`,
-//! `.bytes`.
+//! `.bytes`, and for the disk tier `.disk_hits`, `.disk_bytes`,
+//! `.disk_evictions`.
 //!
 //! ```
 //! use vp_program::{ProgramBuilder, Layout};
@@ -76,9 +92,13 @@
 use crate::event::{Retired, Sink};
 use crate::exec::{ExecError, Executor, RunConfig, RunStats};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use vp_program::{Layout, Program};
 use vp_trace::Counter;
+
+pub mod persist;
+
+pub use persist::{DiskTier, DEFAULT_DISK_MB, FORMAT_VERSION};
 
 /// Architectural executions performed because no capture was available.
 static CAPTURES: Counter = Counter::new("trace_store.captures");
@@ -421,11 +441,95 @@ struct StoreInner {
     bytes: usize,
 }
 
+/// Terminal state of one in-flight capture, shared with every thread that
+/// requested the same [`TraceKey`] while it ran.
+#[derive(Clone)]
+enum FlightOutcome {
+    /// The leader captured successfully; waiters replay this trace.
+    Done(Arc<CapturedTrace>),
+    /// The leader's execution failed; waiters propagate the same error.
+    Failed(ExecError),
+    /// The leader panicked or unwound without completing; waiters re-run
+    /// the lookup and one of them becomes the new leader.
+    Cancelled,
+}
+
+/// Single-flight rendezvous: the first thread to miss on a key becomes the
+/// *leader* and executes; every other thread blocks here until the leader
+/// publishes an outcome.
+struct Flight {
+    state: Mutex<Option<FlightOutcome>>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Flight {
+        Flight {
+            state: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn wait(&self) -> FlightOutcome {
+        let mut state = self.state.lock().expect("trace flight");
+        loop {
+            if let Some(outcome) = state.as_ref() {
+                return outcome.clone();
+            }
+            state = self.cv.wait(state).expect("trace flight");
+        }
+    }
+
+    fn complete(&self, outcome: FlightOutcome) {
+        *self.state.lock().expect("trace flight") = Some(outcome);
+        self.cv.notify_all();
+    }
+}
+
+/// Completes a leader's flight as `Cancelled` if the leader unwinds (e.g.
+/// a panic inside the executor) before publishing a real outcome, so
+/// waiters never deadlock on an abandoned capture.
+struct FlightGuard<'a> {
+    store: &'a TraceStore,
+    key: &'a TraceKey,
+    flight: Arc<Flight>,
+    done: bool,
+}
+
+impl FlightGuard<'_> {
+    fn finish(mut self, outcome: FlightOutcome) {
+        self.flight.complete(outcome);
+        self.store
+            .flights
+            .lock()
+            .expect("trace flights")
+            .remove(self.key);
+        self.done = true;
+    }
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if !self.done {
+            self.flight.complete(FlightOutcome::Cancelled);
+            self.store
+                .flights
+                .lock()
+                .expect("trace flights")
+                .remove(self.key);
+        }
+    }
+}
+
 /// A bounded, thread-safe cache of [`CapturedTrace`]s keyed by
-/// [`TraceKey`], with least-recently-used eviction.
+/// [`TraceKey`], with least-recently-used eviction, an optional on-disk
+/// persistence tier ([`DiskTier`]), and single-flight deduplication of
+/// concurrent captures.
 pub struct TraceStore {
     cap_bytes: usize,
+    disk: Option<DiskTier>,
     inner: Mutex<StoreInner>,
+    flights: Mutex<HashMap<TraceKey, Arc<Flight>>>,
 }
 
 impl std::fmt::Debug for TraceStore {
@@ -434,6 +538,7 @@ impl std::fmt::Debug for TraceStore {
             .field("cap_bytes", &self.cap_bytes)
             .field("resident_bytes", &self.resident_bytes())
             .field("len", &self.len())
+            .field("disk", &self.disk)
             .finish()
     }
 }
@@ -450,11 +555,13 @@ impl TraceStore {
     pub fn new(cap_bytes: usize) -> TraceStore {
         TraceStore {
             cap_bytes,
+            disk: None,
             inner: Mutex::new(StoreInner {
                 map: HashMap::new(),
                 clock: 0,
                 bytes: 0,
             }),
+            flights: Mutex::new(HashMap::new()),
         }
     }
 
@@ -463,14 +570,37 @@ impl TraceStore {
         TraceStore::new(mb * 1024 * 1024)
     }
 
+    /// Attaches (or removes) the on-disk persistence tier. Lookups then
+    /// resolve memory-hit → disk-hit (load + promote) → live capture, and
+    /// every insert is written through to disk.
+    pub fn with_disk(mut self, disk: Option<DiskTier>) -> TraceStore {
+        self.disk = disk;
+        self
+    }
+
+    /// The attached disk tier, if any.
+    pub fn disk(&self) -> Option<&DiskTier> {
+        self.disk.as_ref()
+    }
+
+    /// Whether caching is fully disabled (`VP_TRACE_CACHE_MB=0` and no
+    /// disk tier): [`TraceStore::capture_or_replay`] then executes
+    /// directly, without paying any recording cost.
+    pub fn caching_disabled(&self) -> bool {
+        self.cap_bytes == 0 && self.disk.is_none()
+    }
+
     /// The process-wide store used by the experiment harness, sized from
-    /// `VP_TRACE_CACHE_MB` (default 512) at first use.
+    /// `VP_TRACE_CACHE_MB` (default 512) at first use, with the disk tier
+    /// attached when `VP_TRACE_DIR` is set (budget `VP_TRACE_DISK_MB`,
+    /// default 2048).
     pub fn global() -> &'static TraceStore {
         static GLOBAL: OnceLock<TraceStore> = OnceLock::new();
         GLOBAL.get_or_init(|| {
             TraceStore::with_capacity_mb(cache_mb_from(
                 std::env::var("VP_TRACE_CACHE_MB").ok().as_deref(),
             ))
+            .with_disk(DiskTier::from_env())
         })
     }
 
@@ -489,11 +619,39 @@ impl TraceStore {
         hit
     }
 
+    /// Looks `key` up across both tiers: a memory hit refreshes recency;
+    /// a disk hit loads, verifies, promotes into the memory tier, and
+    /// counts as `trace_store.disk_hits`.
+    pub fn fetch(&self, key: &TraceKey) -> Option<Arc<CapturedTrace>> {
+        if let Some(trace) = self.get(key) {
+            return Some(trace);
+        }
+        let loaded = Arc::new(self.disk.as_ref()?.load(key)?);
+        // Promote without writing back: the file we just read is current.
+        self.insert_memory(key.clone(), Arc::clone(&loaded));
+        Some(loaded)
+    }
+
     /// Inserts a capture, evicting least-recently-used entries until the
-    /// byte budget holds. A capture larger than the whole budget is not
-    /// cached at all: callers keep their `Arc` and later requests
-    /// re-execute.
+    /// byte budget holds, and writes it through to the disk tier when one
+    /// is attached. A capture larger than the whole memory budget is not
+    /// cached in memory (callers keep their `Arc`; later requests fall
+    /// back to disk or re-execute), but is still persisted — the two
+    /// tiers budget independently.
     pub fn insert(&self, key: TraceKey, trace: Arc<CapturedTrace>) {
+        if let Some(disk) = &self.disk {
+            if let Err(e) = disk.store(&key, &trace) {
+                eprintln!(
+                    "vp-exec: failed to persist trace for {:?} under {}: {e}",
+                    key.workload,
+                    disk.root().display()
+                );
+            }
+        }
+        self.insert_memory(key, trace);
+    }
+
+    fn insert_memory(&self, key: TraceKey, trace: Arc<CapturedTrace>) {
         let size = trace.bytes();
         if size > self.cap_bytes {
             return;
@@ -528,9 +686,19 @@ impl TraceStore {
         );
     }
 
-    /// Replays `key`'s capture into `sink` if cached; otherwise executes
-    /// `program` once with the recorder (and `sink`) attached and caches
-    /// the result. Returns the run's stats either way.
+    /// Replays `key`'s capture into `sink` if cached (memory or disk);
+    /// otherwise executes `program` once with the recorder (and `sink`)
+    /// attached and caches the result in both tiers. Returns the run's
+    /// stats either way.
+    ///
+    /// Concurrent calls for the same key are deduplicated: exactly one
+    /// thread executes (the *leader*), the rest block and then replay the
+    /// leader's capture, so an N-way sweep over one workload pays one
+    /// interpretation, not N.
+    ///
+    /// When caching is fully disabled ([`TraceStore::caching_disabled`]),
+    /// the program executes directly with no recorder attached — the
+    /// recording cost is only paid when the capture can be kept.
     ///
     /// # Errors
     ///
@@ -544,13 +712,97 @@ impl TraceStore {
         cfg: &RunConfig,
         sink: &mut impl Sink,
     ) -> Result<RunStats, ExecError> {
-        if let Some(trace) = self.get(&key) {
-            return Ok(trace.replay(sink));
+        if self.caching_disabled() {
+            return Executor::new(program, layout).run(sink, cfg);
         }
-        let trace = Arc::new(CapturedTrace::capture_with(program, layout, cfg, sink)?);
-        let stats = trace.stats();
-        self.insert(key, trace);
-        Ok(stats)
+        self.capture_or_replay_shared(key, program, layout, cfg, sink)
+            .map(|(_, stats)| stats)
+    }
+
+    /// Like [`TraceStore::capture_or_replay`], but also hands back the
+    /// shared capture so the caller can replay it into further consumers
+    /// (this is how `vp_metrics::profile` derives baseline timing without
+    /// re-executing). Because the caller keeps the trace, this records
+    /// even when caching is disabled.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ExecError`] from a capture run.
+    pub fn capture_or_replay_shared(
+        &self,
+        key: TraceKey,
+        program: &Program,
+        layout: &Layout,
+        cfg: &RunConfig,
+        sink: &mut impl Sink,
+    ) -> Result<(Arc<CapturedTrace>, RunStats), ExecError> {
+        loop {
+            if let Some(trace) = self.fetch(&key) {
+                let stats = trace.replay(sink);
+                return Ok((trace, stats));
+            }
+
+            let flight = {
+                let mut flights = self.flights.lock().expect("trace flights");
+                match flights.get(&key) {
+                    Some(f) => Some(Arc::clone(f)),
+                    None => {
+                        flights.insert(key.clone(), Arc::new(Flight::new()));
+                        None
+                    }
+                }
+            };
+
+            match flight {
+                // Another thread is already capturing this key: wait for
+                // its outcome and replay.
+                Some(flight) => match flight.wait() {
+                    FlightOutcome::Done(trace) => {
+                        let stats = trace.replay(sink);
+                        return Ok((trace, stats));
+                    }
+                    FlightOutcome::Failed(e) => return Err(e),
+                    FlightOutcome::Cancelled => continue,
+                },
+                // We are the leader: execute once while recording, feeding
+                // `sink` live, then publish for the waiters.
+                None => {
+                    let flight = Arc::clone(
+                        self.flights
+                            .lock()
+                            .expect("trace flights")
+                            .get(&key)
+                            .expect("leader flight registered"),
+                    );
+                    let guard = FlightGuard {
+                        store: self,
+                        key: &key,
+                        flight,
+                        done: false,
+                    };
+                    // Re-check under flight ownership: a racing leader may
+                    // have completed between our fetch miss and takeover.
+                    if let Some(trace) = self.get(&key) {
+                        let stats = trace.replay(sink);
+                        guard.finish(FlightOutcome::Done(Arc::clone(&trace)));
+                        return Ok((trace, stats));
+                    }
+                    match CapturedTrace::capture_with(program, layout, cfg, sink) {
+                        Ok(trace) => {
+                            let trace = Arc::new(trace);
+                            let stats = trace.stats();
+                            self.insert(key.clone(), Arc::clone(&trace));
+                            guard.finish(FlightOutcome::Done(Arc::clone(&trace)));
+                            return Ok((trace, stats));
+                        }
+                        Err(e) => {
+                            guard.finish(FlightOutcome::Failed(e.clone()));
+                            return Err(e);
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// Number of cached captures.
@@ -588,7 +840,7 @@ mod tests {
     use vp_isa::{Cond, Reg, Src};
     use vp_program::ProgramBuilder;
 
-    fn sample_program() -> (Program, Layout) {
+    pub(crate) fn sample_program() -> (Program, Layout) {
         let mut pb = ProgramBuilder::new();
         let table = pb.data(vec![3, 1, 4, 1, 5, 9, 2, 6]);
         let callee = pb.declare("callee");
@@ -756,6 +1008,61 @@ mod tests {
         let k2 = TraceKey::new("w", &p, &layout, &limited);
         assert_ne!(k1, k2);
         assert_eq!(k1, TraceKey::new("w", &p, &layout, &base));
+    }
+
+    #[test]
+    fn zero_budget_disables_caching_without_recording() {
+        let (p, layout) = sample_program();
+        let cfg = RunConfig::default();
+        let store = TraceStore::with_capacity_mb(0);
+        assert!(store.caching_disabled());
+
+        let mut direct = InstCounts::new();
+        let direct_stats = Executor::new(&p, &layout).run(&mut direct, &cfg).unwrap();
+
+        let ((), report) = vp_trace::scoped(|| {
+            for _ in 0..2 {
+                let key = TraceKey::new("w", &p, &layout, &cfg);
+                let mut counts = InstCounts::new();
+                let stats = store
+                    .capture_or_replay(key, &p, &layout, &cfg, &mut counts)
+                    .unwrap();
+                assert_eq!(stats, direct_stats);
+                assert_eq!(counts, direct);
+            }
+        });
+        // The old behaviour captured (paying the recording cost) and then
+        // failed to cache; now the run executes with no recorder at all.
+        assert_eq!(report.counter("trace_store.captures"), 0);
+        assert_eq!(report.counter("trace_store.replays"), 0);
+        assert_eq!(report.counter("trace_store.evictions"), 0);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn zero_memory_budget_still_uses_disk_tier() {
+        let (p, layout) = sample_program();
+        let cfg = RunConfig::default();
+        let dir = std::env::temp_dir().join(format!("vptrace-test-{}-mem0", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = TraceStore::with_capacity_mb(0)
+            .with_disk(Some(DiskTier::new(&dir, 64 * 1024 * 1024).unwrap()));
+        assert!(!store.caching_disabled());
+
+        let ((), report) = vp_trace::scoped(|| {
+            for _ in 0..2 {
+                let key = TraceKey::new("w", &p, &layout, &cfg);
+                let mut counts = InstCounts::new();
+                store
+                    .capture_or_replay(key, &p, &layout, &cfg, &mut counts)
+                    .unwrap();
+            }
+        });
+        assert_eq!(report.counter("trace_store.captures"), 1);
+        assert_eq!(report.counter("trace_store.disk_hits"), 1);
+        assert_eq!(report.counter("trace_store.replays"), 1);
+        assert!(store.is_empty(), "memory tier stays empty at budget 0");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

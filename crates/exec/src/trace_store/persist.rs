@@ -1,0 +1,739 @@
+//! On-disk persistence tier for [`CapturedTrace`]s.
+//!
+//! The in-memory [`TraceStore`](super::TraceStore) dies with the process,
+//! so detector-configuration sweeps and CI runs re-pay the full
+//! interpreter cost on every invocation. This module serializes the
+//! `(side-table, stream)` pair of a capture under its [`TraceKey`]
+//! fingerprint into a directory (`VP_TRACE_DIR`), so a warmed cache
+//! survives process restarts and is shared between concurrently running
+//! shard processes.
+//!
+//! # File format (`.vptrace`, version [`FORMAT_VERSION`])
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "VPTR"
+//! 4       4     format version (LE u32)
+//! 8       4     CRC-32 (IEEE) of the payload (LE u32)
+//! 12      ..    payload
+//! ```
+//!
+//! The payload is varint-coded: run stats, event count, the static
+//! side-table section (one record per distinct fetch address), then the
+//! raw dynamic stream section. The CRC covers both sections (and the
+//! stats header), so a truncated or bit-flipped file is *refused* at load
+//! — the caller falls back to live execution and overwrites the entry —
+//! never replayed wrong.
+//!
+//! # Budget
+//!
+//! [`DiskTier`] enforces a byte budget (`VP_TRACE_DISK_MB`, default
+//! 2048): after every write, the oldest-mtime files are evicted until the
+//! directory fits. Loading a capture touches its mtime, making the
+//! eviction order least-recently-*used*, not least-recently-written.
+//! Writes are atomic (temp file + rename), so concurrent shard processes
+//! sharing one `VP_TRACE_DIR` never observe half-written captures.
+
+use super::{put_varint, CapturedTrace, StaticSlot, TraceKey};
+use crate::event::{Ctrl, Retired};
+use crate::exec::{RunStats, StopReason};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::SystemTime;
+use vp_isa::reg::NUM_REGS;
+use vp_isa::{CodeRef, FuClass, Reg};
+use vp_trace::Counter;
+
+/// Store lookups answered by loading a capture from `VP_TRACE_DIR`.
+static DISK_HITS: Counter = Counter::new("trace_store.disk_hits");
+/// Total encoded bytes written to the disk tier (monotonic).
+static DISK_BYTES: Counter = Counter::new("trace_store.disk_bytes");
+/// On-disk captures deleted to stay inside the disk byte budget.
+static DISK_EVICTIONS: Counter = Counter::new("trace_store.disk_evictions");
+
+/// Version stamped into every `.vptrace` header. Bump when the payload
+/// encoding (this module *or* the in-memory stream encoding in
+/// `trace_store`) changes shape; old files are then refused and
+/// re-captured instead of mis-decoded.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Default disk budget when `VP_TRACE_DISK_MB` is unset.
+pub const DEFAULT_DISK_MB: u64 = 2048;
+
+const MAGIC: &[u8; 4] = b"VPTR";
+const EXT: &str = "vptrace";
+
+// ------------------------------------------------------------------ crc32
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xedb8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// IEEE CRC-32, as used by gzip/zip.
+pub(crate) fn crc32(data: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in data {
+        c = (c >> 8) ^ CRC32_TABLE[((c ^ u32::from(b)) & 0xff) as usize];
+    }
+    !c
+}
+
+// --------------------------------------------------------------- encoding
+
+const SLOT_IS_STORE: u8 = 1 << 0;
+const SLOT_IN_PACKAGE: u8 = 1 << 1;
+const SLOT_HAS_DEF: u8 = 1 << 2;
+const SLOT_HAS_CTRL: u8 = 1 << 3;
+const SLOT_IS_COND: u8 = 1 << 4;
+const SLOT_IS_CALL: u8 = 1 << 5;
+const SLOT_IS_RET: u8 = 1 << 6;
+
+const NO_REG: u8 = 0xff;
+
+fn put_reg(out: &mut Vec<u8>, r: Option<Reg>) {
+    out.push(r.map_or(NO_REG, |r| r.index() as u8));
+}
+
+fn fu_code(fu: FuClass) -> u8 {
+    match fu {
+        FuClass::IntAlu => 0,
+        FuClass::Fp => 1,
+        FuClass::Mem => 2,
+        FuClass::Branch => 3,
+    }
+}
+
+/// Serializes a capture into the versioned, CRC-protected byte image.
+pub(super) fn encode(trace: &CapturedTrace) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(trace.stream.len() + 64 * trace.slots.len() + 64);
+
+    // Stats header.
+    put_varint(&mut payload, trace.stats.retired);
+    put_varint(&mut payload, trace.stats.cond_branches);
+    put_varint(&mut payload, trace.stats.in_package);
+    payload.push(match trace.stats.stop {
+        StopReason::Halted => 0,
+        StopReason::InstLimit => 1,
+    });
+    put_varint(&mut payload, trace.events);
+
+    // Static side-table section.
+    put_varint(&mut payload, trace.slots.len() as u64);
+    for slot in &trace.slots {
+        let t = &slot.template;
+        debug_assert!(t.mem_addr.is_none(), "templates carry no dynamic state");
+        let mut flags = 0u8;
+        if t.is_store {
+            flags |= SLOT_IS_STORE;
+        }
+        if t.in_package {
+            flags |= SLOT_IN_PACKAGE;
+        }
+        if t.def.is_some() {
+            flags |= SLOT_HAS_DEF;
+        }
+        if let Some(c) = &t.ctrl {
+            flags |= SLOT_HAS_CTRL;
+            if c.is_cond {
+                flags |= SLOT_IS_COND;
+            }
+            if c.is_call {
+                flags |= SLOT_IS_CALL;
+            }
+            if c.is_ret {
+                flags |= SLOT_IS_RET;
+            }
+        }
+        payload.push(flags);
+        put_varint(&mut payload, t.addr);
+        put_varint(&mut payload, u64::from(t.loc.func.0));
+        put_varint(&mut payload, u64::from(t.loc.block.0));
+        payload.push(fu_code(t.fu));
+        put_varint(&mut payload, u64::from(t.latency));
+        if t.def.is_some() {
+            put_reg(&mut payload, t.def);
+        }
+        for u in t.uses {
+            put_reg(&mut payload, u);
+        }
+        if let Some(c) = &t.ctrl {
+            put_varint(&mut payload, u64::from(c.block.func.0));
+            put_varint(&mut payload, u64::from(c.block.block.0));
+            put_varint(&mut payload, c.ret_addr);
+        }
+        let presence =
+            u8::from(slot.targets[0].is_some()) | (u8::from(slot.targets[1].is_some()) << 1);
+        payload.push(presence);
+        for t in slot.targets.into_iter().flatten() {
+            put_varint(&mut payload, t);
+        }
+    }
+
+    // Dynamic stream section.
+    put_varint(&mut payload, trace.stream.len() as u64);
+    payload.extend_from_slice(&trace.stream);
+
+    let mut out = Vec::with_capacity(payload.len() + 12);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// A bounds-checked payload reader; every accessor returns `None` past the
+/// end instead of panicking, so truncated files that somehow pass the CRC
+/// are still refused.
+struct Rd<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Rd<'a> {
+    fn u8(&mut self) -> Option<u8> {
+        let b = *self.buf.get(self.pos)?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn varint(&mut self) -> Option<u64> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8()?;
+            if shift >= 64 {
+                return None;
+            }
+            v |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Some(v);
+            }
+            shift += 7;
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let s = self.buf.get(self.pos..self.pos + n)?;
+        self.pos += n;
+        Some(s)
+    }
+
+    fn reg(&mut self) -> Option<Option<Reg>> {
+        match self.u8()? {
+            NO_REG => Some(None),
+            idx if (idx as usize) < NUM_REGS => Some(Some(Reg::from_index(idx as usize))),
+            _ => None,
+        }
+    }
+}
+
+fn decode_fu(code: u8) -> Option<FuClass> {
+    Some(match code {
+        0 => FuClass::IntAlu,
+        1 => FuClass::Fp,
+        2 => FuClass::Mem,
+        3 => FuClass::Branch,
+        _ => return None,
+    })
+}
+
+/// Deserializes a byte image produced by [`encode`]. Returns `None` on any
+/// mismatch — wrong magic, wrong version, CRC failure, or malformed
+/// payload — so callers re-execute instead of replaying garbage.
+pub(super) fn decode(bytes: &[u8]) -> Option<CapturedTrace> {
+    if bytes.len() < 12 || &bytes[0..4] != MAGIC {
+        return None;
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().ok()?);
+    if version != FORMAT_VERSION {
+        return None;
+    }
+    let stored_crc = u32::from_le_bytes(bytes[8..12].try_into().ok()?);
+    let payload = &bytes[12..];
+    if crc32(payload) != stored_crc {
+        return None;
+    }
+
+    let mut rd = Rd {
+        buf: payload,
+        pos: 0,
+    };
+    let retired = rd.varint()?;
+    let cond_branches = rd.varint()?;
+    let in_package = rd.varint()?;
+    let stop = match rd.u8()? {
+        0 => StopReason::Halted,
+        1 => StopReason::InstLimit,
+        _ => return None,
+    };
+    let events = rd.varint()?;
+
+    let n_slots = usize::try_from(rd.varint()?).ok()?;
+    // A slot costs at least 10 bytes encoded; reject fantastic counts
+    // before allocating.
+    if n_slots > payload.len() {
+        return None;
+    }
+    let mut slots = Vec::with_capacity(n_slots);
+    for _ in 0..n_slots {
+        let flags = rd.u8()?;
+        let addr = rd.varint()?;
+        let func = u32::try_from(rd.varint()?).ok()?;
+        let block = u32::try_from(rd.varint()?).ok()?;
+        let fu = decode_fu(rd.u8()?)?;
+        let latency = u32::try_from(rd.varint()?).ok()?;
+        let def = if flags & SLOT_HAS_DEF != 0 {
+            rd.reg()?
+        } else {
+            None
+        };
+        let mut uses = [None; 3];
+        for u in &mut uses {
+            *u = rd.reg()?;
+        }
+        let ctrl = if flags & SLOT_HAS_CTRL != 0 {
+            let cfunc = u32::try_from(rd.varint()?).ok()?;
+            let cblock = u32::try_from(rd.varint()?).ok()?;
+            let ret_addr = rd.varint()?;
+            Some(Ctrl {
+                block: CodeRef::new(cfunc, cblock),
+                is_cond: flags & SLOT_IS_COND != 0,
+                arch_taken: false,
+                taken: false,
+                is_call: flags & SLOT_IS_CALL != 0,
+                is_ret: flags & SLOT_IS_RET != 0,
+                target: 0,
+                ret_addr,
+            })
+        } else {
+            None
+        };
+        let presence = rd.u8()?;
+        let mut targets = [None; 2];
+        for (bit, t) in targets.iter_mut().enumerate() {
+            if presence & (1 << bit) != 0 {
+                *t = Some(rd.varint()?);
+            }
+        }
+        slots.push(StaticSlot {
+            template: Retired {
+                loc: CodeRef::new(func, block),
+                addr,
+                fu,
+                latency,
+                def,
+                uses,
+                mem_addr: None,
+                is_store: flags & SLOT_IS_STORE != 0,
+                ctrl,
+                in_package: flags & SLOT_IN_PACKAGE != 0,
+            },
+            targets,
+        });
+    }
+
+    let stream_len = usize::try_from(rd.varint()?).ok()?;
+    let stream = rd.take(stream_len)?.to_vec();
+    if rd.pos != payload.len() {
+        return None; // trailing garbage
+    }
+    Some(CapturedTrace {
+        slots,
+        stream,
+        stats: RunStats {
+            retired,
+            cond_branches,
+            in_package,
+            stop,
+        },
+        events,
+    })
+}
+
+// -------------------------------------------------------------- the tier
+
+/// Parses a `VP_TRACE_DISK_MB`-style value; `None`/unparsable falls back
+/// to [`DEFAULT_DISK_MB`]. `0` disables the tier entirely.
+fn disk_mb_from(spec: Option<&str>) -> u64 {
+    spec.and_then(|s| s.trim().parse().ok())
+        .unwrap_or(DEFAULT_DISK_MB)
+}
+
+/// The on-disk persistence tier: a directory of `.vptrace` files keyed by
+/// [`TraceKey`] fingerprint, bounded by a byte budget with mtime-LRU
+/// eviction.
+#[derive(Debug)]
+pub struct DiskTier {
+    root: PathBuf,
+    cap_bytes: u64,
+}
+
+impl DiskTier {
+    /// Creates (and, if needed, mkdir-p's) a tier rooted at `root` with a
+    /// byte budget.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the directory cannot be created.
+    pub fn new(root: impl Into<PathBuf>, cap_bytes: u64) -> io::Result<DiskTier> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(DiskTier { root, cap_bytes })
+    }
+
+    /// Builds the tier from `VP_TRACE_DIR` / `VP_TRACE_DISK_MB` (default
+    /// 2048 MB). Returns `None` when `VP_TRACE_DIR` is unset/empty, the
+    /// budget is 0, or the directory cannot be created (with a warning:
+    /// persistence is an accelerator, never a correctness requirement).
+    pub fn from_env() -> Option<DiskTier> {
+        let dir = std::env::var("VP_TRACE_DIR").ok()?;
+        let dir = dir.trim();
+        if dir.is_empty() {
+            return None;
+        }
+        let mb = disk_mb_from(std::env::var("VP_TRACE_DISK_MB").ok().as_deref());
+        if mb == 0 {
+            return None;
+        }
+        match DiskTier::new(dir, mb.saturating_mul(1024 * 1024)) {
+            Ok(t) => Some(t),
+            Err(e) => {
+                eprintln!("vp-exec: VP_TRACE_DIR={dir} unusable ({e}); disk tier disabled");
+                None
+            }
+        }
+    }
+
+    /// The tier's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The configured byte budget.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.cap_bytes
+    }
+
+    /// The file a key persists to: a sanitized workload prefix for
+    /// debuggability plus a 16-hex-digit fingerprint over every key field.
+    pub fn path_for(&self, key: &TraceKey) -> PathBuf {
+        // FNV-1a over all four key fields; the workload prefix alone is
+        // not unique (same label, different scale/layout/config).
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix_byte = |b: u8| {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for b in key.workload.bytes() {
+            mix_byte(b);
+        }
+        for v in [key.fingerprint, key.max_insts, key.max_depth] {
+            for b in v.to_le_bytes() {
+                mix_byte(b);
+            }
+        }
+        let prefix: String = key
+            .workload
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '.' || c == '-' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        self.root.join(format!("{prefix}-{h:016x}.{EXT}"))
+    }
+
+    /// Loads `key`'s capture, verifying version and CRC. Returns `None`
+    /// (and deletes the file, so the slot heals on the next write) when
+    /// the file is absent, truncated, corrupted, or from another format
+    /// version. A successful load touches the file's mtime, giving the
+    /// budget sweep true LRU order.
+    pub fn load(&self, key: &TraceKey) -> Option<CapturedTrace> {
+        let path = self.path_for(key);
+        let bytes = fs::read(&path).ok()?;
+        match decode(&bytes) {
+            Some(trace) => {
+                DISK_HITS.incr();
+                // Best-effort recency bump; eviction degrades to
+                // least-recently-written if the touch fails.
+                if let Ok(f) = fs::File::options().write(true).open(&path) {
+                    let _ = f.set_modified(SystemTime::now());
+                }
+                Some(trace)
+            }
+            None => {
+                let _ = fs::remove_file(&path);
+                None
+            }
+        }
+    }
+
+    /// Persists `trace` under `key` atomically (temp file + rename), then
+    /// evicts oldest-mtime files until the directory fits the budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; the caller treats them as a cache miss.
+    pub fn store(&self, key: &TraceKey, trace: &CapturedTrace) -> io::Result<()> {
+        let bytes = encode(trace);
+        if bytes.len() as u64 > self.cap_bytes {
+            return Ok(()); // larger than the whole budget: not persistable
+        }
+        let path = self.path_for(key);
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        fs::write(&tmp, &bytes)?;
+        fs::rename(&tmp, &path)?;
+        DISK_BYTES.add(bytes.len() as u64);
+        self.evict_to_budget(&path);
+        Ok(())
+    }
+
+    /// Total bytes currently resident in the tier.
+    pub fn resident_bytes(&self) -> u64 {
+        self.scan().into_iter().map(|(_, len, _)| len).sum()
+    }
+
+    /// Number of captures currently resident in the tier.
+    pub fn len(&self) -> usize {
+        self.scan().len()
+    }
+
+    /// Whether the tier holds no captures.
+    pub fn is_empty(&self) -> bool {
+        self.scan().is_empty()
+    }
+
+    fn scan(&self) -> Vec<(PathBuf, u64, SystemTime)> {
+        let Ok(entries) = fs::read_dir(&self.root) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some(EXT) {
+                continue;
+            }
+            if let Ok(meta) = entry.metadata() {
+                let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+                out.push((path, meta.len(), mtime));
+            }
+        }
+        out
+    }
+
+    fn evict_to_budget(&self, keep: &Path) {
+        let mut files = self.scan();
+        let mut total: u64 = files.iter().map(|(_, len, _)| len).sum();
+        if total <= self.cap_bytes {
+            return;
+        }
+        // Oldest first; the tie-break on path keeps eviction deterministic
+        // when a filesystem's mtime granularity groups writes.
+        files.sort_by(|a, b| (a.2, &a.0).cmp(&(b.2, &b.0)));
+        for (path, len, _) in files {
+            if total <= self.cap_bytes {
+                break;
+            }
+            if path == keep {
+                continue;
+            }
+            if fs::remove_file(&path).is_ok() {
+                total -= len;
+                DISK_EVICTIONS.incr();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests::sample_program;
+    use super::super::{TraceKey, TraceStore};
+    use super::*;
+    use crate::event::InstCounts;
+    use crate::event::Sink;
+    use crate::exec::RunConfig;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn tempdir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "vptrace-test-{}-{tag}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_is_bit_exact() {
+        let (p, layout) = sample_program();
+        let cfg = RunConfig::default();
+        let trace = CapturedTrace::capture(&p, &layout, &cfg).unwrap();
+        let reloaded = decode(&encode(&trace)).expect("roundtrip decodes");
+
+        assert_eq!(trace.stats(), reloaded.stats());
+        assert_eq!(trace.events(), reloaded.events());
+
+        struct Collect(Vec<Retired>);
+        impl Sink for Collect {
+            fn retire(&mut self, r: &Retired) {
+                self.0.push(*r);
+            }
+        }
+        let mut a = Collect(Vec::new());
+        let mut b = Collect(Vec::new());
+        trace.replay(&mut a);
+        reloaded.replay(&mut b);
+        assert_eq!(a.0, b.0, "replayed streams must be identical");
+    }
+
+    #[test]
+    fn decode_refuses_corruption() {
+        let (p, layout) = sample_program();
+        let trace = CapturedTrace::capture(&p, &layout, &RunConfig::default()).unwrap();
+        let good = encode(&trace);
+        assert!(decode(&good).is_some());
+
+        // Truncation at every boundary of interest.
+        for cut in [0, 4, 11, 12, good.len() / 2, good.len() - 1] {
+            assert!(decode(&good[..cut]).is_none(), "truncated at {cut}");
+        }
+        // A single flipped bit anywhere must be caught by the CRC (or the
+        // magic/version checks).
+        for pos in [0, 5, 9, 20, good.len() - 1] {
+            let mut bad = good.clone();
+            bad[pos] ^= 0x40;
+            assert!(decode(&bad).is_none(), "bit flip at {pos}");
+        }
+        // Wrong version.
+        let mut wrong = good.clone();
+        wrong[4..8].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        assert!(decode(&wrong).is_none());
+    }
+
+    #[test]
+    fn tier_store_load_and_self_heal() {
+        let (p, layout) = sample_program();
+        let cfg = RunConfig::default();
+        let key = TraceKey::new("w", &p, &layout, &cfg);
+        let trace = CapturedTrace::capture(&p, &layout, &cfg).unwrap();
+
+        let tier = DiskTier::new(tempdir("roundtrip"), 64 * 1024 * 1024).unwrap();
+        assert!(tier.load(&key).is_none(), "cold tier misses");
+        tier.store(&key, &trace).unwrap();
+        assert_eq!(tier.len(), 1);
+
+        let loaded = tier.load(&key).expect("warm tier hits");
+        let (mut a, mut b) = (InstCounts::new(), InstCounts::new());
+        trace.replay(&mut a);
+        loaded.replay(&mut b);
+        assert_eq!(a, b);
+
+        // Corrupt the file in place: load refuses *and* removes it.
+        let path = tier.path_for(&key);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+        assert!(tier.load(&key).is_none());
+        assert!(!path.exists(), "corrupt entry is deleted");
+        let _ = fs::remove_dir_all(tier.root());
+    }
+
+    #[test]
+    fn tier_evicts_oldest_beyond_budget() {
+        let (p, layout) = sample_program();
+        let cfg = RunConfig::default();
+        let trace = CapturedTrace::capture(&p, &layout, &cfg).unwrap();
+        let one = encode(&trace).len() as u64;
+
+        let tier = DiskTier::new(tempdir("evict"), 2 * one + 1).unwrap();
+        let keys: Vec<TraceKey> = ["a", "b", "c"]
+            .iter()
+            .map(|l| TraceKey::new(l, &p, &layout, &cfg))
+            .collect();
+        for (i, key) in keys.iter().enumerate() {
+            // Filesystem mtime granularity can be 1 ms; space the writes
+            // out so eviction order is the write order.
+            if i > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            tier.store(key, &trace).unwrap();
+        }
+        assert_eq!(tier.len(), 2, "third write evicts the oldest");
+        assert!(tier.resident_bytes() <= tier.capacity_bytes());
+        assert!(tier.load(&keys[0]).is_none(), "oldest entry was evicted");
+        assert!(tier.load(&keys[2]).is_some());
+        let _ = fs::remove_dir_all(tier.root());
+    }
+
+    #[test]
+    fn store_with_disk_survives_memory_clear() {
+        let (p, layout) = sample_program();
+        let cfg = RunConfig::default();
+        let key = TraceKey::new("persisted", &p, &layout, &cfg);
+        let dir = tempdir("store");
+
+        let store = TraceStore::with_capacity_mb(4)
+            .with_disk(Some(DiskTier::new(&dir, 64 * 1024 * 1024).unwrap()));
+        let mut first = InstCounts::new();
+        store
+            .capture_or_replay(key.clone(), &p, &layout, &cfg, &mut first)
+            .unwrap();
+
+        // Simulate a process restart: fresh memory tier, same directory.
+        let fresh = TraceStore::with_capacity_mb(4)
+            .with_disk(Some(DiskTier::new(&dir, 64 * 1024 * 1024).unwrap()));
+        let ((), report) = vp_trace::scoped(|| {
+            let mut second = InstCounts::new();
+            fresh
+                .capture_or_replay(key.clone(), &p, &layout, &cfg, &mut second)
+                .unwrap();
+            assert_eq!(first, second);
+        });
+        assert_eq!(report.counter("trace_store.captures"), 0);
+        assert_eq!(report.counter("trace_store.disk_hits"), 1);
+        assert_eq!(report.counter("trace_store.replays"), 1);
+        assert_eq!(fresh.len(), 1, "disk hit promotes into memory");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_mb_parsing() {
+        assert_eq!(disk_mb_from(None), DEFAULT_DISK_MB);
+        assert_eq!(disk_mb_from(Some("64")), 64);
+        assert_eq!(disk_mb_from(Some(" 0 ")), 0);
+        assert_eq!(disk_mb_from(Some("junk")), DEFAULT_DISK_MB);
+    }
+}

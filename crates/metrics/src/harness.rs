@@ -11,8 +11,11 @@
 //! (the Hot Spot Detector, the branch-count oracle, baseline timing on
 //! the Table 2 machine) runs off that shared capture. Re-profiling the
 //! same workload under a different detector configuration, as the
-//! ablation sweeps do, replays instead of re-executing. Packed binaries
-//! are still executed live: rewriting changes the stream.
+//! ablation sweeps do, replays instead of re-executing; with
+//! `VP_TRACE_DIR` set, captures persist to disk, so even a fresh process
+//! (a re-run, a CI job, another shard of a multi-process sweep) profiles
+//! at replay cost. Packed binaries are still executed live: rewriting
+//! changes the stream.
 
 use crate::branches::BranchCounts;
 use std::sync::Arc;
@@ -75,19 +78,10 @@ pub fn profile(
     let store = TraceStore::global();
     let key = TraceKey::new(label, &program, &layout, &run_cfg);
 
-    let (stats, trace) = {
+    let (trace, stats) = {
         let _s = vp_trace::span("metrics.profile.run");
         let mut sink = (&mut hsd, &mut counts);
-        match store.get(&key) {
-            Some(trace) => (trace.replay(&mut sink), trace),
-            None => {
-                let trace = Arc::new(CapturedTrace::capture_with(
-                    &program, &layout, &run_cfg, &mut sink,
-                )?);
-                store.insert(key, Arc::clone(&trace));
-                (trace.stats(), trace)
-            }
-        }
+        store.capture_or_replay_shared(key, &program, &layout, &run_cfg, &mut sink)?
     };
     debug_assert_eq!(
         stats.stop,

@@ -1,9 +1,11 @@
-//! A minimal hand-rolled JSON tree and serializer.
+//! A minimal hand-rolled JSON tree, serializer, and parser.
 //!
 //! The trace layer must stay dependency-free, so this module provides the
 //! small subset of JSON the sinks and manifests need: objects with ordered
 //! keys, arrays, strings, bools, and numbers. Output is compact (single
-//! line), suitable for JSONL streams.
+//! line), suitable for JSONL streams; [`Json::parse`] reads those lines
+//! back, which is how the shard-merge tooling joins per-shard run
+//! manifests into one report.
 
 use std::fmt::Write as _;
 
@@ -49,6 +51,61 @@ impl Json {
             Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::U64(v) => Some(*v),
+            Json::I64(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Parses a JSON document.
+    ///
+    /// Accepts everything [`Json::render`] emits (and standard JSON
+    /// generally); numbers parse to `U64` when non-negative integral,
+    /// `I64` when negative integral, `F64` otherwise.
+    ///
+    /// ```
+    /// use vp_trace::Json;
+    /// let j = Json::parse(r#"{"bin":"fig8","n":3,"xs":[1,-2,0.5,null,true]}"#).unwrap();
+    /// assert_eq!(j.get("bin").and_then(Json::as_str), Some("fig8"));
+    /// assert_eq!(j.get("n"), Some(&Json::U64(3)));
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the byte offset of the first syntax error.
+    pub fn parse(s: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            b: s.as_bytes(),
+            pos: 0,
+        };
+        p.ws();
+        let v = p.value()?;
+        p.ws();
+        if p.pos != p.b.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
     }
 
     /// Serializes to a compact single-line string.
@@ -102,6 +159,222 @@ impl Json {
                 out.push('}');
             }
         }
+    }
+}
+
+/// Recursive-descent parser state over the input bytes.
+struct Parser<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while matches!(self.b.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn err(&self, what: &str) -> String {
+        format!("{} at byte {}", what, self.pos)
+    }
+
+    fn eat(&mut self, lit: &str) -> Result<(), String> {
+        if self.b[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.b.get(self.pos) {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => self.eat("null").map(|()| Json::Null),
+            Some(b't') => self.eat("true").map(|()| Json::Bool(true)),
+            Some(b'f') => self.eat("false").map(|()| Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.pos += 1; // '['
+        let mut items = Vec::new();
+        self.ws();
+        if self.b.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.ws();
+            match self.b.get(self.pos) {
+                Some(b',') => {
+                    self.pos += 1;
+                    self.ws();
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.pos += 1; // '{'
+        let mut pairs = Vec::new();
+        self.ws();
+        if self.b.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            if self.b.get(self.pos) != Some(&b'"') {
+                return Err(self.err("expected object key"));
+            }
+            let key = self.string()?;
+            self.ws();
+            if self.b.get(self.pos) != Some(&b':') {
+                return Err(self.err("expected ':'"));
+            }
+            self.pos += 1;
+            self.ws();
+            pairs.push((key, self.value()?));
+            self.ws();
+            match self.b.get(self.pos) {
+                Some(b',') => {
+                    self.pos += 1;
+                    self.ws();
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.pos += 1; // opening '"'
+        let mut out = String::new();
+        loop {
+            match self.b.get(self.pos) {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.b.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let cp = self.hex4()?;
+                            // Surrogate pair: a high surrogate must be
+                            // followed by an escaped low surrogate.
+                            let c = if (0xd800..0xdc00).contains(&cp) {
+                                if self.b[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    if !(0xdc00..0xe000).contains(&lo) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    let v = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+                                    char::from_u32(v)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return Err(self.err("invalid \\u escape")),
+                            }
+                            continue; // hex4 already advanced past the digits
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Copy the full (possibly multi-byte) UTF-8 scalar; the
+                    // input is a &str, so byte boundaries are valid.
+                    let rest = &self.b[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid utf-8"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let digits = self
+            .b
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let s = std::str::from_utf8(digits).map_err(|_| self.err("invalid \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.b.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.b.get(self.pos), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        if self.b.get(self.pos) == Some(&b'.') {
+            integral = false;
+            self.pos += 1;
+            while matches!(self.b.get(self.pos), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.b.get(self.pos), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.b.get(self.pos), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.b.get(self.pos), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.b[start..self.pos]).unwrap();
+        if integral {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Json::U64(v));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Json::I64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::F64)
+            .map_err(|_| format!("invalid number at byte {start}"))
     }
 }
 
@@ -201,5 +474,78 @@ mod tests {
         j.set("a", Json::U64(1));
         assert_eq!(j.get("a"), Some(&Json::U64(1)));
         assert_eq!(j.get("b"), None);
+    }
+
+    #[test]
+    fn parse_round_trips_render_output() {
+        let mut j = Json::obj();
+        j.set("name", "fig8".into());
+        j.set("n", Json::U64(3));
+        j.set("neg", Json::I64(-7));
+        j.set("half", Json::F64(0.5));
+        j.set("ok", Json::Bool(true));
+        j.set("none", Json::Null);
+        j.set("esc", Json::Str("a\"b\\c\nd\u{1}µ".to_string()));
+        j.set(
+            "items",
+            Json::Arr(vec![Json::U64(1), Json::Null, Json::Str(String::new())]),
+        );
+        let text = j.render();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back, j);
+        assert_eq!(back.render(), text);
+    }
+
+    #[test]
+    fn parse_number_variants() {
+        assert_eq!(Json::parse("0"), Ok(Json::U64(0)));
+        assert_eq!(Json::parse("18446744073709551615"), Ok(Json::U64(u64::MAX)));
+        assert_eq!(Json::parse("-3"), Ok(Json::I64(-3)));
+        assert_eq!(Json::parse("2.5e1"), Ok(Json::F64(25.0)));
+        assert_eq!(Json::parse("-0.25"), Ok(Json::F64(-0.25)));
+    }
+
+    #[test]
+    fn parse_accepts_whitespace_and_unicode_escapes() {
+        let j = Json::parse(" { \"a\" : [ 1 , \"\\u00b5\\ud83d\\ude00\" ] } ").unwrap();
+        assert_eq!(
+            j.get("a").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(2)
+        );
+        assert_eq!(
+            j.get("a").unwrap().as_arr().unwrap()[1].as_str(),
+            Some("µ😀")
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "\"unterminated",
+            "1 2",
+            "{\"a\" 1}",
+            "\"\\u12\"",
+            "\"\\ud800x\"",
+            "nul",
+            "[1 2]",
+            "--1",
+            "+1",
+        ] {
+            assert!(Json::parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn as_accessors() {
+        assert_eq!(Json::Str("x".into()).as_str(), Some("x"));
+        assert_eq!(Json::U64(4).as_u64(), Some(4));
+        assert_eq!(Json::I64(4).as_u64(), Some(4));
+        assert_eq!(Json::I64(-4).as_u64(), None);
+        assert_eq!(Json::Null.as_str(), None);
     }
 }

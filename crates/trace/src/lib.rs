@@ -27,7 +27,7 @@ pub mod manifest;
 pub mod sink;
 
 pub use json::Json;
-pub use manifest::Manifest;
+pub use manifest::{parse_manifest_line, Manifest};
 pub use sink::{JsonlSink, MemorySink, SummarySink, TraceSink};
 
 use std::cell::RefCell;

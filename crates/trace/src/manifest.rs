@@ -97,6 +97,37 @@ impl Manifest {
     }
 }
 
+/// Parses one JSONL line as a `vp-manifest/1` manifest object.
+///
+/// This is the read side of [`Manifest::render`]: shard-merge tooling uses
+/// it to join the per-shard manifests of a sharded sweep back into one
+/// report. Non-manifest lines (other `t` values, other schemas) and
+/// malformed JSON are rejected with a descriptive message.
+///
+/// ```
+/// let mut m = vp_trace::Manifest::new("sweep");
+/// m.set("shard", "0/2".into());
+/// let parsed = vp_trace::parse_manifest_line(&m.render()).unwrap();
+/// assert_eq!(parsed.get("bin").and_then(vp_trace::Json::as_str), Some("sweep"));
+/// ```
+///
+/// # Errors
+///
+/// Returns a message describing the first syntax or schema violation.
+pub fn parse_manifest_line(line: &str) -> Result<Json, String> {
+    let j = Json::parse(line.trim())?;
+    match j.get("t").and_then(Json::as_str) {
+        Some("manifest") => {}
+        Some(other) => return Err(format!("not a manifest line (t={other:?})")),
+        None => return Err("not a manifest line (missing \"t\")".to_string()),
+    }
+    match j.get("schema").and_then(Json::as_str) {
+        Some("vp-manifest/1") => Ok(j),
+        Some(other) => Err(format!("unsupported manifest schema {other:?}")),
+        None => Err("manifest line missing \"schema\"".to_string()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,6 +145,31 @@ mod tests {
         assert!(line.contains(r#""bin":"table1""#));
         assert!(line.contains(r#""scale":2"#));
         assert!(line.contains(r#""tables":[{"name":"t","headers":["a","b"],"rows":[["1","2"]]}]"#));
+    }
+
+    #[test]
+    fn parse_manifest_line_round_trips() {
+        let mut m = Manifest::new("sweep");
+        m.set("shard", "1/2".into());
+        m.table(
+            "cells",
+            &["workload".to_string()],
+            &[vec!["gzip".to_string()]],
+        );
+        let line = m.render();
+        let j = parse_manifest_line(&line).unwrap();
+        assert_eq!(j.get("bin").and_then(Json::as_str), Some("sweep"));
+        assert_eq!(j.get("shard").and_then(Json::as_str), Some("1/2"));
+        let tables = j.get("tables").and_then(Json::as_arr).unwrap();
+        assert_eq!(tables[0].get("name").and_then(Json::as_str), Some("cells"));
+    }
+
+    #[test]
+    fn parse_manifest_line_rejects_non_manifests() {
+        assert!(parse_manifest_line("{}").is_err());
+        assert!(parse_manifest_line(r#"{"t":"span"}"#).is_err());
+        assert!(parse_manifest_line(r#"{"t":"manifest","schema":"vp-manifest/9"}"#).is_err());
+        assert!(parse_manifest_line("not json").is_err());
     }
 
     #[test]

@@ -50,7 +50,8 @@ pub use vp_workloads as workloads;
 pub mod prelude {
     pub use vp_core::{pack, PackConfig, PackOutput};
     pub use vp_exec::{
-        CapturedTrace, Executor, InstCounts, NullSink, RunConfig, Sink, TraceKey, TraceStore,
+        CapturedTrace, DiskTier, Executor, InstCounts, NullSink, RunConfig, Sink, TraceKey,
+        TraceStore,
     };
     pub use vp_hsd::{filter_hot_spots, FilterConfig, HotSpotDetector, HsdConfig, Phase};
     pub use vp_isa::{BlockId, CodeRef, Cond, FuncId, Inst, Reg, Src};

@@ -9,6 +9,18 @@ use vacuum_packing::prelude::*;
 use vacuum_packing::trace;
 use vp_program::Program;
 
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    static N: AtomicU32 = AtomicU32::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "vptrace-it-{}-{tag}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
 fn three_workloads() -> Vec<(&'static str, Program)> {
     vec![
         ("300.twolf", vacuum_packing::workloads::twolf::build(1)),
@@ -144,6 +156,185 @@ fn one_megabyte_store_evicts_without_changing_results() {
     assert!(
         report.counter("trace_store.captures") > report.counter("trace_store.hits"),
         "evictions force re-capture on the second sweep"
+    );
+}
+
+/// A serialize→reload round trip through the on-disk tier must be
+/// invisible to every consumer: for three real workloads, a trace loaded
+/// back from its `.vptrace` file replays to exactly the same instruction
+/// counts, detector records, filtered phases, and baseline cycle counts as
+/// the capture it was written from.
+#[test]
+fn disk_round_trip_replays_bit_exact_on_three_workloads() {
+    let cfg = RunConfig::default();
+    let machine = MachineConfig::table2();
+    let dir = tmp_dir("roundtrip");
+    let tier = DiskTier::new(&dir, u64::MAX).expect("create tier");
+    for (name, program) in three_workloads() {
+        let layout = Layout::natural(&program);
+        let key = TraceKey::new(name, &program, &layout, &cfg);
+        let original = CapturedTrace::capture(&program, &layout, &cfg)
+            .unwrap_or_else(|e| panic!("{name}: capture failed: {e}"));
+        tier.store(&key, &original).expect("store");
+        let loaded = tier
+            .load(&key)
+            .unwrap_or_else(|| panic!("{name}: reload failed"));
+
+        let mut orig_hsd = HotSpotDetector::new(HsdConfig::table2());
+        let mut orig_counts = InstCounts::new();
+        let mut orig_timing = TimingModel::new(machine);
+        let orig_stats = original.replay(&mut (&mut orig_hsd, &mut orig_counts, &mut orig_timing));
+
+        let mut load_hsd = HotSpotDetector::new(HsdConfig::table2());
+        let mut load_counts = InstCounts::new();
+        let mut load_timing = TimingModel::new(machine);
+        let load_stats = loaded.replay(&mut (&mut load_hsd, &mut load_counts, &mut load_timing));
+
+        assert_eq!(orig_stats, load_stats, "{name}: RunStats diverged");
+        assert_eq!(orig_counts, load_counts, "{name}: InstCounts diverged");
+        assert_eq!(
+            orig_hsd.records(),
+            load_hsd.records(),
+            "{name}: detector records diverged"
+        );
+        assert_eq!(
+            filter_hot_spots(orig_hsd.records(), &FilterConfig::default()),
+            filter_hot_spots(load_hsd.records(), &FilterConfig::default()),
+            "{name}: filtered phases diverged"
+        );
+        assert_eq!(
+            orig_timing.cycles(),
+            load_timing.cycles(),
+            "{name}: baseline cycles diverged"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A corrupted or truncated `.vptrace` file must never produce wrong
+/// results: the store refuses the file, re-executes live, and overwrites
+/// the damaged capture through the normal write-through path.
+#[test]
+fn corrupted_disk_captures_fall_back_to_reexecution() {
+    let cfg = RunConfig::default();
+    let program = loop_program(42, 20_000);
+    let layout = Layout::natural(&program);
+
+    let mut direct = InstCounts::new();
+    let direct_stats = Executor::new(&program, &layout)
+        .run(&mut direct, &cfg)
+        .expect("direct run");
+
+    for (mode, mangle) in [
+        (
+            "bitflip",
+            (|b: &mut Vec<u8>| {
+                let mid = b.len() / 2;
+                b[mid] ^= 0xff;
+            }) as fn(&mut Vec<u8>),
+        ),
+        ("truncate", |b: &mut Vec<u8>| b.truncate(b.len() / 3)),
+    ] {
+        let dir = tmp_dir(mode);
+        let path = {
+            let tier = DiskTier::new(&dir, u64::MAX).expect("create tier");
+            let key = TraceKey::new("corrupt", &program, &layout, &cfg);
+            let trace = CapturedTrace::capture(&program, &layout, &cfg).expect("capture");
+            tier.store(&key, &trace).expect("store");
+            tier.path_for(&key)
+        };
+        let mut bytes = std::fs::read(&path).expect("read capture");
+        mangle(&mut bytes);
+        std::fs::write(&path, &bytes).expect("write damage");
+
+        let (_, report) = trace::scoped(|| {
+            let store = TraceStore::with_capacity_mb(64)
+                .with_disk(Some(DiskTier::new(&dir, u64::MAX).expect("tier")));
+            let key = TraceKey::new("corrupt", &program, &layout, &cfg);
+            let mut counts = InstCounts::new();
+            let stats = store
+                .capture_or_replay(key, &program, &layout, &cfg, &mut counts)
+                .expect("run succeeds");
+            assert_eq!(stats, direct_stats, "{mode}: stats diverged");
+            assert_eq!(counts, direct, "{mode}: counts diverged");
+        });
+        assert_eq!(
+            report.counter("trace_store.disk_hits"),
+            0,
+            "{mode}: damaged file must not count as a hit"
+        );
+        assert_eq!(
+            report.counter("trace_store.captures"),
+            1,
+            "{mode}: store must re-execute live"
+        );
+
+        // Write-through repaired the file: a fresh store loads it cleanly.
+        let (_, report) = trace::scoped(|| {
+            let store = TraceStore::with_capacity_mb(64)
+                .with_disk(Some(DiskTier::new(&dir, u64::MAX).expect("tier")));
+            let key = TraceKey::new("corrupt", &program, &layout, &cfg);
+            let mut counts = InstCounts::new();
+            store
+                .capture_or_replay(key, &program, &layout, &cfg, &mut counts)
+                .expect("run succeeds");
+        });
+        assert_eq!(report.counter("trace_store.disk_hits"), 1, "{mode}");
+        assert_eq!(report.counter("trace_store.captures"), 0, "{mode}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// N threads racing `capture_or_replay` on the same key must produce
+/// exactly one live execution — the rest wait on the in-flight capture and
+/// replay it — and every thread still observes bit-identical results.
+#[test]
+fn concurrent_capture_or_replay_runs_one_live_execution() {
+    use std::sync::Barrier;
+    const N: usize = 8;
+    let cfg = RunConfig::default();
+    let program = loop_program(7, 50_000);
+    let layout = Layout::natural(&program);
+    let store = TraceStore::with_capacity_mb(64);
+    let barrier = Barrier::new(N);
+
+    let mut direct = InstCounts::new();
+    let direct_stats = Executor::new(&program, &layout)
+        .run(&mut direct, &cfg)
+        .expect("direct run");
+
+    let reports: Vec<trace::TraceReport> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..N)
+            .map(|_| {
+                s.spawn(|| {
+                    trace::scoped(|| {
+                        barrier.wait();
+                        let key = TraceKey::new("concurrent", &program, &layout, &cfg);
+                        let mut counts = InstCounts::new();
+                        let stats = store
+                            .capture_or_replay(key, &program, &layout, &cfg, &mut counts)
+                            .expect("run succeeds");
+                        (stats, counts)
+                    })
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                let ((stats, counts), report) = h.join().expect("worker panicked");
+                assert_eq!(stats, direct_stats, "stats diverged across threads");
+                assert_eq!(counts, direct, "counts diverged across threads");
+                report
+            })
+            .collect()
+    });
+    let sum = |name: &str| reports.iter().map(|r| r.counter(name)).sum::<u64>();
+    assert_eq!(sum("trace_store.captures"), 1, "exactly one live execution");
+    assert_eq!(
+        sum("trace_store.replays"),
+        (N - 1) as u64,
+        "every other thread replays the single capture"
     );
 }
 
