@@ -22,7 +22,11 @@
 //!   trace cache (see `vp_exec::DiskTier`): captures survive across
 //!   processes, so warmed reruns and sharded sweeps skip live execution;
 //! * `VP_SHARD` — `i/n` cell partition for the `sweep` binary (see
-//!   [`sweep::ShardSpec`]); shard manifests are joined by `sweep merge`.
+//!   [`sweep::ShardSpec`]); shard manifests are joined by `sweep merge`;
+//! * `VP_DIFF` — `off`, `report` (default), or `strict` differential
+//!   replay of every packed binary against its original capture (see
+//!   `vp_exec::diff`); `strict` panics the evaluating cell — and thereby
+//!   fails the sweep — on any unexplained divergence.
 
 pub mod micro;
 pub mod sweep;

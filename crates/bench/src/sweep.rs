@@ -26,7 +26,7 @@ use crate::{parallel_sweep, profile_workloads, scale, CONFIG_LABELS};
 
 /// Column headers of the per-cell sweep table; [`render_report`] and the
 /// shard manifests both use this exact shape.
-pub const CELL_HEADERS: [&str; 8] = [
+pub const CELL_HEADERS: [&str; 9] = [
     "cell",
     "workload",
     "config",
@@ -35,6 +35,7 @@ pub const CELL_HEADERS: [&str; 8] = [
     "phases",
     "packages",
     "speedup",
+    "diff",
 ];
 
 const COL_CELL: usize = 0;
@@ -42,6 +43,7 @@ const COL_CONFIG: usize = 2;
 const COL_COVERAGE: usize = 3;
 const COL_EXPANSION: usize = 4;
 const COL_SPEEDUP: usize = 7;
+const COL_DIFF: usize = 8;
 
 /// One shard's slice of the cell matrix, parsed from `VP_SHARD=i/n`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -179,6 +181,9 @@ fn cell_row(
         out.packages.to_string(),
         out.speedup
             .map_or_else(|| "-".to_string(), |s| format!("{s:.3}")),
+        out.diff
+            .as_ref()
+            .map_or_else(|| "-".to_string(), |d| d.verdict.to_string()),
     ]
 }
 
@@ -231,12 +236,15 @@ pub fn render_report(rows: &[Vec<String>]) -> String {
             "-".to_string(),
             "-".to_string(),
             fmt(mean_of(&of_cfg, COL_SPEEDUP), 3),
+            "-".to_string(),
         ]);
     }
+    let diverged = sorted.iter().filter(|r| r[COL_DIFF] == "diverged").count();
     format!(
-        "Sweep report: {} workloads, {} cells\n\n{t}",
+        "Sweep report: {} workloads, {} cells, {} divergences\n\n{t}",
         workloads.len(),
-        sorted.len()
+        sorted.len(),
+        diverged
     )
 }
 
@@ -370,6 +378,7 @@ mod tests {
                     "2".to_string(),
                     "3".to_string(),
                     "-".to_string(),
+                    "clean".to_string(),
                 ]
             })
             .collect()

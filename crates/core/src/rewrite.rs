@@ -74,6 +74,65 @@ impl PackOutput {
         self.package_insts as f64 / self.original_insts.max(1) as f64
     }
 
+    /// FNV-1a fingerprint of the installed package set: which packages
+    /// exist, where they were installed, and the provenance of every
+    /// package block. Distinguishes packed variants of one workload in
+    /// the trace cache (`vp_exec::TraceKey::packed`).
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x100_0000_01b3;
+        let mut h = OFFSET;
+        let mut fold = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        fold(self.packages.len() as u64);
+        for pi in &self.packages {
+            fold(pi.phase as u64);
+            fold(u64::from(pi.root.0));
+            fold(u64::from(pi.func.0));
+            fold(pi.static_insts);
+            fold(pi.links_in as u64);
+            fold(pi.links_out as u64);
+            for (b, origin) in &pi.entry_blocks {
+                fold(u64::from(b.0));
+                fold(u64::from(origin.func.0) << 32 | u64::from(origin.block.0));
+            }
+            for m in &pi.meta {
+                fold(u64::from(m.origin.func.0) << 32 | u64::from(m.origin.block.0));
+                fold(u64::from(m.is_exit) << 1 | u64::from(m.is_stub));
+                fold(m.context.len() as u64);
+            }
+        }
+        fold(self.launch_points as u64);
+        h
+    }
+
+    /// Builds the [`vp_exec::IdentityMap`] that folds this rewritten
+    /// program's package locations back to original-block identities —
+    /// the input differential replay (`vp_exec::diff`) needs to align a
+    /// packed capture against the original one.
+    pub fn identity_map(&self) -> vp_exec::IdentityMap {
+        let mut map = vp_exec::IdentityMap::new();
+        for (i, pi) in self.packages.iter().enumerate() {
+            let blocks = pi
+                .meta
+                .iter()
+                .map(|m| vp_exec::BlockIdentity {
+                    origin: m.origin,
+                    package: i as u32,
+                    phase: pi.phase as u32,
+                    is_exit: m.is_exit,
+                    is_stub: m.is_stub,
+                })
+                .collect();
+            map.insert_package(pi.func, blocks);
+        }
+        map
+    }
+
     /// Fraction of original static instructions selected into at least one
     /// package (Table 3's second column).
     pub fn selected_fraction(&self) -> f64 {
@@ -397,5 +456,47 @@ mod tests {
             assert!(out.program.func(pi.func).is_package());
             assert!(pi.static_insts > 0);
         }
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_structure_sensitive() {
+        let p = hot_loop_program();
+        let a = pack_it(&p);
+        let b = pack_it(&p);
+        assert_eq!(a.fingerprint(), b.fingerprint(), "same pack, same print");
+        assert_ne!(a.fingerprint(), 0);
+
+        // Dropping a package changes the fingerprint.
+        let mut c = pack_it(&p);
+        c.packages.pop();
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn identity_map_covers_every_package_block() {
+        let p = hot_loop_program();
+        let out = pack_it(&p);
+        let map = out.identity_map();
+        assert_eq!(map.packages(), out.packages.len());
+        for pi in &out.packages {
+            for (b, m) in pi.meta.iter().enumerate() {
+                let id = map
+                    .lookup(CodeRef {
+                        func: pi.func,
+                        block: vp_isa::BlockId(b as u32),
+                    })
+                    .expect("every package block has an identity");
+                assert_eq!(id.origin, m.origin);
+                assert_eq!(id.is_exit, m.is_exit);
+                assert_eq!(id.is_stub, m.is_stub);
+            }
+        }
+        // Original code has no entry: it maps to itself.
+        assert!(map
+            .lookup(CodeRef {
+                func: p.entry,
+                block: p.func(p.entry).entry
+            })
+            .is_none());
     }
 }

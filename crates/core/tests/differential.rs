@@ -1,0 +1,186 @@
+//! Differential replay against the real packing pipeline: a correctly
+//! rewritten binary must diff clean against the original capture, and an
+//! injected rewriting fault (a corrupted launch-point target) must be
+//! detected and reported with first-divergence forensics.
+
+use std::collections::BTreeMap;
+use vp_core::{build_packages, identify_region, rewrite, CfgCache, PackConfig, PackOutput};
+use vp_exec::{diff_traces, CapturedTrace, DiffOptions, DiffVerdict, RunConfig};
+use vp_hsd::{Phase, PhaseBranch};
+use vp_isa::{CodeRef, Cond, Reg, Src};
+use vp_program::{Layout, Program, ProgramBuilder, Terminator};
+
+fn hot_loop_program() -> Program {
+    let mut pb = ProgramBuilder::new();
+    let helper = pb.declare("helper");
+    pb.define(helper, |f| {
+        f.addi(Reg::ARG0, Reg::ARG0, 1);
+        f.ret();
+    });
+    let main = pb.declare("main");
+    pb.define(main, |f| {
+        let i = Reg::int(20);
+        f.li(i, 0);
+        f.while_(
+            |f| f.cond(Cond::Lt, i, Src::Imm(200)),
+            |f| {
+                f.mov(Reg::ARG0, i);
+                f.call(helper);
+                f.addi(i, i, 1);
+            },
+        );
+        f.halt();
+    });
+    pb.set_entry(main);
+    pb.build()
+}
+
+fn phase_for(p: &Program, layout: &Layout) -> Phase {
+    let mut branches = BTreeMap::new();
+    for f in &p.funcs {
+        for (bid, b) in f.blocks_iter() {
+            if b.term.is_cond_branch() {
+                let addr = layout.branch_addr(CodeRef {
+                    func: f.id,
+                    block: bid,
+                });
+                branches.insert(addr, PhaseBranch::once(200, 199));
+            }
+        }
+    }
+    Phase {
+        id: 0,
+        branches,
+        first_detected_at: 0,
+        detections: 1,
+    }
+}
+
+fn pack_it(p: &Program) -> PackOutput {
+    let layout = Layout::natural(p);
+    let phase = phase_for(p, &layout);
+    let cfg = PackConfig::default();
+    let mut cfgs = CfgCache::new();
+    let region = identify_region(p, &layout, &mut cfgs, &phase, &cfg);
+    let pkgs = build_packages(p, &mut cfgs, &region, &cfg);
+    rewrite(p, pkgs, vec![region], &cfg)
+}
+
+fn capture(p: &Program) -> CapturedTrace {
+    let layout = Layout::natural(p);
+    CapturedTrace::capture(p, &layout, &RunConfig::default()).expect("capture")
+}
+
+/// The pipeline's own rewrite must be architecturally transparent: the
+/// packed capture aligns visit-for-visit with the original one.
+#[test]
+fn packed_binary_diffs_clean_against_original() {
+    let p = hot_loop_program();
+    let out = pack_it(&p);
+    assert!(out.launch_points > 0, "test needs a patched launch point");
+
+    let rep = diff_traces(
+        &capture(&p),
+        &capture(&out.program),
+        &out.identity_map(),
+        &DiffOptions::default(),
+    );
+    assert_eq!(rep.verdict, DiffVerdict::Clean, "{rep}");
+    assert_eq!(rep.aligned_visits, rep.orig_visits);
+    assert!(
+        rep.exit_events > 0,
+        "leaving the package must pass through exit blocks: {rep}"
+    );
+}
+
+/// Injected rewriting fault: corrupt one launch-point target so the
+/// packed binary enters the package at the wrong block. The diff must
+/// flag it and carry first-divergence context.
+#[test]
+fn corrupted_launch_point_is_detected_with_forensics() {
+    let p = hot_loop_program();
+    let out = pack_it(&p);
+    let pkg = &out.packages[0];
+
+    // Find a launch point: an original-code terminator targeting the
+    // package, and retarget it one block off (skipping to a different
+    // package block than the rewriter chose).
+    let mut bad = out.program.clone();
+    let n_blocks = bad.func(pkg.func).blocks.len() as u32;
+    let mut corrupted = false;
+    'outer: for f in &mut bad.funcs {
+        if f.is_package() {
+            continue;
+        }
+        for block in &mut f.blocks {
+            let retarget = |t: &mut CodeRef| {
+                t.block = vp_isa::BlockId((t.block.0 + 1) % n_blocks);
+            };
+            match &mut block.term {
+                Terminator::Goto(t) if t.func == pkg.func => {
+                    retarget(t);
+                    corrupted = true;
+                    break 'outer;
+                }
+                Terminator::Br {
+                    taken, not_taken, ..
+                } => {
+                    if taken.func == pkg.func {
+                        retarget(taken);
+                        corrupted = true;
+                        break 'outer;
+                    }
+                    if not_taken.func == pkg.func {
+                        retarget(not_taken);
+                        corrupted = true;
+                        break 'outer;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    if !corrupted {
+        // Entry-launch-only programs: bend the package's first Br one
+        // block off instead (a corrupted internal rewrite).
+        let f = bad.func_mut(pkg.func);
+        for block in &mut f.blocks {
+            if let Terminator::Br { taken, .. } = &mut block.term {
+                taken.block = vp_isa::BlockId((taken.block.0 + 1) % n_blocks);
+                corrupted = true;
+                break;
+            }
+        }
+    }
+    assert!(corrupted, "no corruptible transfer found");
+    assert_eq!(bad.validate(), Ok(()), "corruption must stay executable");
+
+    // The corrupted binary may no longer terminate; bound the capture.
+    // An early mismatch is a divergence even when the run truncates.
+    let layout = Layout::natural(&bad);
+    let bad_trace = CapturedTrace::capture(
+        &bad,
+        &layout,
+        &RunConfig {
+            max_insts: 1_000_000,
+            ..RunConfig::default()
+        },
+    )
+    .expect("corrupted capture");
+
+    let rep = diff_traces(
+        &capture(&p),
+        &bad_trace,
+        &out.identity_map(),
+        &DiffOptions::default(),
+    );
+    assert_eq!(rep.verdict, DiffVerdict::Diverged, "{rep}");
+    let d = rep.divergence.as_ref().expect("forensics attached");
+    assert!(
+        d.expected.is_some() || d.actual.is_some(),
+        "divergence names at least one side"
+    );
+    let rendered = format!("{rep}");
+    assert!(rendered.contains("first divergence"), "{rendered}");
+    assert!(rendered.contains("expected"), "{rendered}");
+}

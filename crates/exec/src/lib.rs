@@ -81,14 +81,31 @@
 //! assert_eq!(counts.total, stats.retired);
 //! # Ok::<(), vp_exec::ExecError>(())
 //! ```
+//!
+//! ## Differential replay
+//!
+//! Packed binaries are captured under a [`TraceKey::packed`] key (the
+//! original key plus the package-set fingerprint), and the [`diff`] module
+//! structurally aligns a packed capture against the original one: packed
+//! locations are folded back to original block identities through an
+//! [`IdentityMap`], rewriter-introduced events (exit blocks, launch stubs,
+//! migration glue) are dropped as expected divergences, and everything
+//! else must align visit-for-visit or the run is flagged with
+//! first-divergence forensics. See [`diff_traces`] and the `VP_DIFF` knob
+//! ([`DiffMode::from_env`]).
 
 #![warn(missing_docs)]
 
+pub mod diff;
 pub mod event;
 pub mod exec;
 pub mod memory;
 pub mod trace_store;
 
+pub use diff::{
+    diff_traces, BlockIdentity, DiffMode, DiffOptions, DiffReport, DiffVerdict, Divergence,
+    IdentityMap, Visit,
+};
 pub use event::{Ctrl, InstCounts, NullSink, Retired, Sink};
 pub use exec::{ExecError, Executor, RunConfig, RunStats, StopReason};
 pub use memory::Memory;

@@ -384,17 +384,24 @@ impl CapturedTrace {
 // --------------------------------------------------------------- the key
 
 /// Cache key for a capture: which workload ran, a structural fingerprint
-/// of the program *and* its layout, and the [`RunConfig`] limits.
+/// of the program *and* its layout, the [`RunConfig`] limits, and a
+/// *variant* distinguishing rewritten flavors of the same workload.
 ///
 /// The fingerprint hashes every block's instruction count and laid-out
 /// address, so regenerating the same workload (same builder, same scale)
 /// maps to the same key while any structural or layout change misses.
+/// The variant is 0 for the original binary; packed binaries use the
+/// package-set fingerprint ([`TraceKey::packed`]), so the original and
+/// each packed flavor of one workload coexist in the cache.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct TraceKey {
     /// Workload label, e.g. `"300.twolf A"`.
     pub workload: String,
     /// Structural checksum of (program, layout).
     pub fingerprint: u64,
+    /// Rewrite variant: 0 for the original binary, the package-set
+    /// fingerprint for a packed binary.
+    pub variant: u64,
     /// [`RunConfig::max_insts`] of the run.
     pub max_insts: u64,
     /// [`RunConfig::max_depth`] of the run.
@@ -422,8 +429,26 @@ impl TraceKey {
         TraceKey {
             workload: workload.to_string(),
             fingerprint: h,
+            variant: 0,
             max_insts: cfg.max_insts,
             max_depth: cfg.max_depth as u64,
+        }
+    }
+
+    /// Builds the key for a *packed* flavor of `workload`: same structural
+    /// fingerprinting over the rewritten `program`/`layout`, tagged with
+    /// the package-set fingerprint so packed captures never alias the
+    /// original's (or another configuration's) cache entries.
+    pub fn packed(
+        workload: &str,
+        program: &Program,
+        layout: &Layout,
+        cfg: &RunConfig,
+        package_fingerprint: u64,
+    ) -> TraceKey {
+        TraceKey {
+            variant: package_fingerprint,
+            ..TraceKey::new(workload, program, layout, cfg)
         }
     }
 }

@@ -18,12 +18,17 @@
 //! 12      ..    payload
 //! ```
 //!
-//! The payload is varint-coded: run stats, event count, the static
-//! side-table section (one record per distinct fetch address), then the
-//! raw dynamic stream section. The CRC covers both sections (and the
-//! stats header), so a truncated or bit-flipped file is *refused* at load
-//! — the caller falls back to live execution and overwrites the entry —
-//! never replayed wrong.
+//! The payload is varint-coded and opens with a shared **header string
+//! table** (each string stored once, referenced by index) followed by an
+//! echo of the owning [`TraceKey`] — workload name (by table index),
+//! structural fingerprint, variant, and run limits — which makes every
+//! file self-describing and lets the loader refuse a capture whose key
+//! does not match the request (e.g. after a path-hash collision). Then
+//! come run stats, event count, the static side-table section (one record
+//! per distinct fetch address), and the raw dynamic stream section. The
+//! CRC covers everything after the fixed header, so a truncated or
+//! bit-flipped file is *refused* at load — the caller falls back to live
+//! execution and overwrites the entry — never replayed wrong.
 //!
 //! # Budget
 //!
@@ -56,7 +61,9 @@ static DISK_EVICTIONS: Counter = Counter::new("trace_store.disk_evictions");
 /// encoding (this module *or* the in-memory stream encoding in
 /// `trace_store`) changes shape; old files are then refused and
 /// re-captured instead of mis-decoded.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// History: v1 had no header string table or key echo; v2 prepends both.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Default disk budget when `VP_TRACE_DISK_MB` is unset.
 pub const DEFAULT_DISK_MB: u64 = 2048;
@@ -122,9 +129,26 @@ fn fu_code(fu: FuClass) -> u8 {
     }
 }
 
-/// Serializes a capture into the versioned, CRC-protected byte image.
-pub(super) fn encode(trace: &CapturedTrace) -> Vec<u8> {
+/// Serializes a capture (and its owning key) into the versioned,
+/// CRC-protected byte image.
+pub(super) fn encode(key: &TraceKey, trace: &CapturedTrace) -> Vec<u8> {
     let mut payload = Vec::with_capacity(trace.stream.len() + 64 * trace.slots.len() + 64);
+
+    // Header string table: every string the header references, stored
+    // exactly once and addressed by index below.
+    let strings = [key.workload.as_str()];
+    put_varint(&mut payload, strings.len() as u64);
+    for s in strings {
+        put_varint(&mut payload, s.len() as u64);
+        payload.extend_from_slice(s.as_bytes());
+    }
+
+    // Key echo: workload by string-table index plus the scalar fields,
+    // verified against the requested key at load time.
+    put_varint(&mut payload, 0); // workload string index
+    for v in [key.fingerprint, key.variant, key.max_insts, key.max_depth] {
+        put_varint(&mut payload, v);
+    }
 
     // Stats header.
     put_varint(&mut payload, trace.stats.retired);
@@ -256,10 +280,11 @@ fn decode_fu(code: u8) -> Option<FuClass> {
     })
 }
 
-/// Deserializes a byte image produced by [`encode`]. Returns `None` on any
-/// mismatch — wrong magic, wrong version, CRC failure, or malformed
-/// payload — so callers re-execute instead of replaying garbage.
-pub(super) fn decode(bytes: &[u8]) -> Option<CapturedTrace> {
+/// Deserializes a byte image produced by [`encode`], returning the echoed
+/// key alongside the capture. Returns `None` on any mismatch — wrong
+/// magic, wrong version, CRC failure, or malformed payload — so callers
+/// re-execute instead of replaying garbage.
+pub(super) fn decode(bytes: &[u8]) -> Option<(TraceKey, CapturedTrace)> {
     if bytes.len() < 12 || &bytes[0..4] != MAGIC {
         return None;
     }
@@ -277,6 +302,30 @@ pub(super) fn decode(bytes: &[u8]) -> Option<CapturedTrace> {
         buf: payload,
         pos: 0,
     };
+
+    // Header string table.
+    let n_strings = usize::try_from(rd.varint()?).ok()?;
+    if n_strings > payload.len() {
+        return None;
+    }
+    let mut strings = Vec::with_capacity(n_strings);
+    for _ in 0..n_strings {
+        let len = usize::try_from(rd.varint()?).ok()?;
+        let s = std::str::from_utf8(rd.take(len)?).ok()?;
+        strings.push(s);
+    }
+
+    // Key echo.
+    let widx = usize::try_from(rd.varint()?).ok()?;
+    let workload = (*strings.get(widx)?).to_string();
+    let key = TraceKey {
+        workload,
+        fingerprint: rd.varint()?,
+        variant: rd.varint()?,
+        max_insts: rd.varint()?,
+        max_depth: rd.varint()?,
+    };
+
     let retired = rd.varint()?;
     let cond_branches = rd.varint()?;
     let in_package = rd.varint()?;
@@ -356,17 +405,20 @@ pub(super) fn decode(bytes: &[u8]) -> Option<CapturedTrace> {
     if rd.pos != payload.len() {
         return None; // trailing garbage
     }
-    Some(CapturedTrace {
-        slots,
-        stream,
-        stats: RunStats {
-            retired,
-            cond_branches,
-            in_package,
-            stop,
+    Some((
+        key,
+        CapturedTrace {
+            slots,
+            stream,
+            stats: RunStats {
+                retired,
+                cond_branches,
+                in_package,
+                stop,
+            },
+            events,
         },
-        events,
-    })
+    ))
 }
 
 // -------------------------------------------------------------- the tier
@@ -436,8 +488,8 @@ impl DiskTier {
     /// The file a key persists to: a sanitized workload prefix for
     /// debuggability plus a 16-hex-digit fingerprint over every key field.
     pub fn path_for(&self, key: &TraceKey) -> PathBuf {
-        // FNV-1a over all four key fields; the workload prefix alone is
-        // not unique (same label, different scale/layout/config).
+        // FNV-1a over every key field; the workload prefix alone is not
+        // unique (same label, different scale/layout/config/variant).
         let mut h = 0xcbf2_9ce4_8422_2325u64;
         let mut mix_byte = |b: u8| {
             h ^= u64::from(b);
@@ -446,7 +498,7 @@ impl DiskTier {
         for b in key.workload.bytes() {
             mix_byte(b);
         }
-        for v in [key.fingerprint, key.max_insts, key.max_depth] {
+        for v in [key.fingerprint, key.variant, key.max_insts, key.max_depth] {
             for b in v.to_le_bytes() {
                 mix_byte(b);
             }
@@ -465,16 +517,17 @@ impl DiskTier {
         self.root.join(format!("{prefix}-{h:016x}.{EXT}"))
     }
 
-    /// Loads `key`'s capture, verifying version and CRC. Returns `None`
-    /// (and deletes the file, so the slot heals on the next write) when
-    /// the file is absent, truncated, corrupted, or from another format
-    /// version. A successful load touches the file's mtime, giving the
+    /// Loads `key`'s capture, verifying version, CRC, and the header's key
+    /// echo. Returns `None` (and deletes the file, so the slot heals on
+    /// the next write) when the file is absent, truncated, corrupted, from
+    /// another format version, or records a *different* key than the one
+    /// requested. A successful load touches the file's mtime, giving the
     /// budget sweep true LRU order.
     pub fn load(&self, key: &TraceKey) -> Option<CapturedTrace> {
         let path = self.path_for(key);
         let bytes = fs::read(&path).ok()?;
         match decode(&bytes) {
-            Some(trace) => {
+            Some((echoed, trace)) if echoed == *key => {
                 DISK_HITS.incr();
                 // Best-effort recency bump; eviction degrades to
                 // least-recently-written if the touch fails.
@@ -483,7 +536,7 @@ impl DiskTier {
                 }
                 Some(trace)
             }
-            None => {
+            _ => {
                 let _ = fs::remove_file(&path);
                 None
             }
@@ -497,7 +550,7 @@ impl DiskTier {
     ///
     /// Propagates I/O failures; the caller treats them as a cache miss.
     pub fn store(&self, key: &TraceKey, trace: &CapturedTrace) -> io::Result<()> {
-        let bytes = encode(trace);
+        let bytes = encode(key, trace);
         if bytes.len() as u64 > self.cap_bytes {
             return Ok(()); // larger than the whole budget: not persistable
         }
@@ -599,9 +652,11 @@ mod tests {
     fn encode_decode_roundtrip_is_bit_exact() {
         let (p, layout) = sample_program();
         let cfg = RunConfig::default();
+        let key = TraceKey::new("roundtrip", &p, &layout, &cfg);
         let trace = CapturedTrace::capture(&p, &layout, &cfg).unwrap();
-        let reloaded = decode(&encode(&trace)).expect("roundtrip decodes");
+        let (echoed, reloaded) = decode(&encode(&key, &trace)).expect("roundtrip decodes");
 
+        assert_eq!(echoed, key, "header echoes the owning key");
         assert_eq!(trace.stats(), reloaded.stats());
         assert_eq!(trace.events(), reloaded.events());
 
@@ -621,8 +676,10 @@ mod tests {
     #[test]
     fn decode_refuses_corruption() {
         let (p, layout) = sample_program();
-        let trace = CapturedTrace::capture(&p, &layout, &RunConfig::default()).unwrap();
-        let good = encode(&trace);
+        let cfg = RunConfig::default();
+        let key = TraceKey::new("corrupt", &p, &layout, &cfg);
+        let trace = CapturedTrace::capture(&p, &layout, &cfg).unwrap();
+        let good = encode(&key, &trace);
         assert!(decode(&good).is_some());
 
         // Truncation at every boundary of interest.
@@ -672,11 +729,46 @@ mod tests {
     }
 
     #[test]
+    fn load_refuses_a_file_recorded_for_another_key() {
+        let (p, layout) = sample_program();
+        let cfg = RunConfig::default();
+        let key_a = TraceKey::new("alpha", &p, &layout, &cfg);
+        let key_b = TraceKey::new("beta", &p, &layout, &cfg);
+        let trace = CapturedTrace::capture(&p, &layout, &cfg).unwrap();
+
+        let tier = DiskTier::new(tempdir("echo"), 64 * 1024 * 1024).unwrap();
+        tier.store(&key_a, &trace).unwrap();
+        // Simulate a path-hash collision: key B's slot holds key A's file.
+        fs::rename(tier.path_for(&key_a), tier.path_for(&key_b)).unwrap();
+        assert!(tier.load(&key_b).is_none(), "key echo mismatch refused");
+        assert!(
+            !tier.path_for(&key_b).exists(),
+            "mismatched entry is deleted"
+        );
+        let _ = fs::remove_dir_all(tier.root());
+    }
+
+    #[test]
+    fn header_string_table_stores_workload_once() {
+        let (p, layout) = sample_program();
+        let cfg = RunConfig::default();
+        let name = "a-rather-long-workload-name-that-would-hurt-if-repeated";
+        let key = TraceKey::new(name, &p, &layout, &cfg);
+        let trace = CapturedTrace::capture(&p, &layout, &cfg).unwrap();
+        let bytes = encode(&key, &trace);
+        let hits = bytes
+            .windows(name.len())
+            .filter(|w| *w == name.as_bytes())
+            .count();
+        assert_eq!(hits, 1, "workload name appears exactly once in the image");
+    }
+
+    #[test]
     fn tier_evicts_oldest_beyond_budget() {
         let (p, layout) = sample_program();
         let cfg = RunConfig::default();
         let trace = CapturedTrace::capture(&p, &layout, &cfg).unwrap();
-        let one = encode(&trace).len() as u64;
+        let one = encode(&TraceKey::new("a", &p, &layout, &cfg), &trace).len() as u64;
 
         let tier = DiskTier::new(tempdir("evict"), 2 * one + 1).unwrap();
         let keys: Vec<TraceKey> = ["a", "b", "c"]

@@ -14,15 +14,19 @@
 //! ablation sweeps do, replays instead of re-executing; with
 //! `VP_TRACE_DIR` set, captures persist to disk, so even a fresh process
 //! (a re-run, a CI job, another shard of a multi-process sweep) profiles
-//! at replay cost. Packed binaries are still executed live: rewriting
-//! changes the stream.
+//! at replay cost. Packed binaries go through the same store under a
+//! [`TraceKey::packed`] key (the package-set fingerprint distinguishes
+//! variants), their cycles are timed from replay, and every packed
+//! capture is differentially replayed against the original one
+//! (`vp_exec::diff`, `VP_DIFF` knob) to prove the rewrite did the same
+//! architectural work.
 
 use crate::branches::BranchCounts;
 use std::sync::Arc;
 use vp_core::{pack, PackConfig, PackOutput};
 use vp_exec::{
-    CapturedTrace, ExecError, Executor, InstCounts, RunConfig, Sink, StopReason, TraceKey,
-    TraceStore,
+    diff_traces, CapturedTrace, DiffMode, DiffOptions, DiffReport, ExecError, InstCounts,
+    RunConfig, StopReason, TraceKey, TraceStore,
 };
 use vp_hsd::{filter_hot_spots, FilterConfig, HotSpotDetector, HsdConfig, Phase};
 use vp_opt::{optimize_packages, OptConfig};
@@ -137,25 +141,58 @@ pub struct ConfigOutcome {
     pub opt_cycles: Option<u64>,
     /// Speedup over the original binary (when timed).
     pub speedup: Option<f64>,
+    /// Differential-replay result for the packed run (`None` when
+    /// `VP_DIFF=off`).
+    pub diff: Option<DiffReport>,
 }
 
 /// Runs the Vacuum Packing pipeline on a profiled workload under one
-/// configuration, measuring coverage and (optionally) speedup.
+/// configuration, measuring coverage and (optionally) speedup, diffing
+/// the packed run against the original capture per `VP_DIFF`
+/// ([`DiffMode::from_env`]).
 ///
-/// The packed binary executes live (rewriting changes the retired
-/// stream), but the original binary never re-executes here: baseline
-/// cycles come from [`ProfiledWorkload::base_cycles`] when the profile
-/// was timed, and are otherwise derived by replaying the profile's
-/// shared capture through a fresh [`TimingModel`].
+/// Nothing executes live more than once per key: the packed binary's
+/// retired stream goes through [`TraceStore::global`] under a
+/// [`TraceKey::packed`] key (workload × packed-program structure ×
+/// package-set fingerprint), packed cycles are produced by replaying that
+/// capture through the [`TimingModel`] — the same measurement path
+/// baseline cycles use — and baseline cycles come from
+/// [`ProfiledWorkload::base_cycles`] or a replay of the profile's shared
+/// capture.
 ///
 /// # Errors
 ///
 /// Propagates [`ExecError`] from the measurement run.
+///
+/// # Panics
+///
+/// Panics under `VP_DIFF=strict` when the packed run diverges from the
+/// original, with first-divergence forensics in the message.
 pub fn evaluate(
     pw: &ProfiledWorkload,
     cfg: &PackConfig,
     opt_cfg: &OptConfig,
     machine: Option<&MachineConfig>,
+) -> Result<ConfigOutcome, ExecError> {
+    evaluate_with_diff(pw, cfg, opt_cfg, machine, DiffMode::from_env())
+}
+
+/// [`evaluate`] with an explicit diff mode (instead of `VP_DIFF`) —
+/// the environment-independent form tests use.
+///
+/// # Errors
+///
+/// Propagates [`ExecError`] from the measurement run.
+///
+/// # Panics
+///
+/// Panics under [`DiffMode::Strict`] when the packed run diverges.
+pub fn evaluate_with_diff(
+    pw: &ProfiledWorkload,
+    cfg: &PackConfig,
+    opt_cfg: &OptConfig,
+    machine: Option<&MachineConfig>,
+    diff_mode: DiffMode,
 ) -> Result<ConfigOutcome, ExecError> {
     let out: PackOutput = {
         let _s = vp_trace::span("metrics.evaluate.pack");
@@ -163,29 +200,51 @@ pub fn evaluate(
     };
     let run_cfg = RunConfig::default();
 
-    let (counts, opt_cycles) = match machine {
-        Some(m) => {
-            let (opt_prog, order) = {
-                let _s = vp_trace::span("metrics.evaluate.optimize");
-                optimize_packages(&out, m, opt_cfg)
-            };
-            let opt_layout = Layout::new(&opt_prog, &order);
-            let mut counts = InstCounts::new();
-            let mut timing = TimingModel::new(*m);
-            let mut sink = (&mut counts, &mut timing);
-            let _s = vp_trace::span("metrics.evaluate.measure");
-            run_measure(&opt_prog, &opt_layout, &mut sink, &run_cfg, &pw.label)?;
-            timing.emit_trace();
-            (counts, Some(timing.cycles()))
-        }
-        None => {
-            let layout = Layout::natural(&out.program);
-            let mut counts = InstCounts::new();
-            let _s = vp_trace::span("metrics.evaluate.measure");
-            run_measure(&out.program, &layout, &mut counts, &run_cfg, &pw.label)?;
-            (counts, None)
-        }
+    let opt = machine.map(|m| {
+        let _s = vp_trace::span("metrics.evaluate.optimize");
+        optimize_packages(&out, m, opt_cfg)
+    });
+    let (packed_prog, packed_layout): (&Program, Layout) = match &opt {
+        Some((p, order)) => (p, Layout::new(p, order)),
+        None => (&out.program, Layout::natural(&out.program)),
     };
+
+    let key = TraceKey::packed(
+        &pw.label,
+        packed_prog,
+        &packed_layout,
+        &run_cfg,
+        out.fingerprint(),
+    );
+    let mut counts = InstCounts::new();
+    let (packed_trace, stats) = {
+        let _s = vp_trace::span("metrics.evaluate.measure");
+        TraceStore::global().capture_or_replay_shared(
+            key,
+            packed_prog,
+            &packed_layout,
+            &run_cfg,
+            &mut counts,
+        )?
+    };
+    debug_assert_eq!(
+        stats.stop,
+        StopReason::Halted,
+        "{}: packed binary must halt",
+        pw.label
+    );
+
+    // Packed cycles come from replaying the capture — the same
+    // measurement path as baseline cycles.
+    let opt_cycles = machine.map(|m| {
+        let _s = vp_trace::span("metrics.evaluate.opt_timing");
+        let mut timing = TimingModel::new(*m);
+        packed_trace.replay(&mut timing);
+        timing.emit_trace();
+        timing.cycles()
+    });
+
+    let diff = diff_packed_run(pw, &out, &packed_trace, opt_cfg, diff_mode);
 
     let base_cycles = match (pw.base_cycles, machine) {
         (Some(base), _) => Some(base),
@@ -213,23 +272,42 @@ pub fn evaluate(
         launch_points: out.launch_points,
         opt_cycles,
         speedup,
+        diff,
     })
 }
 
-fn run_measure(
-    program: &Program,
-    layout: &Layout,
-    sink: &mut impl Sink,
-    run_cfg: &RunConfig,
-    label: &str,
-) -> Result<(), ExecError> {
-    let stats = Executor::new(program, layout).run(sink, run_cfg)?;
-    debug_assert_eq!(
-        stats.stop,
-        StopReason::Halted,
-        "{label}: packed binary must halt"
+/// Diffs the packed capture against the profile's original capture.
+///
+/// Returns `None` for [`DiffMode::Off`]; returns a
+/// [`DiffVerdict::Skipped`](vp_exec::DiffVerdict::Skipped) report when
+/// block-moving optimizations (cold sinking, LICM) are enabled, because
+/// they break the block-level parallelism the alignment relies on.
+fn diff_packed_run(
+    pw: &ProfiledWorkload,
+    out: &PackOutput,
+    packed_trace: &CapturedTrace,
+    opt_cfg: &OptConfig,
+    mode: DiffMode,
+) -> Option<DiffReport> {
+    if mode == DiffMode::Off {
+        return None;
+    }
+    if opt_cfg.sink_cold || opt_cfg.licm {
+        return Some(DiffReport::skipped());
+    }
+    let _s = vp_trace::span("metrics.evaluate.diff");
+    let report = diff_traces(
+        &pw.trace,
+        packed_trace,
+        &out.identity_map(),
+        &DiffOptions::default(),
     );
-    Ok(())
+    assert!(
+        mode != DiffMode::Strict || report.is_clean(),
+        "{}: packed run diverged from the original (VP_DIFF=strict)\n{report}",
+        pw.label
+    );
+    Some(report)
 }
 
 #[cfg(test)]
@@ -323,6 +401,96 @@ mod tests {
         .unwrap();
         assert_eq!(out.opt_cycles, out_timed.opt_cycles);
         assert_eq!(out.speedup, out_timed.speedup);
+    }
+
+    #[test]
+    fn evaluation_diffs_clean_in_strict_mode() {
+        use vp_exec::DiffVerdict;
+        let machine = MachineConfig::table2();
+        let pw = profile("300.twolf A", twolf::build(1), &HsdConfig::table2(), None).unwrap();
+        for cfg in PackConfig::evaluation_matrix() {
+            let ((out, ()), report) = vp_trace::scoped(|| {
+                let out = evaluate_with_diff(
+                    &pw,
+                    &cfg,
+                    &OptConfig::default(),
+                    Some(&machine),
+                    vp_exec::DiffMode::Strict,
+                )
+                .unwrap();
+                (out, ())
+            });
+            let diff = out.diff.expect("strict mode always diffs");
+            assert_eq!(diff.verdict, DiffVerdict::Clean, "{cfg:?}: {diff}");
+            assert!(diff.aligned_visits > 0);
+            assert_eq!(report.counter("diff.divergences"), 0);
+            assert_eq!(report.counter("diff.runs"), 1);
+            assert!(report.histogram("diff.alignment_run").count >= 1);
+            if out.packages > 0 {
+                assert!(
+                    report.histogram("diff.package_residency").count > 0,
+                    "{cfg:?}: packaged runs must record residency"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn block_moving_optimizations_skip_the_diff() {
+        use vp_exec::DiffVerdict;
+        let machine = MachineConfig::table2();
+        let pw = profile("300.twolf A", twolf::build(1), &HsdConfig::table2(), None).unwrap();
+        let out = evaluate_with_diff(
+            &pw,
+            &PackConfig::default(),
+            &OptConfig::full(), // sink_cold + licm move insts across blocks
+            Some(&machine),
+            vp_exec::DiffMode::Strict,
+        )
+        .unwrap();
+        assert_eq!(out.diff.unwrap().verdict, DiffVerdict::Skipped);
+    }
+
+    #[test]
+    fn diff_off_mode_skips_entirely() {
+        let pw = profile("300.twolf A", twolf::build(1), &HsdConfig::table2(), None).unwrap();
+        let out = evaluate_with_diff(
+            &pw,
+            &PackConfig::default(),
+            &OptConfig::default(),
+            None,
+            vp_exec::DiffMode::Off,
+        )
+        .unwrap();
+        assert!(out.diff.is_none());
+    }
+
+    #[test]
+    fn packed_runs_replay_from_the_store_on_reevaluation() {
+        let pw = profile("300.twolf A", twolf::build(1), &HsdConfig::table2(), None).unwrap();
+        let cfg = PackConfig::default();
+        // Warm the store for this exact (workload, packed variant) key.
+        evaluate_with_diff(
+            &pw,
+            &cfg,
+            &OptConfig::default(),
+            None,
+            vp_exec::DiffMode::Off,
+        )
+        .unwrap();
+        let (_, report) = vp_trace::scoped(|| {
+            evaluate_with_diff(
+                &pw,
+                &cfg,
+                &OptConfig::default(),
+                None,
+                vp_exec::DiffMode::Off,
+            )
+            .unwrap()
+        });
+        assert_eq!(report.counter("trace_store.captures"), 0);
+        assert_eq!(report.counter("trace_store.hits"), 1);
+        assert_eq!(report.counter("trace_store.replays"), 1);
     }
 
     #[test]

@@ -79,5 +79,5 @@ pub mod render;
 
 pub use branches::BranchCounts;
 pub use categorize::{categorize, BranchCategory, Categorization, CATEGORIES};
-pub use harness::{evaluate, profile, ConfigOutcome, ProfiledWorkload};
+pub use harness::{evaluate, evaluate_with_diff, profile, ConfigOutcome, ProfiledWorkload};
 pub use render::{bar, pct, TextTable};

@@ -98,6 +98,7 @@ impl Json {
         let mut p = Parser {
             b: s.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.ws();
         let v = p.value()?;
@@ -162,10 +163,17 @@ impl Json {
     }
 }
 
+/// Containers may nest this deep before the parser refuses the input.
+/// The parser recurses per nesting level, so an input-proportional limit
+/// would let a line of `[[[[…` overflow the stack; 128 is far beyond any
+/// manifest while keeping worst-case stack use small and fixed.
+const MAX_DEPTH: usize = 128;
+
 /// Recursive-descent parser state over the input bytes.
 struct Parser<'a> {
     b: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -202,7 +210,23 @@ impl Parser<'_> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            Err(self.err("nesting too deep"))
+        } else {
+            Ok(())
+        }
+    }
+
     fn array(&mut self) -> Result<Json, String> {
+        self.enter()?;
+        let r = self.array_body();
+        self.depth -= 1;
+        r
+    }
+
+    fn array_body(&mut self) -> Result<Json, String> {
         self.pos += 1; // '['
         let mut items = Vec::new();
         self.ws();
@@ -228,6 +252,13 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<Json, String> {
+        self.enter()?;
+        let r = self.object_body();
+        self.depth -= 1;
+        r
+    }
+
+    fn object_body(&mut self) -> Result<Json, String> {
         self.pos += 1; // '{'
         let mut pairs = Vec::new();
         self.ws();
@@ -538,6 +569,131 @@ mod tests {
         ] {
             assert!(Json::parse(bad).is_err(), "should reject {bad:?}");
         }
+    }
+
+    /// What a table-driven parse case expects.
+    enum Expect {
+        Ok(Json),
+        /// Parse must fail and the message must contain this fragment.
+        Err(&'static str),
+    }
+
+    #[test]
+    fn parse_edge_case_table() {
+        let deep_ok = "[".repeat(128) + &"]".repeat(128);
+        let deep_bad = "[".repeat(129) + &"]".repeat(129);
+        let deep_obj_bad = r#"{"a":"#.repeat(200) + "1" + &"}".repeat(200);
+        let cases: Vec<(&str, String, Expect)> = vec![
+            // Escape sequences.
+            (
+                "all simple escapes",
+                r#""\" \\ \/ \b \f \n \r \t""#.into(),
+                Expect::Ok(Json::Str("\" \\ / \u{8} \u{c} \n \r \t".into())),
+            ),
+            (
+                "unicode escape",
+                r#""é""#.into(),
+                Expect::Ok(Json::Str("é".into())),
+            ),
+            (
+                "surrogate pair",
+                r#""😀""#.into(),
+                Expect::Ok(Json::Str("😀".into())),
+            ),
+            (
+                "lone high surrogate",
+                r#""\ud800""#.into(),
+                Expect::Err("invalid \\u escape"),
+            ),
+            (
+                "low surrogate out of range",
+                r#""\ud800\u0041""#.into(),
+                Expect::Err("invalid low surrogate"),
+            ),
+            (
+                "unknown escape",
+                r#""\q""#.into(),
+                Expect::Err("invalid escape"),
+            ),
+            (
+                "truncated unicode escape",
+                r#""\u00"#.into(),
+                Expect::Err("truncated \\u escape"),
+            ),
+            // Deep nesting: within the limit parses, beyond it errors
+            // instead of overflowing the stack.
+            ("nesting at limit", deep_ok, Expect::Ok(deep_nested(128))),
+            (
+                "nesting beyond limit",
+                deep_bad,
+                Expect::Err("nesting too deep"),
+            ),
+            (
+                "deep objects refused",
+                deep_obj_bad,
+                Expect::Err("nesting too deep"),
+            ),
+            // Truncated input.
+            (
+                "empty",
+                String::new(),
+                Expect::Err("unexpected end of input"),
+            ),
+            (
+                "open array",
+                "[1,".into(),
+                Expect::Err("unexpected end of input"),
+            ),
+            (
+                "open object",
+                r#"{"a":1"#.into(),
+                Expect::Err("expected ',' or '}'"),
+            ),
+            (
+                "open string",
+                r#""abc"#.into(),
+                Expect::Err("unterminated string"),
+            ),
+            ("bare minus", "-".into(), Expect::Err("invalid number")),
+            (
+                "object missing value",
+                r#"{"a":"#.into(),
+                Expect::Err("unexpected end of input"),
+            ),
+            // Duplicate keys are preserved in order; `get` sees the first.
+            (
+                "duplicate keys",
+                r#"{"a":1,"a":2}"#.into(),
+                Expect::Ok(Json::Obj(vec![
+                    ("a".into(), Json::U64(1)),
+                    ("a".into(), Json::U64(2)),
+                ])),
+            ),
+        ];
+        for (name, input, expect) in cases {
+            let got = Json::parse(&input);
+            match expect {
+                Expect::Ok(want) => assert_eq!(got.as_ref(), Ok(&want), "case {name:?}"),
+                Expect::Err(frag) => {
+                    let err = got.expect_err(&format!("case {name:?} should fail"));
+                    assert!(err.contains(frag), "case {name:?}: {err:?} lacks {frag:?}");
+                }
+            }
+        }
+    }
+
+    fn deep_nested(depth: usize) -> Json {
+        let mut j = Json::Arr(vec![]);
+        for _ in 1..depth {
+            j = Json::Arr(vec![j]);
+        }
+        j
+    }
+
+    #[test]
+    fn duplicate_keys_get_returns_first() {
+        let j = Json::parse(r#"{"k":"first","k":"second"}"#).unwrap();
+        assert_eq!(j.get("k").and_then(Json::as_str), Some("first"));
     }
 
     #[test]

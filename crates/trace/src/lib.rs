@@ -1,10 +1,11 @@
 //! `vp-trace`: zero-dependency structured tracing for the vacuum-packing
 //! pipeline.
 //!
-//! Three primitives:
+//! Four primitives:
 //!
 //! * [`span`] — RAII stage timers; drop records wall time;
 //! * [`Counter`] — named monotonic counters, cheap enough for hot loops;
+//! * [`Histogram`] — named log-bucketed value distributions;
 //! * [`event`] — typed one-shot events with key/value fields.
 //!
 //! Tracing is **off by default**: every instrumentation site is guarded by
@@ -59,6 +60,13 @@ pub enum Record {
         name: String,
         /// Ordered key/value fields.
         fields: Vec<(String, Value)>,
+    },
+    /// A histogram total, flushed by [`finish`].
+    Hist {
+        /// Histogram name, e.g. `"diff.package_residency"`.
+        name: String,
+        /// The accumulated distribution.
+        hist: HistSnapshot,
     },
 }
 
@@ -136,6 +144,11 @@ fn registry() -> &'static Mutex<BTreeMap<&'static str, &'static AtomicU64>> {
     REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
 }
 
+fn hist_registry() -> &'static Mutex<BTreeMap<&'static str, &'static HistCell>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<&'static str, &'static HistCell>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
 fn span_totals() -> &'static Mutex<BTreeMap<String, (u64, u64)>> {
     static TOTALS: OnceLock<Mutex<BTreeMap<String, (u64, u64)>>> = OnceLock::new();
     TOTALS.get_or_init(|| Mutex::new(BTreeMap::new()))
@@ -153,6 +166,7 @@ fn current_sink() -> Option<Arc<dyn TraceSink>> {
 #[derive(Debug, Default)]
 struct ScopeState {
     counters: BTreeMap<&'static str, u64>,
+    hists: BTreeMap<&'static str, HistAccum>,
     spans: Vec<(String, u64)>,
     events: Vec<(String, Vec<(String, Value)>)>,
 }
@@ -212,6 +226,251 @@ impl Counter {
         SCOPES.with(|s| {
             for scope in s.borrow_mut().iter_mut() {
                 *scope.counters.entry(self.name).or_insert(0) += n;
+            }
+        });
+    }
+}
+
+/// Number of log2 buckets in a [`Histogram`]: bucket 0 holds the value 0,
+/// bucket `i` (for `i >= 1`) holds values in `[2^(i-1), 2^i)`.
+const HIST_BUCKETS: usize = 65;
+
+/// The bucket a value falls into.
+#[inline]
+fn hist_bucket(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive lower bound of bucket `i`.
+fn hist_bucket_lo(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+struct HistCell {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistCell {
+    fn new() -> HistCell {
+        HistCell {
+            buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn observe(&self, v: u64) {
+        self.buckets[hist_bucket(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistSnapshot {
+        let mut buckets = Vec::new();
+        let mut count = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                count += n;
+                buckets.push((hist_bucket_lo(i), n));
+            }
+        }
+        HistSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Thread-local histogram accumulation inside a [`scoped`] region.
+#[derive(Debug)]
+struct HistAccum {
+    buckets: [u64; HIST_BUCKETS],
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for HistAccum {
+    fn default() -> HistAccum {
+        HistAccum {
+            buckets: [0; HIST_BUCKETS],
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl HistAccum {
+    fn observe(&mut self, v: u64) {
+        self.buckets[hist_bucket(v)] += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    fn snapshot(&self) -> HistSnapshot {
+        let mut buckets = Vec::new();
+        let mut count = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n > 0 {
+                count += n;
+                buckets.push((hist_bucket_lo(i), n));
+            }
+        }
+        HistSnapshot {
+            count,
+            sum: self.sum,
+            min: if count == 0 { 0 } else { self.min },
+            max: self.max,
+            buckets,
+        }
+    }
+}
+
+/// An immutable view of a histogram's accumulated distribution.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HistSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Smallest observed value (0 when empty).
+    pub min: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+    /// Non-empty buckets as `(inclusive lower bound, count)`, ascending.
+    /// Bucket bounds are powers of two (bucket 0 holds only the value 0).
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistSnapshot {
+    /// Mean observed value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`: the lower bound of the bucket
+    /// containing the `ceil(q * count)`-th observation. Bucketing makes this
+    /// exact to within one power of two.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for &(lo, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return lo;
+            }
+        }
+        self.max
+    }
+
+    /// Adds another snapshot's observations into this one.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        for &(lo, n) in &other.buckets {
+            match self.buckets.binary_search_by_key(&lo, |&(l, _)| l) {
+                Ok(i) => self.buckets[i].1 += n,
+                Err(i) => self.buckets.insert(i, (lo, n)),
+            }
+        }
+        self.min = if self.count == 0 {
+            other.min
+        } else {
+            self.min.min(other.min)
+        };
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
+/// A named log-bucketed histogram of `u64` observations.
+///
+/// Declare as a `static`, record with [`Histogram::observe`]. Like
+/// [`Counter`], observation is a single predicted branch when tracing is
+/// disabled, the first observation registers the histogram globally, and
+/// observations made inside a [`scoped`] region on the same thread are
+/// additionally captured in that scope's [`TraceReport`]. Buckets are
+/// powers of two, so the 65 fixed buckets cover the full `u64` range.
+pub struct Histogram {
+    name: &'static str,
+    cell: OnceLock<&'static HistCell>,
+}
+
+impl Histogram {
+    /// Creates a histogram; `const`, so it works in `static` position.
+    pub const fn new(name: &'static str) -> Histogram {
+        Histogram {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// The histogram's registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Records one observation; a no-op single branch when tracing is
+    /// disabled.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        if enabled() {
+            self.record(v);
+        }
+    }
+
+    #[cold]
+    fn record(&self, v: u64) {
+        let cell = self.cell.get_or_init(|| {
+            let mut reg = hist_registry().lock().expect("trace hist registry");
+            reg.entry(self.name)
+                .or_insert_with(|| Box::leak(Box::new(HistCell::new())))
+        });
+        cell.observe(v);
+        SCOPES.with(|s| {
+            for scope in s.borrow_mut().iter_mut() {
+                scope.hists.entry(self.name).or_default().observe(v);
             }
         });
     }
@@ -290,6 +549,8 @@ fn event_slow(name: &str, fields: &[(&str, Value)]) {
 pub struct TraceReport {
     /// Counter deltas, by name.
     pub counters: BTreeMap<String, u64>,
+    /// Histogram observations made inside the scope, by name.
+    pub histograms: BTreeMap<String, HistSnapshot>,
     /// Spans in completion order: `(name, nanos)`.
     pub spans: Vec<(String, u64)>,
     /// Events in emission order.
@@ -300,6 +561,12 @@ impl TraceReport {
     /// The delta of `name` inside the scope (0 if it never fired).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The scope-local distribution of histogram `name` (empty snapshot if
+    /// it never observed).
+    pub fn histogram(&self, name: &str) -> HistSnapshot {
+        self.histograms.get(name).cloned().unwrap_or_default()
     }
 
     /// How many events named `name` fired inside the scope.
@@ -338,6 +605,11 @@ pub fn scoped<T>(f: impl FnOnce() -> T) -> (T, TraceReport) {
             .counters
             .iter()
             .map(|(k, v)| (k.to_string(), *v))
+            .collect(),
+        histograms: state
+            .hists
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.snapshot()))
             .collect(),
         spans: state.spans,
         events: state.events,
@@ -419,15 +691,32 @@ pub fn counters_snapshot() -> BTreeMap<String, u64> {
         .collect()
 }
 
+/// A snapshot of every registered histogram's accumulated distribution.
+pub fn histograms_snapshot() -> BTreeMap<String, HistSnapshot> {
+    hist_registry()
+        .lock()
+        .expect("trace hist registry")
+        .iter()
+        .map(|(name, cell)| (name.to_string(), cell.snapshot()))
+        .collect()
+}
+
 /// A snapshot of aggregated span wall times: name → `(count, total nanos)`.
 pub fn spans_snapshot() -> BTreeMap<String, (u64, u64)> {
     span_totals().lock().expect("trace span totals").clone()
 }
 
-/// Zeroes all counters and clears span aggregates.
+/// Zeroes all counters and histograms and clears span aggregates.
 pub fn reset() {
     for cell in registry().lock().expect("trace registry").values() {
         cell.store(0, Ordering::Relaxed);
+    }
+    for cell in hist_registry()
+        .lock()
+        .expect("trace hist registry")
+        .values()
+    {
+        cell.reset();
     }
     span_totals().lock().expect("trace span totals").clear();
 }
@@ -454,6 +743,11 @@ pub fn finish() {
         for (name, value) in counters_snapshot() {
             if value > 0 {
                 sink.record(&Record::Count { name, value });
+            }
+        }
+        for (name, hist) in histograms_snapshot() {
+            if hist.count > 0 {
+                sink.record(&Record::Hist { name, hist });
             }
         }
         sink.flush();
@@ -504,6 +798,65 @@ mod tests {
             assert_eq!(inner.counter("test.lib.a"), 2);
         });
         assert_eq!(outer.counter("test.lib.a"), 3);
+    }
+
+    static TEST_HIST: Histogram = Histogram::new("test.lib.h");
+
+    #[test]
+    fn scoped_captures_histograms() {
+        let ((), report) = scoped(|| {
+            TEST_HIST.observe(0);
+            TEST_HIST.observe(1);
+            TEST_HIST.observe(5);
+            TEST_HIST.observe(5);
+            TEST_HIST.observe(1000);
+        });
+        let h = report.histogram("test.lib.h");
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 1011);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 1000);
+        // 0 → bucket lo 0; 1 → lo 1; 5,5 → lo 4; 1000 → lo 512.
+        assert_eq!(h.buckets, vec![(0, 1), (1, 1), (4, 2), (512, 1)]);
+        assert_eq!(h.quantile(0.5), 4);
+        assert_eq!(h.quantile(1.0), 512);
+        assert!((h.mean() - 202.2).abs() < 1e-9);
+        // The global registry saw the same observations.
+        let g = histograms_snapshot();
+        assert!(g.get("test.lib.h").is_some_and(|h| h.count >= 5));
+    }
+
+    #[test]
+    fn hist_snapshot_merge_combines_buckets() {
+        let mut a = HistSnapshot {
+            count: 2,
+            sum: 6,
+            min: 2,
+            max: 4,
+            buckets: vec![(2, 1), (4, 1)],
+        };
+        let b = HistSnapshot {
+            count: 3,
+            sum: 13,
+            min: 1,
+            max: 8,
+            buckets: vec![(1, 1), (4, 1), (8, 1)],
+        };
+        a.merge(&b);
+        assert_eq!(a.count, 5);
+        assert_eq!(a.sum, 19);
+        assert_eq!(a.min, 1);
+        assert_eq!(a.max, 8);
+        assert_eq!(a.buckets, vec![(1, 1), (2, 1), (4, 2), (8, 1)]);
+        a.merge(&HistSnapshot::default());
+        assert_eq!(a.count, 5);
+    }
+
+    #[test]
+    fn disabled_histogram_does_not_observe() {
+        TEST_HIST.observe(7);
+        let ((), report) = scoped(|| {});
+        assert_eq!(report.histogram("test.lib.h").count, 0);
     }
 
     #[test]

@@ -76,6 +76,17 @@ impl Manifest {
             }
         }
         self.root.set("counters", counters);
+        let mut hists = Json::obj();
+        for (name, h) in crate::histograms_snapshot() {
+            if h.count > 0 {
+                let mut o = Json::obj();
+                for (k, v) in crate::sink::hist_json_fields(&h) {
+                    o.set(k, v);
+                }
+                hists.set(&name, o);
+            }
+        }
+        self.root.set("histograms", hists);
         self
     }
 
@@ -184,5 +195,21 @@ mod tests {
         let line = m.render();
         assert!(line.contains(r#""test.manifest.c":"#));
         assert!(line.contains(r#""test.manifest.stage""#));
+    }
+
+    #[test]
+    fn stamp_attaches_histograms() {
+        static H: crate::Histogram = crate::Histogram::new("test.manifest.h");
+        let ((), _report) = crate::scoped(|| {
+            H.observe(3);
+            H.observe(9);
+        });
+        let mut m = Manifest::new("x");
+        m.stamp();
+        let j = Json::parse(&m.render()).unwrap();
+        let h = j.get("histograms").and_then(|h| h.get("test.manifest.h"));
+        let h = h.expect("histogram stamped");
+        assert!(h.get("count").and_then(Json::as_u64).unwrap() >= 2);
+        assert!(h.get("buckets").and_then(Json::as_arr).is_some());
     }
 }

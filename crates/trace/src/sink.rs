@@ -10,7 +10,7 @@
 //!   manifest) to a file or to stderr.
 
 use crate::json::Json;
-use crate::{Record, Value};
+use crate::{HistSnapshot, Record, Value};
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::sync::Mutex;
@@ -70,6 +70,7 @@ impl TraceSink for MemorySink {
 struct SummaryState {
     spans: BTreeMap<String, (u64, u64)>,
     counters: BTreeMap<String, u64>,
+    hists: BTreeMap<String, HistSnapshot>,
     events: BTreeMap<String, u64>,
 }
 
@@ -101,6 +102,9 @@ impl TraceSink for SummarySink {
             Record::Event { name, .. } => {
                 *s.events.entry(name.clone()).or_insert(0) += 1;
             }
+            Record::Hist { name, hist } => {
+                s.hists.entry(name.clone()).or_default().merge(hist);
+            }
         }
     }
 
@@ -120,6 +124,18 @@ impl TraceSink for SummarySink {
             out.push_str("-- counters --\n");
             for (name, value) in &s.counters {
                 out.push_str(&format!("{name:<40} {value:>12}\n"));
+            }
+        }
+        if !s.hists.is_empty() {
+            out.push_str("-- histograms --\n");
+            for (name, h) in &s.hists {
+                out.push_str(&format!(
+                    "{name:<40} {:>10} x  mean {:>10.1}  p50 {:>8}  max {:>10}\n",
+                    h.count,
+                    h.mean(),
+                    h.quantile(0.5),
+                    h.max
+                ));
             }
         }
         if !s.events.is_empty() {
@@ -150,16 +166,30 @@ impl JsonlSink {
         }
     }
 
-    /// Creates a sink appending to `path`.
+    /// Creates a sink appending to `path`, creating any missing parent
+    /// directories first (so `VP_TRACE=json:out/run/trace.jsonl` works on a
+    /// fresh checkout).
     ///
     /// # Errors
     ///
-    /// Returns the I/O error if the file cannot be opened.
+    /// Returns the I/O error, with the offending path named in the message,
+    /// if a parent directory cannot be created or the file cannot be opened.
     pub fn file(path: &str) -> std::io::Result<JsonlSink> {
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(|e| {
+                    std::io::Error::new(
+                        e.kind(),
+                        format!("creating parent directory {}: {e}", parent.display()),
+                    )
+                })?;
+            }
+        }
         let f = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
-            .open(path)?;
+            .open(path)
+            .map_err(|e| std::io::Error::new(e.kind(), format!("opening {path}: {e}")))?;
         Ok(JsonlSink {
             target: Mutex::new(JsonlTarget::File(f)),
         })
@@ -217,8 +247,37 @@ pub fn record_json(r: &Record) -> Json {
             }
             j.set("fields", obj);
         }
+        Record::Hist { name, hist } => {
+            j.set("t", "hist".into());
+            j.set("name", name.as_str().into());
+            for (k, v) in hist_json_fields(hist) {
+                j.set(k, v);
+            }
+        }
     }
     j
+}
+
+/// The shared JSON encoding of a histogram snapshot, used by both the
+/// JSONL record stream and [`crate::Manifest::stamp`].
+pub fn hist_json_fields(h: &HistSnapshot) -> Vec<(&'static str, Json)> {
+    vec![
+        ("count", Json::U64(h.count)),
+        ("sum", Json::U64(h.sum)),
+        ("min", Json::U64(h.min)),
+        ("max", Json::U64(h.max)),
+        ("p50", Json::U64(h.quantile(0.5))),
+        ("p99", Json::U64(h.quantile(0.99))),
+        (
+            "buckets",
+            Json::Arr(
+                h.buckets
+                    .iter()
+                    .map(|&(lo, n)| Json::Arr(vec![Json::U64(lo), Json::U64(n)]))
+                    .collect(),
+            ),
+        ),
+    ]
 }
 
 impl Value {
@@ -264,6 +323,56 @@ mod tests {
             record_json(&r).render(),
             r#"{"t":"event","name":"inline","fields":{"depth":2}}"#
         );
+    }
+
+    #[test]
+    fn hist_record_json_shape() {
+        let r = Record::Hist {
+            name: "diff.residency".into(),
+            hist: HistSnapshot {
+                count: 3,
+                sum: 7,
+                min: 1,
+                max: 4,
+                buckets: vec![(1, 2), (4, 1)],
+            },
+        };
+        assert_eq!(
+            record_json(&r).render(),
+            r#"{"t":"hist","name":"diff.residency","count":3,"sum":7,"min":1,"max":4,"p50":1,"p99":4,"buckets":[[1,2],[4,1]]}"#
+        );
+    }
+
+    #[test]
+    fn jsonl_file_creates_parent_dirs() {
+        let dir = std::env::temp_dir().join(format!("vp-trace-sink-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("deep/nested/trace.jsonl");
+        let sink = JsonlSink::file(path.to_str().unwrap()).expect("parent dirs created");
+        sink.manifest("{}");
+        sink.flush();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{}\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn jsonl_file_error_names_the_path() {
+        // A path whose parent is a *file* cannot be created.
+        let dir = std::env::temp_dir().join(format!("vp-trace-sink-err-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let blocker = dir.join("blocker");
+        std::fs::write(&blocker, b"x").unwrap();
+        let path = blocker.join("trace.jsonl");
+        let err = match JsonlSink::file(path.to_str().unwrap()) {
+            Err(e) => e,
+            Ok(_) => panic!("opening under a file should fail"),
+        };
+        assert!(
+            err.to_string().contains("blocker"),
+            "error should name the path: {err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
