@@ -1,12 +1,66 @@
-//! Replay vs. re-execution: the cost of feeding a `Sink` from a recorded
-//! [`CapturedTrace`] against interpreting the program again — the saving
-//! the harness banks every time `TraceStore` serves a profile from cache.
+//! Replay-path throughput: the tracked perf baseline for the batched
+//! replay kernel (`BENCH_5.json`).
+//!
+//! Measures events/sec for every stage of the capture/replay pipeline on
+//! one real workload:
+//!
+//! * `execute` — interpret the program live (what a cache miss costs);
+//! * `capture` — interpret once while recording the stream;
+//! * `replay_per_event` — the pre-batching decoder
+//!   (`CapturedTrace::replay_per_event`) into a monomorphized counting
+//!   sink;
+//! * `replay_batched` — the chunked kernel at the default chunk size;
+//! * `replay_per_event_dyn` / `replay_batched_dyn` — the same two kernels
+//!   through an opaque `&mut dyn Sink` boundary: one indirect call per
+//!   *event* vs one per *chunk*, the dispatch cost batching exists to
+//!   amortize;
+//! * `replay_sim` — replay through the `vp-sim` timing model (the
+//!   heaviest real consumer);
+//! * `disk_load` — read + CRC-verify + decode a v3 `.vptrace` from the
+//!   disk tier.
+//!
+//! Knobs (on top of the usual `VP_BENCH_MS`/`VP_BENCH_SAMPLES`):
+//!
+//! * `VP_BENCH_JSON=<path>` — write the measurements as a JSON baseline
+//!   (the file committed as `BENCH_5.json`);
+//! * `VP_BENCH_BASELINE=<path>` — compare against a committed baseline
+//!   and exit non-zero if the batched kernel's throughput, *normalized to
+//!   the per-event kernel measured in the same run* (so host speed
+//!   cancels), regressed more than 25%.
 
-use vacuum_packing::exec::{CapturedTrace, Executor, InstCounts, RunConfig};
+use std::io::Write;
+use vacuum_packing::exec::{
+    CapturedTrace, DiskTier, Executor, InstCounts, RunConfig, Sink, TraceKey, DEFAULT_REPLAY_BATCH,
+};
 use vacuum_packing::program::Layout;
+use vacuum_packing::sim::{MachineConfig, TimingModel};
+
+/// Maximum tolerated drop of the normalized batched-replay throughput
+/// before the baseline check fails (CI gate).
+const MAX_REGRESSION: f64 = 0.25;
+
+fn events_per_sec(results: &[bench::micro::BenchResult], name: &str) -> Option<f64> {
+    results
+        .iter()
+        .find(|r| r.name == name)
+        .and_then(|r| r.elems.map(|e| e as f64 * 1e9 / r.ns_per_iter))
+}
+
+/// Pulls one `"key": number` field back out of the baseline JSON (the
+/// writer below; no JSON dependency in the offline build).
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = text.find(&pat)? + pat.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
 
 fn main() {
-    let program = vacuum_packing::workloads::twolf::build(1);
+    let workload = "300.twolf";
+    let program = vacuum_packing::workloads::twolf::build(bench::scale());
     let layout = Layout::natural(&program);
     let cfg = RunConfig::default();
     let trace = CapturedTrace::capture(&program, &layout, &cfg).unwrap();
@@ -17,6 +71,19 @@ fn main() {
         trace.bytes() as f64 / events as f64
     );
 
+    // A throwaway disk tier: measures v3 image size and warm-load cost.
+    let dir = std::env::temp_dir().join(format!("vp-bench-replay-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let tier = DiskTier::new(&dir, u64::MAX).expect("temp disk tier");
+    let key = TraceKey::new(workload, &program, &layout, &cfg);
+    tier.store(&key, &trace).expect("persist trace");
+    let trace_v3_bytes = tier.resident_bytes();
+    println!(
+        "v3 .vptrace image: {trace_v3_bytes} bytes ({:.2} B/inst)",
+        trace_v3_bytes as f64 / events as f64
+    );
+
+    let machine = MachineConfig::table2();
     let mut r = bench::micro::runner();
     r.bench_throughput("retire_stream/execute", events, || {
         let mut counts = InstCounts::new();
@@ -25,15 +92,152 @@ fn main() {
             .unwrap();
         counts.total
     });
-    r.bench_throughput("retire_stream/replay", events, || {
-        let mut counts = InstCounts::new();
-        trace.replay(&mut counts);
-        counts.total
-    });
     r.bench_throughput("retire_stream/capture", events, || {
         CapturedTrace::capture(&program, &layout, &cfg)
             .unwrap()
             .events()
     });
+    r.bench_throughput("retire_stream/replay_per_event", events, || {
+        let mut counts = InstCounts::new();
+        trace.replay_per_event(&mut counts);
+        counts.total
+    });
+    r.bench_throughput("retire_stream/replay_batched", events, || {
+        let mut counts = InstCounts::new();
+        trace.replay_batched(&mut counts, DEFAULT_REPLAY_BATCH);
+        counts.total
+    });
+    r.bench_throughput("retire_stream/replay_per_event_dyn", events, || {
+        let mut counts = InstCounts::new();
+        let mut sink: &mut dyn Sink = &mut counts;
+        trace.replay_per_event(&mut sink);
+        counts.total
+    });
+    r.bench_throughput("retire_stream/replay_batched_dyn", events, || {
+        let mut counts = InstCounts::new();
+        let mut sink: &mut dyn Sink = &mut counts;
+        trace.replay_batched(&mut sink, DEFAULT_REPLAY_BATCH);
+        counts.total
+    });
+    r.bench_throughput("retire_stream/replay_sim", events, || {
+        let mut tm = TimingModel::new(machine);
+        trace.replay(&mut tm);
+        tm.cycles()
+    });
+    r.bench_throughput("retire_stream/disk_load", events, || {
+        tier.load(&key).expect("warm load").events()
+    });
+
+    let names = [
+        "execute",
+        "capture",
+        "replay_per_event",
+        "replay_batched",
+        "replay_per_event_dyn",
+        "replay_batched_dyn",
+        "replay_sim",
+        "disk_load",
+    ];
+    let eps: Vec<(&str, Option<f64>)> = names
+        .iter()
+        .map(|n| {
+            (
+                *n,
+                events_per_sec(r.results(), &format!("retire_stream/{n}")),
+            )
+        })
+        .collect();
+    let get = |name: &str| {
+        eps.iter()
+            .find(|(n, _)| *n == name)
+            .and_then(|(_, v)| *v)
+            .unwrap_or(0.0)
+    };
+    let speedup = if get("replay_per_event") > 0.0 {
+        get("replay_batched") / get("replay_per_event")
+    } else {
+        0.0
+    };
+    let speedup_dyn = if get("replay_per_event_dyn") > 0.0 {
+        get("replay_batched_dyn") / get("replay_per_event_dyn")
+    } else {
+        0.0
+    };
+    if get("replay_batched") > 0.0 {
+        println!(
+            "batched/per-event: {speedup:.2}x monomorphized, {speedup_dyn:.2}x across an \
+             opaque sink boundary"
+        );
+    }
+
+    // ------------------------------------------------- JSON baseline out
+    if let Ok(path) = std::env::var("VP_BENCH_JSON") {
+        let mut body = String::new();
+        body.push_str("{\n");
+        body.push_str("  \"schema\": \"vp-bench/1\",\n");
+        body.push_str("  \"bench\": \"replay_throughput\",\n");
+        body.push_str(&format!("  \"workload\": \"{workload}\",\n"));
+        body.push_str(&format!("  \"scale\": {},\n", bench::scale()));
+        body.push_str(&format!("  \"events\": {events},\n"));
+        body.push_str(&format!("  \"trace_v3_bytes\": {trace_v3_bytes},\n"));
+        body.push_str("  \"events_per_sec\": {\n");
+        for (i, (name, v)) in eps.iter().enumerate() {
+            let comma = if i + 1 == eps.len() { "" } else { "," };
+            body.push_str(&format!("    \"{name}\": {:.0}{comma}\n", v.unwrap_or(0.0)));
+        }
+        body.push_str("  },\n");
+        body.push_str(&format!(
+            "  \"batched_speedup_vs_per_event\": {speedup:.4},\n"
+        ));
+        body.push_str(&format!(
+            "  \"batched_speedup_vs_per_event_dyn\": {speedup_dyn:.4}\n"
+        ));
+        body.push_str("}\n");
+        std::fs::File::create(&path)
+            .and_then(|mut f| f.write_all(body.as_bytes()))
+            .unwrap_or_else(|e| panic!("VP_BENCH_JSON={path}: {e}"));
+        println!("wrote {path}");
+    }
+
+    // --------------------------------------------- baseline check (CI)
+    let mut failed = false;
+    if let Ok(path) = std::env::var("VP_BENCH_BASELINE") {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("VP_BENCH_BASELINE={path}: {e}"));
+        // Absolute events/sec depends on the host; the committed baseline
+        // is compared through the batched/per-event ratio, which is
+        // measured inside a single run on both sides and so cancels
+        // machine speed. A drop of more than 25% in either the
+        // monomorphized or the opaque-boundary ratio fails the run.
+        for (label, current, field) in [
+            ("batched/per-event", speedup, "batched_speedup_vs_per_event"),
+            (
+                "batched/per-event (dyn)",
+                speedup_dyn,
+                "batched_speedup_vs_per_event_dyn",
+            ),
+        ] {
+            let Some(base) = json_number(&text, field) else {
+                println!("baseline {path} lacks {field}; skipping that check");
+                continue;
+            };
+            let floor = base * (1.0 - MAX_REGRESSION);
+            let verdict = if current < floor { "FAIL" } else { "ok" };
+            println!(
+                "baseline check {label}: current {current:.2}x vs committed {base:.2}x \
+                 (floor {floor:.2}x) ... {verdict}"
+            );
+            failed |= current < floor;
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
     r.finish("bench:replay");
+    if failed {
+        eprintln!(
+            "replay throughput regressed beyond {:.0}% of the baseline",
+            MAX_REGRESSION * 100.0
+        );
+        std::process::exit(1);
+    }
 }

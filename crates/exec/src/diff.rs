@@ -458,6 +458,46 @@ impl Sink for VisitBuilder<'_> {
             }),
         }
     }
+
+    fn retire_batch(&mut self, batch: &[Retired]) {
+        // The mapped side is a sequential state machine (dropped-run
+        // counters, residency tracking) — the default per-event fold is
+        // already the right shape there. Without an identity map (the
+        // original side of every diff) no event is ever dropped and the
+        // package machinery never fires, so only the visit fold remains:
+        // specialize that path.
+        if self.map.is_some() {
+            for r in batch {
+                self.retire(r);
+            }
+            return;
+        }
+        for r in batch {
+            let is_ctrl = r.ctrl.is_some();
+            let cond = u64::from(r.ctrl.is_some_and(|c| c.is_cond));
+            if is_ctrl && cond == 0 {
+                continue;
+            }
+            let mem = r.mem_addr.map_or(0, |a| {
+                a.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ u64::from(r.is_store)
+            });
+            match self.visits.last_mut() {
+                Some(v) if v.origin == r.loc => {
+                    v.plain += u64::from(!is_ctrl);
+                    v.cond += cond;
+                    v.mem = v.mem.wrapping_add(mem);
+                }
+                _ => self.visits.push(Visit {
+                    origin: r.loc,
+                    plain: u64::from(!is_ctrl),
+                    cond,
+                    mem,
+                    package: None,
+                    phase: None,
+                }),
+            }
+        }
+    }
 }
 
 /// Aligns the packed run's retired stream against the original capture.

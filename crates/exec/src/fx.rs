@@ -1,0 +1,142 @@
+//! A minimal in-repo FxHash (the rustc hasher): a fast, non-cryptographic
+//! multiply-xor hash for the hot-path maps in this crate.
+//!
+//! The default `std::collections::HashMap` hasher is SipHash-1-3, which is
+//! DoS-resistant but costs tens of cycles per `u64` key. The capture-side
+//! maps ([`TraceRecorder`]'s address→slot table, the [`TraceStore`] LRU and
+//! its single-flight table) are keyed by values an attacker does not
+//! control — fetch addresses and workload fingerprints produced by the
+//! harness itself — so the collision-resistance is pure overhead there.
+//! This module is the offline-build substitute for the `rustc-hash` crate:
+//! same algorithm (rotate, xor, multiply by a golden-ratio-derived
+//! constant), no dependency.
+//!
+//! [`TraceRecorder`]: crate::TraceRecorder
+//! [`TraceStore`]: crate::TraceStore
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed through [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// 64-bit multiplier from rustc's FxHash: `2^64 / φ`, forced odd.
+const K: u64 = 0x517c_c1b7_2722_0a95;
+
+/// The FxHash state: one 64-bit word folded as
+/// `hash = (rotl5(hash) ^ word) * K`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            // Fold the length in so "ab" + "c" and "a" + "bc" differ.
+            self.add(u64::from_le_bytes(tail) ^ (rest.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.add(v as u64);
+        self.add((v >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, BuildHasherDefault};
+
+    fn hash_of(f: impl FnOnce(&mut FxHasher)) -> u64 {
+        let mut h = FxHasher::default();
+        f(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let b = BuildHasherDefault::<FxHasher>::default();
+        assert_eq!(b.hash_one(0xdead_beefu64), b.hash_one(0xdead_beefu64));
+        assert_eq!(b.hash_one("300.twolf A"), b.hash_one("300.twolf A"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        let a = hash_of(|h| h.write_u64(0x1000));
+        let b = hash_of(|h| h.write_u64(0x1004));
+        assert_ne!(a, b);
+        assert_ne!(hash_of(|h| h.write(b"ab")), hash_of(|h| h.write(b"ba")));
+    }
+
+    #[test]
+    fn tail_bytes_and_length_both_count() {
+        // Same 8-byte prefix, different 3-byte tails.
+        assert_ne!(
+            hash_of(|h| h.write(b"abcdefghXYZ")),
+            hash_of(|h| h.write(b"abcdefghXYW")),
+        );
+        // Same bytes where the split between full words and tail differs
+        // only by length.
+        assert_ne!(hash_of(|h| h.write(b"abc")), hash_of(|h| h.write(b"abc\0")),);
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i * 4096, i as u32);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&(i * 4096)), Some(&(i as u32)));
+        }
+    }
+}

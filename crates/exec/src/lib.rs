@@ -99,6 +99,7 @@
 pub mod diff;
 pub mod event;
 pub mod exec;
+pub mod fx;
 pub mod memory;
 pub mod trace_store;
 
@@ -108,8 +109,9 @@ pub use diff::{
 };
 pub use event::{Ctrl, InstCounts, NullSink, Retired, Sink};
 pub use exec::{ExecError, Executor, RunConfig, RunStats, StopReason};
+pub use fx::{FxHashMap, FxHasher};
 pub use memory::Memory;
 pub use trace_store::{
     CapturedTrace, DiskTier, TraceKey, TraceRecorder, TraceStore, DEFAULT_CACHE_MB,
-    DEFAULT_DISK_MB, FORMAT_VERSION as TRACE_FORMAT_VERSION,
+    DEFAULT_DISK_MB, DEFAULT_REPLAY_BATCH, FORMAT_VERSION as TRACE_FORMAT_VERSION,
 };

@@ -91,7 +91,7 @@
 
 use crate::event::{Retired, Sink};
 use crate::exec::{ExecError, Executor, RunConfig, RunStats};
-use std::collections::HashMap;
+use crate::fx::FxHashMap;
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use vp_program::{Layout, Program};
 use vp_trace::Counter;
@@ -114,6 +114,23 @@ static BYTES: Counter = Counter::new("trace_store.bytes");
 /// Default cache budget when `VP_TRACE_CACHE_MB` is unset.
 pub const DEFAULT_CACHE_MB: usize = 512;
 
+/// Default chunk size (in events) of the batched replay kernel when
+/// `VP_REPLAY_BATCH` is unset.
+pub const DEFAULT_REPLAY_BATCH: usize = 4096;
+
+/// Chunk size for [`CapturedTrace::replay`], from `VP_REPLAY_BATCH`.
+fn replay_batch_from_env() -> usize {
+    parse_replay_batch(std::env::var("VP_REPLAY_BATCH").ok().as_deref())
+}
+
+/// Parses a `VP_REPLAY_BATCH` value; unset, unparsable, or zero values
+/// fall back to [`DEFAULT_REPLAY_BATCH`].
+fn parse_replay_batch(v: Option<&str>) -> usize {
+    v.and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_REPLAY_BATCH)
+}
+
 // ---------------------------------------------------------------- varints
 
 fn put_varint(out: &mut Vec<u8>, mut v: u64) {
@@ -128,6 +145,7 @@ fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     }
 }
 
+#[inline(always)]
 fn get_varint(buf: &[u8], pos: &mut usize) -> u64 {
     let mut v = 0u64;
     let mut shift = 0;
@@ -146,6 +164,7 @@ fn zigzag(v: i64) -> u64 {
     ((v << 1) ^ (v >> 63)) as u64
 }
 
+#[inline(always)]
 fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
@@ -173,7 +192,7 @@ const FLAG_TAKEN: u8 = 1 << 3;
 #[derive(Debug, Default)]
 pub struct TraceRecorder {
     slots: Vec<StaticSlot>,
-    by_addr: HashMap<u64, u32>,
+    by_addr: FxHashMap<u64, u32>,
     stream: Vec<u8>,
     prev_idx: i64,
     last_mem: u64,
@@ -292,6 +311,25 @@ pub struct CapturedTrace {
     events: u64,
 }
 
+/// Decode position carried across chunk boundaries by the batched replay
+/// kernel: byte offset into the stream plus the two delta-coding anchors.
+#[derive(Debug)]
+struct ReplayCursor {
+    pos: usize,
+    prev_idx: i64,
+    last_mem: u64,
+}
+
+impl Default for ReplayCursor {
+    fn default() -> ReplayCursor {
+        ReplayCursor {
+            pos: 0,
+            prev_idx: -1,
+            last_mem: 0,
+        }
+    }
+}
+
 impl CapturedTrace {
     /// Executes `program` once under `cfg`, recording the retired stream.
     ///
@@ -328,7 +366,99 @@ impl CapturedTrace {
     /// Replays the recorded stream into `sink`, reconstructing every
     /// [`Retired`] event bit-for-bit, and returns the original run's
     /// [`RunStats`].
+    ///
+    /// This is the batched front door: events are decoded into a reusable
+    /// chunk buffer (`VP_REPLAY_BATCH` events per chunk, default
+    /// [`DEFAULT_REPLAY_BATCH`]) and dispatched through
+    /// [`Sink::retire_batch`], so per-event sink dispatch is amortized
+    /// across the chunk. Event content and order are identical to
+    /// [`CapturedTrace::replay_per_event`] at every chunk size.
     pub fn replay(&self, sink: &mut impl Sink) -> RunStats {
+        self.replay_batched(sink, replay_batch_from_env())
+    }
+
+    /// Like [`CapturedTrace::replay`], with an explicit chunk size instead
+    /// of the `VP_REPLAY_BATCH` environment knob. `batch` is clamped to at
+    /// least 1.
+    pub fn replay_batched(&self, sink: &mut impl Sink, batch: usize) -> RunStats {
+        REPLAYS.incr();
+        if self.stream.is_empty() {
+            return self.stats;
+        }
+        // Every event consumes at least one stream byte, so `stream.len()`
+        // bounds the events a replay can ever produce: oversized chunk
+        // requests (`VP_REPLAY_BATCH=999999999`) degrade to a single
+        // right-sized buffer instead of an absurd allocation.
+        let batch = batch.clamp(1, self.stream.len());
+        // The chunk buffer is allocated once per replay and written in
+        // place by the decoder; the filler template is never observed (only
+        // `buf[..n]` decoded events reach the sink).
+        let mut buf: Vec<Retired> = vec![self.slots[0].template; batch];
+        let mut cur = ReplayCursor::default();
+        while cur.pos < self.stream.len() {
+            let n = self.decode_chunk(&mut cur, &mut buf);
+            sink.retire_batch(&buf[..n]);
+        }
+        self.stats
+    }
+
+    /// Decodes up to `buf.len()` events at `cur` in place into `buf`,
+    /// advancing the cursor past the consumed bytes. Returns the number of
+    /// events decoded.
+    ///
+    /// Events are materialized directly into the chunk buffer (no stack
+    /// temporary, no `Vec::push` growth checks), and the cursor state lives
+    /// in locals for the whole chunk: the loop body makes no opaque calls,
+    /// so the compiler keeps the decode state in registers.
+    fn decode_chunk(&self, cur: &mut ReplayCursor, buf: &mut [Retired]) -> usize {
+        let stream = self.stream.as_slice();
+        let slots = self.slots.as_slice();
+        let mut pos = cur.pos;
+        let mut prev_idx = cur.prev_idx;
+        let mut last_mem = cur.last_mem;
+        let mut n = 0;
+        for out in buf.iter_mut() {
+            if pos >= stream.len() {
+                break;
+            }
+            let flags = stream[pos];
+            pos += 1;
+            let idx = if flags & FLAG_SEQ != 0 {
+                prev_idx + 1
+            } else {
+                prev_idx + 1 + unzigzag(get_varint(stream, &mut pos))
+            };
+            prev_idx = idx;
+            let slot = &slots[idx as usize];
+            *out = slot.template;
+            if flags & FLAG_MEM != 0 {
+                last_mem = last_mem.wrapping_add(unzigzag(get_varint(stream, &mut pos)) as u64);
+                out.mem_addr = Some(last_mem);
+            }
+            if let Some(c) = &mut out.ctrl {
+                c.arch_taken = flags & FLAG_ARCH_TAKEN != 0;
+                c.taken = flags & FLAG_TAKEN != 0;
+                c.target = if c.is_ret {
+                    out.addr
+                        .wrapping_add(unzigzag(get_varint(stream, &mut pos)) as u64)
+                } else {
+                    slot.targets[usize::from(c.arch_taken)]
+                        .expect("observed direction has a recorded target")
+                };
+            }
+            n += 1;
+        }
+        cur.pos = pos;
+        cur.prev_idx = prev_idx;
+        cur.last_mem = last_mem;
+        n
+    }
+
+    /// Replays one event at a time through [`Sink::retire`] — the
+    /// pre-batching decoder, kept as the reference implementation for
+    /// bit-exactness tests and as the baseline the replay-throughput bench
+    /// reports against.
+    pub fn replay_per_event(&self, sink: &mut impl Sink) -> RunStats {
         REPLAYS.incr();
         let mut pos = 0usize;
         let mut prev_idx: i64 = -1;
@@ -461,7 +591,7 @@ struct StoreEntry {
 }
 
 struct StoreInner {
-    map: HashMap<TraceKey, StoreEntry>,
+    map: FxHashMap<TraceKey, StoreEntry>,
     clock: u64,
     bytes: usize,
 }
@@ -554,7 +684,7 @@ pub struct TraceStore {
     cap_bytes: usize,
     disk: Option<DiskTier>,
     inner: Mutex<StoreInner>,
-    flights: Mutex<HashMap<TraceKey, Arc<Flight>>>,
+    flights: Mutex<FxHashMap<TraceKey, Arc<Flight>>>,
 }
 
 impl std::fmt::Debug for TraceStore {
@@ -582,11 +712,11 @@ impl TraceStore {
             cap_bytes,
             disk: None,
             inner: Mutex::new(StoreInner {
-                map: HashMap::new(),
+                map: FxHashMap::default(),
                 clock: 0,
                 bytes: 0,
             }),
-            flights: Mutex::new(HashMap::new()),
+            flights: Mutex::new(FxHashMap::default()),
         }
     }
 
@@ -922,6 +1052,38 @@ mod tests {
         for (a, b) in live.0.iter().zip(&replayed.0) {
             assert_eq!(a, b);
         }
+    }
+
+    #[test]
+    fn batched_replay_matches_per_event_at_every_chunking() {
+        let (p, layout) = sample_program();
+        let cfg = RunConfig::default();
+        let trace = CapturedTrace::capture(&p, &layout, &cfg).unwrap();
+
+        let mut reference = Collect::default();
+        let ref_stats = trace.replay_per_event(&mut reference);
+
+        // Degenerate (1), a non-divisor that straddles chunk boundaries,
+        // a power of two, and larger-than-the-trace.
+        for batch in [1, 7, 64, usize::MAX / 2] {
+            let mut got = Collect::default();
+            let stats = trace.replay_batched(&mut got, batch);
+            assert_eq!(stats, ref_stats, "batch={batch}: stats diverged");
+            assert_eq!(got.0, reference.0, "batch={batch}: events diverged");
+        }
+        // `batch = 0` is clamped, not a panic or an empty replay.
+        let mut got = Collect::default();
+        trace.replay_batched(&mut got, 0);
+        assert_eq!(got.0, reference.0);
+    }
+
+    #[test]
+    fn replay_batch_env_parsing() {
+        assert_eq!(parse_replay_batch(None), DEFAULT_REPLAY_BATCH);
+        assert_eq!(parse_replay_batch(Some("1")), 1);
+        assert_eq!(parse_replay_batch(Some(" 512 ")), 512);
+        assert_eq!(parse_replay_batch(Some("0")), DEFAULT_REPLAY_BATCH);
+        assert_eq!(parse_replay_batch(Some("junk")), DEFAULT_REPLAY_BATCH);
     }
 
     #[test]

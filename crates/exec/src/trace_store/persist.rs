@@ -24,11 +24,23 @@
 //! structural fingerprint, variant, and run limits — which makes every
 //! file self-describing and lets the loader refuse a capture whose key
 //! does not match the request (e.g. after a path-hash collision). Then
-//! come run stats, event count, the static side-table section (one record
-//! per distinct fetch address), and the raw dynamic stream section. The
-//! CRC covers everything after the fixed header, so a truncated or
-//! bit-flipped file is *refused* at load — the caller falls back to live
-//! execution and overwrites the entry — never replayed wrong.
+//! come run stats, event count, the static side-table section, and the
+//! raw dynamic stream section. The CRC covers everything after the fixed
+//! header, so a truncated or bit-flipped file is *refused* at load — the
+//! caller falls back to live execution and overwrites the entry — never
+//! replayed wrong.
+//!
+//! ## Hot-slot index (v3)
+//!
+//! Since v3 the side-table section is a **hot-slot index**: only slots
+//! actually referenced by the dynamic stream are written, preceded by the
+//! logical table size, the written count, and — when the written set is
+//! sparse — a delta-coded remap table of original slot indices. The
+//! loader rebuilds the side table at its logical size with inert
+//! placeholders in the unreferenced positions, so the stream (which
+//! encodes slot references as deltas over *original* indices) replays
+//! byte-identically. v2 files (dense side table, no remap) remain
+//! readable; v1 files are refused.
 //!
 //! # Budget
 //!
@@ -39,7 +51,9 @@
 //! Writes are atomic (temp file + rename), so concurrent shard processes
 //! sharing one `VP_TRACE_DIR` never observe half-written captures.
 
-use super::{put_varint, CapturedTrace, StaticSlot, TraceKey};
+use super::{
+    get_varint, put_varint, unzigzag, CapturedTrace, StaticSlot, TraceKey, FLAG_MEM, FLAG_SEQ,
+};
 use crate::event::{Ctrl, Retired};
 use crate::exec::{RunStats, StopReason};
 use std::fs;
@@ -62,8 +76,14 @@ static DISK_EVICTIONS: Counter = Counter::new("trace_store.disk_evictions");
 /// `trace_store`) changes shape; old files are then refused and
 /// re-captured instead of mis-decoded.
 ///
-/// History: v1 had no header string table or key echo; v2 prepends both.
-pub const FORMAT_VERSION: u32 = 2;
+/// History: v1 had no header string table or key echo; v2 prepends both;
+/// v3 replaces the dense side-table section with the hot-slot index
+/// (referenced slots only, plus a remap table). v2 files are still
+/// *readable* — see [`decode`] — but new files are always written v3.
+pub const FORMAT_VERSION: u32 = 3;
+
+/// Oldest format version [`decode`] still accepts.
+pub const MIN_READ_VERSION: u32 = 2;
 
 /// Default disk budget when `VP_TRACE_DISK_MB` is unset.
 pub const DEFAULT_DISK_MB: u64 = 2048;
@@ -129,9 +149,97 @@ fn fu_code(fu: FuClass) -> u8 {
     }
 }
 
+/// Walks the dynamic stream once (a decode-lite pass: no event
+/// materialization) and marks every side-table slot it references. New
+/// captures reference every slot by construction, but traces that round-
+/// trip through other producers (or future truncation passes) may not —
+/// the hot-slot index drops the dead ones.
+fn referenced_slots(trace: &CapturedTrace) -> Vec<bool> {
+    let stream = trace.stream.as_slice();
+    let mut seen = vec![false; trace.slots.len()];
+    let mut pos = 0;
+    let mut prev_idx = -1i64;
+    while pos < stream.len() {
+        let flags = stream[pos];
+        pos += 1;
+        let idx = if flags & FLAG_SEQ != 0 {
+            prev_idx + 1
+        } else {
+            prev_idx + 1 + unzigzag(get_varint(stream, &mut pos))
+        };
+        prev_idx = idx;
+        let slot = &trace.slots[idx as usize];
+        seen[idx as usize] = true;
+        if flags & FLAG_MEM != 0 {
+            get_varint(stream, &mut pos); // memory-address delta
+        }
+        if slot.template.ctrl.as_ref().is_some_and(|c| c.is_ret) {
+            get_varint(stream, &mut pos); // return-target delta
+        }
+    }
+    seen
+}
+
+/// Serializes one side-table record (shared by the v2 and v3 layouts).
+fn put_slot(payload: &mut Vec<u8>, slot: &StaticSlot) {
+    let t = &slot.template;
+    debug_assert!(t.mem_addr.is_none(), "templates carry no dynamic state");
+    let mut flags = 0u8;
+    if t.is_store {
+        flags |= SLOT_IS_STORE;
+    }
+    if t.in_package {
+        flags |= SLOT_IN_PACKAGE;
+    }
+    if t.def.is_some() {
+        flags |= SLOT_HAS_DEF;
+    }
+    if let Some(c) = &t.ctrl {
+        flags |= SLOT_HAS_CTRL;
+        if c.is_cond {
+            flags |= SLOT_IS_COND;
+        }
+        if c.is_call {
+            flags |= SLOT_IS_CALL;
+        }
+        if c.is_ret {
+            flags |= SLOT_IS_RET;
+        }
+    }
+    payload.push(flags);
+    put_varint(payload, t.addr);
+    put_varint(payload, u64::from(t.loc.func.0));
+    put_varint(payload, u64::from(t.loc.block.0));
+    payload.push(fu_code(t.fu));
+    put_varint(payload, u64::from(t.latency));
+    if t.def.is_some() {
+        put_reg(payload, t.def);
+    }
+    for u in t.uses {
+        put_reg(payload, u);
+    }
+    if let Some(c) = &t.ctrl {
+        put_varint(payload, u64::from(c.block.func.0));
+        put_varint(payload, u64::from(c.block.block.0));
+        put_varint(payload, c.ret_addr);
+    }
+    let presence = u8::from(slot.targets[0].is_some()) | (u8::from(slot.targets[1].is_some()) << 1);
+    payload.push(presence);
+    for t in slot.targets.into_iter().flatten() {
+        put_varint(payload, t);
+    }
+}
+
 /// Serializes a capture (and its owning key) into the versioned,
-/// CRC-protected byte image.
+/// CRC-protected byte image (always [`FORMAT_VERSION`]).
 pub(super) fn encode(key: &TraceKey, trace: &CapturedTrace) -> Vec<u8> {
+    encode_versioned(key, trace, FORMAT_VERSION)
+}
+
+/// [`encode`] with an explicit format version (2 or 3); v2 emission exists
+/// so the backward-compatibility path stays testable.
+pub(super) fn encode_versioned(key: &TraceKey, trace: &CapturedTrace, version: u32) -> Vec<u8> {
+    assert!((MIN_READ_VERSION..=FORMAT_VERSION).contains(&version));
     let mut payload = Vec::with_capacity(trace.stream.len() + 64 * trace.slots.len() + 64);
 
     // Header string table: every string the header references, stored
@@ -160,55 +268,34 @@ pub(super) fn encode(key: &TraceKey, trace: &CapturedTrace) -> Vec<u8> {
     });
     put_varint(&mut payload, trace.events);
 
-    // Static side-table section.
-    put_varint(&mut payload, trace.slots.len() as u64);
-    for slot in &trace.slots {
-        let t = &slot.template;
-        debug_assert!(t.mem_addr.is_none(), "templates carry no dynamic state");
-        let mut flags = 0u8;
-        if t.is_store {
-            flags |= SLOT_IS_STORE;
-        }
-        if t.in_package {
-            flags |= SLOT_IN_PACKAGE;
-        }
-        if t.def.is_some() {
-            flags |= SLOT_HAS_DEF;
-        }
-        if let Some(c) = &t.ctrl {
-            flags |= SLOT_HAS_CTRL;
-            if c.is_cond {
-                flags |= SLOT_IS_COND;
-            }
-            if c.is_call {
-                flags |= SLOT_IS_CALL;
-            }
-            if c.is_ret {
-                flags |= SLOT_IS_RET;
+    // Static side-table section: v3 hot-slot index (logical size, written
+    // count, sparse remap, referenced records only); v2 dense table.
+    match version {
+        2 => {
+            put_varint(&mut payload, trace.slots.len() as u64);
+            for slot in &trace.slots {
+                put_slot(&mut payload, slot);
             }
         }
-        payload.push(flags);
-        put_varint(&mut payload, t.addr);
-        put_varint(&mut payload, u64::from(t.loc.func.0));
-        put_varint(&mut payload, u64::from(t.loc.block.0));
-        payload.push(fu_code(t.fu));
-        put_varint(&mut payload, u64::from(t.latency));
-        if t.def.is_some() {
-            put_reg(&mut payload, t.def);
-        }
-        for u in t.uses {
-            put_reg(&mut payload, u);
-        }
-        if let Some(c) = &t.ctrl {
-            put_varint(&mut payload, u64::from(c.block.func.0));
-            put_varint(&mut payload, u64::from(c.block.block.0));
-            put_varint(&mut payload, c.ret_addr);
-        }
-        let presence =
-            u8::from(slot.targets[0].is_some()) | (u8::from(slot.targets[1].is_some()) << 1);
-        payload.push(presence);
-        for t in slot.targets.into_iter().flatten() {
-            put_varint(&mut payload, t);
+        _ => {
+            let seen = referenced_slots(trace);
+            let written: Vec<usize> = (0..trace.slots.len()).filter(|&i| seen[i]).collect();
+            put_varint(&mut payload, trace.slots.len() as u64);
+            put_varint(&mut payload, written.len() as u64);
+            if written.len() < trace.slots.len() {
+                // Sparse remap: original indices of the written slots,
+                // delta-coded (strictly ascending, so every delta after
+                // the first is >= 1).
+                let mut prev = 0u64;
+                for (k, &idx) in written.iter().enumerate() {
+                    let idx = idx as u64;
+                    put_varint(&mut payload, if k == 0 { idx } else { idx - prev });
+                    prev = idx;
+                }
+            }
+            for &idx in &written {
+                put_slot(&mut payload, &trace.slots[idx]);
+            }
         }
     }
 
@@ -218,7 +305,7 @@ pub(super) fn encode(key: &TraceKey, trace: &CapturedTrace) -> Vec<u8> {
 
     let mut out = Vec::with_capacity(payload.len() + 12);
     out.extend_from_slice(MAGIC);
-    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&version.to_le_bytes());
     out.extend_from_slice(&crc32(&payload).to_le_bytes());
     out.extend_from_slice(&payload);
     out
@@ -280,16 +367,105 @@ fn decode_fu(code: u8) -> Option<FuClass> {
     })
 }
 
-/// Deserializes a byte image produced by [`encode`], returning the echoed
-/// key alongside the capture. Returns `None` on any mismatch — wrong
-/// magic, wrong version, CRC failure, or malformed payload — so callers
-/// re-execute instead of replaying garbage.
-pub(super) fn decode(bytes: &[u8]) -> Option<(TraceKey, CapturedTrace)> {
+/// An inert record occupying a side-table position the stream never
+/// references (v3 hot-slot decode). Replay can never observe it.
+fn placeholder_slot() -> StaticSlot {
+    StaticSlot {
+        template: Retired {
+            loc: CodeRef::new(u32::MAX, u32::MAX),
+            addr: 0,
+            fu: FuClass::IntAlu,
+            latency: 0,
+            def: None,
+            uses: [None; 3],
+            mem_addr: None,
+            is_store: false,
+            ctrl: None,
+            in_package: false,
+        },
+        targets: [None; 2],
+    }
+}
+
+/// Deserializes one side-table record (shared by the v2 and v3 layouts).
+fn read_slot(rd: &mut Rd) -> Option<StaticSlot> {
+    let flags = rd.u8()?;
+    let addr = rd.varint()?;
+    let func = u32::try_from(rd.varint()?).ok()?;
+    let block = u32::try_from(rd.varint()?).ok()?;
+    let fu = decode_fu(rd.u8()?)?;
+    let latency = u32::try_from(rd.varint()?).ok()?;
+    let def = if flags & SLOT_HAS_DEF != 0 {
+        rd.reg()?
+    } else {
+        None
+    };
+    let mut uses = [None; 3];
+    for u in &mut uses {
+        *u = rd.reg()?;
+    }
+    let ctrl = if flags & SLOT_HAS_CTRL != 0 {
+        let cfunc = u32::try_from(rd.varint()?).ok()?;
+        let cblock = u32::try_from(rd.varint()?).ok()?;
+        let ret_addr = rd.varint()?;
+        Some(Ctrl {
+            block: CodeRef::new(cfunc, cblock),
+            is_cond: flags & SLOT_IS_COND != 0,
+            arch_taken: false,
+            taken: false,
+            is_call: flags & SLOT_IS_CALL != 0,
+            is_ret: flags & SLOT_IS_RET != 0,
+            target: 0,
+            ret_addr,
+        })
+    } else {
+        None
+    };
+    let presence = rd.u8()?;
+    let mut targets = [None; 2];
+    for (bit, t) in targets.iter_mut().enumerate() {
+        if presence & (1 << bit) != 0 {
+            *t = Some(rd.varint()?);
+        }
+    }
+    Some(StaticSlot {
+        template: Retired {
+            loc: CodeRef::new(func, block),
+            addr,
+            fu,
+            latency,
+            def,
+            uses,
+            mem_addr: None,
+            is_store: flags & SLOT_IS_STORE != 0,
+            ctrl,
+            in_package: flags & SLOT_IN_PACKAGE != 0,
+        },
+        targets,
+    })
+}
+
+/// Everything [`decode`]/[`decode_owned`] parse out of an image, with the
+/// dynamic stream left as a byte range into the original buffer so the
+/// caller decides whether to copy it or reuse the allocation.
+struct Parsed {
+    key: TraceKey,
+    slots: Vec<StaticSlot>,
+    stats: RunStats,
+    events: u64,
+    stream_start: usize,
+    stream_len: usize,
+}
+
+/// Parses and validates a byte image produced by [`encode`] (v3) or an
+/// older v2 writer. Returns `None` on any mismatch — wrong magic,
+/// unsupported version, CRC failure, or malformed payload.
+fn parse(bytes: &[u8]) -> Option<Parsed> {
     if bytes.len() < 12 || &bytes[0..4] != MAGIC {
         return None;
     }
     let version = u32::from_le_bytes(bytes[4..8].try_into().ok()?);
-    if version != FORMAT_VERSION {
+    if !(MIN_READ_VERSION..=FORMAT_VERSION).contains(&version) {
         return None;
     }
     let stored_crc = u32::from_le_bytes(bytes[8..12].try_into().ok()?);
@@ -342,81 +518,112 @@ pub(super) fn decode(bytes: &[u8]) -> Option<(TraceKey, CapturedTrace)> {
     if n_slots > payload.len() {
         return None;
     }
-    let mut slots = Vec::with_capacity(n_slots);
-    for _ in 0..n_slots {
-        let flags = rd.u8()?;
-        let addr = rd.varint()?;
-        let func = u32::try_from(rd.varint()?).ok()?;
-        let block = u32::try_from(rd.varint()?).ok()?;
-        let fu = decode_fu(rd.u8()?)?;
-        let latency = u32::try_from(rd.varint()?).ok()?;
-        let def = if flags & SLOT_HAS_DEF != 0 {
-            rd.reg()?
-        } else {
-            None
-        };
-        let mut uses = [None; 3];
-        for u in &mut uses {
-            *u = rd.reg()?;
+    let slots = if version == 2 {
+        // v2: dense side table, one record per slot.
+        let mut slots = Vec::with_capacity(n_slots);
+        for _ in 0..n_slots {
+            slots.push(read_slot(&mut rd)?);
         }
-        let ctrl = if flags & SLOT_HAS_CTRL != 0 {
-            let cfunc = u32::try_from(rd.varint()?).ok()?;
-            let cblock = u32::try_from(rd.varint()?).ok()?;
-            let ret_addr = rd.varint()?;
-            Some(Ctrl {
-                block: CodeRef::new(cfunc, cblock),
-                is_cond: flags & SLOT_IS_COND != 0,
-                arch_taken: false,
-                taken: false,
-                is_call: flags & SLOT_IS_CALL != 0,
-                is_ret: flags & SLOT_IS_RET != 0,
-                target: 0,
-                ret_addr,
-            })
-        } else {
-            None
-        };
-        let presence = rd.u8()?;
-        let mut targets = [None; 2];
-        for (bit, t) in targets.iter_mut().enumerate() {
-            if presence & (1 << bit) != 0 {
-                *t = Some(rd.varint()?);
+        slots
+    } else {
+        // v3 hot-slot index: only referenced records are present; rebuild
+        // the table at its logical size with placeholders elsewhere.
+        let n_written = usize::try_from(rd.varint()?).ok()?;
+        if n_written > n_slots {
+            return None;
+        }
+        let indices: Vec<usize> = if n_written < n_slots {
+            let mut indices = Vec::with_capacity(n_written);
+            let mut prev = 0u64;
+            for k in 0..n_written {
+                let delta = rd.varint()?;
+                let idx = if k == 0 {
+                    delta
+                } else {
+                    // Strictly ascending: a zero delta (duplicate index)
+                    // is malformed.
+                    if delta == 0 {
+                        return None;
+                    }
+                    prev.checked_add(delta)?
+                };
+                if idx >= n_slots as u64 {
+                    return None;
+                }
+                prev = idx;
+                indices.push(idx as usize);
             }
+            indices
+        } else {
+            (0..n_written).collect()
+        };
+        let mut slots = vec![placeholder_slot(); n_slots];
+        for idx in indices {
+            slots[idx] = read_slot(&mut rd)?;
         }
-        slots.push(StaticSlot {
-            template: Retired {
-                loc: CodeRef::new(func, block),
-                addr,
-                fu,
-                latency,
-                def,
-                uses,
-                mem_addr: None,
-                is_store: flags & SLOT_IS_STORE != 0,
-                ctrl,
-                in_package: flags & SLOT_IN_PACKAGE != 0,
-            },
-            targets,
-        });
-    }
+        slots
+    };
 
     let stream_len = usize::try_from(rd.varint()?).ok()?;
-    let stream = rd.take(stream_len)?.to_vec();
+    let stream_start = 12 + rd.pos;
+    rd.take(stream_len)?;
     if rd.pos != payload.len() {
         return None; // trailing garbage
     }
-    Some((
+    Some(Parsed {
         key,
+        slots,
+        stats: RunStats {
+            retired,
+            cond_branches,
+            in_package,
+            stop,
+        },
+        events,
+        stream_start,
+        stream_len,
+    })
+}
+
+/// Deserializes a byte image produced by [`encode`], returning the echoed
+/// key alongside the capture. Returns `None` on any mismatch — wrong
+/// magic, unsupported version, CRC failure, or malformed payload — so
+/// callers re-execute instead of replaying garbage.
+///
+/// The production load path is [`decode_owned`] (it reuses the file
+/// buffer); this borrowed variant is the conformance surface the format
+/// tests pin down.
+#[cfg_attr(not(test), allow(dead_code))]
+pub(super) fn decode(bytes: &[u8]) -> Option<(TraceKey, CapturedTrace)> {
+    let p = parse(bytes)?;
+    let stream = bytes[p.stream_start..p.stream_start + p.stream_len].to_vec();
+    Some((
+        p.key,
         CapturedTrace {
-            slots,
+            slots: p.slots,
             stream,
-            stats: RunStats {
-                retired,
-                cond_branches,
-                in_package,
-                stop,
-            },
-            events,
+            stats: p.stats,
+            events: p.events,
+        },
+    ))
+}
+
+/// [`decode`] taking ownership of the file image: the dynamic stream — the
+/// bulk of every `.vptrace` — is slid to the front of the buffer with a
+/// `memmove` and the allocation is reused, instead of copying it into a
+/// second freshly-allocated `Vec`. This is the [`DiskTier::load`] path, so
+/// a warm sweep start performs one read and zero re-allocations per trace.
+pub(super) fn decode_owned(mut bytes: Vec<u8>) -> Option<(TraceKey, CapturedTrace)> {
+    let p = parse(&bytes)?;
+    bytes.copy_within(p.stream_start..p.stream_start + p.stream_len, 0);
+    bytes.truncate(p.stream_len);
+    Some((
+        p.key,
+        CapturedTrace {
+            slots: p.slots,
+            stream: bytes,
+            stats: p.stats,
+            events: p.events,
         },
     ))
 }
@@ -526,7 +733,7 @@ impl DiskTier {
     pub fn load(&self, key: &TraceKey) -> Option<CapturedTrace> {
         let path = self.path_for(key);
         let bytes = fs::read(&path).ok()?;
-        match decode(&bytes) {
+        match decode_owned(bytes) {
             Some((echoed, trace)) if echoed == *key => {
                 DISK_HITS.incr();
                 // Best-effort recency bump; eviction degrades to
@@ -673,6 +880,109 @@ mod tests {
         assert_eq!(a.0, b.0, "replayed streams must be identical");
     }
 
+    fn events_of(trace: &CapturedTrace) -> Vec<Retired> {
+        struct Collect(Vec<Retired>);
+        impl Sink for Collect {
+            fn retire(&mut self, r: &Retired) {
+                self.0.push(*r);
+            }
+        }
+        let mut c = Collect(Vec::new());
+        trace.replay(&mut c);
+        c.0
+    }
+
+    #[test]
+    fn v2_files_remain_readable() {
+        let (p, layout) = sample_program();
+        let cfg = RunConfig::default();
+        let key = TraceKey::new("legacy", &p, &layout, &cfg);
+        let trace = CapturedTrace::capture(&p, &layout, &cfg).unwrap();
+
+        let v2 = encode_versioned(&key, &trace, 2);
+        assert_eq!(u32::from_le_bytes(v2[4..8].try_into().unwrap()), 2);
+        let (echoed, reloaded) = decode(&v2).expect("v2 image still decodes");
+        assert_eq!(echoed, key);
+        assert_eq!(trace.stats(), reloaded.stats());
+        assert_eq!(events_of(&trace), events_of(&reloaded));
+    }
+
+    #[test]
+    fn v2_to_v3_roundtrip_is_bit_exact() {
+        let (p, layout) = sample_program();
+        let cfg = RunConfig::default();
+        let key = TraceKey::new("upgrade", &p, &layout, &cfg);
+        let trace = CapturedTrace::capture(&p, &layout, &cfg).unwrap();
+
+        // Read a v2 file, re-persist (always v3), read that back: the
+        // upgrade path a warmed pre-v3 cache directory takes.
+        let (_, from_v2) = decode(&encode_versioned(&key, &trace, 2)).unwrap();
+        let v3 = encode(&key, &from_v2);
+        assert_eq!(
+            u32::from_le_bytes(v3[4..8].try_into().unwrap()),
+            FORMAT_VERSION
+        );
+        let (echoed, from_v3) = decode(&v3).expect("v3 image decodes");
+        assert_eq!(echoed, key);
+        assert_eq!(trace.stats(), from_v3.stats());
+        assert_eq!(trace.events(), from_v3.events());
+        assert_eq!(events_of(&trace), events_of(&from_v3));
+    }
+
+    #[test]
+    fn v3_hot_slot_index_drops_unreferenced_slots() {
+        let (p, layout) = sample_program();
+        let cfg = RunConfig::default();
+        let key = TraceKey::new("hotslots", &p, &layout, &cfg);
+        let mut trace = CapturedTrace::capture(&p, &layout, &cfg).unwrap();
+        let reference = events_of(&trace);
+
+        // Dead side-table weight: slots the stream never references (as a
+        // truncation pass or a foreign producer would leave behind).
+        let dead = trace.slots[0].clone();
+        for _ in 0..64 {
+            trace.slots.push(dead.clone());
+        }
+
+        let v2 = encode_versioned(&key, &trace, 2);
+        let v3 = encode(&key, &trace);
+        assert!(
+            v3.len() < v2.len(),
+            "hot-slot index must shrink the image: v3={} v2={}",
+            v3.len(),
+            v2.len()
+        );
+
+        let (_, reloaded) = decode(&v3).expect("sparse v3 decodes");
+        assert_eq!(
+            reloaded.slots.len(),
+            trace.slots.len(),
+            "logical side-table size survives"
+        );
+        assert_eq!(events_of(&reloaded), reference);
+    }
+
+    #[test]
+    fn decode_owned_matches_decode() {
+        let (p, layout) = sample_program();
+        let cfg = RunConfig::default();
+        let key = TraceKey::new("owned", &p, &layout, &cfg);
+        let trace = CapturedTrace::capture(&p, &layout, &cfg).unwrap();
+        let bytes = encode(&key, &trace);
+
+        let (ka, a) = decode(&bytes).unwrap();
+        let (kb, b) = decode_owned(bytes.clone()).unwrap();
+        assert_eq!(ka, kb);
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(events_of(&a), events_of(&b));
+
+        // Corruption is refused identically.
+        let mut bad = bytes;
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0xff;
+        assert!(decode_owned(bad).is_none());
+    }
+
     #[test]
     fn decode_refuses_corruption() {
         let (p, layout) = sample_program();
@@ -693,10 +1003,12 @@ mod tests {
             bad[pos] ^= 0x40;
             assert!(decode(&bad).is_none(), "bit flip at {pos}");
         }
-        // Wrong version.
-        let mut wrong = good.clone();
-        wrong[4..8].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
-        assert!(decode(&wrong).is_none());
+        // Unsupported versions: the future and the pre-echo past.
+        for v in [FORMAT_VERSION + 1, MIN_READ_VERSION - 1] {
+            let mut wrong = good.clone();
+            wrong[4..8].copy_from_slice(&v.to_le_bytes());
+            assert!(decode(&wrong).is_none(), "version {v} refused");
+        }
     }
 
     #[test]

@@ -1,13 +1,12 @@
 //! Per-branch dynamic profiling sink (ground truth for Figure 9).
 
-use std::collections::HashMap;
-use vp_exec::{Retired, Sink};
+use vp_exec::{FxHashMap, Retired, Sink};
 
 /// Exact per-static-branch dynamic counts, keyed by branch address — the
 /// oracle the hardware profiler approximates.
 #[derive(Debug, Clone, Default)]
 pub struct BranchCounts {
-    map: HashMap<u64, (u64, u64)>, // (executed, taken)
+    map: FxHashMap<u64, (u64, u64)>, // (executed, taken)
     total: u64,
 }
 
@@ -55,6 +54,23 @@ impl Sink for BranchCounts {
                 self.total += 1;
             }
         }
+    }
+
+    fn retire_batch(&mut self, batch: &[Retired]) {
+        // Accumulate the total in a register across the chunk; the map
+        // update (the expensive part) only runs for conditional branches.
+        let mut total = 0u64;
+        for r in batch {
+            if let Some(c) = &r.ctrl {
+                if c.is_cond {
+                    let e = self.map.entry(r.addr).or_insert((0, 0));
+                    e.0 += 1;
+                    e.1 += u64::from(c.arch_taken);
+                    total += 1;
+                }
+            }
+        }
+        self.total += total;
     }
 }
 

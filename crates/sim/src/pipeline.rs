@@ -276,7 +276,28 @@ impl TimingModel {
 impl Sink for TimingModel {
     fn retire(&mut self, r: &Retired) {
         self.stats.retired += 1;
+        self.retire_one(r);
+    }
 
+    fn retire_batch(&mut self, batch: &[Retired]) {
+        // One retired-count update per chunk; `retire_one` stays inlined in
+        // this loop, so the pipeline state it threads (fetch group,
+        // register scoreboard, issue-ring cursor, predictor tables) is kept
+        // hot across consecutive events instead of being re-dispatched per
+        // event through the sink boundary.
+        self.stats.retired += batch.len() as u64;
+        for r in batch {
+            self.retire_one(r);
+        }
+    }
+}
+
+impl TimingModel {
+    /// Retires one instruction through the model, excluding the
+    /// `stats.retired` bump (done by the [`Sink`] wrappers so the batched
+    /// path can hoist it out of the loop).
+    #[inline]
+    fn retire_one(&mut self, r: &Retired) {
         // --- fetch ---
         if self.fetch_left == 0 {
             self.fetch_cycle += 1;

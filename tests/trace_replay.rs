@@ -363,3 +363,69 @@ fn large_store_serves_second_sweep_from_cache() {
     assert_eq!(report.counter("trace_store.replays"), 3);
     assert_eq!(report.counter("trace_store.evictions"), 0);
 }
+
+/// For three real workloads, the batched replay kernel must deliver the
+/// *byte-identical* event sequence of the per-event decoder at every
+/// chunking — the degenerate `VP_REPLAY_BATCH=1` shape, a non-divisor
+/// chunk size that straddles chunk boundaries on every workload, and the
+/// default — and through both batched and per-event sink plumbing.
+#[test]
+fn batched_replay_is_bit_exact_on_real_workloads() {
+    use vacuum_packing::exec::Retired;
+
+    /// Records every event verbatim, via whichever sink path the kernel
+    /// picks (the default `retire_batch` forwards to `retire`).
+    #[derive(Default)]
+    struct Collect(Vec<Retired>);
+    impl Sink for Collect {
+        fn retire(&mut self, r: &Retired) {
+            self.0.push(*r);
+        }
+    }
+    /// Same, but through an explicit batch override: catches kernels that
+    /// hand the sink a chunk slice inconsistent with the event-wise path.
+    #[derive(Default)]
+    struct CollectBatched(Vec<Retired>);
+    impl Sink for CollectBatched {
+        fn retire(&mut self, r: &Retired) {
+            self.0.push(*r);
+        }
+        fn retire_batch(&mut self, batch: &[Retired]) {
+            self.0.extend_from_slice(batch);
+        }
+    }
+
+    let cfg = RunConfig::default();
+    for (name, program) in three_workloads() {
+        let layout = Layout::natural(&program);
+        let capture = CapturedTrace::capture(&program, &layout, &cfg)
+            .unwrap_or_else(|e| panic!("{name}: capture failed: {e}"));
+
+        let mut reference = Collect::default();
+        let ref_stats = capture.replay_per_event(&mut reference);
+
+        for batch in [1usize, 1009, 4096] {
+            let mut got = CollectBatched::default();
+            let stats = capture.replay_batched(&mut got, batch);
+            assert_eq!(stats, ref_stats, "{name} batch={batch}: stats diverged");
+            assert_eq!(
+                got.0.len(),
+                reference.0.len(),
+                "{name} batch={batch}: event count diverged"
+            );
+            assert!(
+                got.0 == reference.0,
+                "{name} batch={batch}: event sequence diverged"
+            );
+        }
+
+        // The default entry point (env-tuned chunk size) through the
+        // per-event forwarding default.
+        let mut via_default = Collect::default();
+        capture.replay(&mut via_default);
+        assert!(
+            via_default.0 == reference.0,
+            "{name}: default replay diverged"
+        );
+    }
+}
