@@ -1,0 +1,168 @@
+//! Renders the offline observability dashboard, and diffs run manifests.
+//!
+//! ```text
+//! dashboard [--out FILE.html] [--only SUBSTR]...
+//! dashboard manifest-diff OLD.jsonl NEW.jsonl [--max-span-regression PCT]
+//! ```
+//!
+//! The default mode profiles the (possibly `--only`-filtered) suite,
+//! packs each workload under the strongest configuration (`inf/link`),
+//! and writes a self-contained HTML page — phase timeline and
+//! package-residency Gantt per workload, the Figure 8 coverage heatmap,
+//! a span-tree flame view of this run's own cost, and the replay
+//! throughput trend across committed `BENCH_*.json` baselines. No
+//! external resources; the page works from `file://` offline.
+//!
+//! `manifest-diff` aligns two `vp-manifest` JSONL runs and attributes
+//! counter/span/histogram movement; it exits non-zero when the worst
+//! span regression exceeds the threshold (default 25%), which is how CI
+//! gates observability regressions.
+
+use bench::dashboard::{collect_timeline, load_bench_trend, render_dashboard_html, Dashboard};
+use bench::manifest_diff::diff_manifests;
+use bench::CONFIG_LABELS;
+use vacuum_packing::core::PackConfig;
+use vacuum_packing::metrics::evaluate;
+use vacuum_packing::opt::OptConfig;
+use vacuum_packing::workloads::suite;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("dashboard: {msg}");
+    std::process::exit(2);
+}
+
+/// Default gate: fail on any span more than 25% slower than the old run.
+const DEFAULT_MAX_SPAN_REGRESSION_PCT: f64 = 25.0;
+
+fn manifest_diff_main(args: &[String]) -> ! {
+    let mut files: Vec<String> = Vec::new();
+    let mut max_pct = DEFAULT_MAX_SPAN_REGRESSION_PCT;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--max-span-regression" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => max_pct = v,
+                None => fail("--max-span-regression needs a numeric percent"),
+            },
+            _ => files.push(a.clone()),
+        }
+    }
+    let [old_path, new_path] = files.as_slice() else {
+        fail("usage: dashboard manifest-diff OLD.jsonl NEW.jsonl [--max-span-regression PCT]");
+    };
+    // Each side: first parseable manifest line in the file (a JSONL trace
+    // may hold spans/events before the trailing manifest).
+    let load = |path: &str| {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+        text.lines()
+            .filter(|l| !l.trim().is_empty())
+            .find_map(|l| vp_trace::parse_manifest_line(l).ok())
+            .unwrap_or_else(|| fail(&format!("{path}: no manifest line found")))
+    };
+    let (old, new) = (load(old_path), load(new_path));
+    let diff = diff_manifests(&old, &new);
+    print!("{}", diff.render());
+    let worst = diff.worst_span_regression_pct();
+    if worst > max_pct {
+        eprintln!(
+            "dashboard: FAIL — worst span regression {worst:.1}% exceeds the {max_pct:.1}% gate"
+        );
+        std::process::exit(1);
+    }
+    println!("\nOK — worst span regression {worst:.1}% within the {max_pct:.1}% gate");
+    std::process::exit(0);
+}
+
+fn main() {
+    let args = bench::cli_args();
+    if args.first().map(String::as_str) == Some("manifest-diff") {
+        manifest_diff_main(&args[1..]);
+    }
+
+    let mut out_path = "dashboard.html".to_string();
+    let mut only: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out_path = p,
+                None => fail("--out needs a file argument"),
+            },
+            "--only" => match it.next() {
+                Some(f) => only.push(f),
+                None => fail("--only needs a substring argument"),
+            },
+            other => fail(&format!(
+                "unknown argument {other:?} (usage: dashboard [--out FILE.html] [--only SUBSTR]... | dashboard manifest-diff OLD NEW)"
+            )),
+        }
+    }
+
+    let mut mf = bench::init("dashboard");
+    mf.set("out", out_path.as_str().into());
+
+    // Span capture needs an installed sink or a scope; force-enable so
+    // the flame view is populated even without VP_TRACE.
+    let ((), _report) = vp_trace::scoped(|| {
+        let _root = vp_trace::span("dashboard.render");
+        let workloads: Vec<_> = suite(bench::scale())
+            .into_iter()
+            .filter(|w| only.is_empty() || only.iter().any(|f| w.label().contains(f)))
+            .collect();
+        if workloads.is_empty() {
+            fail("no workloads match the --only filters");
+        }
+
+        // inf/link — the paper's strongest configuration — drives the
+        // residency lanes; the heatmap covers the whole matrix.
+        let matrix = PackConfig::evaluation_matrix();
+        let timelines: Vec<_> = workloads
+            .iter()
+            .map(|w| {
+                collect_timeline(w, &matrix[3]).unwrap_or_else(|e| panic!("{}: {e}", w.label()))
+            })
+            .collect();
+
+        let profiled = bench::profile_workloads(workloads, None);
+        let heatmap = {
+            let _s = vp_trace::span("dashboard.heatmap");
+            profiled
+                .iter()
+                .map(|pw| {
+                    let row = matrix
+                        .iter()
+                        .map(|cfg| {
+                            evaluate(pw, cfg, &OptConfig::default(), None)
+                                .unwrap_or_else(|e| panic!("{}: {e}", pw.label))
+                                .coverage
+                        })
+                        .collect();
+                    (pw.label.clone(), row)
+                })
+                .collect()
+        };
+        let trend = load_bench_trend(std::path::Path::new("."));
+
+        let d = Dashboard {
+            timelines,
+            heatmap,
+            flame: vp_trace::tree_snapshot(),
+            trend,
+        };
+        let html = render_dashboard_html(&d);
+        std::fs::write(&out_path, &html)
+            .unwrap_or_else(|e| fail(&format!("cannot write {out_path}: {e}")));
+        eprintln!(
+            "dashboard: wrote {out_path} ({} workloads x {} configs, {} bytes)",
+            d.timelines.len(),
+            CONFIG_LABELS.len(),
+            html.len()
+        );
+    });
+    mf.set(
+        "span_tree_nodes",
+        (vp_trace::tree_snapshot().len() as u64).into(),
+    );
+    bench::emit_manifest(mf);
+}

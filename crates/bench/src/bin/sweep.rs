@@ -7,11 +7,13 @@
 //! ```
 //!
 //! Sharding comes from `VP_SHARD=i/n` (unset = the whole matrix). Each run
-//! emits its cell rows in its `vp-manifest/1` manifest (`VP_TRACE=json:<path>`),
+//! emits its cell rows in its `vp-manifest/2` manifest (`VP_TRACE=json:<path>`),
 //! which `merge` validates for exact single coverage of the matrix before
 //! printing the report an unsharded run would have produced, byte for byte.
 
-use bench::sweep::{merge_manifests, render_report, sweep_cells, ShardSpec, CELL_HEADERS};
+use bench::sweep::{
+    merge_manifests, render_report, sweep_cells, ShardSpec, CELL_HEADERS, TELEMETRY_HEADERS,
+};
 use vacuum_packing::sim::MachineConfig;
 
 fn fail(msg: &str) -> ! {
@@ -85,6 +87,8 @@ fn main() {
     mf.set("cells_done", outcome.rows.len().into());
     let headers: Vec<String> = CELL_HEADERS.iter().map(|h| (*h).to_string()).collect();
     mf.table("cells", &headers, &outcome.rows);
+    let t_headers: Vec<String> = TELEMETRY_HEADERS.iter().map(|h| (*h).to_string()).collect();
+    mf.table("cell_telemetry", &t_headers, &outcome.telemetry);
 
     if let Some(s) = &shard {
         // A shard's stdout is informational; the authoritative joined

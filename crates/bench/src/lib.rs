@@ -28,6 +28,8 @@
 //!   `vp_exec::diff`); `strict` panics the evaluating cell — and thereby
 //!   fails the sweep — on any unexplained divergence.
 
+pub mod dashboard;
+pub mod manifest_diff;
 pub mod micro;
 pub mod sweep;
 
@@ -145,6 +147,75 @@ where
         .zip(&labels)
         .map(|(o, l)| o.unwrap_or_else(|| Err(format!("{l}: job was never run"))));
     labels.iter().cloned().zip(outs).collect()
+}
+
+/// Per-job observability captured by [`parallel_sweep_scoped`]: wall time
+/// plus the job's own vp-trace scope report (counters, spans, flight
+/// events recorded on the worker thread while the job ran — and nothing
+/// from any other job).
+#[derive(Debug, Clone)]
+pub(crate) struct JobTelemetry {
+    /// Wall-clock job duration in milliseconds.
+    pub wall_ms: f64,
+    /// The job's isolated trace scope.
+    pub report: vp_trace::TraceReport,
+}
+
+/// A labeled job outcome paired with the job's [`JobTelemetry`].
+pub(crate) type ScopedSweepResults<T> = Vec<(String, Result<(T, JobTelemetry), String>)>;
+
+/// Trace-store hit ratio from a job's counter deltas: hits (memory +
+/// disk) over hits + live captures. `None` when the job never touched
+/// the store.
+pub(crate) fn store_hit_ratio(report: &vp_trace::TraceReport) -> Option<f64> {
+    let hits = report.counter("trace_store.hits") + report.counter("trace_store.disk_hits");
+    let total = hits + report.counter("trace_store.captures");
+    (total > 0).then(|| hits as f64 / total as f64)
+}
+
+/// Like [`parallel_sweep`], with per-job observability:
+///
+/// * each job runs inside its own [`vp_trace::scoped`] region, so span and
+///   counter aggregates are attributed to the cell that produced them
+///   instead of leaking across concurrently-running cells;
+/// * each job's outermost span (`bench.cell`) adopts the *dispatching*
+///   thread's span context, keeping worker work attached to the caller's
+///   span tree;
+/// * start/finish progress lines go to stderr with wall time and
+///   trace-store hit ratio, so long sharded sweeps are not silent.
+pub(crate) fn parallel_sweep_scoped<J, T>(
+    what: &'static str,
+    jobs: Vec<(String, J)>,
+    f: impl Fn(&J) -> T + Sync,
+) -> ScopedSweepResults<T>
+where
+    J: Send,
+    T: Send,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let ctx = vp_trace::current_span_context();
+    let total = jobs.len();
+    let done = AtomicUsize::new(0);
+    let jobs: Vec<(String, (String, J))> = jobs
+        .into_iter()
+        .map(|(label, j)| (label.clone(), (label, j)))
+        .collect();
+    parallel_sweep(jobs, |(label, j)| {
+        eprintln!("{what}: {label} ...");
+        let start = std::time::Instant::now();
+        let (out, report) = vp_trace::scoped(|| {
+            let _cell = vp_trace::span_in(&ctx, "bench.cell");
+            f(j)
+        });
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+        let ratio = store_hit_ratio(&report)
+            .map_or_else(|| "-".to_string(), |r| format!("{:.0}%", r * 100.0));
+        eprintln!(
+            "{what}: {label} done in {wall_ms:.1} ms (store hits {ratio}) [{finished}/{total}]"
+        );
+        (out, JobTelemetry { wall_ms, report })
+    })
 }
 
 /// Unwraps a sweep's outcomes, reporting *every* failing label before
@@ -280,6 +351,70 @@ mod tests {
             }
         }
         assert_eq!(failed, vec![3, 6], "exactly the panicking jobs fail");
+    }
+
+    #[test]
+    fn scoped_sweep_isolates_cell_telemetry() {
+        static ISO_A: vp_trace::Counter = vp_trace::Counter::new("test.bench.iso_a");
+        static ISO_B: vp_trace::Counter = vp_trace::Counter::new("test.bench.iso_b");
+        let results = parallel_sweep_scoped(
+            "test-sweep",
+            vec![("cell-a".to_string(), 0usize), ("cell-b".to_string(), 1)],
+            |&which| {
+                if which == 0 {
+                    ISO_A.add(3);
+                } else {
+                    ISO_B.add(5);
+                }
+            },
+        );
+        let by_label: std::collections::BTreeMap<String, JobTelemetry> = results
+            .into_iter()
+            .map(|(l, r)| (l, r.expect("job succeeds").1))
+            .collect();
+        let a = &by_label["cell-a"];
+        let b = &by_label["cell-b"];
+        assert_eq!(a.report.counter("test.bench.iso_a"), 3);
+        assert_eq!(
+            a.report.counter("test.bench.iso_b"),
+            0,
+            "cell A's report must not contain cell B's counters"
+        );
+        assert_eq!(b.report.counter("test.bench.iso_b"), 5);
+        assert_eq!(b.report.counter("test.bench.iso_a"), 0);
+        assert!(a.wall_ms >= 0.0);
+        assert!(
+            a.report.has_span("bench.cell") && b.report.has_span("bench.cell"),
+            "every cell times itself under a bench.cell span"
+        );
+    }
+
+    #[test]
+    fn scoped_sweep_isolates_spans_across_cells() {
+        let results = parallel_sweep_scoped(
+            "test-sweep",
+            vec![("span-a".to_string(), 0usize), ("span-b".to_string(), 1)],
+            |&which| {
+                let _s = vp_trace::span(if which == 0 {
+                    "test.bench.stage_a"
+                } else {
+                    "test.bench.stage_b"
+                });
+            },
+        );
+        for (label, r) in results {
+            let t = r.expect("job succeeds").1;
+            let (own, other) = if label == "span-a" {
+                ("test.bench.stage_a", "test.bench.stage_b")
+            } else {
+                ("test.bench.stage_b", "test.bench.stage_a")
+            };
+            assert!(t.report.has_span(own), "{label} has its own span");
+            assert!(
+                !t.report.has_span(other),
+                "{label} must not be attributed the other cell's span"
+            );
+        }
     }
 
     #[test]

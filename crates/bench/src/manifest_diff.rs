@@ -1,0 +1,378 @@
+//! Regression attribution between two `vp-manifest` runs.
+//!
+//! `manifest-diff OLD NEW` loads one manifest line from each file
+//! (`vp-manifest/2`, or legacy `/1`), aligns their stamped span,
+//! counter, and histogram aggregates by name, and reports what moved —
+//! so a slowdown shows up attributed to the stage that regressed rather
+//! than as one opaque wall-time number. The worst span regression gates
+//! CI: the binary exits non-zero when it exceeds the threshold.
+
+use std::collections::BTreeMap;
+use vp_trace::Json;
+
+/// Spans faster than this on the old side are not gated: percentage
+/// movement on sub-millisecond stages is noise, not regression.
+pub const MIN_GATED_SPAN_MS: f64 = 1.0;
+
+/// One span's movement between the two runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanDelta {
+    /// Span name (flat aggregate key).
+    pub name: String,
+    /// Total milliseconds in the old run (`None` if the span is new).
+    pub old_ms: Option<f64>,
+    /// Total milliseconds in the new run (`None` if the span vanished).
+    pub new_ms: Option<f64>,
+}
+
+impl SpanDelta {
+    /// Percent change new-vs-old, when both sides exist and the old side
+    /// is big enough to gate on. Positive = regression.
+    pub fn gated_pct(&self) -> Option<f64> {
+        match (self.old_ms, self.new_ms) {
+            (Some(old), Some(new)) if old >= MIN_GATED_SPAN_MS => Some((new - old) / old * 100.0),
+            _ => None,
+        }
+    }
+}
+
+/// One counter's movement between the two runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterDelta {
+    /// Counter name.
+    pub name: String,
+    /// Old total (0 if absent).
+    pub old: u64,
+    /// New total (0 if absent).
+    pub new: u64,
+}
+
+/// One histogram's movement between the two runs, summarized by count
+/// and mean.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistDelta {
+    /// Histogram name.
+    pub name: String,
+    /// `(count, mean, p50)` in the old run.
+    pub old: (u64, f64, u64),
+    /// `(count, mean, p50)` in the new run.
+    pub new: (u64, f64, u64),
+}
+
+/// The aligned difference between two manifest runs.
+#[derive(Debug, Clone, Default)]
+pub struct ManifestDiff {
+    /// `bin` fields of the two manifests.
+    pub bins: (String, String),
+    /// `duration_ms` of each side, when stamped (v2 manifests).
+    pub duration_ms: (Option<f64>, Option<f64>),
+    /// Every span present on either side, sorted by name.
+    pub spans: Vec<SpanDelta>,
+    /// Counters whose totals differ, sorted by name.
+    pub counters: Vec<CounterDelta>,
+    /// Histograms present on either side whose summary moved, sorted by
+    /// name.
+    pub histograms: Vec<HistDelta>,
+}
+
+fn named_ms(j: &Json, section: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    if let Some(Json::Obj(pairs)) = j.get(section) {
+        for (name, v) in pairs {
+            if let Some(ms) = v.get("ms").and_then(Json::as_f64) {
+                out.insert(name.clone(), ms);
+            }
+        }
+    }
+    out
+}
+
+fn named_u64(j: &Json, section: &str) -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    if let Some(Json::Obj(pairs)) = j.get(section) {
+        for (name, v) in pairs {
+            if let Some(n) = v.as_u64() {
+                out.insert(name.clone(), n);
+            }
+        }
+    }
+    out
+}
+
+fn hist_summary(v: &Json) -> (u64, f64, u64) {
+    let count = v.get("count").and_then(Json::as_u64).unwrap_or(0);
+    let sum = v.get("sum").and_then(Json::as_f64).unwrap_or(0.0);
+    let p50 = v.get("p50").and_then(Json::as_u64).unwrap_or(0);
+    let mean = if count == 0 { 0.0 } else { sum / count as f64 };
+    (count, mean, p50)
+}
+
+/// Aligns two parsed manifests (see [`vp_trace::parse_manifest_line`])
+/// into a [`ManifestDiff`].
+pub fn diff_manifests(old: &Json, new: &Json) -> ManifestDiff {
+    let bin = |j: &Json| {
+        j.get("bin")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string()
+    };
+    let dur = |j: &Json| j.get("duration_ms").and_then(Json::as_f64);
+
+    let (old_spans, new_spans) = (named_ms(old, "spans"), named_ms(new, "spans"));
+    let mut span_names: Vec<&String> = old_spans.keys().chain(new_spans.keys()).collect();
+    span_names.sort();
+    span_names.dedup();
+    let spans = span_names
+        .into_iter()
+        .map(|name| SpanDelta {
+            name: name.clone(),
+            old_ms: old_spans.get(name).copied(),
+            new_ms: new_spans.get(name).copied(),
+        })
+        .collect();
+
+    let (old_c, new_c) = (named_u64(old, "counters"), named_u64(new, "counters"));
+    let mut counter_names: Vec<&String> = old_c.keys().chain(new_c.keys()).collect();
+    counter_names.sort();
+    counter_names.dedup();
+    let counters = counter_names
+        .into_iter()
+        .filter_map(|name| {
+            let (o, n) = (
+                old_c.get(name).copied().unwrap_or(0),
+                new_c.get(name).copied().unwrap_or(0),
+            );
+            (o != n).then(|| CounterDelta {
+                name: name.clone(),
+                old: o,
+                new: n,
+            })
+        })
+        .collect();
+
+    let hists = |j: &Json| -> BTreeMap<String, (u64, f64, u64)> {
+        let mut out = BTreeMap::new();
+        if let Some(Json::Obj(pairs)) = j.get("histograms") {
+            for (name, v) in pairs {
+                out.insert(name.clone(), hist_summary(v));
+            }
+        }
+        out
+    };
+    let (old_h, new_h) = (hists(old), hists(new));
+    let mut hist_names: Vec<&String> = old_h.keys().chain(new_h.keys()).collect();
+    hist_names.sort();
+    hist_names.dedup();
+    let histograms = hist_names
+        .into_iter()
+        .filter_map(|name| {
+            let o = old_h.get(name).copied().unwrap_or((0, 0.0, 0));
+            let n = new_h.get(name).copied().unwrap_or((0, 0.0, 0));
+            (o != n).then(|| HistDelta {
+                name: name.clone(),
+                old: o,
+                new: n,
+            })
+        })
+        .collect();
+
+    ManifestDiff {
+        bins: (bin(old), bin(new)),
+        duration_ms: (dur(old), dur(new)),
+        spans,
+        counters,
+        histograms,
+    }
+}
+
+impl ManifestDiff {
+    /// The largest gated span regression in percent (0 when nothing
+    /// regressed). Only spans at least [`MIN_GATED_SPAN_MS`] on the old
+    /// side participate.
+    pub fn worst_span_regression_pct(&self) -> f64 {
+        self.spans
+            .iter()
+            .filter_map(SpanDelta::gated_pct)
+            .fold(0.0, f64::max)
+    }
+
+    /// Renders the diff as a plain-text report, spans sorted worst
+    /// regression first.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "manifest-diff: {} -> {}\n",
+            self.bins.0, self.bins.1
+        ));
+        if let (Some(o), Some(n)) = self.duration_ms {
+            out.push_str(&format!(
+                "run duration: {o:.1} ms -> {n:.1} ms ({:+.1}%)\n",
+                (n - o) / o.max(1e-9) * 100.0
+            ));
+        }
+
+        let mut spans: Vec<&SpanDelta> = self.spans.iter().collect();
+        spans.sort_by(|a, b| {
+            b.gated_pct()
+                .unwrap_or(f64::MIN)
+                .total_cmp(&a.gated_pct().unwrap_or(f64::MIN))
+        });
+        out.push_str("\nspans (worst regression first):\n");
+        if spans.is_empty() {
+            out.push_str("  (none on either side)\n");
+        }
+        for s in spans {
+            let fmt = |v: Option<f64>| v.map_or("-".to_string(), |ms| format!("{ms:.3} ms"));
+            let tag = match (s.gated_pct(), s.old_ms, s.new_ms) {
+                (Some(pct), _, _) => format!("{pct:+.1}%"),
+                (None, Some(_), Some(_)) => "below gate".to_string(),
+                (None, None, _) => "added".to_string(),
+                (None, _, None) => "removed".to_string(),
+            };
+            out.push_str(&format!(
+                "  {:<44} {:>14} -> {:>14}  {}\n",
+                s.name,
+                fmt(s.old_ms),
+                fmt(s.new_ms),
+                tag
+            ));
+        }
+
+        if !self.counters.is_empty() {
+            out.push_str("\ncounters (changed):\n");
+            for c in &self.counters {
+                let delta = c.new as i128 - c.old as i128;
+                out.push_str(&format!(
+                    "  {:<44} {:>14} -> {:>14}  ({delta:+})\n",
+                    c.name, c.old, c.new
+                ));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\nhistograms (changed):\n");
+            for h in &self.histograms {
+                out.push_str(&format!(
+                    "  {:<44} count {} -> {}, mean {:.1} -> {:.1}, p50 {} -> {}\n",
+                    h.name, h.old.0, h.new.0, h.old.1, h.new.1, h.old.2, h.new.2
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manifest(spans: &[(&str, f64)], counters: &[(&str, u64)]) -> Json {
+        let mut line = String::from(r#"{"t":"manifest","schema":"vp-manifest/2","bin":"sweep""#);
+        line.push_str(r#","duration_ms":100.0,"spans":{"#);
+        line.push_str(
+            &spans
+                .iter()
+                .map(|(n, ms)| format!(r#""{n}":{{"count":1,"ms":{ms}}}"#))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        line.push_str(r#"},"counters":{"#);
+        line.push_str(
+            &counters
+                .iter()
+                .map(|(n, v)| format!(r#""{n}":{v}"#))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        line.push_str("}}");
+        vp_trace::parse_manifest_line(&line).unwrap()
+    }
+
+    #[test]
+    fn clean_diff_has_no_regression() {
+        let old = manifest(&[("pack", 10.0), ("measure", 50.0)], &[("hits", 4)]);
+        let new = manifest(&[("pack", 10.2), ("measure", 49.0)], &[("hits", 4)]);
+        let d = diff_manifests(&old, &new);
+        assert!(d.worst_span_regression_pct() < 25.0);
+        assert!(d.counters.is_empty(), "unchanged counters are not listed");
+    }
+
+    #[test]
+    fn injected_span_regression_is_attributed() {
+        let old = manifest(&[("pack", 10.0), ("measure", 50.0)], &[]);
+        let new = manifest(&[("pack", 10.0), ("measure", 100.0)], &[]);
+        let d = diff_manifests(&old, &new);
+        let worst = d.worst_span_regression_pct();
+        assert!((worst - 100.0).abs() < 1e-9, "worst = {worst}");
+        let report = d.render();
+        let measure_at = report.find("measure").unwrap();
+        let pack_at = report.find("pack").unwrap();
+        assert!(
+            measure_at < pack_at,
+            "regressed span sorts first:\n{report}"
+        );
+        assert!(report.contains("+100.0%"), "{report}");
+    }
+
+    #[test]
+    fn sub_millisecond_spans_do_not_gate() {
+        let old = manifest(&[("tiny", 0.01)], &[]);
+        let new = manifest(&[("tiny", 0.09)], &[]);
+        let d = diff_manifests(&old, &new);
+        assert_eq!(d.worst_span_regression_pct(), 0.0);
+        assert!(d.render().contains("below gate"));
+    }
+
+    #[test]
+    fn added_and_removed_spans_are_listed_not_gated() {
+        let old = manifest(&[("gone", 30.0)], &[]);
+        let new = manifest(&[("fresh", 30.0)], &[]);
+        let d = diff_manifests(&old, &new);
+        assert_eq!(d.worst_span_regression_pct(), 0.0);
+        let report = d.render();
+        assert!(
+            report.contains("added") && report.contains("removed"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn counter_and_duration_movement_is_reported() {
+        let old = manifest(&[], &[("trace_store.hits", 10), ("same", 1)]);
+        let new = manifest(&[], &[("trace_store.hits", 4), ("same", 1)]);
+        let d = diff_manifests(&old, &new);
+        assert_eq!(
+            d.counters,
+            vec![CounterDelta {
+                name: "trace_store.hits".to_string(),
+                old: 10,
+                new: 4
+            }]
+        );
+        assert!(d.render().contains("(-6)"));
+    }
+
+    #[test]
+    fn histogram_mean_shift_is_reported() {
+        let mk = |sum: u64| {
+            let line = format!(
+                r#"{{"t":"manifest","schema":"vp-manifest/2","bin":"x","histograms":{{"h":{{"count":4,"sum":{sum},"min":1,"max":9,"p50":2,"p99":9,"buckets":[[1,4]]}}}}}}"#
+            );
+            vp_trace::parse_manifest_line(&line).unwrap()
+        };
+        let d = diff_manifests(&mk(8), &mk(80));
+        assert_eq!(d.histograms.len(), 1);
+        assert_eq!(d.histograms[0].old.1, 2.0);
+        assert_eq!(d.histograms[0].new.1, 20.0);
+    }
+
+    #[test]
+    fn legacy_v1_manifests_diff_without_duration() {
+        let legacy = vp_trace::parse_manifest_line(
+            r#"{"t":"manifest","schema":"vp-manifest/1","bin":"sweep","spans":{"pack":{"count":1,"ms":5.0}}}"#,
+        )
+        .unwrap();
+        let d = diff_manifests(&legacy, &legacy);
+        assert_eq!(d.duration_ms, (None, None));
+        assert_eq!(d.worst_span_regression_pct(), 0.0);
+    }
+}

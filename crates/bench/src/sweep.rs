@@ -5,7 +5,7 @@
 //! `VP_THREADS` cores. This module splits the cell matrix across
 //! *processes*: `VP_SHARD=i/n` deterministically assigns every cell with
 //! index `j % n == i` (row-major over workloads × configs) to shard `i`,
-//! each shard emits its cell rows in its `vp-manifest/1` run manifest, and
+//! each shard emits its cell rows in its `vp-manifest/2` run manifest, and
 //! [`merge_manifests`] joins the per-shard manifests back into the exact
 //! report an unsharded run would have printed — byte for byte, because both
 //! paths render from the same formatted cell rows via [`render_report`].
@@ -22,7 +22,7 @@ use vacuum_packing::sim::MachineConfig;
 use vacuum_packing::workloads::{suite, Workload};
 use vp_trace::{parse_manifest_line, Json};
 
-use crate::{parallel_sweep, profile_workloads, scale, CONFIG_LABELS};
+use crate::{parallel_sweep_scoped, profile_workloads, scale, store_hit_ratio, CONFIG_LABELS};
 
 /// Column headers of the per-cell sweep table; [`render_report`] and the
 /// shard manifests both use this exact shape.
@@ -44,6 +44,19 @@ const COL_COVERAGE: usize = 3;
 const COL_EXPANSION: usize = 4;
 const COL_SPEEDUP: usize = 7;
 const COL_DIFF: usize = 8;
+
+/// Column headers of the per-cell telemetry table emitted alongside the
+/// cell rows: wall time and trace-store behavior of each cell in
+/// isolation (each cell runs in its own vp-trace scope, so these numbers
+/// never include a concurrently-running cell's work).
+pub const TELEMETRY_HEADERS: [&str; 6] = [
+    "cell",
+    "wall_ms",
+    "store_hits",
+    "store_captures",
+    "hit_ratio%",
+    "divergences",
+];
 
 /// One shard's slice of the cell matrix, parsed from `VP_SHARD=i/n`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,6 +116,9 @@ pub struct SweepOutcome {
     /// Formatted cell rows in ascending cell order, shaped like
     /// [`CELL_HEADERS`].
     pub rows: Vec<Vec<String>>,
+    /// Per-cell telemetry rows, shaped like [`TELEMETRY_HEADERS`], in the
+    /// same cell order as `rows`.
+    pub telemetry: Vec<Vec<String>>,
     /// Size of the full matrix (all shards combined).
     pub cells_total: usize,
 }
@@ -155,14 +171,35 @@ pub fn sweep_cells(
             (format!("{} [{}]", by_index[&w].label, CONFIG_LABELS[c]), j)
         })
         .collect();
-    let results = parallel_sweep(jobs, |&j| {
+    let results = parallel_sweep_scoped("sweep", jobs, |&j| {
         let (w, c) = (j / n_cfg, j % n_cfg);
         let out = evaluate(&by_index[&w], &configs[c], &OptConfig::default(), machine)
             .unwrap_or_else(|e| panic!("{e}"));
         cell_row(j, &by_index[&w].label, CONFIG_LABELS[c], &out)
     });
-    let rows = crate::collect_or_report("sweep_cells", results);
-    SweepOutcome { rows, cells_total }
+    let mut rows = Vec::new();
+    let mut telemetry = Vec::new();
+    for (row, t) in crate::collect_or_report("sweep_cells", results) {
+        telemetry.push(telemetry_row(&row[COL_CELL], &t));
+        rows.push(row);
+    }
+    SweepOutcome {
+        rows,
+        telemetry,
+        cells_total,
+    }
+}
+
+fn telemetry_row(cell: &str, t: &crate::JobTelemetry) -> Vec<String> {
+    vec![
+        cell.to_string(),
+        format!("{:.1}", t.wall_ms),
+        (t.report.counter("trace_store.hits") + t.report.counter("trace_store.disk_hits"))
+            .to_string(),
+        t.report.counter("trace_store.captures").to_string(),
+        store_hit_ratio(&t.report).map_or_else(|| "-".to_string(), |r| format!("{:.0}", r * 100.0)),
+        t.report.counter("diff.divergences").to_string(),
+    ]
 }
 
 fn cell_row(
@@ -248,7 +285,7 @@ pub fn render_report(rows: &[Vec<String>]) -> String {
     )
 }
 
-/// Joins per-shard `vp-manifest/1` JSONL into the unsharded report.
+/// Joins per-shard `vp-manifest/2` JSONL into the unsharded report.
 ///
 /// `inputs` is `(source name, file contents)` per shard manifest; the
 /// source name only decorates error messages. Every line that parses as a

@@ -414,6 +414,12 @@ impl Sink for VisitBuilder<'_> {
             }
             self.cur_pkg = package;
             self.cur_residency = 0;
+            if let Some(pkg) = package {
+                // Flight payload: (package id, events dropped in the gap
+                // since the last in-package event) — the package-switch
+                // timeline.
+                vp_trace::flight("diff.pkg_enter", u64::from(pkg), self.dropped_run);
+            }
         }
         if package.is_some() {
             self.cur_residency += 1;
@@ -561,6 +567,12 @@ pub fn diff_traces(
     DIFF_MIGRATIONS.add(pb.migrations);
     if verdict == DiffVerdict::Diverged {
         DIFF_DIVERGENCES.incr();
+        // Flight payload: (first mismatched visit index, aligned prefix).
+        vp_trace::flight(
+            "diff.divergence",
+            first_mismatch.unwrap_or(0) as u64,
+            aligned,
+        );
     }
     for &r in &pb.residencies {
         H_RESIDENCY.observe(r);

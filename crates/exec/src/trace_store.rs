@@ -218,6 +218,8 @@ impl TraceRecorder {
         };
         CAPTURES.incr();
         BYTES.add(trace.bytes() as u64);
+        // Flight payload: (trace bytes, event count).
+        vp_trace::flight("trace_store.capture", trace.bytes() as u64, trace.events);
         trace
     }
 }
@@ -768,8 +770,10 @@ impl TraceStore {
             e.last_used = clock;
             Arc::clone(&e.trace)
         });
-        if hit.is_some() {
+        if let Some(trace) = &hit {
             HITS.incr();
+            // Flight payload: (trace bytes, event count).
+            vp_trace::flight("trace_store.hit", trace.bytes() as u64, trace.events);
         }
         hit
     }
@@ -829,6 +833,12 @@ impl TraceStore {
             if let Some(e) = inner.map.remove(&victim) {
                 inner.bytes -= e.trace.bytes();
                 EVICTIONS.incr();
+                // Flight payload: (evicted bytes, resident bytes after).
+                vp_trace::flight(
+                    "trace_store.evict",
+                    e.trace.bytes() as u64,
+                    inner.bytes as u64,
+                );
             }
         }
         inner.bytes += size;

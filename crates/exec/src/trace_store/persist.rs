@@ -79,10 +79,10 @@ static DISK_EVICTIONS: Counter = Counter::new("trace_store.disk_evictions");
 /// History: v1 had no header string table or key echo; v2 prepends both;
 /// v3 replaces the dense side-table section with the hot-slot index
 /// (referenced slots only, plus a remap table). v2 files are still
-/// *readable* — see [`decode`] — but new files are always written v3.
+/// *readable* — see `decode` — but new files are always written v3.
 pub const FORMAT_VERSION: u32 = 3;
 
-/// Oldest format version [`decode`] still accepts.
+/// Oldest format version `decode` still accepts.
 pub const MIN_READ_VERSION: u32 = 2;
 
 /// Default disk budget when `VP_TRACE_DISK_MB` is unset.
@@ -736,6 +736,8 @@ impl DiskTier {
         match decode_owned(bytes) {
             Some((echoed, trace)) if echoed == *key => {
                 DISK_HITS.incr();
+                // Flight payload: (file bytes, event count).
+                vp_trace::flight("trace_store.disk_hit", trace.bytes() as u64, trace.events);
                 // Best-effort recency bump; eviction degrades to
                 // least-recently-written if the touch fails.
                 if let Ok(f) = fs::File::options().write(true).open(&path) {
@@ -822,6 +824,8 @@ impl DiskTier {
             if fs::remove_file(&path).is_ok() {
                 total -= len;
                 DISK_EVICTIONS.incr();
+                // Flight payload: (evicted file bytes, resident bytes after).
+                vp_trace::flight("trace_store.disk_evict", len, total);
             }
         }
     }

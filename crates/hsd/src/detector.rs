@@ -264,6 +264,13 @@ impl HotSpotDetector {
         if self.branches_retired - self.last_clear >= self.cfg.clear_interval {
             self.clear();
             CLEAR_EXPIRIES.incr();
+            // Flight payload: (branches retired, detections so far) — marks
+            // a detection-free window expiring, i.e. a likely phase exit.
+            vp_trace::flight(
+                "hsd.clear_expiry",
+                self.branches_retired,
+                self.records.len() as u64,
+            );
         }
     }
 
@@ -340,6 +347,9 @@ impl HotSpotDetector {
             };
             if self.history.admit(&record) {
                 DETECTIONS.incr();
+                // Flight payload: (branches retired at detection, candidate
+                // branch count) — the timeline of phase detections.
+                vp_trace::flight("hsd.detect", record.at_branch, record.branches.len() as u64);
                 self.records.push(record);
             } else {
                 SUPPRESSED.incr();

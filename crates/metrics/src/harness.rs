@@ -106,6 +106,11 @@ pub fn profile(
         let _s = vp_trace::span("metrics.profile.filter");
         filter_hot_spots(hsd.records(), &FilterConfig::default())
     };
+    for phase in &phases {
+        // Flight payload: (branches retired when first detected, phase id)
+        // — the phase-begin timeline as the software filter sees it.
+        vp_trace::flight("metrics.phase", phase.first_detected_at, phase.id as u64);
+    }
     Ok(ProfiledWorkload {
         label: label.to_string(),
         program,
@@ -198,6 +203,12 @@ pub fn evaluate_with_diff(
         let _s = vp_trace::span("metrics.evaluate.pack");
         pack(&pw.program, &pw.layout, &pw.phases, cfg)
     };
+    // Flight payload: (packages built, launch points patched).
+    vp_trace::flight(
+        "metrics.pack",
+        out.packages.len() as u64,
+        out.launch_points as u64,
+    );
     let run_cfg = RunConfig::default();
 
     let opt = machine.map(|m| {

@@ -76,8 +76,10 @@ pub mod branches;
 pub mod categorize;
 pub mod harness;
 pub mod render;
+pub mod timeline;
 
 pub use branches::BranchCounts;
 pub use categorize::{categorize, BranchCategory, Categorization, CATEGORIES};
 pub use harness::{evaluate, evaluate_with_diff, profile, ConfigOutcome, ProfiledWorkload};
 pub use render::{bar, pct, TextTable};
+pub use timeline::{phase_timeline, PhaseMark, ResidencyInterval, ResidencySink};

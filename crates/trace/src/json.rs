@@ -70,6 +70,16 @@ impl Json {
         }
     }
 
+    /// The value as an `f64`, if it is any numeric variant.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::U64(v) => Some(*v as f64),
+            Json::I64(v) => Some(*v as f64),
+            Json::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
     /// The array items, if this is an array.
     pub fn as_arr(&self) -> Option<&[Json]> {
         match self {
@@ -703,5 +713,9 @@ mod tests {
         assert_eq!(Json::I64(4).as_u64(), Some(4));
         assert_eq!(Json::I64(-4).as_u64(), None);
         assert_eq!(Json::Null.as_str(), None);
+        assert_eq!(Json::U64(4).as_f64(), Some(4.0));
+        assert_eq!(Json::I64(-4).as_f64(), Some(-4.0));
+        assert_eq!(Json::F64(0.5).as_f64(), Some(0.5));
+        assert_eq!(Json::Str("x".into()).as_f64(), None);
     }
 }

@@ -23,10 +23,12 @@
 //! Run manifests (config + stage times + counters + result tables) are
 //! built with [`manifest::Manifest`] and emitted as single JSONL objects.
 
+pub mod flight;
 pub mod json;
 pub mod manifest;
 pub mod sink;
 
+pub use flight::{flight, FlightEvent, FlightSnapshot, DEFAULT_FLIGHT_EVENTS};
 pub use json::Json;
 pub use manifest::{parse_manifest_line, Manifest};
 pub use sink::{JsonlSink, MemorySink, SummarySink, TraceSink};
@@ -46,6 +48,18 @@ pub enum Record {
         name: String,
         /// Elapsed wall time in nanoseconds.
         nanos: u64,
+        /// Span id from the shared sequence domain ([`next_seq`]), assigned
+        /// when the span *opened* — ids order span starts, not completions.
+        id: u64,
+        /// Id of the enclosing span (`0` for a root span), making the span
+        /// stream reconstructible as a tree.
+        parent: u64,
+    },
+    /// A flight-recorder dump, flushed by [`finish`] when the ring is
+    /// nonempty.
+    Flight {
+        /// The retained events, oldest first.
+        events: Vec<FlightEvent>,
     },
     /// A counter total, flushed by [`finish`].
     Count {
@@ -131,6 +145,24 @@ impl From<String> for Value {
 /// predicted-not-taken branch.
 static ACTIVE: AtomicUsize = AtomicUsize::new(0);
 
+/// The shared monotonic sequence domain: span ids and flight-recorder
+/// stamps are drawn from one process-global counter, so spans and flight
+/// events interleave into a single total order.
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Draws the next sequence number (ids start at 1; `0` means "none").
+#[inline]
+pub fn next_seq() -> u64 {
+    SEQ.fetch_add(1, Ordering::Relaxed) + 1
+}
+
+/// The highest sequence number issued so far — the `seq` ceiling stamped
+/// into `vp-manifest/2` manifests, bounding every id a run's records can
+/// reference.
+pub fn seq_ceiling() -> u64 {
+    SEQ.load(Ordering::Relaxed)
+}
+
 /// Whether any instrumentation consumer is active.
 ///
 /// This is the mandated fast path: one relaxed atomic load.
@@ -154,6 +186,18 @@ fn span_totals() -> &'static Mutex<BTreeMap<String, (u64, u64)>> {
     TOTALS.get_or_init(|| Mutex::new(BTreeMap::new()))
 }
 
+/// Aggregated span wall times keyed by *path* (`"a/b/c"`), the
+/// hierarchical counterpart of [`span_totals`].
+fn span_tree_totals() -> &'static Mutex<BTreeMap<String, (u64, u64)>> {
+    static TOTALS: OnceLock<Mutex<BTreeMap<String, (u64, u64)>>> = OnceLock::new();
+    TOTALS.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+thread_local! {
+    /// Live spans on this thread, innermost last: `(id, path)`.
+    static SPAN_STACK: RefCell<Vec<(u64, String)>> = const { RefCell::new(Vec::new()) };
+}
+
 fn sink_slot() -> &'static Mutex<Option<Arc<dyn TraceSink>>> {
     static SINK: OnceLock<Mutex<Option<Arc<dyn TraceSink>>>> = OnceLock::new();
     SINK.get_or_init(|| Mutex::new(None))
@@ -169,6 +213,7 @@ struct ScopeState {
     hists: BTreeMap<&'static str, HistAccum>,
     spans: Vec<(String, u64)>,
     events: Vec<(String, Vec<(String, Value)>)>,
+    flights: Vec<FlightEvent>,
 }
 
 thread_local! {
@@ -273,7 +318,13 @@ impl HistCell {
 
     fn observe(&self, v: u64) {
         self.buckets[hist_bucket(v)].fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(v, Ordering::Relaxed);
+        // Sums saturate: huge observations (u64::MAX sentinels) must not
+        // wrap the total.
+        let _ = self
+            .sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(s.saturating_add(v))
+            });
         self.min.fetch_min(v, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
     }
@@ -334,7 +385,7 @@ impl Default for HistAccum {
 impl HistAccum {
     fn observe(&mut self, v: u64) {
         self.buckets[hist_bucket(v)] += 1;
-        self.sum += v;
+        self.sum = self.sum.saturating_add(v);
         self.min = self.min.min(v);
         self.max = self.max.max(v);
     }
@@ -420,7 +471,7 @@ impl HistSnapshot {
         };
         self.max = self.max.max(other.max);
         self.count += other.count;
-        self.sum += other.sum;
+        self.sum = self.sum.saturating_add(other.sum);
     }
 }
 
@@ -476,45 +527,181 @@ impl Histogram {
     }
 }
 
-/// An RAII stage timer; created by [`span`], records on drop.
+/// An RAII stage timer; created by [`span`] or [`span_in`], records on
+/// drop.
 pub struct Span {
-    live: Option<(String, Instant)>,
+    live: Option<LiveSpan>,
 }
 
-/// Starts a stage timer named `name`.
+struct LiveSpan {
+    name: String,
+    path: String,
+    id: u64,
+    parent: u64,
+    start: Instant,
+}
+
+/// A span's identity, capturable on one thread and adoptable on another.
+///
+/// Spans nest through a thread-local stack, so work handed to a worker
+/// thread would otherwise start a new root. Capture
+/// [`current_span_context`] on the dispatching thread and open the
+/// worker's outermost span with [`span_in`] to keep the tree connected —
+/// this is how the bench sweep's per-cell spans hang off
+/// `bench.sweep_cells`.
+#[derive(Debug, Clone, Default)]
+pub struct SpanContext {
+    id: u64,
+    path: String,
+}
+
+/// The innermost live span on this thread (the root context when none).
+pub fn current_span_context() -> SpanContext {
+    SPAN_STACK.with(|s| {
+        s.borrow()
+            .last()
+            .map_or_else(SpanContext::default, |(id, path)| SpanContext {
+                id: *id,
+                path: path.clone(),
+            })
+    })
+}
+
+/// Starts a stage timer named `name`, nested under this thread's
+/// innermost live span.
 ///
 /// When tracing is disabled this neither allocates nor reads the clock.
 #[inline]
 pub fn span(name: &str) -> Span {
     if enabled() {
-        Span {
-            live: Some((name.to_string(), Instant::now())),
-        }
+        span_slow(name, None)
     } else {
         Span { live: None }
     }
 }
 
+/// Starts a stage timer parented under an explicit [`SpanContext`]
+/// instead of this thread's stack — the cross-thread form of [`span`].
+#[inline]
+pub fn span_in(ctx: &SpanContext, name: &str) -> Span {
+    if enabled() {
+        span_slow(name, Some(ctx))
+    } else {
+        Span { live: None }
+    }
+}
+
+#[cold]
+fn span_slow(name: &str, ctx: Option<&SpanContext>) -> Span {
+    let id = next_seq();
+    let (parent, path) = match ctx {
+        Some(c) if c.id != 0 => (c.id, format!("{}/{name}", c.path)),
+        _ => SPAN_STACK.with(|s| {
+            s.borrow().last().map_or_else(
+                || (0, name.to_string()),
+                |(pid, ppath)| (*pid, format!("{ppath}/{name}")),
+            )
+        }),
+    };
+    SPAN_STACK.with(|s| s.borrow_mut().push((id, path.clone())));
+    Span {
+        live: Some(LiveSpan {
+            name: name.to_string(),
+            path,
+            id,
+            parent,
+            start: Instant::now(),
+        }),
+    }
+}
+
 impl Drop for Span {
     fn drop(&mut self) {
-        if let Some((name, start)) = self.live.take() {
-            let nanos = start.elapsed().as_nanos() as u64;
+        if let Some(live) = self.live.take() {
+            let nanos = live.start.elapsed().as_nanos() as u64;
+            // Unwind this span (and any children leaked past it) from the
+            // thread's stack.
+            SPAN_STACK.with(|s| {
+                let mut st = s.borrow_mut();
+                if let Some(i) = st.iter().rposition(|(id, _)| *id == live.id) {
+                    st.truncate(i);
+                }
+            });
             {
                 let mut totals = span_totals().lock().expect("trace span totals");
-                let e = totals.entry(name.clone()).or_insert((0, 0));
+                let e = totals.entry(live.name.clone()).or_insert((0, 0));
+                e.0 += 1;
+                e.1 += nanos;
+            }
+            {
+                let mut tree = span_tree_totals().lock().expect("trace span tree");
+                let e = tree.entry(live.path).or_insert((0, 0));
                 e.0 += 1;
                 e.1 += nanos;
             }
             SCOPES.with(|s| {
                 for scope in s.borrow_mut().iter_mut() {
-                    scope.spans.push((name.clone(), nanos));
+                    scope.spans.push((live.name.clone(), nanos));
                 }
             });
             if let Some(sink) = current_sink() {
-                sink.record(&Record::Span { name, nanos });
+                sink.record(&Record::Span {
+                    name: live.name,
+                    nanos,
+                    id: live.id,
+                    parent: live.parent,
+                });
             }
         }
     }
+}
+
+/// One aggregated node of the span tree, addressed by its `/`-joined path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanNode {
+    /// Full path from the root, e.g. `"bench.sweep_cells/bench.cell"`.
+    pub path: String,
+    /// The leaf stage name.
+    pub name: String,
+    /// Nesting depth (root = 0).
+    pub depth: usize,
+    /// Completions at this path.
+    pub count: u64,
+    /// Total wall nanoseconds at this path (includes children).
+    pub nanos: u64,
+}
+
+/// The aggregated span tree, sorted so each subtree is contiguous —
+/// the self-profile behind the `report` binary's per-stage cost
+/// breakdown.
+pub fn tree_snapshot() -> Vec<SpanNode> {
+    span_tree_totals()
+        .lock()
+        .expect("trace span tree")
+        .iter()
+        .map(|(path, &(count, nanos))| SpanNode {
+            name: path.rsplit('/').next().unwrap_or(path).to_string(),
+            depth: path.matches('/').count(),
+            path: path.clone(),
+            count,
+            nanos,
+        })
+        .collect()
+}
+
+/// Renders the span tree as an indented text table (name, calls, total
+/// ms), one line per [`SpanNode`].
+pub fn render_span_tree(nodes: &[SpanNode]) -> String {
+    let mut out = String::new();
+    for n in nodes {
+        out.push_str(&format!(
+            "{:<52} {:>8} x {:>12.3} ms\n",
+            format!("{}{}", "  ".repeat(n.depth), n.name),
+            n.count,
+            n.nanos as f64 / 1e6
+        ));
+    }
+    out
 }
 
 /// Emits a typed event with fields; a no-op branch when tracing is off.
@@ -544,6 +731,22 @@ fn event_slow(name: &str, fields: &[(&str, Value)]) {
     }
 }
 
+/// Mirrors a flight-recorder event into this thread's open scopes, so
+/// tests can assert on flight activity via [`TraceReport::flights`]
+/// without racing other threads on the global ring.
+pub(crate) fn scope_flight(seq: u64, kind: &'static str, a: u64, b: u64) {
+    SCOPES.with(|s| {
+        for scope in s.borrow_mut().iter_mut() {
+            scope.flights.push(FlightEvent {
+                seq,
+                kind: kind.to_string(),
+                a,
+                b,
+            });
+        }
+    });
+}
+
 /// Everything a [`scoped`] closure produced on its thread.
 #[derive(Debug, Default, Clone)]
 pub struct TraceReport {
@@ -555,6 +758,8 @@ pub struct TraceReport {
     pub spans: Vec<(String, u64)>,
     /// Events in emission order.
     pub events: Vec<(String, Vec<(String, Value)>)>,
+    /// Flight-recorder events emitted inside the scope, in order.
+    pub flights: Vec<FlightEvent>,
 }
 
 impl TraceReport {
@@ -578,6 +783,11 @@ impl TraceReport {
     pub fn has_span(&self, name: &str) -> bool {
         self.spans.iter().any(|(n, _)| n == name)
     }
+
+    /// How many flight events of `kind` fired inside the scope.
+    pub fn flight_count(&self, kind: &str) -> usize {
+        self.flights.iter().filter(|e| e.kind == kind).count()
+    }
 }
 
 struct ScopeGuard;
@@ -598,7 +808,22 @@ pub fn scoped<T>(f: impl FnOnce() -> T) -> (T, TraceReport) {
     ACTIVE.fetch_add(1, Ordering::Relaxed);
     let _guard = ScopeGuard;
     SCOPES.with(|s| s.borrow_mut().push(ScopeState::default()));
+    // If `f` panics, pop the scope during unwinding so a worker thread that
+    // catches the panic (the sweep's per-cell isolation) doesn't leak a
+    // stale scope that swallows later cells' records.
+    struct PopOnPanic;
+    impl Drop for PopOnPanic {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                SCOPES.with(|s| {
+                    s.borrow_mut().pop();
+                });
+            }
+        }
+    }
+    let pop = PopOnPanic;
     let out = f();
+    std::mem::forget(pop);
     let state = SCOPES.with(|s| s.borrow_mut().pop()).unwrap_or_default();
     let report = TraceReport {
         counters: state
@@ -613,6 +838,7 @@ pub fn scoped<T>(f: impl FnOnce() -> T) -> (T, TraceReport) {
             .collect(),
         spans: state.spans,
         events: state.events,
+        flights: state.flights,
     };
     (out, report)
 }
@@ -706,7 +932,8 @@ pub fn spans_snapshot() -> BTreeMap<String, (u64, u64)> {
     span_totals().lock().expect("trace span totals").clone()
 }
 
-/// Zeroes all counters and histograms and clears span aggregates.
+/// Zeroes all counters and histograms, clears span aggregates (flat and
+/// tree), and empties the flight-recorder ring.
 pub fn reset() {
     for cell in registry().lock().expect("trace registry").values() {
         cell.store(0, Ordering::Relaxed);
@@ -719,6 +946,8 @@ pub fn reset() {
         cell.reset();
     }
     span_totals().lock().expect("trace span totals").clear();
+    span_tree_totals().lock().expect("trace span tree").clear();
+    flight::reset();
 }
 
 /// Sends a serialized manifest line to the installed sink (if any).
@@ -749,6 +978,12 @@ pub fn finish() {
             if hist.count > 0 {
                 sink.record(&Record::Hist { name, hist });
             }
+        }
+        let flights = flight::snapshot();
+        if !flights.events.is_empty() {
+            sink.record(&Record::Flight {
+                events: flights.events,
+            });
         }
         sink.flush();
     }
@@ -865,5 +1100,142 @@ mod tests {
         assert!(!init_from_spec("off"));
         assert!(!init_from_spec("0"));
         assert!(!init_from_spec("definitely-not-a-mode"));
+    }
+
+    #[test]
+    fn spans_nest_hierarchically_on_one_thread() {
+        let ((), _report) = scoped(|| {
+            assert_eq!(current_span_context().id, 0, "fresh thread starts at root");
+            let outer = span("test.tree.outer");
+            let octx = current_span_context();
+            assert!(octx.id > 0);
+            assert_eq!(octx.path, "test.tree.outer");
+            {
+                let _inner = span("test.tree.inner");
+                let ictx = current_span_context();
+                assert!(ictx.id > octx.id, "ids are monotonic in open order");
+                assert_eq!(ictx.path, "test.tree.outer/test.tree.inner");
+            }
+            assert_eq!(
+                current_span_context().id,
+                octx.id,
+                "inner drop restores the parent"
+            );
+            drop(outer);
+            assert_eq!(current_span_context().id, 0, "outer drop empties the stack");
+        });
+        // The aggregated tree keys by full path; unique names keep this
+        // assertion race-free under the parallel test runner.
+        let nodes = tree_snapshot();
+        let inner = nodes
+            .iter()
+            .find(|n| n.path == "test.tree.outer/test.tree.inner")
+            .expect("inner path aggregated");
+        assert_eq!(inner.name, "test.tree.inner");
+        assert_eq!(inner.depth, 1);
+        assert!(inner.count >= 1);
+        let outer = nodes
+            .iter()
+            .find(|n| n.path == "test.tree.outer")
+            .expect("outer path aggregated");
+        assert_eq!(outer.depth, 0);
+        assert!(
+            outer.nanos >= inner.nanos,
+            "parent time includes child time"
+        );
+    }
+
+    #[test]
+    fn span_in_adopts_a_cross_thread_parent() {
+        let ((), _report) = scoped(|| {
+            let _root = span("test.adopt.root");
+            let ctx = current_span_context();
+            std::thread::spawn(move || {
+                // enabled() is process-global, so the worker records while
+                // the dispatching scope is live — this is the sweep's
+                // dispatcher/worker shape.
+                let _cell = span_in(&ctx, "test.adopt.cell");
+            })
+            .join()
+            .unwrap();
+        });
+        assert!(
+            tree_snapshot()
+                .iter()
+                .any(|n| n.path == "test.adopt.root/test.adopt.cell" && n.depth == 1),
+            "worker span hangs off the dispatcher's context"
+        );
+    }
+
+    #[test]
+    fn render_span_tree_indents_by_depth() {
+        let nodes = vec![
+            SpanNode {
+                path: "a".into(),
+                name: "a".into(),
+                depth: 0,
+                count: 1,
+                nanos: 2_000_000,
+            },
+            SpanNode {
+                path: "a/b".into(),
+                name: "b".into(),
+                depth: 1,
+                count: 3,
+                nanos: 1_000_000,
+            },
+        ];
+        let text = render_span_tree(&nodes);
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("a "));
+        assert!(lines[1].starts_with("  b "));
+        assert!(lines[1].contains("3 x"));
+    }
+
+    #[test]
+    fn histogram_quantile_edge_cases() {
+        // Empty: every quantile is 0.
+        let empty = HistSnapshot::default();
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.quantile(0.0), 0);
+        assert_eq!(empty.quantile(0.5), 0);
+        assert_eq!(empty.quantile(1.0), 0);
+        assert_eq!(empty.max, 0);
+
+        // Single bucket: every quantile collapses to its lower bound.
+        let single = HistSnapshot {
+            count: 4,
+            sum: 20,
+            min: 4,
+            max: 7,
+            buckets: vec![(4, 4)],
+        };
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(single.quantile(q), 4, "q={q}");
+        }
+
+        // Saturating top bucket: u64::MAX lands in the 2^63 bucket.
+        static SAT: Histogram = Histogram::new("test.lib.h.sat");
+        let ((), report) = scoped(|| {
+            SAT.observe(u64::MAX);
+            SAT.observe(u64::MAX - 1);
+            SAT.observe(1);
+        });
+        let h = report.histogram("test.lib.h.sat");
+        assert_eq!(h.count, 3);
+        assert_eq!(h.max, u64::MAX);
+        assert_eq!(h.min, 1);
+        assert_eq!(h.quantile(1.0), 1u64 << 63);
+        assert_eq!(h.quantile(0.1), 1);
+        // The sum saturates rather than wrapping.
+        assert_eq!(h.sum, u64::MAX);
+    }
+
+    #[test]
+    fn next_seq_is_strictly_monotonic() {
+        let a = next_seq();
+        let b = next_seq();
+        assert!(b > a);
+        assert!(seq_ceiling() >= b);
     }
 }

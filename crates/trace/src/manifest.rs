@@ -3,6 +3,10 @@
 //! per-stage wall times, counter totals, and the emitted tables/figures.
 
 use crate::json::Json;
+use std::time::Instant;
+
+/// How many trailing flight-recorder events a stamped manifest retains.
+const MANIFEST_FLIGHT_TAIL: usize = 256;
 
 /// Builder for a run manifest.
 ///
@@ -11,24 +15,27 @@ use crate::json::Json;
 /// m.set("scale", 1u64.into());
 /// m.table("fig8", &["config".into()], &[vec!["baseline".into()]]);
 /// let line = m.render();
-/// assert!(line.starts_with(r#"{"t":"manifest","schema":"vp-manifest/1","bin":"fig8""#));
+/// assert!(line.starts_with(r#"{"t":"manifest","schema":"vp-manifest/2","bin":"fig8""#));
 /// ```
 #[derive(Debug, Clone)]
 pub struct Manifest {
     root: Json,
     tables: Vec<Json>,
+    started: Instant,
 }
 
 impl Manifest {
-    /// Starts a manifest for the binary `bin`.
+    /// Starts a manifest for the binary `bin`; run duration is measured
+    /// from this call.
     pub fn new(bin: &str) -> Manifest {
         let mut root = Json::obj();
         root.set("t", "manifest".into());
-        root.set("schema", "vp-manifest/1".into());
+        root.set("schema", "vp-manifest/2".into());
         root.set("bin", bin.into());
         Manifest {
             root,
             tables: Vec::new(),
+            started: Instant::now(),
         }
     }
 
@@ -58,9 +65,15 @@ impl Manifest {
         self
     }
 
-    /// Captures the current global counter totals and aggregated span wall
-    /// times into the manifest.
+    /// Captures the current global counter totals, aggregated span wall
+    /// times (flat and tree), the sequence ceiling, run duration, and a
+    /// bounded flight-recorder tail into the manifest.
     pub fn stamp(&mut self) -> &mut Manifest {
+        self.root.set(
+            "duration_ms",
+            Json::F64(self.started.elapsed().as_secs_f64() * 1e3),
+        );
+        self.root.set("seq", Json::U64(crate::seq_ceiling()));
         let mut spans = Json::obj();
         for (name, (count, nanos)) in crate::spans_snapshot() {
             let mut s = Json::obj();
@@ -69,6 +82,35 @@ impl Manifest {
             spans.set(&name, s);
         }
         self.root.set("spans", spans);
+        let tree = crate::tree_snapshot();
+        if !tree.is_empty() {
+            let mut t = Json::obj();
+            for node in &tree {
+                let mut s = Json::obj();
+                s.set("count", Json::U64(node.count));
+                s.set("ms", Json::F64(node.nanos as f64 / 1e6));
+                t.set(&node.path, s);
+            }
+            self.root.set("span_tree", t);
+        }
+        let flights = crate::flight::snapshot();
+        if flights.recorded > 0 {
+            let mut f = Json::obj();
+            f.set("capacity", Json::U64(flights.capacity as u64));
+            f.set("recorded", Json::U64(flights.recorded));
+            f.set("dropped", Json::U64(flights.dropped));
+            f.set(
+                "tail",
+                Json::Arr(
+                    flights
+                        .tail(MANIFEST_FLIGHT_TAIL)
+                        .iter()
+                        .map(crate::sink::flight_event_json)
+                        .collect(),
+                ),
+            );
+            self.root.set("flight", f);
+        }
         let mut counters = Json::obj();
         for (name, value) in crate::counters_snapshot() {
             if value > 0 {
@@ -108,12 +150,17 @@ impl Manifest {
     }
 }
 
-/// Parses one JSONL line as a `vp-manifest/1` manifest object.
+/// Parses one JSONL line as a `vp-manifest/2` (or legacy `/1`) manifest
+/// object.
 ///
 /// This is the read side of [`Manifest::render`]: shard-merge tooling uses
 /// it to join the per-shard manifests of a sharded sweep back into one
-/// report. Non-manifest lines (other `t` values, other schemas) and
-/// malformed JSON are rejected with a descriptive message.
+/// report, and `manifest-diff` uses it to load both sides of a
+/// comparison. Manifests written before the `/2` bump (no `duration_ms`,
+/// `seq`, `span_tree`, or `flight` fields) still parse — readers treat
+/// those fields as optional. Non-manifest lines (other `t` values,
+/// unknown schemas) and malformed JSON are rejected with a descriptive
+/// message.
 ///
 /// ```
 /// let mut m = vp_trace::Manifest::new("sweep");
@@ -133,7 +180,7 @@ pub fn parse_manifest_line(line: &str) -> Result<Json, String> {
         None => return Err("not a manifest line (missing \"t\")".to_string()),
     }
     match j.get("schema").and_then(Json::as_str) {
-        Some("vp-manifest/1") => Ok(j),
+        Some("vp-manifest/1" | "vp-manifest/2") => Ok(j),
         Some(other) => Err(format!("unsupported manifest schema {other:?}")),
         None => Err("manifest line missing \"schema\"".to_string()),
     }
@@ -181,6 +228,51 @@ mod tests {
         assert!(parse_manifest_line(r#"{"t":"span"}"#).is_err());
         assert!(parse_manifest_line(r#"{"t":"manifest","schema":"vp-manifest/9"}"#).is_err());
         assert!(parse_manifest_line("not json").is_err());
+    }
+
+    #[test]
+    fn parse_manifest_line_accepts_legacy_v1() {
+        // A pre-bump manifest: no duration_ms/seq/span_tree/flight fields.
+        let legacy = r#"{"t":"manifest","schema":"vp-manifest/1","bin":"sweep","shard":"0/2","tables":[{"name":"cells","headers":["workload"],"rows":[["gzip"]]}]}"#;
+        let j = parse_manifest_line(legacy).unwrap();
+        assert_eq!(j.get("bin").and_then(Json::as_str), Some("sweep"));
+        assert!(j.get("duration_ms").is_none());
+        assert!(j.get("flight").is_none());
+        let tables = j.get("tables").and_then(Json::as_arr).unwrap();
+        assert_eq!(tables[0].get("name").and_then(Json::as_str), Some("cells"));
+    }
+
+    #[test]
+    fn stamp_attaches_v2_fields() {
+        let ((), _report) = crate::scoped(|| {
+            let _outer = crate::span("test.manifest.outer");
+            let _inner = crate::span("test.manifest.inner");
+        });
+        let mut m = Manifest::new("x");
+        m.stamp();
+        let j = Json::parse(&m.render()).unwrap();
+        assert_eq!(
+            j.get("schema").and_then(Json::as_str),
+            Some("vp-manifest/2")
+        );
+        assert!(j.get("duration_ms").is_some());
+        assert!(j.get("seq").and_then(Json::as_u64).unwrap() > 0);
+        let tree = j.get("span_tree").expect("span tree stamped");
+        assert!(
+            tree.get("test.manifest.outer/test.manifest.inner")
+                .is_some(),
+            "nested path present in span_tree: {}",
+            m.render()
+        );
+    }
+
+    #[test]
+    fn stamped_manifest_round_trips_through_parse() {
+        let mut m = Manifest::new("roundtrip");
+        m.stamp();
+        let j = parse_manifest_line(&m.render()).unwrap();
+        assert_eq!(j.get("bin").and_then(Json::as_str), Some("roundtrip"));
+        assert!(j.get("duration_ms").is_some());
     }
 
     #[test]

@@ -91,7 +91,7 @@ impl TraceSink for SummarySink {
     fn record(&self, r: &Record) {
         let mut s = self.state.lock().expect("summary sink");
         match r {
-            Record::Span { name, nanos } => {
+            Record::Span { name, nanos, .. } => {
                 let e = s.spans.entry(name.clone()).or_insert((0, 0));
                 e.0 += 1;
                 e.1 += nanos;
@@ -104,6 +104,11 @@ impl TraceSink for SummarySink {
             }
             Record::Hist { name, hist } => {
                 s.hists.entry(name.clone()).or_default().merge(hist);
+            }
+            Record::Flight { events } => {
+                for e in events {
+                    *s.events.entry(format!("flight:{}", e.kind)).or_insert(0) += 1;
+                }
             }
         }
     }
@@ -228,10 +233,17 @@ impl TraceSink for JsonlSink {
 pub fn record_json(r: &Record) -> Json {
     let mut j = Json::obj();
     match r {
-        Record::Span { name, nanos } => {
+        Record::Span {
+            name,
+            nanos,
+            id,
+            parent,
+        } => {
             j.set("t", "span".into());
             j.set("name", name.as_str().into());
             j.set("ns", Json::U64(*nanos));
+            j.set("id", Json::U64(*id));
+            j.set("parent", Json::U64(*parent));
         }
         Record::Count { name, value } => {
             j.set("t", "count".into());
@@ -254,8 +266,26 @@ pub fn record_json(r: &Record) -> Json {
                 j.set(k, v);
             }
         }
+        Record::Flight { events } => {
+            j.set("t", "flight".into());
+            j.set(
+                "events",
+                Json::Arr(events.iter().map(flight_event_json).collect()),
+            );
+        }
     }
     j
+}
+
+/// The shared JSON encoding of one flight-recorder event, used by both
+/// the JSONL record stream and [`crate::Manifest::stamp`].
+pub fn flight_event_json(e: &crate::FlightEvent) -> Json {
+    let mut o = Json::obj();
+    o.set("seq", Json::U64(e.seq));
+    o.set("kind", e.kind.as_str().into());
+    o.set("a", Json::U64(e.a));
+    o.set("b", Json::U64(e.b));
+    o
 }
 
 /// The shared JSON encoding of a histogram snapshot, used by both the
@@ -302,10 +332,12 @@ mod tests {
         let r = Record::Span {
             name: "pack".into(),
             nanos: 1500,
+            id: 42,
+            parent: 7,
         };
         assert_eq!(
             record_json(&r).render(),
-            r#"{"t":"span","name":"pack","ns":1500}"#
+            r#"{"t":"span","name":"pack","ns":1500,"id":42,"parent":7}"#
         );
         let r = Record::Count {
             name: "hsd.detections".into(),
@@ -341,6 +373,93 @@ mod tests {
             record_json(&r).render(),
             r#"{"t":"hist","name":"diff.residency","count":3,"sum":7,"min":1,"max":4,"p50":1,"p99":4,"buckets":[[1,2],[4,1]]}"#
         );
+    }
+
+    #[test]
+    fn flight_record_json_shape() {
+        let r = Record::Flight {
+            events: vec![crate::FlightEvent {
+                seq: 9,
+                kind: "hsd.detect".into(),
+                a: 1000,
+                b: 3,
+            }],
+        };
+        assert_eq!(
+            record_json(&r).render(),
+            r#"{"t":"flight","events":[{"seq":9,"kind":"hsd.detect","a":1000,"b":3}]}"#
+        );
+    }
+
+    #[test]
+    fn span_record_json_round_trips() {
+        let r = Record::Span {
+            name: "metrics.profile.run".into(),
+            nanos: 123_456,
+            id: 11,
+            parent: 3,
+        };
+        let j = Json::parse(&record_json(&r).render()).unwrap();
+        assert_eq!(j.get("t").and_then(Json::as_str), Some("span"));
+        assert_eq!(
+            j.get("name").and_then(Json::as_str),
+            Some("metrics.profile.run")
+        );
+        assert_eq!(j.get("ns").and_then(Json::as_u64), Some(123_456));
+        assert_eq!(j.get("id").and_then(Json::as_u64), Some(11));
+        assert_eq!(j.get("parent").and_then(Json::as_u64), Some(3));
+    }
+
+    #[test]
+    fn flight_record_json_round_trips() {
+        let r = Record::Flight {
+            events: vec![
+                crate::FlightEvent {
+                    seq: 1,
+                    kind: "trace_store.hit".into(),
+                    a: 4096,
+                    b: 17,
+                },
+                crate::FlightEvent {
+                    seq: 5,
+                    kind: "diff.divergence".into(),
+                    a: 0,
+                    b: 2,
+                },
+            ],
+        };
+        let j = Json::parse(&record_json(&r).render()).unwrap();
+        let events = j.get("events").and_then(Json::as_arr).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].get("seq").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            events[1].get("kind").and_then(Json::as_str),
+            Some("diff.divergence")
+        );
+        assert_eq!(events[1].get("b").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn summary_sink_counts_flight_events() {
+        let s = SummarySink::new();
+        s.record(&Record::Flight {
+            events: vec![
+                crate::FlightEvent {
+                    seq: 1,
+                    kind: "hsd.detect".into(),
+                    a: 0,
+                    b: 0,
+                },
+                crate::FlightEvent {
+                    seq: 2,
+                    kind: "hsd.detect".into(),
+                    a: 0,
+                    b: 0,
+                },
+            ],
+        });
+        let state = s.state.lock().unwrap();
+        assert_eq!(state.events.get("flight:hsd.detect"), Some(&2));
     }
 
     #[test]

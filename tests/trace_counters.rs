@@ -132,7 +132,8 @@ fn manifest_reaches_installed_sink() {
         line.starts_with("{\"t\":\"manifest\""),
         "manifest line: {line}"
     );
-    assert!(line.contains("\"schema\":\"vp-manifest/1\""));
+    assert!(line.contains("\"schema\":\"vp-manifest/2\""));
+    assert!(line.contains("\"duration_ms\""));
     assert!(line.contains("\"bin\":\"test-bin\""));
     assert!(line.contains("\"spans\""));
     assert!(line.contains("test.stage"));
