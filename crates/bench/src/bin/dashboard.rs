@@ -9,6 +9,8 @@
 //! packs each workload under the strongest configuration (`inf/link`),
 //! and writes a self-contained HTML page — phase timeline and
 //! package-residency Gantt per workload, the Figure 8 coverage heatmap,
+//! a cross-input generalization heatmap for the selected multi-input
+//! families (same/foreign/merged profile columns; see `bench::cross`),
 //! a span-tree flame view of this run's own cost, and the replay
 //! throughput trend across committed `BENCH_*.json` baselines. No
 //! external resources; the page works from `file://` offline.
@@ -18,7 +20,10 @@
 //! span regression exceeds the threshold (default 25%), which is how CI
 //! gates observability regressions.
 
-use bench::dashboard::{collect_timeline, load_bench_trend, render_dashboard_html, Dashboard};
+use bench::cross::{cross_cells, families};
+use bench::dashboard::{
+    collect_timeline, generalization_heatmap, load_bench_trend, render_dashboard_html, Dashboard,
+};
 use bench::manifest_diff::diff_manifests;
 use bench::CONFIG_LABELS;
 use vacuum_packing::core::PackConfig;
@@ -144,9 +149,29 @@ fn main() {
         };
         let trend = load_bench_trend(std::path::Path::new("."));
 
+        // Generalization heatmap for every selected multi-input family;
+        // the section disappears when --only selects none.
+        let fams: Vec<String> = families(bench::scale())
+            .into_iter()
+            .filter(|(_, inputs)| {
+                inputs
+                    .iter()
+                    .any(|w| only.is_empty() || only.iter().any(|f| w.label().contains(f)))
+            })
+            .map(|(b, _)| b)
+            .collect();
+        let (generalization, generalization_cols) = if fams.is_empty() {
+            (Vec::new(), Vec::new())
+        } else {
+            let _s = vp_trace::span("dashboard.generalization");
+            generalization_heatmap(&cross_cells(None, &fams, &[], &[]).cells)
+        };
+
         let d = Dashboard {
             timelines,
             heatmap,
+            generalization,
+            generalization_cols,
             flame: vp_trace::tree_snapshot(),
             trend,
         };

@@ -1,16 +1,26 @@
 //! Sharded evaluation sweep over the (workload × config) matrix, plus the
-//! merge subcommand that joins per-shard manifests into one report.
+//! merge subcommand that joins per-shard manifests into one report and the
+//! cross subcommand that runs the cross-input generalization matrix.
 //!
 //! ```text
 //! sweep [--timing] [--only SUBSTR]...   # run this process's shard
 //! sweep merge FILE.jsonl...             # join shard manifests
+//! sweep cross [--timing] [--only FAMILY]... [--eval INPUT]... [--from SOURCE]...
 //! ```
 //!
 //! Sharding comes from `VP_SHARD=i/n` (unset = the whole matrix). Each run
 //! emits its cell rows in its `vp-manifest/2` manifest (`VP_TRACE=json:<path>`),
 //! which `merge` validates for exact single coverage of the matrix before
 //! printing the report an unsharded run would have produced, byte for byte.
+//!
+//! `cross` evaluates every multi-input family's (eval input × profile
+//! source) matrix — same-input, foreign-input, and merged-profile columns
+//! — under the strongest configuration (see `bench::cross`). `--only`
+//! filters families, `--eval` the evaluated input, `--from` the profile
+//! source column (an input name, `merged`, or a kind like `foreign`);
+//! `VP_PROFILE_FROM` applies the same substitution to the standard sweep.
 
+use bench::cross::{cross_cells, render_cross_report, CROSS_HEADERS};
 use bench::sweep::{
     merge_manifests, render_report, sweep_cells, ShardSpec, CELL_HEADERS, TELEMETRY_HEADERS,
 };
@@ -41,10 +51,62 @@ fn merge_main(files: &[String]) -> ! {
     }
 }
 
+fn cross_main(args: &[String]) -> ! {
+    let mut timing = false;
+    let mut only: Vec<String> = Vec::new();
+    let mut eval: Vec<String> = Vec::new();
+    let mut from: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut push = |dst: &mut Vec<String>, what: &str| match it.next() {
+            Some(f) => dst.push(f.clone()),
+            None => fail(&format!("{what} needs a substring argument")),
+        };
+        match a.as_str() {
+            "--timing" => timing = true,
+            "--only" => push(&mut only, "--only"),
+            "--eval" => push(&mut eval, "--eval"),
+            "--from" => push(&mut from, "--from"),
+            other => fail(&format!(
+                "unknown argument {other:?} (usage: sweep cross [--timing] \
+                 [--only FAMILY]... [--eval INPUT]... [--from SOURCE]...)"
+            )),
+        }
+    }
+
+    let mut mf = bench::init("sweep");
+    mf.set("mode", "cross".into());
+    mf.set("timing", timing.into());
+    for (key, filters) in [("only", &only), ("eval", &eval), ("from", &from)] {
+        if !filters.is_empty() {
+            mf.set(
+                key,
+                vp_trace::Json::Arr(filters.iter().map(|s| s.as_str().into()).collect()),
+            );
+        }
+    }
+
+    let machine = MachineConfig::table2();
+    let outcome = cross_cells(timing.then_some(&machine), &only, &eval, &from);
+
+    mf.set("cells_total", (outcome.rows.len() as u64).into());
+    let headers: Vec<String> = CROSS_HEADERS.iter().map(|h| (*h).to_string()).collect();
+    mf.table("generalization", &headers, &outcome.rows);
+    let t_headers: Vec<String> = TELEMETRY_HEADERS.iter().map(|h| (*h).to_string()).collect();
+    mf.table("cell_telemetry", &t_headers, &outcome.telemetry);
+
+    print!("{}", render_cross_report(&outcome.rows));
+    bench::emit_manifest(mf);
+    std::process::exit(0);
+}
+
 fn main() {
     let args = bench::cli_args();
     if args.first().map(String::as_str) == Some("merge") {
         merge_main(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("cross") {
+        cross_main(&args[1..]);
     }
 
     let mut timing = false;
@@ -58,7 +120,8 @@ fn main() {
                 None => fail("--only needs a substring argument"),
             },
             other => fail(&format!(
-                "unknown argument {other:?} (usage: sweep [--timing] [--only SUBSTR]... | sweep merge FILE...)"
+                "unknown argument {other:?} (usage: sweep [--timing] [--only SUBSTR]... \
+                 | sweep merge FILE... | sweep cross [--timing] [--only FAMILY]...)"
             )),
         }
     }
@@ -79,6 +142,11 @@ fn main() {
         );
     }
     mf.set("timing", timing.into());
+    if let Ok(spec) = std::env::var("VP_PROFILE_FROM") {
+        if !spec.trim().is_empty() {
+            mf.set("profile_from", spec.trim().into());
+        }
+    }
 
     let machine = MachineConfig::table2();
     let outcome = sweep_cells(shard.as_ref(), timing.then_some(&machine), &only);

@@ -254,6 +254,33 @@ pub fn render_heatmap_svg(rows: &[(String, Vec<f64>)], cols: &[&str]) -> String 
     s
 }
 
+/// Folds evaluated generalization cells ([`crate::cross::cross_cells`])
+/// into heatmap shape: one row per evaluated input (`"family eval"`),
+/// one column per profile source in matrix order (inputs first, then
+/// `merged`), cell value = packaged-instruction coverage. Returns
+/// `(rows, column labels)` ready for [`render_heatmap_svg`].
+pub fn generalization_heatmap(
+    cells: &[crate::cross::CrossCell],
+) -> (Vec<(String, Vec<f64>)>, Vec<String>) {
+    let mut cols: Vec<String> = Vec::new();
+    for c in cells {
+        if !cols.contains(&c.profile) {
+            cols.push(c.profile.clone());
+        }
+    }
+    let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
+    for c in cells {
+        let label = format!("{} {}", c.family, c.eval);
+        if !rows.iter().any(|(l, _)| *l == label) {
+            rows.push((label.clone(), vec![0.0; cols.len()]));
+        }
+        let row = rows.iter_mut().find(|(l, _)| *l == label).unwrap();
+        let col = cols.iter().position(|p| *p == c.profile).unwrap();
+        row.1[col] = c.outcome.coverage;
+    }
+    (rows, cols)
+}
+
 /// Renders the aggregated span tree as an icicle-style flame view: one
 /// bar per [`vp_trace::SpanNode`], indented by depth, width proportional
 /// to its share of total root wall time.
@@ -415,6 +442,12 @@ pub struct Dashboard {
     pub timelines: Vec<WorkloadTimeline>,
     /// `(workload label, coverage per config)` heatmap rows.
     pub heatmap: Vec<(String, Vec<f64>)>,
+    /// Cross-input generalization heatmap rows (`"family eval"`, coverage
+    /// per profile column) — empty when no multi-input family was
+    /// selected, which hides the section.
+    pub generalization: Vec<(String, Vec<f64>)>,
+    /// Column labels of `generalization` (input names, then `merged`).
+    pub generalization_cols: Vec<String>,
     /// The harness's own span tree (`vp_trace::tree_snapshot`).
     pub flame: Vec<vp_trace::SpanNode>,
     /// `(baseline label, batched replay events/sec)` trend points.
@@ -461,6 +494,20 @@ pub fn render_dashboard_html(d: &Dashboard) -> String {
     );
     h.push_str(&render_heatmap_svg(&d.heatmap, &crate::CONFIG_LABELS));
     h.push('\n');
+
+    if !d.generalization.is_empty() {
+        h.push_str("<h2>Cross-input generalization</h2>\n");
+        h.push_str(
+            "<p class=\"note\">Coverage per (evaluated input, profile source) under the \
+             strongest configuration: the diagonal is the same-input baseline, off-diagonal \
+             columns pack with a sibling input's profile, and the <code>merged</code> column \
+             uses the family's weighted profile union (<code>vp_hsd::merge</code>). See \
+             EXPERIMENTS.md &quot;Cross-input generalization&quot;.</p>\n",
+        );
+        let cols: Vec<&str> = d.generalization_cols.iter().map(String::as_str).collect();
+        h.push_str(&render_heatmap_svg(&d.generalization, &cols));
+        h.push('\n');
+    }
 
     h.push_str("<h2>Harness self-profile (span tree)</h2>\n");
     h.push_str(
@@ -619,17 +666,58 @@ mod tests {
         let d = Dashboard {
             timelines: vec![synthetic_timeline()],
             heatmap: vec![("w".to_string(), vec![0.5, 0.6, 0.7, 0.8])],
+            generalization: vec![("130.li A".to_string(), vec![0.9, 0.0, 0.9])],
+            generalization_cols: vec!["A".to_string(), "B".to_string(), "merged".to_string()],
             flame: Vec::new(),
             trend: vec![("BENCH_5".to_string(), 1e8)],
         };
         let html = render_dashboard_html(&d);
         assert!(html.starts_with("<!DOCTYPE html>"));
         assert!(html.contains(r#"class="pkg-lane""#));
+        assert!(html.contains("Cross-input generalization"));
         for needle in ["<script src", "<link", "https://", "fetch("] {
             assert!(
                 !html.contains(needle),
                 "self-contained page must not reference external resources: {needle}"
             );
         }
+    }
+
+    #[test]
+    fn generalization_section_hides_when_empty() {
+        let html = render_dashboard_html(&Dashboard::default());
+        assert!(!html.contains("Cross-input generalization"));
+    }
+
+    #[test]
+    fn generalization_heatmap_folds_cells_into_matrix_shape() {
+        use vacuum_packing::metrics::ConfigOutcome;
+        let cell =
+            |family: &str, eval: &str, profile: &str, kind, coverage| crate::cross::CrossCell {
+                cell: 0,
+                family: family.to_string(),
+                eval: eval.to_string(),
+                profile: profile.to_string(),
+                kind,
+                outcome: ConfigOutcome {
+                    coverage,
+                    ..ConfigOutcome::default()
+                },
+            };
+        use crate::cross::Kind;
+        let cells = vec![
+            cell("130.li", "A", "A", Kind::Same, 0.95),
+            cell("130.li", "A", "B", Kind::Foreign, 0.10),
+            cell("130.li", "A", "merged", Kind::Merged, 0.95),
+            cell("130.li", "B", "A", Kind::Foreign, 0.20),
+            cell("130.li", "B", "B", Kind::Same, 0.90),
+            cell("130.li", "B", "merged", Kind::Merged, 0.90),
+        ];
+        let (rows, cols) = generalization_heatmap(&cells);
+        assert_eq!(cols, vec!["A", "B", "merged"]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, "130.li A");
+        assert_eq!(rows[0].1, vec![0.95, 0.10, 0.95]);
+        assert_eq!(rows[1].1, vec![0.20, 0.90, 0.90]);
     }
 }

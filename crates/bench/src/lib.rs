@@ -26,8 +26,16 @@
 //! * `VP_DIFF` — `off`, `report` (default), or `strict` differential
 //!   replay of every packed binary against its original capture (see
 //!   `vp_exec::diff`); `strict` panics the evaluating cell — and thereby
-//!   fails the sweep — on any unexplained divergence.
+//!   fails the sweep — on any unexplained divergence;
+//! * `VP_PROFILE_FROM` — profile-source substitution for the standard
+//!   sweep: an input name (e.g. `A`) evaluates every multi-input family
+//!   member under that sibling's profile, `merged` under the family's
+//!   merged profile (see [`cross::substitute_profiles`]);
+//! * `VP_MERGE_WEIGHT` — `retired` (default) or `uniform` weighting of
+//!   per-run counts when merging profiles (see
+//!   `vp_hsd::merge::Weighting`).
 
+pub mod cross;
 pub mod dashboard;
 pub mod manifest_diff;
 pub mod micro;

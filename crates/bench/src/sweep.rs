@@ -159,8 +159,16 @@ pub fn sweep_cells(
         .enumerate()
         .filter_map(|(w, wl)| needed.contains(&w).then_some(wl))
         .collect();
+    let mut profiled = profile_workloads(subset, machine);
+    // VP_PROFILE_FROM: evaluate multi-input family members under a
+    // sibling's or the family-merged profile instead of their own.
+    if let Ok(spec) = std::env::var("VP_PROFILE_FROM") {
+        if !spec.trim().is_empty() {
+            profiled = crate::cross::substitute_profiles(profiled, spec.trim(), machine);
+        }
+    }
     let mut by_index: BTreeMap<usize, ProfiledWorkload> = BTreeMap::new();
-    for (&w, pw) in needed.iter().zip(profile_workloads(subset, machine)) {
+    for (&w, pw) in needed.iter().zip(profiled) {
         by_index.insert(w, pw);
     }
 
@@ -190,7 +198,7 @@ pub fn sweep_cells(
     }
 }
 
-fn telemetry_row(cell: &str, t: &crate::JobTelemetry) -> Vec<String> {
+pub(crate) fn telemetry_row(cell: &str, t: &crate::JobTelemetry) -> Vec<String> {
     vec![
         cell.to_string(),
         format!("{:.1}", t.wall_ms),

@@ -65,6 +65,7 @@ fn twolf_dashboard_html_is_self_contained() {
         heatmap: vec![("300.twolf A".to_string(), vec![0.1, 0.2, 0.3, 0.4])],
         flame: vp_trace::tree_snapshot(),
         trend: Vec::new(),
+        ..Dashboard::default()
     });
     assert!(html.starts_with("<!DOCTYPE html>"));
     assert!(html.contains("300.twolf A"));

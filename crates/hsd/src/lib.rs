@@ -4,7 +4,7 @@
 //! drives Vacuum Packing (paper Section 3.1, after Merten et al. ISCA
 //! 1999).
 //!
-//! Two layers:
+//! Three layers:
 //!
 //! * [`HotSpotDetector`] — the hardware model: a set-associative Branch
 //!   Behavior Buffer with saturating executed/taken counters plus the Hot
@@ -13,6 +13,10 @@
 //! * [`filter_hot_spots`] — the software pass that deduplicates redundant
 //!   detections into unique [`Phase`]s using the paper's two similarity
 //!   criteria (≥30% missing branches, or a biased branch flipping bias).
+//! * [`merge`] — the multi-run profile merge algebra: [`ProfileDump`]s
+//!   from separate runs combine into a [`MergedProfile`] via
+//!   saturating-counter-aware weighted union, an associative, commutative,
+//!   idempotent operation (see the module docs for a worked example).
 //!
 //! ```
 //! use vp_hsd::{HotSpotDetector, HsdConfig, filter_hot_spots, FilterConfig};
@@ -38,8 +42,10 @@
 
 pub mod detector;
 pub mod filter;
+pub mod merge;
 pub mod signature;
 
 pub use detector::{BranchProfile, HotSpotDetector, HotSpotRecord, HsdConfig};
 pub use filter::{assign_phases, filter_hot_spots, Bias, FilterConfig, Phase, PhaseBranch};
+pub use merge::{MergeConfig, MergedProfile, ProfileDump, Weighting};
 pub use signature::{DetectionHistory, HotSpotSignature};

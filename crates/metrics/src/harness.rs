@@ -20,6 +20,13 @@
 //! capture is differentially replayed against the original one
 //! (`vp_exec::diff`, `VP_DIFF` knob) to prove the rewrite did the same
 //! architectural work.
+//!
+//! Profiles are also *transferable*: [`ProfiledWorkload::dump`] exports a
+//! run's phases into the merge algebra (`vp_hsd::merge`), and
+//! [`ProfiledWorkload::with_phases`] evaluates a foreign or merged
+//! profile against this workload's input — the
+//! train-on-A/evaluate-on-B generalization cells of the cross-input
+//! sweep (`bench`'s `sweep cross`).
 
 use crate::branches::BranchCounts;
 use std::sync::Arc;
@@ -56,6 +63,43 @@ pub struct ProfiledWorkload {
     /// The captured retired stream of the profiling run, shared with
     /// [`evaluate`] (baseline timing) and any later consumer.
     pub trace: Arc<CapturedTrace>,
+}
+
+impl ProfiledWorkload {
+    /// Exports this profile as a merge-algebra dump
+    /// ([`vp_hsd::merge`]): the filtered phases plus the run's
+    /// retired-instruction count, ready to be absorbed into a
+    /// [`MergedProfile`](vp_hsd::MergedProfile).
+    pub fn dump(&self) -> vp_hsd::ProfileDump {
+        vp_hsd::ProfileDump::new(&self.label, self.dyn_insts, self.phases.clone())
+    }
+
+    /// This workload's evaluation state with a *substituted* phase set —
+    /// how a foreign (train-on-A/evaluate-on-B) or merged profile is
+    /// evaluated against this input.
+    ///
+    /// Everything that defines the evaluation — the program, its layout,
+    /// the captured original retired stream, baseline cycles — stays this
+    /// workload's; only the profile driving region formation changes.
+    /// Foreign branch addresses that do not resolve in this layout are
+    /// skipped by region identification, so a stale profile can shrink
+    /// coverage but never corrupt the packed binary (differential replay
+    /// still proves equivalence under `VP_DIFF`). `source` names the
+    /// profile's provenance in the returned label, which also keys packed
+    /// trace-store entries apart from the same-input ones.
+    pub fn with_phases(&self, phases: Vec<Phase>, source: &str) -> ProfiledWorkload {
+        ProfiledWorkload {
+            label: format!("{} [profile: {source}]", self.label),
+            program: self.program.clone(),
+            layout: self.layout.clone(),
+            phases,
+            branch_counts: self.branch_counts.clone(),
+            dyn_insts: self.dyn_insts,
+            base_cycles: self.base_cycles,
+            raw_detections: self.raw_detections,
+            trace: Arc::clone(&self.trace),
+        }
+    }
 }
 
 /// Profiles `program` with the Hot Spot Detector attached, optionally
@@ -125,7 +169,7 @@ pub fn profile(
 }
 
 /// Outcome of one (workload, configuration) cell.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct ConfigOutcome {
     /// Fraction of dynamic instructions retired inside packages
     /// (Figure 8).
@@ -502,6 +546,69 @@ mod tests {
         assert_eq!(report.counter("trace_store.captures"), 0);
         assert_eq!(report.counter("trace_store.hits"), 1);
         assert_eq!(report.counter("trace_store.replays"), 1);
+    }
+
+    #[test]
+    fn foreign_and_merged_profiles_evaluate_clean_under_strict() {
+        use vp_exec::DiffVerdict;
+        use vp_hsd::{MergeConfig, MergedProfile};
+        use vp_workloads::li;
+        let a = profile(
+            "130.li A",
+            li::build(li::Input::A, 1),
+            &HsdConfig::table2(),
+            None,
+        )
+        .unwrap();
+        let b = profile(
+            "130.li B",
+            li::build(li::Input::B, 1),
+            &HsdConfig::table2(),
+            None,
+        )
+        .unwrap();
+
+        // Foreign: pack input B's binary with input A's profile. Stale
+        // addresses degrade coverage at worst; correctness must hold.
+        let foreign = b.with_phases(a.phases.clone(), "130.li A");
+        assert!(foreign.label.contains("[profile: 130.li A]"));
+        let out_foreign = evaluate_with_diff(
+            &foreign,
+            &PackConfig::default(),
+            &OptConfig::default(),
+            None,
+            vp_exec::DiffMode::Strict,
+        )
+        .unwrap();
+        assert_eq!(out_foreign.diff.unwrap().verdict, DiffVerdict::Clean);
+
+        // Merged: A ∪ B contains B's own phases, so evaluating it on B
+        // must recover at least the foreign profile's coverage.
+        let merged = MergedProfile::of(MergeConfig::default(), [a.dump(), b.dump()]).resolve();
+        let out_merged = evaluate_with_diff(
+            &b.with_phases(merged, "merged"),
+            &PackConfig::default(),
+            &OptConfig::default(),
+            None,
+            vp_exec::DiffMode::Strict,
+        )
+        .unwrap();
+        assert_eq!(out_merged.diff.unwrap().verdict, DiffVerdict::Clean);
+        assert!(
+            out_merged.coverage + 1e-9 >= out_foreign.coverage,
+            "merged profile must not cover less than the foreign one: {} vs {}",
+            out_merged.coverage,
+            out_foreign.coverage
+        );
+    }
+
+    #[test]
+    fn dump_round_trips_the_profile() {
+        let pw = profile("300.twolf A", twolf::build(1), &HsdConfig::table2(), None).unwrap();
+        let d = pw.dump();
+        assert_eq!(d.label, pw.label);
+        assert_eq!(d.retired, pw.dyn_insts);
+        assert_eq!(d.phases, pw.phases);
     }
 
     #[test]

@@ -333,3 +333,140 @@ fn filter_is_a_partition() {
         }
     }
 }
+
+// ---------------------------------------------------------- merge algebra
+
+/// Generates a random [`ProfileDump`]: 1–4 phases over a small shared
+/// address pool (so cross-dump phases overlap often), counts in the 9-bit
+/// hardware counter scale.
+fn arb_dump(rng: &mut SplitMix64, label: &str) -> vacuum_packing::hsd::ProfileDump {
+    use vacuum_packing::hsd::{Phase, PhaseBranch, ProfileDump};
+    let nphases = rng.gen_range(1..=4usize);
+    let phases: Vec<Phase> = (0..nphases)
+        .map(|id| {
+            let nbranches = rng.gen_range(2..=10usize);
+            let branches = (0..nbranches)
+                .map(|_| {
+                    let addr = 0x1000 + 4 * rng.gen_range(0..24u64);
+                    let exec = rng.gen_range(16..512u64);
+                    let taken = rng.gen_range(0..exec + 1);
+                    (
+                        addr,
+                        PhaseBranch {
+                            exec,
+                            taken,
+                            seen: rng.gen_range(1..5u64),
+                        },
+                    )
+                })
+                .collect();
+            Phase {
+                id,
+                branches,
+                first_detected_at: rng.gen_range(0..1_000_000u64),
+                detections: rng.gen_range(1..8usize),
+            }
+        })
+        .collect();
+    ProfileDump::new(label, rng.gen_range(10_000..10_000_000u64), phases)
+}
+
+#[test]
+fn merge_is_associative() {
+    use vacuum_packing::hsd::{MergeConfig, MergedProfile};
+    let mut rng = SplitMix64::seed_from_u64(0x5eed_0008);
+    for case in 0..64 {
+        let a = MergedProfile::of(MergeConfig::default(), [arb_dump(&mut rng, "A")]);
+        let b = MergedProfile::of(MergeConfig::default(), [arb_dump(&mut rng, "B")]);
+        let c = MergedProfile::of(MergeConfig::default(), [arb_dump(&mut rng, "C")]);
+        let left = a.union(&b).union(&c);
+        let right = a.union(&b.union(&c));
+        assert_eq!(left, right, "case {case}: (a∪b)∪c == a∪(b∪c)");
+        assert_eq!(
+            left.resolve(),
+            right.resolve(),
+            "case {case}: resolution must agree too"
+        );
+    }
+}
+
+#[test]
+fn merge_is_commutative() {
+    use vacuum_packing::hsd::{MergeConfig, MergedProfile};
+    let mut rng = SplitMix64::seed_from_u64(0x5eed_0009);
+    for case in 0..64 {
+        let a = MergedProfile::of(MergeConfig::default(), [arb_dump(&mut rng, "A")]);
+        let b = MergedProfile::of(MergeConfig::default(), [arb_dump(&mut rng, "B")]);
+        assert_eq!(a.union(&b), b.union(&a), "case {case}: a∪b == b∪a");
+        assert_eq!(
+            a.union(&b).resolve(),
+            b.union(&a).resolve(),
+            "case {case}: resolution must agree too"
+        );
+    }
+}
+
+#[test]
+fn self_merge_is_idempotent() {
+    use vacuum_packing::hsd::{MergeConfig, MergedProfile};
+    let mut rng = SplitMix64::seed_from_u64(0x5eed_000a);
+    for case in 0..64 {
+        let a = MergedProfile::of(MergeConfig::default(), [arb_dump(&mut rng, "A")]);
+        assert_eq!(a.union(&a), a, "case {case}: a∪a == a");
+        assert_eq!(
+            a.union(&a).resolve(),
+            a.resolve(),
+            "case {case}: self-merge must not change the resolved phases"
+        );
+        // Absorbing the same dump twice is the same identity at the
+        // dump level.
+        let d = arb_dump(&mut rng, "D");
+        let once = MergedProfile::of(MergeConfig::default(), [d.clone()]);
+        let twice = MergedProfile::of(MergeConfig::default(), [d.clone(), d]);
+        assert_eq!(once, twice, "case {case}");
+    }
+}
+
+#[test]
+fn merge_resolution_is_insertion_order_independent() {
+    use vacuum_packing::hsd::{MergeConfig, MergedProfile, ProfileDump};
+    let mut rng = SplitMix64::seed_from_u64(0x5eed_000b);
+    for case in 0..32 {
+        let dumps: Vec<ProfileDump> = (0..4)
+            .map(|i| arb_dump(&mut rng, &format!("run {i}")))
+            .collect();
+        let forward = MergedProfile::of(MergeConfig::default(), dumps.clone());
+        let backward = MergedProfile::of(MergeConfig::default(), dumps.into_iter().rev());
+        assert_eq!(forward, backward, "case {case}");
+        assert_eq!(forward.resolve(), backward.resolve(), "case {case}");
+    }
+}
+
+#[test]
+fn merge_respects_the_counter_scale() {
+    use vacuum_packing::hsd::{MergeConfig, MergedProfile, ProfileDump};
+    let mut rng = SplitMix64::seed_from_u64(0x5eed_000c);
+    let cfg = MergeConfig::default();
+    for case in 0..32 {
+        let dumps: Vec<ProfileDump> = (0..rng.gen_range(2..=5usize))
+            .map(|i| arb_dump(&mut rng, &format!("run {i}")))
+            .collect();
+        let resolved = MergedProfile::of(cfg, dumps).resolve();
+        for (i, p) in resolved.iter().enumerate() {
+            assert_eq!(p.id, i, "case {case}: dense ids in cluster order");
+            for (addr, b) in &p.branches {
+                assert!(
+                    b.exec <= cfg.counter_max,
+                    "case {case}: branch {addr:#x} exec {} above counter max",
+                    b.exec
+                );
+                assert!(
+                    b.taken <= b.exec,
+                    "case {case}: branch {addr:#x} taken {} > exec {}",
+                    b.taken,
+                    b.exec
+                );
+            }
+        }
+    }
+}
