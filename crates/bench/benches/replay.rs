@@ -1,11 +1,14 @@
 //! Replay-path throughput: the tracked perf baseline for the batched
-//! replay kernel (`BENCH_5.json`).
+//! replay kernel (`BENCH_8.json`).
 //!
 //! Measures events/sec for every stage of the capture/replay pipeline on
 //! one real workload:
 //!
 //! * `execute` — interpret the program live (what a cache miss costs);
 //! * `capture` — interpret once while recording the stream;
+//! * `capture_fast` — the same recording on a sequential-heavy workload
+//!   (gzip's long deflate loops), the shape the recorder's no-hash-probe
+//!   straight-line append exists for;
 //! * `replay_per_event` — the pre-batching decoder
 //!   (`CapturedTrace::replay_per_event`) into a monomorphized counting
 //!   sink;
@@ -16,13 +19,17 @@
 //!   amortize;
 //! * `replay_sim` — replay through the `vp-sim` timing model (the
 //!   heaviest real consumer);
-//! * `disk_load` — read + CRC-verify + decode a v3 `.vptrace` from the
-//!   disk tier.
+//! * `disk_load` — bring a v3 `.vptrace` back from the disk tier on the
+//!   default path (memory-mapped zero-copy where supported, owned read
+//!   otherwise), CRC verified either way;
+//! * `disk_load_mmap` / `disk_load_owned` — the same load with the path
+//!   forced, so the zero-copy win is measured against the read+copy
+//!   fallback side by side.
 //!
 //! Knobs (on top of the usual `VP_BENCH_MS`/`VP_BENCH_SAMPLES`):
 //!
 //! * `VP_BENCH_JSON=<path>` — write the measurements as a JSON baseline
-//!   (the file committed as `BENCH_5.json`);
+//!   (the file committed as `BENCH_8.json`);
 //! * `VP_BENCH_BASELINE=<path>` — compare against a committed baseline
 //!   and exit non-zero if the batched kernel's throughput, *normalized to
 //!   the per-event kernel measured in the same run* (so host speed
@@ -97,6 +104,24 @@ fn main() {
             .unwrap()
             .events()
     });
+    // twolf above is the branch-dense adversarial capture; gzip is the
+    // sequential-heavy shape where the recorder's straight-line append
+    // (no per-event hash probe) dominates.
+    let gzip = vacuum_packing::workloads::gzip::build(bench::scale());
+    let gzip_layout = Layout::natural(&gzip);
+    let gzip_trace = CapturedTrace::capture(&gzip, &gzip_layout, &cfg).unwrap();
+    let gzip_events = gzip_trace.events();
+    println!(
+        "capture_fast workload (gzip): {gzip_events} retired instructions, \
+         {:.2} B/inst (straight-line events are 1 byte)",
+        gzip_trace.bytes() as f64 / gzip_events as f64
+    );
+    drop(gzip_trace);
+    r.bench_throughput("retire_stream/capture_fast", gzip_events, || {
+        CapturedTrace::capture(&gzip, &gzip_layout, &cfg)
+            .unwrap()
+            .events()
+    });
     r.bench_throughput("retire_stream/replay_per_event", events, || {
         let mut counts = InstCounts::new();
         trace.replay_per_event(&mut counts);
@@ -127,16 +152,29 @@ fn main() {
     r.bench_throughput("retire_stream/disk_load", events, || {
         tier.load(&key).expect("warm load").events()
     });
+    r.bench_throughput("retire_stream/disk_load_mmap", events, || {
+        tier.load_with(&key, true)
+            .expect("warm mapped load")
+            .events()
+    });
+    r.bench_throughput("retire_stream/disk_load_owned", events, || {
+        tier.load_with(&key, false)
+            .expect("warm owned load")
+            .events()
+    });
 
     let names = [
         "execute",
         "capture",
+        "capture_fast",
         "replay_per_event",
         "replay_batched",
         "replay_per_event_dyn",
         "replay_batched_dyn",
         "replay_sim",
         "disk_load",
+        "disk_load_mmap",
+        "disk_load_owned",
     ];
     let eps: Vec<(&str, Option<f64>)> = names
         .iter()

@@ -173,6 +173,7 @@ fn main() {
             generalization,
             generalization_cols,
             flame: vp_trace::tree_snapshot(),
+            sched: bench::sched_manifest_value(),
             trend,
         };
         let html = render_dashboard_html(&d);

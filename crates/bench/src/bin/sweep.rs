@@ -3,10 +3,15 @@
 //! cross subcommand that runs the cross-input generalization matrix.
 //!
 //! ```text
-//! sweep [--timing] [--only SUBSTR]...   # run this process's shard
-//! sweep merge FILE.jsonl...             # join shard manifests
-//! sweep cross [--timing] [--only FAMILY]... [--eval INPUT]... [--from SOURCE]...
+//! sweep [--timing] [--jobs N] [--only SUBSTR]...   # run this process's shard
+//! sweep merge FILE.jsonl...                        # join shard manifests
+//! sweep cross [--timing] [--jobs N] [--only FAMILY]... [--eval INPUT]... [--from SOURCE]...
 //! ```
+//!
+//! In-process parallelism comes from the work-stealing scheduler:
+//! `--jobs N` (default `VP_SWEEP_JOBS`, then `VP_THREADS`/cores) sets the
+//! worker count, and all workers share one `TraceStore`. `--jobs`
+//! composes with sharding — each shard process runs its own N workers.
 //!
 //! Sharding comes from `VP_SHARD=i/n` (unset = the whole matrix). Each run
 //! emits its cell rows in its `vp-manifest/2` manifest (`VP_TRACE=json:<path>`),
@@ -51,6 +56,14 @@ fn merge_main(files: &[String]) -> ! {
     }
 }
 
+/// Parses and installs a `--jobs` value (a positive integer).
+fn set_jobs_arg(arg: Option<&String>) {
+    match arg.and_then(|s| s.parse::<usize>().ok()).filter(|&n| n > 0) {
+        Some(n) => bench::set_jobs(n),
+        None => fail("--jobs needs a positive integer argument"),
+    }
+}
+
 fn cross_main(args: &[String]) -> ! {
     let mut timing = false;
     let mut only: Vec<String> = Vec::new();
@@ -64,11 +77,12 @@ fn cross_main(args: &[String]) -> ! {
         };
         match a.as_str() {
             "--timing" => timing = true,
+            "--jobs" => set_jobs_arg(it.next()),
             "--only" => push(&mut only, "--only"),
             "--eval" => push(&mut eval, "--eval"),
             "--from" => push(&mut from, "--from"),
             other => fail(&format!(
-                "unknown argument {other:?} (usage: sweep cross [--timing] \
+                "unknown argument {other:?} (usage: sweep cross [--timing] [--jobs N] \
                  [--only FAMILY]... [--eval INPUT]... [--from SOURCE]...)"
             )),
         }
@@ -115,13 +129,15 @@ fn main() {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--timing" => timing = true,
+            "--jobs" => set_jobs_arg(it.next().as_ref()),
             "--only" => match it.next() {
                 Some(f) => only.push(f),
                 None => fail("--only needs a substring argument"),
             },
             other => fail(&format!(
-                "unknown argument {other:?} (usage: sweep [--timing] [--only SUBSTR]... \
-                 | sweep merge FILE... | sweep cross [--timing] [--only FAMILY]...)"
+                "unknown argument {other:?} (usage: sweep [--timing] [--jobs N] \
+                 [--only SUBSTR]... | sweep merge FILE... | sweep cross [--timing] \
+                 [--jobs N] [--only FAMILY]...)"
             )),
         }
     }

@@ -450,8 +450,48 @@ pub struct Dashboard {
     pub generalization_cols: Vec<String>,
     /// The harness's own span tree (`vp_trace::tree_snapshot`).
     pub flame: Vec<vp_trace::SpanNode>,
+    /// Work-stealing scheduler totals for this process
+    /// ([`crate::sched_manifest_value`]) — `None` when every stage ran
+    /// sequentially, which hides the table.
+    pub sched: Option<vp_trace::Json>,
     /// `(baseline label, batched replay events/sec)` trend points.
     pub trend: Vec<(String, f64)>,
+}
+
+/// Renders the scheduler-telemetry table from the `sweep` manifest
+/// object: worker count, task/steal totals, and per-worker utilization
+/// of the wall time the parallel stages spanned.
+pub fn render_sched_html(sched: &vp_trace::Json) -> String {
+    let num = |key: &str| sched.get(key).and_then(|v| v.as_f64()).unwrap_or(0.0);
+    let mut h = String::new();
+    h.push_str(&format!(
+        "<p class=\"note\">Work-stealing sweep scheduler: {} workers ran {} tasks across \
+         {} parallel stages in {:.0} ms of scheduler wall time; {} steals.</p>\n",
+        num("jobs"),
+        num("tasks"),
+        num("runs"),
+        num("wall_ms"),
+        num("steals"),
+    ));
+    h.push_str("<table>\n<tr><th>worker</th><th>executed</th><th>stolen</th><th>busy ms</th><th>utilization</th></tr>\n");
+    for (i, w) in sched
+        .get("workers")
+        .and_then(|v| v.as_arr())
+        .unwrap_or(&[])
+        .iter()
+        .enumerate()
+    {
+        let f = |key: &str| w.get(key).and_then(|v| v.as_f64()).unwrap_or(0.0);
+        h.push_str(&format!(
+            "<tr><td>{i}</td><td>{}</td><td>{}</td><td>{:.0}</td><td>{:.0}%</td></tr>\n",
+            f("executed"),
+            f("stolen"),
+            f("busy_ms"),
+            f("utilization") * 100.0,
+        ));
+    }
+    h.push_str("</table>\n");
+    h
 }
 
 /// Assembles the self-contained dashboard HTML: inline CSS, inline SVG,
@@ -467,7 +507,10 @@ pub fn render_dashboard_html(d: &Dashboard) -> String {
          .svg-title{font-size:13px;font-weight:600}\n\
          .lane-label,.col-label,.axis-note,.cell-label{font-size:10px;fill:#444}\n\
          .phase-mark:hover,.heat-cell:hover,.flame-bar:hover{opacity:.7}\n\
-         p.note{color:#555}\n",
+         p.note{color:#555}\n\
+         table{border-collapse:collapse;margin:12px 0}\n\
+         th,td{border:1px solid #ddd;padding:3px 8px;font-size:12px;text-align:right}\n\
+         th{background:#f5f5f5}\n",
     );
     h.push_str("</style>\n</head>\n<body>\n<h1>vacuum-packing dashboard</h1>\n");
     h.push_str(
@@ -517,6 +560,9 @@ pub fn render_dashboard_html(d: &Dashboard) -> String {
     );
     h.push_str(&render_flame_svg(&d.flame));
     h.push('\n');
+    if let Some(sched) = &d.sched {
+        h.push_str(&render_sched_html(sched));
+    }
 
     h.push_str("<h2>Replay throughput trend</h2>\n");
     h.push_str(
@@ -661,6 +707,26 @@ mod tests {
         );
     }
 
+    /// A `sweep` manifest object like [`crate::sched_manifest_value`]
+    /// produces: 4 workers, one of them fed entirely by steals.
+    fn synthetic_sched() -> vp_trace::Json {
+        vp_trace::Json::parse(
+            r#"{"jobs":4,"runs":2,"tasks":12,"steals":3,"wall_ms":80.0,
+                "workers":[{"executed":5,"stolen":0,"busy_ms":70.0,"utilization":0.875},
+                           {"executed":3,"stolen":3,"busy_ms":60.0,"utilization":0.75}]}"#,
+        )
+        .expect("synthetic sched json")
+    }
+
+    #[test]
+    fn sched_table_reports_per_worker_utilization() {
+        let html = render_sched_html(&synthetic_sched());
+        assert!(html.contains("12 tasks"));
+        assert!(html.contains("3 steals"));
+        assert!(html.contains("<td>88%</td>"), "{html}");
+        assert!(html.contains("<td>75%</td>"), "{html}");
+    }
+
     #[test]
     fn dashboard_html_is_self_contained() {
         let d = Dashboard {
@@ -669,12 +735,18 @@ mod tests {
             generalization: vec![("130.li A".to_string(), vec![0.9, 0.0, 0.9])],
             generalization_cols: vec!["A".to_string(), "B".to_string(), "merged".to_string()],
             flame: Vec::new(),
+            sched: Some(synthetic_sched()),
             trend: vec![("BENCH_5".to_string(), 1e8)],
         };
         let html = render_dashboard_html(&d);
         assert!(html.starts_with("<!DOCTYPE html>"));
         assert!(html.contains(r#"class="pkg-lane""#));
         assert!(html.contains("Cross-input generalization"));
+        assert!(
+            html.contains("Work-stealing sweep scheduler: 4 workers"),
+            "scheduler telemetry table must render when sched totals exist"
+        );
+        assert!(html.contains("<th>utilization</th>"));
         for needle in ["<script src", "<link", "https://", "fetch("] {
             assert!(
                 !html.contains(needle),

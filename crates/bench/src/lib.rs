@@ -11,6 +11,9 @@
 //! * `VP_SCALE` — workload scale multiplier (default 1);
 //! * `VP_THREADS` — sweep parallelism (default: available cores, capped at
 //!   the suite size);
+//! * `VP_SWEEP_JOBS` — worker count of the in-process work-stealing sweep
+//!   scheduler (see [`steal`]); overridden by a binary's `--jobs N` flag,
+//!   defaults to `VP_THREADS`;
 //! * `VP_TRACE` — `summary`, `json`, or `json:<path>` (see `vp-trace`);
 //!   every binary also accepts `--json` as a shorthand for `VP_TRACE=json`;
 //! * `VP_TRACE_CACHE_MB` — byte budget of the retired-trace capture cache
@@ -39,8 +42,10 @@ pub mod cross;
 pub mod dashboard;
 pub mod manifest_diff;
 pub mod micro;
+pub mod steal;
 pub mod sweep;
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use vacuum_packing::hsd::HsdConfig;
 use vacuum_packing::metrics::{profile, ProfiledWorkload, TextTable};
@@ -65,6 +70,104 @@ pub fn threads() -> usize {
         .max(1)
 }
 
+/// `--jobs N` override installed by a binary's argument parser; 0 = unset.
+static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Installs the `--jobs N` CLI override consulted by [`jobs`].
+pub fn set_jobs(n: usize) {
+    JOBS_OVERRIDE.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Worker count of the in-process work-stealing sweep scheduler.
+///
+/// Precedence: the `--jobs N` CLI flag (via [`set_jobs`]), then the
+/// `VP_SWEEP_JOBS` environment knob, then [`threads`] (i.e. `VP_THREADS`
+/// or the machine's core count).
+pub fn jobs() -> usize {
+    let cli = JOBS_OVERRIDE.load(Ordering::Relaxed);
+    if cli > 0 {
+        return cli;
+    }
+    std::env::var("VP_SWEEP_JOBS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n: &usize| n > 0)
+        .unwrap_or_else(threads)
+}
+
+/// Scheduler telemetry accumulated across every [`parallel_sweep`] of this
+/// process (a sweep binary runs several: profiling, then evaluation).
+#[derive(Debug, Clone, Default)]
+struct SchedTotals {
+    runs: u64,
+    jobs: usize,
+    tasks: u64,
+    steals: u64,
+    wall_ms: f64,
+    /// Summed per-worker busy/executed/stolen, indexed by worker id.
+    workers: Vec<steal::WorkerStats>,
+}
+
+static SCHED_TOTALS: Mutex<Option<SchedTotals>> = Mutex::new(None);
+
+fn record_sched(stats: &steal::SchedStats) {
+    let Ok(mut guard) = SCHED_TOTALS.lock() else {
+        return;
+    };
+    let t = guard.get_or_insert_with(SchedTotals::default);
+    t.runs += 1;
+    t.jobs = t.jobs.max(stats.jobs);
+    t.tasks += stats.tasks as u64;
+    t.steals += stats.steals;
+    t.wall_ms += stats.wall_ms;
+    if t.workers.len() < stats.workers.len() {
+        t.workers.resize(stats.workers.len(), Default::default());
+    }
+    for (acc, w) in t.workers.iter_mut().zip(&stats.workers) {
+        acc.executed += w.executed;
+        acc.stolen += w.stolen;
+        acc.busy_ms += w.busy_ms;
+    }
+}
+
+/// The process's aggregated scheduler telemetry as a manifest value:
+/// `{jobs, runs, tasks, steals, workers: [{executed, stolen, busy_ms,
+/// utilization}]}`, where a worker's utilization is its busy time over the
+/// summed scheduler wall time. `None` before the first parallel sweep.
+pub fn sched_manifest_value() -> Option<vp_trace::Json> {
+    use vp_trace::Json;
+    let totals = SCHED_TOTALS.lock().ok()?.clone()?;
+    let workers: Vec<Json> = totals
+        .workers
+        .iter()
+        .map(|w| {
+            let util = if totals.wall_ms > 0.0 {
+                (w.busy_ms / totals.wall_ms).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+            Json::Obj(vec![
+                ("executed".to_string(), w.executed.into()),
+                ("stolen".to_string(), w.stolen.into()),
+                ("busy_ms".to_string(), Json::F64(round3(w.busy_ms))),
+                ("utilization".to_string(), Json::F64(round3(util))),
+            ])
+        })
+        .collect();
+    Some(Json::Obj(vec![
+        ("jobs".to_string(), (totals.jobs as u64).into()),
+        ("runs".to_string(), totals.runs.into()),
+        ("tasks".to_string(), totals.tasks.into()),
+        ("steals".to_string(), totals.steals.into()),
+        ("wall_ms".to_string(), Json::F64(round3(totals.wall_ms))),
+        ("workers".to_string(), Json::Arr(workers)),
+    ]))
+}
+
+fn round3(v: f64) -> f64 {
+    (v * 1e3).round() / 1e3
+}
+
 /// Initializes tracing for a table/figure binary and starts its run
 /// manifest: honours `VP_TRACE`, treats a `--json` CLI flag as
 /// `VP_TRACE=json`, and pre-populates the manifest with the run
@@ -78,6 +181,7 @@ pub fn init(bin: &str) -> Manifest {
     let mut mf = Manifest::new(bin);
     mf.set("scale", Value::from(scale() as u64).to_json());
     mf.set("threads", Value::from(threads() as u64).to_json());
+    mf.set("jobs", Value::from(jobs() as u64).to_json());
     let cache = vacuum_packing::exec::TraceStore::global().capacity_bytes() / (1024 * 1024);
     mf.set("trace_cache_mb", Value::from(cache as u64).to_json());
     mf
@@ -94,10 +198,15 @@ pub fn add_table(mf: &mut Manifest, name: &str, t: &TextTable) {
     mf.table(name, t.headers(), t.rows());
 }
 
-/// Stamps span/counter totals into the manifest, emits it to the installed
-/// sink, and flushes. Call once at the end of a binary's `main`.
+/// Stamps span/counter totals plus the work-stealing scheduler's
+/// process-wide telemetry (`sweep` object: jobs, steals, per-worker
+/// utilization) into the manifest, emits it to the installed sink, and
+/// flushes. Call once at the end of a binary's `main`.
 pub fn emit_manifest(mut mf: Manifest) {
     if vp_trace::installed() {
+        if let Some(sched) = sched_manifest_value() {
+            mf.set("sweep", sched);
+        }
         mf.stamp();
         mf.emit();
     }
@@ -114,43 +223,30 @@ fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Runs labeled `jobs` on `threads().min(n)` worker threads, preserving
-/// input order. Worker panics are caught per job, so one failure neither
-/// poisons the shared queue nor takes down the other workers; a failed
-/// job's `Err` string carries both the originating job's label and the
-/// panic payload, so a crash deep inside a sweep names its cell.
+/// Runs labeled `jobs` on [`jobs()`](jobs) workers of the work-stealing
+/// scheduler ([`steal::run_stealing`]), preserving input order. Worker
+/// panics are caught per job, so one failure neither starves the queues
+/// nor takes down the other workers; a failed job's `Err` string carries
+/// both the originating job's label and the panic payload, so a crash
+/// deep inside a sweep names its cell. Scheduler telemetry (steals,
+/// per-worker utilization) accumulates process-wide and is stamped into
+/// the run manifest by [`emit_manifest`].
 pub(crate) fn parallel_sweep<J, T>(
-    jobs: Vec<(String, J)>,
+    labeled: Vec<(String, J)>,
     f: impl Fn(&J) -> T + Sync,
 ) -> Vec<(String, Result<T, String>)>
 where
-    J: Send,
+    J: Send + Sync,
     T: Send,
 {
-    let n = jobs.len();
-    let labels: Vec<String> = jobs.iter().map(|(l, _)| l.clone()).collect();
-    let results: Mutex<Vec<Option<Result<T, String>>>> = Mutex::new((0..n).map(|_| None).collect());
-    let work: Mutex<Vec<(usize, (String, J))>> = Mutex::new(jobs.into_iter().enumerate().collect());
-
-    std::thread::scope(|s| {
-        for _ in 0..threads().min(n) {
-            s.spawn(|| loop {
-                let job = match work.lock() {
-                    Ok(mut q) => q.pop(),
-                    Err(_) => break,
-                };
-                let Some((idx, (label, j))) = job else { break };
-                let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&j)))
-                    .map_err(|p| format!("{label}: {}", panic_message(p.as_ref())));
-                if let Ok(mut r) = results.lock() {
-                    r[idx] = Some(out);
-                }
-            });
-        }
+    let n = labeled.len();
+    let (labels, inputs): (Vec<String>, Vec<J>) = labeled.into_iter().unzip();
+    let (outs, stats) = steal::run_stealing(jobs(), n, |t| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&inputs[t])))
+            .map_err(|p| format!("{}: {}", labels[t], panic_message(p.as_ref())))
     });
-    let outs = results
-        .into_inner()
-        .unwrap_or_else(|e| e.into_inner())
+    record_sched(&stats);
+    let outs = outs
         .into_iter()
         .zip(&labels)
         .map(|(o, l)| o.unwrap_or_else(|| Err(format!("{l}: job was never run"))));
@@ -197,7 +293,7 @@ pub(crate) fn parallel_sweep_scoped<J, T>(
     f: impl Fn(&J) -> T + Sync,
 ) -> ScopedSweepResults<T>
 where
-    J: Send,
+    J: Send + Sync,
     T: Send,
 {
     use std::sync::atomic::{AtomicUsize, Ordering};

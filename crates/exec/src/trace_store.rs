@@ -116,7 +116,15 @@ pub const DEFAULT_CACHE_MB: usize = 512;
 
 /// Default chunk size (in events) of the batched replay kernel when
 /// `VP_REPLAY_BATCH` is unset.
-pub const DEFAULT_REPLAY_BATCH: usize = 4096;
+///
+/// Sized so the chunk buffer (`batch × size_of::<Retired>()`, 80 bytes per
+/// event) stays L1-resident: at 512 events the buffer is 40 KB and the
+/// whole working set fits comfortably, where the previous 4096-event
+/// default streamed a 320 KB buffer through the cache every chunk and
+/// lost to the per-event decoder on monomorphized sinks (the BENCH_6
+/// 0.77× inversion). Measured on the twolf replay workload, 512 beats
+/// 64/128/256 as well.
+pub const DEFAULT_REPLAY_BATCH: usize = 512;
 
 /// Chunk size for [`CapturedTrace::replay`], from `VP_REPLAY_BATCH`.
 fn replay_batch_from_env() -> usize {
@@ -174,7 +182,7 @@ fn unzigzag(v: u64) -> i64 {
 /// Per-address static information: a template event plus the observed
 /// control targets, indexed by architectural direction.
 #[derive(Debug, Clone)]
-struct StaticSlot {
+pub(crate) struct StaticSlot {
     template: Retired,
     targets: [Option<u64>; 2],
 }
@@ -192,6 +200,10 @@ const FLAG_TAKEN: u8 = 1 << 3;
 #[derive(Debug, Default)]
 pub struct TraceRecorder {
     slots: Vec<StaticSlot>,
+    /// Fetch address of each slot, parallel to `slots`: the capture fast
+    /// path resolves sequential execution against this dense array with
+    /// one compare instead of a hash probe per event.
+    addrs: Vec<u64>,
     by_addr: FxHashMap<u64, u32>,
     stream: Vec<u8>,
     prev_idx: i64,
@@ -210,23 +222,19 @@ impl TraceRecorder {
 
     /// Seals the recording into a [`CapturedTrace`].
     pub fn finish(self, stats: RunStats) -> CapturedTrace {
-        let trace = CapturedTrace {
-            slots: self.slots,
-            stream: self.stream,
-            stats,
-            events: self.events,
-        };
+        let trace = CapturedTrace::assemble(self.slots, self.stream.into(), stats, self.events);
         CAPTURES.incr();
         BYTES.add(trace.bytes() as u64);
         // Flight payload: (trace bytes, event count).
         vp_trace::flight("trace_store.capture", trace.bytes() as u64, trace.events);
         trace
     }
-}
 
-impl Sink for TraceRecorder {
-    fn retire(&mut self, r: &Retired) {
-        let idx = match self.by_addr.get(&r.addr) {
+    /// Slot resolution off the sequential fast path (taken branches, call
+    /// and loop back-edges): hash-probe the address map, registering a new
+    /// slot on first sight.
+    fn retire_slot_slow(&mut self, r: &Retired) -> u32 {
+        match self.by_addr.get(&r.addr) {
             Some(&i) => i,
             None => {
                 let i = self.slots.len() as u32;
@@ -241,9 +249,28 @@ impl Sink for TraceRecorder {
                     template,
                     targets: [None; 2],
                 });
+                self.addrs.push(r.addr);
                 self.by_addr.insert(r.addr, i);
                 i
             }
+        }
+    }
+}
+
+impl Sink for TraceRecorder {
+    fn retire(&mut self, r: &Retired) {
+        // Fast path: straight-line execution of already-seen code. Slots
+        // are numbered in first-seen order, so whenever execution falls
+        // through, the next event's address equals the next slot's — one
+        // dense-array compare replaces the per-event hash probe, and the
+        // record is the bare one-byte `FLAG_SEQ | ...` form. Addresses are
+        // unique per slot (`by_addr` is injective), so a match *proves*
+        // the slot index.
+        let next = (self.prev_idx + 1) as usize;
+        let idx = if self.addrs.get(next) == Some(&r.addr) {
+            next as u32
+        } else {
+            self.retire_slot_slow(r)
         };
 
         let mut flags = 0u8;
@@ -304,11 +331,67 @@ impl Sink for TraceRecorder {
 
 // ------------------------------------------------------------- the trace
 
+/// Backing storage of a trace's dynamic byte stream: an owned heap buffer
+/// (live captures, legacy disk loads) or a borrowed window into a
+/// memory-mapped `.vptrace` file (the zero-copy [`DiskTier`] load path —
+/// the kernel's page cache is the only copy of the stream bytes).
+pub(crate) enum StreamBytes {
+    /// Heap-allocated stream (captures; platforms without mmap).
+    Owned(Vec<u8>),
+    /// Window into a shared read-only file mapping.
+    Mapped {
+        map: Arc<persist::mmap::MappedFile>,
+        off: usize,
+        len: usize,
+    },
+}
+
+impl StreamBytes {
+    #[inline]
+    pub(crate) fn as_slice(&self) -> &[u8] {
+        match self {
+            StreamBytes::Owned(v) => v.as_slice(),
+            StreamBytes::Mapped { map, off, len } => &map.as_slice()[*off..*off + *len],
+        }
+    }
+}
+
+impl std::ops::Deref for StreamBytes {
+    type Target = [u8];
+
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for StreamBytes {
+    fn from(v: Vec<u8>) -> StreamBytes {
+        StreamBytes::Owned(v)
+    }
+}
+
+impl std::fmt::Debug for StreamBytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamBytes::Owned(v) => write!(f, "StreamBytes::Owned({} bytes)", v.len()),
+            StreamBytes::Mapped { len, .. } => write!(f, "StreamBytes::Mapped({len} bytes)"),
+        }
+    }
+}
+
 /// A recorded retired-instruction stream, replayable through any [`Sink`].
 #[derive(Debug)]
 pub struct CapturedTrace {
     slots: Vec<StaticSlot>,
-    stream: Vec<u8>,
+    /// Derived column: fetch address per slot (return-target base in the
+    /// decode parse pass). Kept out of [`StaticSlot`] so the parse pass
+    /// touches an 8-byte array entry instead of a 120-byte slot record.
+    slot_addr: Vec<u64>,
+    /// Derived column: 1 where the slot's template is a return (the one
+    /// record shape that carries an extra varint in the dynamic stream).
+    slot_is_ret: Vec<u8>,
+    stream: StreamBytes,
     stats: RunStats,
     events: u64,
 }
@@ -333,6 +416,31 @@ impl Default for ReplayCursor {
 }
 
 impl CapturedTrace {
+    /// Builds a trace from its encoded parts, deriving the per-slot decode
+    /// columns (`slot_addr`, `slot_is_ret`) the SoA parse pass reads
+    /// instead of the full slot records. The single constructor used by
+    /// both live capture ([`TraceRecorder::finish`]) and disk decode.
+    pub(crate) fn assemble(
+        slots: Vec<StaticSlot>,
+        stream: StreamBytes,
+        stats: RunStats,
+        events: u64,
+    ) -> CapturedTrace {
+        let slot_addr = slots.iter().map(|s| s.template.addr).collect();
+        let slot_is_ret = slots
+            .iter()
+            .map(|s| u8::from(s.template.ctrl.as_ref().is_some_and(|c| c.is_ret)))
+            .collect();
+        CapturedTrace {
+            slots,
+            slot_addr,
+            slot_is_ret,
+            stream,
+            stats,
+            events,
+        }
+    }
+
     /// Executes `program` once under `cfg`, recording the retired stream.
     ///
     /// # Errors
@@ -392,9 +500,10 @@ impl CapturedTrace {
         // requests (`VP_REPLAY_BATCH=999999999`) degrade to a single
         // right-sized buffer instead of an absurd allocation.
         let batch = batch.clamp(1, self.stream.len());
-        // The chunk buffer is allocated once per replay and written in
-        // place by the decoder; the filler template is never observed (only
-        // `buf[..n]` decoded events reach the sink).
+        // The chunk buffer and SoA scratch columns are allocated once per
+        // replay and written in place by the decoder; the filler template
+        // is never observed (only `buf[..n]` decoded events reach the
+        // sink).
         let mut buf: Vec<Retired> = vec![self.slots[0].template; batch];
         let mut cur = ReplayCursor::default();
         while cur.pos < self.stream.len() {
@@ -404,25 +513,41 @@ impl CapturedTrace {
         self.stats
     }
 
-    /// Decodes up to `buf.len()` events at `cur` in place into `buf`,
-    /// advancing the cursor past the consumed bytes. Returns the number of
-    /// events decoded.
+    /// Decodes up to `buf.len()` events at `cur` into `buf`, advancing the
+    /// cursor past the consumed bytes. Returns the number of events
+    /// decoded.
     ///
-    /// Events are materialized directly into the chunk buffer (no stack
-    /// temporary, no `Vec::push` growth checks), and the cursor state lives
-    /// in locals for the whole chunk: the loop body makes no opaque calls,
-    /// so the compiler keeps the decode state in registers.
+    /// The kernel is structured around the trace's SoA split: the serial
+    /// parse work reads only the byte stream and the two compact per-slot
+    /// columns ([`CapturedTrace::slot_is_ret`], [`CapturedTrace::slot_addr`]),
+    /// never a >100-byte [`StaticSlot`] record, so the cross-event
+    /// dependency chain (stream position, slot index, memory anchor) runs
+    /// out of a few cache lines. Materialization — the 80-byte template
+    /// copy plus patches — hangs off that chain as pure dataflow. On top
+    /// of this, runs of 1-byte straight-line records are detected by
+    /// scanning the stream and expanded in a dedicated tight copy loop
+    /// with no per-event parse at all (see the comment in the body).
     fn decode_chunk(&self, cur: &mut ReplayCursor, buf: &mut [Retired]) -> usize {
         let stream = self.stream.as_slice();
-        let slots = self.slots.as_slice();
+        let slot_is_ret = self.slot_is_ret.as_slice();
+        let slot_addr = self.slot_addr.as_slice();
         let mut pos = cur.pos;
         let mut prev_idx = cur.prev_idx;
         let mut last_mem = cur.last_mem;
         let mut n = 0;
+
+        let slots = self.slots.as_slice();
         for out in buf.iter_mut() {
             if pos >= stream.len() {
                 break;
             }
+            // Parse: resolve this record's deltas against the cursor
+            // anchors, reading only stream bytes and the compact per-slot
+            // columns. Crucially, the stream position for the *next*
+            // record depends on whether this slot is a return
+            // (`slot_is_ret`) — sourcing that from the 1-byte column keeps
+            // the serial decode chain inside a few cache lines instead of
+            // chaining through a >100-byte slot record per event.
             let flags = stream[pos];
             pos += 1;
             let idx = if flags & FLAG_SEQ != 0 {
@@ -431,18 +556,33 @@ impl CapturedTrace {
                 prev_idx + 1 + unzigzag(get_varint(stream, &mut pos))
             };
             prev_idx = idx;
-            let slot = &slots[idx as usize];
+            let s = idx as usize;
+            let mem = if flags & FLAG_MEM != 0 {
+                last_mem = last_mem.wrapping_add(unzigzag(get_varint(stream, &mut pos)) as u64);
+                last_mem
+            } else {
+                0
+            };
+            let tgt = if slot_is_ret[s] != 0 {
+                slot_addr[s].wrapping_add(unzigzag(get_varint(stream, &mut pos)) as u64)
+            } else {
+                0
+            };
+
+            // Materialize: expand the parsed fields into the 80-byte
+            // event. Nothing below feeds back into the parse chain, so
+            // the slot load, template copy, and patch stores retire
+            // behind the next iterations' parsing.
+            let slot = &slots[s];
             *out = slot.template;
             if flags & FLAG_MEM != 0 {
-                last_mem = last_mem.wrapping_add(unzigzag(get_varint(stream, &mut pos)) as u64);
-                out.mem_addr = Some(last_mem);
+                out.mem_addr = Some(mem);
             }
             if let Some(c) = &mut out.ctrl {
                 c.arch_taken = flags & FLAG_ARCH_TAKEN != 0;
                 c.taken = flags & FLAG_TAKEN != 0;
                 c.target = if c.is_ret {
-                    out.addr
-                        .wrapping_add(unzigzag(get_varint(stream, &mut pos)) as u64)
+                    tgt
                 } else {
                     slot.targets[usize::from(c.arch_taken)]
                         .expect("observed direction has a recorded target")
@@ -450,6 +590,7 @@ impl CapturedTrace {
             }
             n += 1;
         }
+
         cur.pos = pos;
         cur.prev_idx = prev_idx;
         cur.last_mem = last_mem;

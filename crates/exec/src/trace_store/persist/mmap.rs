@@ -1,0 +1,227 @@
+//! Minimal read-only file memory-mapping, dependency-free.
+//!
+//! The workspace deliberately has no external crates, so this speaks to
+//! the kernel directly: on Linux (x86_64 / aarch64) `mmap`/`munmap` are
+//! issued as raw syscalls via inline assembly. Other platforms report
+//! mapping as unsupported and callers fall back to an owned read —
+//! correctness never depends on this module, only `disk_load` throughput.
+//!
+//! A [`MappedFile`] is a shared, immutable, page-cache-backed view of a
+//! whole file. `.vptrace` files are written atomically (temp + rename)
+//! and never truncated in place; eviction unlinks them, which on Linux
+//! leaves existing mappings valid until dropped. The one way to fault a
+//! mapping is an external actor truncating a live file under us — the
+//! same actor could corrupt an owned read mid-`fs::read`, so the tier's
+//! CRC covers both paths equally.
+
+use std::path::Path;
+
+/// A read-only memory mapping of an entire file.
+///
+/// The mapping is `MAP_PRIVATE` over an immutable file: the pages are
+/// plain memory for the mapping's lifetime, shared freely across threads
+/// (hence the manual `Send`/`Sync`), and released on drop.
+pub(crate) struct MappedFile {
+    ptr: *const u8,
+    len: usize,
+}
+
+// SAFETY: the mapping is read-only for its whole lifetime and the
+// underlying pages stay valid until `munmap` in `Drop`; concurrent reads
+// from any thread are race-free.
+unsafe impl Send for MappedFile {}
+unsafe impl Sync for MappedFile {}
+
+impl MappedFile {
+    /// Maps `path` read-only in full. Returns `None` when mapping is
+    /// unsupported on this platform, the file is absent or empty, or the
+    /// syscall fails — callers fall back to an owned read.
+    pub(crate) fn map(path: &Path) -> Option<MappedFile> {
+        sys::map_readonly(path)
+    }
+
+    /// Whether this platform has a real mapping path at all.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn supported() -> bool {
+        sys::SUPPORTED
+    }
+
+    /// The mapped bytes.
+    #[inline]
+    pub(crate) fn as_slice(&self) -> &[u8] {
+        // SAFETY: `ptr` is a live read-only mapping of exactly `len`
+        // bytes, valid until `Drop`.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// The mapping's length in bytes.
+    #[allow(dead_code)]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+}
+
+impl Drop for MappedFile {
+    fn drop(&mut self) {
+        // SAFETY: `ptr`/`len` describe a mapping we own; nothing can read
+        // through it after drop.
+        unsafe { sys::unmap(self.ptr, self.len) }
+    }
+}
+
+impl std::fmt::Debug for MappedFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MappedFile({} bytes)", self.len)
+    }
+}
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod sys {
+    use super::MappedFile;
+    use std::fs::File;
+    use std::os::fd::AsRawFd;
+    use std::path::Path;
+
+    pub(crate) const SUPPORTED: bool = true;
+
+    const PROT_READ: usize = 1;
+    const MAP_PRIVATE: usize = 2;
+
+    #[cfg(target_arch = "x86_64")]
+    const SYS_MMAP: usize = 9;
+    #[cfg(target_arch = "x86_64")]
+    const SYS_MUNMAP: usize = 11;
+    #[cfg(target_arch = "aarch64")]
+    const SYS_MMAP: usize = 222;
+    #[cfg(target_arch = "aarch64")]
+    const SYS_MUNMAP: usize = 215;
+
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn syscall6(nr: usize, a0: usize, a1: usize, a2: usize, a3: usize, a4: usize) -> isize {
+        let ret: isize;
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") nr as isize => ret,
+            in("rdi") a0,
+            in("rsi") a1,
+            in("rdx") a2,
+            in("r10") a3,
+            in("r8") a4,
+            in("r9") 0usize,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn syscall6(nr: usize, a0: usize, a1: usize, a2: usize, a3: usize, a4: usize) -> isize {
+        let ret: isize;
+        std::arch::asm!(
+            "svc 0",
+            in("x8") nr,
+            inlateout("x0") a0 as isize => ret,
+            in("x1") a1,
+            in("x2") a2,
+            in("x3") a3,
+            in("x4") a4,
+            in("x5") 0usize,
+            options(nostack),
+        );
+        ret
+    }
+
+    pub(crate) fn map_readonly(path: &Path) -> Option<MappedFile> {
+        let file = File::open(path).ok()?;
+        let len = usize::try_from(file.metadata().ok()?.len()).ok()?;
+        if len == 0 {
+            return None; // zero-length mmap is EINVAL; an empty image is refused anyway
+        }
+        // SAFETY: plain mmap(NULL, len, PROT_READ, MAP_PRIVATE, fd, 0);
+        // the fd outlives the call (mappings persist past close).
+        let ret = unsafe {
+            syscall6(
+                SYS_MMAP,
+                0,
+                len,
+                PROT_READ,
+                MAP_PRIVATE,
+                file.as_raw_fd() as usize,
+            )
+        };
+        // Linux returns -errno in [-4095, -1] on failure.
+        if (-4095..0).contains(&ret) {
+            return None;
+        }
+        Some(MappedFile {
+            ptr: ret as *const u8,
+            len,
+        })
+    }
+
+    pub(crate) unsafe fn unmap(ptr: *const u8, len: usize) {
+        let _ = syscall6(SYS_MUNMAP, ptr as usize, len, 0, 0, 0);
+    }
+}
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+mod sys {
+    use super::MappedFile;
+    use std::path::Path;
+
+    pub(crate) const SUPPORTED: bool = false;
+
+    pub(crate) fn map_readonly(_path: &Path) -> Option<MappedFile> {
+        None
+    }
+
+    pub(crate) unsafe fn unmap(_ptr: *const u8, _len: usize) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mapping_matches_an_owned_read() {
+        let path = std::env::temp_dir().join(format!("vp-mmap-test-{}", std::process::id()));
+        let content: Vec<u8> = (0..100_000u32)
+            .map(|i| i.wrapping_mul(2_654_435_761) as u8)
+            .collect();
+        std::fs::write(&path, &content).unwrap();
+
+        match MappedFile::map(&path) {
+            Some(map) => {
+                assert!(MappedFile::supported());
+                assert_eq!(map.len(), content.len());
+                assert_eq!(map.as_slice(), &content[..]);
+                // Unlinking a mapped file leaves the mapping readable.
+                std::fs::remove_file(&path).unwrap();
+                assert_eq!(map.as_slice(), &content[..]);
+            }
+            None => {
+                assert!(
+                    !MappedFile::supported(),
+                    "mapping failed on a supported platform"
+                );
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_absent_files_are_refused() {
+        let path = std::env::temp_dir().join(format!("vp-mmap-empty-{}", std::process::id()));
+        std::fs::write(&path, b"").unwrap();
+        assert!(MappedFile::map(&path).is_none(), "empty file");
+        std::fs::remove_file(&path).unwrap();
+        assert!(MappedFile::map(&path).is_none(), "absent file");
+    }
+}
