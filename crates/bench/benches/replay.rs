@@ -33,7 +33,12 @@
 //! * `VP_BENCH_BASELINE=<path>` — compare against a committed baseline
 //!   and exit non-zero if the batched kernel's throughput, *normalized to
 //!   the per-event kernel measured in the same run* (so host speed
-//!   cancels), regressed more than 25%.
+//!   cancels), regressed more than 25%;
+//! * `VP_HISTORY_DIR=<dir>` — ingest this run into the run-history
+//!   warehouse, and when it already holds enough runs
+//!   (`bench::history::GATE_MIN_SAMPLES`), gate each ratio against the
+//!   median±3·MAD tolerance band of the last K warehoused runs instead
+//!   of the single committed baseline.
 
 use std::io::Write;
 use vacuum_packing::exec::{
@@ -209,7 +214,9 @@ fn main() {
     }
 
     // ------------------------------------------------- JSON baseline out
-    if let Ok(path) = std::env::var("VP_BENCH_JSON") {
+    // The body is built unconditionally: VP_BENCH_JSON writes it to a
+    // file, VP_HISTORY_DIR ingests it into the run-history warehouse.
+    let body = {
         let mut body = String::new();
         body.push_str("{\n");
         body.push_str("  \"schema\": \"vp-bench/1\",\n");
@@ -231,41 +238,88 @@ fn main() {
             "  \"batched_speedup_vs_per_event_dyn\": {speedup_dyn:.4}\n"
         ));
         body.push_str("}\n");
+        body
+    };
+    if let Ok(path) = std::env::var("VP_BENCH_JSON") {
         std::fs::File::create(&path)
             .and_then(|mut f| f.write_all(body.as_bytes()))
             .unwrap_or_else(|e| panic!("VP_BENCH_JSON={path}: {e}"));
         println!("wrote {path}");
     }
 
+    // Warehouse: read history for the band gate first, then ingest this
+    // run (so a run never gates against itself).
+    let warehouse = bench::history::dir_from_env().and_then(|dir| {
+        bench::history::Warehouse::open(&dir)
+            .map_err(|e| eprintln!("VP_HISTORY_DIR={}: {e}", dir.display()))
+            .ok()
+    });
+    let hist_records = warehouse
+        .as_ref()
+        .and_then(|w| w.records().ok())
+        .unwrap_or_default();
+
     // --------------------------------------------- baseline check (CI)
+    // Absolute events/sec depends on the host; both gates compare the
+    // batched/per-event ratio, which is measured inside a single run on
+    // both sides and so cancels machine speed. With enough warehoused
+    // history the floor is the median − max(3·MAD, 10%) band of the last
+    // K runs; otherwise the committed baseline's single value − 25%.
     let mut failed = false;
-    if let Ok(path) = std::env::var("VP_BENCH_BASELINE") {
+    let baseline_text = std::env::var("VP_BENCH_BASELINE").ok().map(|path| {
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("VP_BENCH_BASELINE={path}: {e}"));
-        // Absolute events/sec depends on the host; the committed baseline
-        // is compared through the batched/per-event ratio, which is
-        // measured inside a single run on both sides and so cancels
-        // machine speed. A drop of more than 25% in either the
-        // monomorphized or the opaque-boundary ratio fails the run.
-        for (label, current, field) in [
-            ("batched/per-event", speedup, "batched_speedup_vs_per_event"),
-            (
-                "batched/per-event (dyn)",
-                speedup_dyn,
-                "batched_speedup_vs_per_event_dyn",
-            ),
-        ] {
-            let Some(base) = json_number(&text, field) else {
-                println!("baseline {path} lacks {field}; skipping that check");
-                continue;
-            };
-            let floor = base * (1.0 - MAX_REGRESSION);
+        (path, text)
+    });
+    for (label, current, field) in [
+        ("batched/per-event", speedup, "batched_speedup_vs_per_event"),
+        (
+            "batched/per-event (dyn)",
+            speedup_dyn,
+            "batched_speedup_vs_per_event_dyn",
+        ),
+    ] {
+        let spec = format!("metric:{field}");
+        if let Some(band) = bench::history::gate_band(&hist_records, &spec) {
+            use bench::history::{GATE_K, GATE_MIN_REL};
+            let floor = band.floor(GATE_K, GATE_MIN_REL);
             let verdict = if current < floor { "FAIL" } else { "ok" };
             println!(
-                "baseline check {label}: current {current:.2}x vs committed {base:.2}x \
-                 (floor {floor:.2}x) ... {verdict}"
+                "history gate {label}: current {current:.2}x vs median {:.2}x of last {} \
+                 runs (floor {floor:.2}x) ... {verdict}",
+                band.median, band.n
             );
             failed |= current < floor;
+            continue;
+        }
+        let Some((path, text)) = &baseline_text else {
+            continue;
+        };
+        let Some(base) = json_number(text, field) else {
+            println!("baseline {path} lacks {field}; skipping that check");
+            continue;
+        };
+        let floor = base * (1.0 - MAX_REGRESSION);
+        let verdict = if current < floor { "FAIL" } else { "ok" };
+        println!(
+            "baseline check {label}: current {current:.2}x vs committed {base:.2}x \
+             (floor {floor:.2}x) ... {verdict}"
+        );
+        failed |= current < floor;
+    }
+
+    // ------------------------------------------- warehouse ingest (last)
+    if let Some(w) = &warehouse {
+        let ts = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        match bench::history::RunRecord::from_bench_json(&body, "replay", ts)
+            .map_err(std::io::Error::other)
+            .and_then(|rec| w.ingest(&rec))
+        {
+            Ok(()) => println!("warehoused this run under {}", w.dir().display()),
+            Err(e) => eprintln!("warehouse ingest failed: {e}"),
         }
     }
 

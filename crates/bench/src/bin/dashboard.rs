@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! dashboard [--out FILE.html] [--only SUBSTR]...
-//! dashboard manifest-diff OLD.jsonl NEW.jsonl [--max-span-regression PCT]
+//! dashboard manifest-diff OLD.jsonl NEW.jsonl [--max-span-regression PCT] [--history DIR]
 //! ```
 //!
 //! The default mode profiles the (possibly `--only`-filtered) suite,
@@ -16,32 +16,46 @@
 //! external resources; the page works from `file://` offline.
 //!
 //! `manifest-diff` aligns two `vp-manifest` JSONL runs and attributes
-//! counter/span/histogram movement; it exits non-zero when the worst
-//! span regression exceeds the threshold (default 25%), which is how CI
-//! gates observability regressions.
+//! counter/span/histogram movement — CI's observability regression
+//! gate. With `--history DIR` each span gates against the tolerance
+//! band of its last-K warehoused runs (median + max(3·MAD, the
+//! threshold); see `bench::history`) instead of the single old manifest;
+//! spans without enough history keep the single-baseline rule.
+//!
+//! Exit codes are distinct so callers can tell a verdict from a broken
+//! invocation: **0** = no regression, **1** = regression found, **2** =
+//! usage or parse error (unreadable file, no manifest line, bad flag).
 
 use bench::cross::{cross_cells, families};
 use bench::dashboard::{
-    collect_timeline, generalization_heatmap, load_bench_trend, render_dashboard_html, Dashboard,
+    collect_timeline, generalization_heatmap, load_bench_trend, load_history_series,
+    render_dashboard_html, Dashboard,
 };
-use bench::manifest_diff::diff_manifests;
+use bench::manifest_diff::{diff_manifests, history_span_bands};
 use bench::CONFIG_LABELS;
 use vacuum_packing::core::PackConfig;
 use vacuum_packing::metrics::evaluate;
 use vacuum_packing::opt::OptConfig;
 use vacuum_packing::workloads::suite;
 
+/// Usage/parse errors — anything that prevented producing a verdict.
+const EXIT_USAGE: i32 = 2;
+/// A regression verdict (the diff itself worked).
+const EXIT_REGRESSION: i32 = 1;
+
 fn fail(msg: &str) -> ! {
     eprintln!("dashboard: {msg}");
-    std::process::exit(2);
+    std::process::exit(EXIT_USAGE);
 }
 
-/// Default gate: fail on any span more than 25% slower than the old run.
+/// Default gate: fail on any span more than 25% slower than the old run
+/// (single-baseline mode) or above the history band (with `--history`).
 const DEFAULT_MAX_SPAN_REGRESSION_PCT: f64 = 25.0;
 
 fn manifest_diff_main(args: &[String]) -> ! {
     let mut files: Vec<String> = Vec::new();
     let mut max_pct = DEFAULT_MAX_SPAN_REGRESSION_PCT;
+    let mut history_dir: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -49,11 +63,18 @@ fn manifest_diff_main(args: &[String]) -> ! {
                 Some(v) => max_pct = v,
                 None => fail("--max-span-regression needs a numeric percent"),
             },
+            "--history" => match it.next() {
+                Some(d) => history_dir = Some(d.clone()),
+                None => fail("--history needs a warehouse directory argument"),
+            },
             _ => files.push(a.clone()),
         }
     }
     let [old_path, new_path] = files.as_slice() else {
-        fail("usage: dashboard manifest-diff OLD.jsonl NEW.jsonl [--max-span-regression PCT]");
+        fail(
+            "usage: dashboard manifest-diff OLD.jsonl NEW.jsonl \
+             [--max-span-regression PCT] [--history DIR]",
+        );
     };
     // Each side: first parseable manifest line in the file (a JSONL trace
     // may hold spans/events before the trailing manifest).
@@ -68,13 +89,34 @@ fn manifest_diff_main(args: &[String]) -> ! {
     let (old, new) = (load(old_path), load(new_path));
     let diff = diff_manifests(&old, &new);
     print!("{}", diff.render());
-    let worst = diff.worst_span_regression_pct();
-    if worst > max_pct {
-        eprintln!(
-            "dashboard: FAIL — worst span regression {worst:.1}% exceeds the {max_pct:.1}% gate"
-        );
-        std::process::exit(1);
+
+    let bands = match &history_dir {
+        Some(dir) => {
+            let dir = std::path::Path::new(dir);
+            let w = bench::history::Warehouse::open(dir)
+                .unwrap_or_else(|e| fail(&format!("--history {}: {e}", dir.display())));
+            let records = w
+                .records()
+                .unwrap_or_else(|e| fail(&format!("--history {}: {e}", dir.display())));
+            let bands = history_span_bands(&records, &diff.bins.1);
+            println!(
+                "\nhistory gate: {} span bands from {} warehoused runs in {}",
+                bands.len(),
+                records.len(),
+                dir.display()
+            );
+            bands
+        }
+        None => std::collections::BTreeMap::new(),
+    };
+    let failures = diff.gate_failures(&bands, max_pct);
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("dashboard: FAIL — {f}");
+        }
+        std::process::exit(EXIT_REGRESSION);
     }
+    let worst = diff.worst_span_regression_pct();
     println!("\nOK — worst span regression {worst:.1}% within the {max_pct:.1}% gate");
     std::process::exit(0);
 }
@@ -148,6 +190,12 @@ fn main() {
                 .collect()
         };
         let trend = load_bench_trend(std::path::Path::new("."));
+        // Cross-run sparklines, when a run-history warehouse is around.
+        let history = bench::history::dir_from_env()
+            .and_then(|dir| bench::history::Warehouse::open(&dir).ok())
+            .and_then(|w| w.records().ok())
+            .map(|r| load_history_series(&r))
+            .unwrap_or_default();
 
         // Generalization heatmap for every selected multi-input family;
         // the section disappears when --only selects none.
@@ -175,6 +223,7 @@ fn main() {
             flame: vp_trace::tree_snapshot(),
             sched: bench::sched_manifest_value(),
             trend,
+            history,
         };
         let html = render_dashboard_html(&d);
         std::fs::write(&out_path, &html)

@@ -435,6 +435,154 @@ pub fn render_trend_svg(points: &[(String, f64)]) -> String {
     s
 }
 
+/// One warehouse-sourced metric series for the cross-run trend table:
+/// a sparkline row with changepoint markers.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct HistorySeries {
+    /// Row label: `"<bin> <metric>"`.
+    pub label: String,
+    /// `(run label, value)` per warehoused run, oldest first.
+    pub points: Vec<(String, f64)>,
+    /// Indices into `points` flagged by [`crate::history::changepoints`].
+    pub marks: Vec<usize>,
+}
+
+/// At most this many sparkline rows render; the section notes how many
+/// series were dropped when the warehouse tracks more.
+pub const MAX_HISTORY_ROWS: usize = 16;
+
+/// Folds warehoused run records into per-`(bin, metric)` sparkline
+/// series: run duration first, then every derived metric, then raw
+/// counters — each kept only when at least two runs carry it, so
+/// one-off fields don't produce flat single-point rows.
+pub fn load_history_series(records: &[crate::history::RunRecord]) -> Vec<HistorySeries> {
+    use std::collections::BTreeMap;
+    let mut recs: Vec<&crate::history::RunRecord> = records.iter().collect();
+    recs.sort_by_key(|r| r.ts);
+    // (bin, rank, name) -> points; rank orders duration < metrics < counters.
+    let mut series: BTreeMap<(String, u8, String), Vec<(String, f64)>> = BTreeMap::new();
+    for r in &recs {
+        let run = if r.label.is_empty() {
+            format!("ts{}", r.ts)
+        } else {
+            r.label.clone()
+        };
+        let mut push = |rank: u8, name: &str, v: f64| {
+            series
+                .entry((r.bin.clone(), rank, name.to_string()))
+                .or_default()
+                .push((run.clone(), v));
+        };
+        if let Some(ms) = r.duration_ms {
+            push(0, "duration_ms", ms);
+        }
+        for (name, v) in &r.metrics {
+            push(1, name, *v);
+        }
+        for (name, v) in &r.counters {
+            push(2, name, *v as f64);
+        }
+    }
+    series
+        .into_iter()
+        .filter(|(_, pts)| pts.len() >= 2)
+        .map(|((bin, _, name), points)| {
+            let values: Vec<f64> = points.iter().map(|(_, v)| *v).collect();
+            HistorySeries {
+                label: format!("{bin} {name}"),
+                marks: crate::history::changepoints(&values),
+                points,
+            }
+        })
+        .collect()
+}
+
+/// Renders one series as an inline sparkline `<svg>`: a normalized
+/// polyline with red circles on changepoint runs.
+pub fn render_sparkline_svg(s: &HistorySeries) -> String {
+    let (w, h, pad) = (160.0, 26.0, 3.0);
+    let mut svg = format!(
+        r#"<svg xmlns="http://www.w3.org/2000/svg" class="spark" viewBox="0 0 {w} {h}" width="{w}" height="{h}">"#
+    );
+    let values: Vec<f64> = s.points.iter().map(|(_, v)| *v).collect();
+    let (min, max) = values
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), v| (lo.min(*v), hi.max(*v)));
+    let span = (max - min).max(f64::EPSILON);
+    let px = |i: usize| {
+        pad + if values.len() == 1 {
+            (w - 2.0 * pad) / 2.0
+        } else {
+            (w - 2.0 * pad) * i as f64 / (values.len() - 1) as f64
+        }
+    };
+    let py = |v: f64| h - pad - (h - 2.0 * pad) * ((v - min) / span);
+    let path: Vec<String> = values
+        .iter()
+        .enumerate()
+        .map(|(i, v)| format!("{:.1},{:.1}", px(i), py(*v)))
+        .collect();
+    svg.push_str(&format!(
+        r#"<polyline class="spark-line" points="{}" fill="none" stroke="{}" stroke-width="1.5"/>"#,
+        path.join(" "),
+        color(0)
+    ));
+    for &i in &s.marks {
+        if let Some((label, v)) = s.points.get(i) {
+            svg.push_str(&format!(
+                r##"<circle class="spark-mark" cx="{:.1}" cy="{:.1}" r="2.5" fill="#c0392b"><title>changepoint at {}: {v}</title></circle>"##,
+                px(i),
+                py(*v),
+                xml_escape(label),
+            ));
+        }
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+/// Renders the cross-run trend table: one sparkline row per tracked
+/// series, latest value, delta vs the previous run, and changepoint
+/// count. Series beyond [`MAX_HISTORY_ROWS`] are dropped with a note.
+pub fn render_history_html(series: &[HistorySeries]) -> String {
+    let mut h = String::new();
+    let shown = &series[..series.len().min(MAX_HISTORY_ROWS)];
+    h.push_str(
+        "<table>\n<tr><th>series</th><th>trend</th><th>runs</th>\
+         <th>latest</th><th>&#916; vs prev</th><th>changepoints</th></tr>\n",
+    );
+    for s in shown {
+        let n = s.points.len();
+        let latest = s.points.last().map_or(0.0, |(_, v)| *v);
+        let delta = if n >= 2 {
+            let prev = s.points[n - 2].1;
+            if prev.abs() > f64::EPSILON {
+                format!("{:+.1}%", (latest / prev - 1.0) * 100.0)
+            } else {
+                "—".to_string()
+            }
+        } else {
+            "—".to_string()
+        };
+        h.push_str(&format!(
+            "<tr><td class=\"series\">{}</td><td>{}</td><td>{n}</td>\
+             <td>{latest:.4}</td><td>{delta}</td><td>{}</td></tr>\n",
+            xml_escape(&s.label),
+            render_sparkline_svg(s),
+            s.marks.len(),
+        ));
+    }
+    h.push_str("</table>\n");
+    if series.len() > shown.len() {
+        h.push_str(&format!(
+            "<p class=\"note\">{} more series tracked in the warehouse; \
+             narrow with <code>sweep history series</code>.</p>\n",
+            series.len() - shown.len()
+        ));
+    }
+    h
+}
+
 /// All sections of a rendered dashboard.
 #[derive(Debug, Default)]
 pub struct Dashboard {
@@ -456,6 +604,9 @@ pub struct Dashboard {
     pub sched: Option<vp_trace::Json>,
     /// `(baseline label, batched replay events/sec)` trend points.
     pub trend: Vec<(String, f64)>,
+    /// Warehouse-sourced cross-run series ([`load_history_series`]) —
+    /// empty when `VP_HISTORY_DIR` is unset, which hides the section.
+    pub history: Vec<HistorySeries>,
 }
 
 /// Renders the scheduler-telemetry table from the `sweep` manifest
@@ -510,7 +661,9 @@ pub fn render_dashboard_html(d: &Dashboard) -> String {
          p.note{color:#555}\n\
          table{border-collapse:collapse;margin:12px 0}\n\
          th,td{border:1px solid #ddd;padding:3px 8px;font-size:12px;text-align:right}\n\
-         th{background:#f5f5f5}\n",
+         th{background:#f5f5f5}\n\
+         svg.spark{display:inline-block;margin:0;vertical-align:middle}\n\
+         td.series{text-align:left;font-family:ui-monospace,monospace}\n",
     );
     h.push_str("</style>\n</head>\n<body>\n<h1>vacuum-packing dashboard</h1>\n");
     h.push_str(
@@ -570,7 +723,19 @@ pub fn render_dashboard_html(d: &Dashboard) -> String {
          <code>BENCH_*.json</code> baselines, in PR order.</p>\n",
     );
     h.push_str(&render_trend_svg(&d.trend));
-    h.push_str("\n</body>\n</html>\n");
+    h.push('\n');
+
+    if !d.history.is_empty() {
+        h.push_str("<h2>Cross-run history trends</h2>\n");
+        h.push_str(
+            "<p class=\"note\">Sparklines from the <code>VP_HISTORY_DIR</code> run-history \
+             warehouse, one row per tracked counter/metric, oldest run on the left. Red dots \
+             mark changepoints: runs outside the median&#177;3&#183;MAD band of the window \
+             before them (<code>bench::history::changepoints</code>).</p>\n",
+        );
+        h.push_str(&render_history_html(&d.history));
+    }
+    h.push_str("</body>\n</html>\n");
     h
 }
 
@@ -737,11 +902,25 @@ mod tests {
             flame: Vec::new(),
             sched: Some(synthetic_sched()),
             trend: vec![("BENCH_5".to_string(), 1e8)],
+            history: vec![HistorySeries {
+                label: "sweep events_total".to_string(),
+                points: vec![
+                    ("r1".to_string(), 100.0),
+                    ("r2".to_string(), 102.0),
+                    ("r3".to_string(), 250.0),
+                ],
+                marks: vec![2],
+            }],
         };
         let html = render_dashboard_html(&d);
         assert!(html.starts_with("<!DOCTYPE html>"));
         assert!(html.contains(r#"class="pkg-lane""#));
         assert!(html.contains("Cross-input generalization"));
+        assert!(html.contains("Cross-run history trends"));
+        assert!(
+            html.contains(r#"class="spark-mark""#),
+            "changepoint marker must render in the sparkline"
+        );
         assert!(
             html.contains("Work-stealing sweep scheduler: 4 workers"),
             "scheduler telemetry table must render when sched totals exist"
@@ -759,6 +938,48 @@ mod tests {
     fn generalization_section_hides_when_empty() {
         let html = render_dashboard_html(&Dashboard::default());
         assert!(!html.contains("Cross-input generalization"));
+        assert!(!html.contains("Cross-run history trends"));
+    }
+
+    #[test]
+    fn history_series_fold_orders_runs_and_skips_single_points() {
+        use crate::history::RunRecord;
+        let rec = |ts: u64, label: &str, eps: f64| {
+            let mut r = RunRecord {
+                ts,
+                bin: "sweep".to_string(),
+                label: label.to_string(),
+                duration_ms: Some(10.0 * ts as f64),
+                ..RunRecord::default()
+            };
+            r.metrics.insert("eps".to_string(), eps);
+            r
+        };
+        let mut records = vec![rec(2, "b", 2e6), rec(1, "a", 1e6)];
+        // A field only one run carries must not become a row.
+        records[0].counters.insert("once".to_string(), 7);
+        let series = load_history_series(&records);
+        let labels: Vec<&str> = series.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(labels, ["sweep duration_ms", "sweep eps"]);
+        assert_eq!(
+            series[1].points,
+            vec![("a".to_string(), 1e6), ("b".to_string(), 2e6)],
+            "points must be oldest-first regardless of input order"
+        );
+    }
+
+    #[test]
+    fn history_table_caps_rows_and_reports_delta() {
+        let s = |i: usize| HistorySeries {
+            label: format!("bin m{i}"),
+            points: vec![("a".to_string(), 100.0), ("b".to_string(), 150.0)],
+            marks: Vec::new(),
+        };
+        let many: Vec<_> = (0..MAX_HISTORY_ROWS + 3).map(s).collect();
+        let html = render_history_html(&many);
+        assert!(html.contains("+50.0%"));
+        assert!(html.contains("3 more series tracked"));
+        assert!(!html.contains(&format!("bin m{}", MAX_HISTORY_ROWS + 1)));
     }
 
     #[test]

@@ -40,10 +40,12 @@
 
 pub mod cross;
 pub mod dashboard;
+pub mod history;
 pub mod manifest_diff;
 pub mod micro;
 pub mod steal;
 pub mod sweep;
+pub mod watch;
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -202,13 +204,25 @@ pub fn add_table(mf: &mut Manifest, name: &str, t: &TextTable) {
 /// process-wide telemetry (`sweep` object: jobs, steals, per-worker
 /// utilization) into the manifest, emits it to the installed sink, and
 /// flushes. Call once at the end of a binary's `main`.
+///
+/// When `VP_HISTORY_DIR` is set the stamped manifest is also ingested
+/// into the run-history warehouse ([`history`]) — with or without a
+/// trace sink installed, so `VP_HISTORY_DIR` alone is enough to start
+/// accumulating cross-run telemetry. Warehouse failures warn on stderr
+/// and never affect the run.
 pub fn emit_manifest(mut mf: Manifest) {
-    if vp_trace::installed() {
+    let history_dir = history::dir_from_env();
+    if vp_trace::installed() || history_dir.is_some() {
         if let Some(sched) = sched_manifest_value() {
             mf.set("sweep", sched);
         }
         mf.stamp();
+    }
+    if vp_trace::installed() {
         mf.emit();
+    }
+    if history_dir.is_some() {
+        history::ingest_at_exit(&mf.render());
     }
     vp_trace::finish();
 }
@@ -306,6 +320,16 @@ where
         .collect();
     parallel_sweep(jobs, |(label, j)| {
         eprintln!("{what}: {label} ...");
+        let worker = steal::current_worker().unwrap_or(0) as u64;
+        if vp_trace::feed_enabled() {
+            vp_trace::feed(
+                "cell.start",
+                &[
+                    ("cell", Value::from(label.as_str())),
+                    ("worker", Value::from(worker)),
+                ],
+            );
+        }
         let start = std::time::Instant::now();
         let (out, report) = vp_trace::scoped(|| {
             let _cell = vp_trace::span_in(&ctx, "bench.cell");
@@ -318,6 +342,33 @@ where
         eprintln!(
             "{what}: {label} done in {wall_ms:.1} ms (store hits {ratio}) [{finished}/{total}]"
         );
+        if vp_trace::feed_enabled() {
+            // Per-interval store telemetry: this cell's own hit/capture
+            // deltas from its isolated scope, plus one consistent
+            // occupancy snapshot of the shared store.
+            let hits = report.counter("trace_store.hits") + report.counter("trace_store.disk_hits");
+            let store = vacuum_packing::exec::TraceStore::global().snapshot();
+            vp_trace::feed(
+                "cell.done",
+                &[
+                    ("cell", Value::from(label.as_str())),
+                    ("worker", Value::from(worker)),
+                    ("wall_ms", Value::from((wall_ms * 1e3).round() / 1e3)),
+                    ("hits", Value::from(hits)),
+                    (
+                        "captures",
+                        Value::from(report.counter("trace_store.captures")),
+                    ),
+                    ("done", Value::from(finished as u64)),
+                    ("total", Value::from(total as u64)),
+                    ("store_entries", Value::from(store.entries as u64)),
+                    (
+                        "store_resident_bytes",
+                        Value::from(store.resident_bytes as u64),
+                    ),
+                ],
+            );
+        }
         (out, JobTelemetry { wall_ms, report })
     })
 }

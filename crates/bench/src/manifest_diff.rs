@@ -6,7 +6,18 @@
 //! so a slowdown shows up attributed to the stage that regressed rather
 //! than as one opaque wall-time number. The worst span regression gates
 //! CI: the binary exits non-zero when it exceeds the threshold.
+//!
+//! Two gating modes share the reporting above:
+//!
+//! * **single-baseline** (the original): a span fails when it moved more
+//!   than `max_pct` against the one old manifest;
+//! * **history-aware** (`--history DIR`): a span fails when it lands
+//!   above the tolerance band of its last-K warehoused runs — median +
+//!   max(3·MAD, `max_pct`) (see [`crate::history`]). One noisy baseline
+//!   sample no longer decides the verdict; spans without enough history
+//!   fall back to the single-baseline rule.
 
+use crate::history::{Band, RunRecord, GATE_K, GATE_LAST_K, GATE_MIN_SAMPLES};
 use std::collections::BTreeMap;
 use vp_trace::Json;
 
@@ -196,6 +207,45 @@ impl ManifestDiff {
             .fold(0.0, f64::max)
     }
 
+    /// Span-gate failure descriptions under the history-aware rule.
+    ///
+    /// Each span on the new side is judged against its tolerance band in
+    /// `bands` when one exists (`new > band.ceil` fails; bands whose
+    /// median is below [`MIN_GATED_SPAN_MS`] never gate), and against
+    /// the single-baseline `max_pct` rule otherwise. Returns one line
+    /// per failing span; empty means the gate passes.
+    pub fn gate_failures(&self, bands: &BTreeMap<String, Band>, max_pct: f64) -> Vec<String> {
+        let mut out = Vec::new();
+        for s in &self.spans {
+            let Some(new) = s.new_ms else { continue };
+            match bands.get(&s.name) {
+                Some(band) if band.median >= MIN_GATED_SPAN_MS => {
+                    let ceil = band.ceil(GATE_K, max_pct / 100.0);
+                    if new > ceil {
+                        out.push(format!(
+                            "span {} = {new:.3} ms exceeds history band ceil {ceil:.3} ms \
+                             (median {:.3} ms, MAD {:.3}, n={})",
+                            s.name, band.median, band.mad, band.n
+                        ));
+                    }
+                }
+                Some(_) => {}
+                None => {
+                    if let Some(pct) = s.gated_pct() {
+                        if pct > max_pct {
+                            out.push(format!(
+                                "span {} regressed {pct:+.1}% vs the old manifest \
+                                 (gate {max_pct:.0}%, no history band)",
+                                s.name
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
     /// Renders the diff as a plain-text report, spans sorted worst
     /// regression first.
     pub fn render(&self) -> String {
@@ -259,6 +309,31 @@ impl ManifestDiff {
         }
         out
     }
+}
+
+/// Builds per-span tolerance bands from warehoused runs of `bin`.
+///
+/// Each span seen across the filtered records contributes its last
+/// [`GATE_LAST_K`] values; spans with fewer than [`GATE_MIN_SAMPLES`]
+/// samples get no band (the diff falls back to single-baseline gating
+/// for them).
+pub fn history_span_bands(records: &[RunRecord], bin: &str) -> BTreeMap<String, Band> {
+    let mut series: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for rec in records.iter().filter(|r| r.bin == bin) {
+        for (name, &ms) in &rec.spans {
+            series.entry(name.clone()).or_default().push(ms);
+        }
+    }
+    series
+        .into_iter()
+        .filter_map(|(name, values)| {
+            if values.len() < GATE_MIN_SAMPLES {
+                return None;
+            }
+            let tail = &values[values.len().saturating_sub(GATE_LAST_K)..];
+            crate::history::band(tail).map(|b| (name, b))
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -363,6 +438,75 @@ mod tests {
         assert_eq!(d.histograms.len(), 1);
         assert_eq!(d.histograms[0].old.1, 2.0);
         assert_eq!(d.histograms[0].new.1, 20.0);
+    }
+
+    fn history_recs(span: &str, values: &[f64]) -> Vec<RunRecord> {
+        values
+            .iter()
+            .enumerate()
+            .map(|(i, &ms)| {
+                let mut r = RunRecord {
+                    ts: i as u64,
+                    bin: "sweep".into(),
+                    label: format!("run{i}"),
+                    ..RunRecord::default()
+                };
+                r.spans.insert(span.to_string(), ms);
+                r
+            })
+            .collect()
+    }
+
+    #[test]
+    fn history_band_tolerates_spread_the_single_baseline_would_gate() {
+        // History: the span bounces between 40 and 60 ms run to run. A
+        // single-baseline diff of a lucky 40 against an unlucky 58 gates
+        // at 25% (+45%); the history band knows that spread is normal.
+        let recs = history_recs("measure", &[50.0, 40.0, 60.0, 45.0, 55.0]);
+        let bands = history_span_bands(&recs, "sweep");
+        let old = manifest(&[("measure", 40.0)], &[]);
+        let new = manifest(&[("measure", 58.0)], &[]);
+        let d = diff_manifests(&old, &new);
+        assert!(d.worst_span_regression_pct() > 25.0, "baseline rule fires");
+        assert!(
+            d.gate_failures(&bands, 25.0).is_empty(),
+            "history band absorbs normal spread"
+        );
+        // A genuine blowup still fails against the band.
+        let blown = manifest(&[("measure", 200.0)], &[]);
+        let d = diff_manifests(&old, &blown);
+        let failures = d.gate_failures(&bands, 25.0);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("history band"), "{failures:?}");
+    }
+
+    #[test]
+    fn spans_without_history_fall_back_to_single_baseline() {
+        let bands = history_span_bands(&history_recs("other", &[1.0, 1.0, 1.0]), "sweep");
+        let old = manifest(&[("measure", 50.0)], &[]);
+        let new = manifest(&[("measure", 100.0)], &[]);
+        let d = diff_manifests(&old, &new);
+        let failures = d.gate_failures(&bands, 25.0);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("no history band"), "{failures:?}");
+        // And with no bands at all, behaves exactly like the old gate.
+        let none = BTreeMap::new();
+        assert_eq!(d.gate_failures(&none, 25.0).len(), 1);
+        assert!(d.gate_failures(&none, 150.0).is_empty());
+    }
+
+    #[test]
+    fn history_bands_require_min_samples_and_matching_bin() {
+        let thin = history_span_bands(&history_recs("measure", &[50.0, 51.0]), "sweep");
+        assert!(thin.is_empty(), "two samples are not enough");
+        let other_bin = history_span_bands(&history_recs("measure", &[50.0; 5]), "report");
+        assert!(other_bin.is_empty(), "bands are per-bin");
+        // Sub-millisecond spans never gate even with a band.
+        let tiny = history_span_bands(&history_recs("tiny", &[0.01, 0.01, 0.01]), "sweep");
+        let old = manifest(&[("tiny", 0.01)], &[]);
+        let new = manifest(&[("tiny", 0.9)], &[]);
+        let d = diff_manifests(&old, &new);
+        assert!(d.gate_failures(&tiny, 25.0).is_empty());
     }
 
     #[test]

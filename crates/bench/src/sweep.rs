@@ -179,6 +179,16 @@ pub fn sweep_cells(
             (format!("{} [{}]", by_index[&w].label, CONFIG_LABELS[c]), j)
         })
         .collect();
+    if vp_trace::feed_enabled() {
+        vp_trace::feed(
+            "sweep.start",
+            &[
+                ("total", vp_trace::Value::from(jobs.len() as u64)),
+                ("jobs", vp_trace::Value::from(crate::jobs() as u64)),
+            ],
+        );
+    }
+    let sweep_t0 = std::time::Instant::now();
     let results = parallel_sweep_scoped("sweep", jobs, |&j| {
         let (w, c) = (j / n_cfg, j % n_cfg);
         let out = evaluate(&by_index[&w], &configs[c], &OptConfig::default(), machine)
@@ -190,6 +200,20 @@ pub fn sweep_cells(
     for (row, t) in crate::collect_or_report("sweep_cells", results) {
         telemetry.push(telemetry_row(&row[COL_CELL], &t));
         rows.push(row);
+    }
+    if vp_trace::feed_enabled() {
+        let wall_ms = sweep_t0.elapsed().as_secs_f64() * 1e3;
+        vp_trace::feed(
+            "sweep.done",
+            &[
+                ("done", vp_trace::Value::from(rows.len() as u64)),
+                ("total", vp_trace::Value::from(rows.len() as u64)),
+                (
+                    "wall_ms",
+                    vp_trace::Value::from((wall_ms * 1e3).round() / 1e3),
+                ),
+            ],
+        );
     }
     SweepOutcome {
         rows,

@@ -1,0 +1,341 @@
+//! `sweep watch`: fold a live feed file into a terminal progress view.
+//!
+//! The write side is `vp_trace::feed` (sweep emits `sweep.start`,
+//! `cell.start`, `cell.done`, `sweep.done` events — see
+//! [`crate::sweep::sweep_cells`] and the cell events in the scoped
+//! sweep driver). This module is the read side: [`fold_feed`] reduces
+//! the event lines into a [`WatchState`], and [`render_watch`] formats
+//! that state — per-worker utilization, cells done/total, trace-store
+//! hit ratio, ETA. Both halves are pure, so the view is unit-testable
+//! without a live sweep; the `watch` subcommand in the sweep binary
+//! adds the only impure part (re-reading a growing file).
+
+use std::collections::BTreeMap;
+use vp_trace::Json;
+
+/// Per-worker accumulation across `cell.*` events.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WorkerView {
+    /// Cells this worker finished.
+    pub cells: u64,
+    /// Wall ms this worker spent inside finished cells.
+    pub busy_ms: f64,
+}
+
+/// Everything the watch view knows after folding a feed prefix.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WatchState {
+    /// Cells the sweep will run (`sweep.start`, refined by `cell.done`).
+    pub total: u64,
+    /// Scheduler worker count announced by `sweep.start`.
+    pub jobs: u64,
+    /// Cells finished so far.
+    pub done: u64,
+    /// Feed `ms` of the first event seen.
+    pub first_ms: f64,
+    /// Feed `ms` of the last event seen.
+    pub last_ms: f64,
+    /// Per-worker view, keyed by worker id.
+    pub workers: BTreeMap<u64, WorkerView>,
+    /// Trace-store hits summed over finished cells.
+    pub hits: u64,
+    /// Live captures summed over finished cells.
+    pub captures: u64,
+    /// Latest shared-store occupancy (bytes), from the newest `cell.done`.
+    pub store_resident_bytes: u64,
+    /// Cells started but not yet finished, in start order.
+    pub running: Vec<String>,
+    /// A `sweep.done` event has been seen.
+    pub finished: bool,
+    /// Total sweep wall ms (from `sweep.done`).
+    pub wall_ms: f64,
+    /// Lines that did not parse as `vp-feed/1` events.
+    pub malformed: usize,
+}
+
+impl WatchState {
+    /// Elapsed feed time covered by the folded events, ms.
+    pub fn elapsed_ms(&self) -> f64 {
+        (self.last_ms - self.first_ms).max(0.0)
+    }
+
+    /// A worker's busy fraction of the observed elapsed time.
+    pub fn utilization(&self, worker: u64) -> f64 {
+        let elapsed = self.elapsed_ms();
+        if elapsed <= 0.0 {
+            return 0.0;
+        }
+        self.workers
+            .get(&worker)
+            .map_or(0.0, |w| (w.busy_ms / elapsed).clamp(0.0, 1.0))
+    }
+
+    /// Store hit ratio over finished cells, when any touched the store.
+    pub fn hit_ratio(&self) -> Option<f64> {
+        let total = self.hits + self.captures;
+        (total > 0).then(|| self.hits as f64 / total as f64)
+    }
+
+    /// Estimated ms to completion: remaining cells at the observed mean
+    /// cell rate. `None` until a cell finished or once done.
+    pub fn eta_ms(&self) -> Option<f64> {
+        if self.finished || self.done == 0 || self.total <= self.done {
+            return None;
+        }
+        let elapsed = self.elapsed_ms();
+        if elapsed <= 0.0 {
+            return None;
+        }
+        Some((self.total - self.done) as f64 * elapsed / self.done as f64)
+    }
+}
+
+/// Folds feed text (any prefix of a feed file, torn final line included)
+/// into a [`WatchState`].
+pub fn fold_feed(text: &str) -> WatchState {
+    let mut st = WatchState::default();
+    let mut seen_any = false;
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Ok(j) = vp_trace::parse_feed_line(line) else {
+            st.malformed += 1;
+            continue;
+        };
+        if let Some(ms) = j.get("ms").and_then(Json::as_f64) {
+            if !seen_any {
+                st.first_ms = ms;
+                seen_any = true;
+            }
+            st.last_ms = st.last_ms.max(ms);
+        }
+        let num = |key: &str| j.get(key).and_then(Json::as_u64).unwrap_or(0);
+        match j.get("kind").and_then(Json::as_str) {
+            Some("sweep.start") => {
+                st.total = num("total");
+                st.jobs = num("jobs");
+            }
+            Some("cell.start") => {
+                if let Some(cell) = j.get("cell").and_then(Json::as_str) {
+                    st.running.push(cell.to_string());
+                }
+            }
+            Some("cell.done") => {
+                st.done += 1;
+                st.total = st.total.max(num("total"));
+                st.hits += num("hits");
+                st.captures += num("captures");
+                if let Some(b) = j.get("store_resident_bytes").and_then(Json::as_u64) {
+                    st.store_resident_bytes = b;
+                }
+                let w = st.workers.entry(num("worker")).or_default();
+                w.cells += 1;
+                w.busy_ms += j.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0);
+                if let Some(cell) = j.get("cell").and_then(Json::as_str) {
+                    if let Some(pos) = st.running.iter().position(|c| c == cell) {
+                        st.running.remove(pos);
+                    }
+                }
+            }
+            Some("sweep.done") => {
+                st.finished = true;
+                st.done = st.done.max(num("done"));
+                st.total = st.total.max(num("total"));
+                st.wall_ms = j.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0);
+            }
+            _ => {}
+        }
+    }
+    st
+}
+
+fn bar(frac: f64, width: usize) -> String {
+    let filled = ((frac.clamp(0.0, 1.0)) * width as f64).round() as usize;
+    format!("[{}{}]", "#".repeat(filled), "-".repeat(width - filled))
+}
+
+fn human_ms(ms: f64) -> String {
+    if ms >= 60_000.0 {
+        format!("{:.1} min", ms / 60_000.0)
+    } else if ms >= 1_000.0 {
+        format!("{:.1} s", ms / 1_000.0)
+    } else {
+        format!("{ms:.0} ms")
+    }
+}
+
+/// Renders the watch view for one folded state.
+pub fn render_watch(st: &WatchState) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let total = st.total.max(st.done);
+    if st.finished {
+        let _ = writeln!(
+            out,
+            "sweep complete: {}/{} cells in {}",
+            st.done,
+            total,
+            human_ms(st.wall_ms.max(st.elapsed_ms()))
+        );
+    } else {
+        let eta = st
+            .eta_ms()
+            .map_or_else(|| "-".to_string(), |ms| format!("ETA {}", human_ms(ms)));
+        let _ = writeln!(
+            out,
+            "sweep: {}/{} cells done, {} worker{}, {eta}",
+            st.done,
+            total,
+            st.jobs.max(st.workers.len() as u64),
+            if st.jobs == 1 { "" } else { "s" },
+        );
+    }
+    let frac = if total > 0 {
+        st.done as f64 / total as f64
+    } else {
+        0.0
+    };
+    let _ = writeln!(out, "  {} {:.0}%", bar(frac, 24), frac * 100.0);
+    for (id, w) in &st.workers {
+        let util = st.utilization(*id);
+        let _ = writeln!(
+            out,
+            "  worker {id}: {} cell{}, busy {} ({:.0}% utilized) {}",
+            w.cells,
+            if w.cells == 1 { "" } else { "s" },
+            human_ms(w.busy_ms),
+            util * 100.0,
+            bar(util, 10),
+        );
+    }
+    let ratio = st
+        .hit_ratio()
+        .map_or_else(|| "-".to_string(), |r| format!("{:.0}%", r * 100.0));
+    let _ = writeln!(
+        out,
+        "  trace store: {} hits / {} captures (hit ratio {ratio}), {:.1} MB resident",
+        st.hits,
+        st.captures,
+        st.store_resident_bytes as f64 / (1024.0 * 1024.0),
+    );
+    if !st.running.is_empty() {
+        let _ = writeln!(out, "  running: {}", st.running.join(", "));
+    }
+    if st.malformed > 0 {
+        let _ = writeln!(out, "  ({} malformed feed lines skipped)", st.malformed);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed_line(kind: &str, ms: f64, rest: &str) -> String {
+        let comma = if rest.is_empty() { "" } else { "," };
+        format!(
+            r#"{{"t":"feed","schema":"vp-feed/1","seq":1,"ms":{ms},"kind":"{kind}"{comma}{rest}}}"#
+        )
+    }
+
+    fn sample_feed() -> String {
+        [
+            feed_line("sweep.start", 0.0, r#""total":4,"jobs":2"#),
+            feed_line("cell.start", 1.0, r#""cell":"a [base]","worker":0"#),
+            feed_line("cell.start", 1.5, r#""cell":"b [base]","worker":1"#),
+            feed_line(
+                "cell.done",
+                11.0,
+                r#""cell":"a [base]","worker":0,"wall_ms":10.0,"hits":2,"captures":1,"done":1,"total":4,"store_entries":1,"store_resident_bytes":1048576"#,
+            ),
+            feed_line("cell.start", 11.5, r#""cell":"c [base]","worker":0"#),
+            feed_line(
+                "cell.done",
+                16.0,
+                r#""cell":"b [base]","worker":1,"wall_ms":14.0,"hits":1,"captures":0,"done":2,"total":4"#,
+            ),
+        ]
+        .join("\n")
+    }
+
+    #[test]
+    fn fold_accumulates_workers_and_progress() {
+        let st = fold_feed(&sample_feed());
+        assert_eq!(st.total, 4);
+        assert_eq!(st.jobs, 2);
+        assert_eq!(st.done, 2);
+        assert!(!st.finished);
+        assert_eq!(st.workers.len(), 2);
+        assert_eq!(st.workers[&0].cells, 1);
+        assert!((st.workers[&0].busy_ms - 10.0).abs() < 1e-9);
+        assert_eq!(st.hits, 3);
+        assert_eq!(st.captures, 1);
+        assert_eq!(st.store_resident_bytes, 1_048_576);
+        assert_eq!(st.running, vec!["c [base]".to_string()]);
+        assert!((st.hit_ratio().unwrap() - 0.75).abs() < 1e-9);
+        // 2 cells over 16 ms elapsed → 2 more ≈ 16 ms out.
+        let eta = st.eta_ms().unwrap();
+        assert!((eta - 16.0).abs() < 1e-6, "eta {eta}");
+        // Utilization: worker 0 busy 10 of 16 ms.
+        assert!((st.utilization(0) - 10.0 / 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fold_handles_completion_and_torn_lines() {
+        let mut text = sample_feed();
+        text.push('\n');
+        text.push_str(&feed_line(
+            "cell.done",
+            20.0,
+            r#""cell":"c [base]","worker":0,"wall_ms":8.0,"hits":1,"captures":0,"done":3,"total":4"#,
+        ));
+        text.push('\n');
+        text.push_str(&feed_line(
+            "cell.done",
+            21.0,
+            r#""cell":"d [base]","worker":1,"wall_ms":4.0,"hits":1,"captures":0,"done":4,"total":4"#,
+        ));
+        text.push('\n');
+        text.push_str(&feed_line(
+            "sweep.done",
+            22.0,
+            r#""done":4,"total":4,"wall_ms":22.0"#,
+        ));
+        text.push_str("\n{\"t\":\"feed\",\"schema\":\"vp-feed/1\",\"seq\":9,\"ms\":23.0,\"ki");
+        let st = fold_feed(&text);
+        assert!(st.finished);
+        assert_eq!(st.done, 4);
+        assert_eq!(st.malformed, 1, "torn trailing line counted, not fatal");
+        assert!(st.running.is_empty());
+        assert_eq!(st.eta_ms(), None);
+    }
+
+    #[test]
+    fn render_shows_workers_progress_and_store() {
+        let st = fold_feed(&sample_feed());
+        let view = render_watch(&st);
+        assert!(view.contains("2/4 cells done"), "{view}");
+        assert!(view.contains("2 workers"), "{view}");
+        assert!(view.contains("worker 0:"), "{view}");
+        assert!(view.contains("worker 1:"), "{view}");
+        assert!(view.contains("% utilized"), "{view}");
+        assert!(view.contains("hit ratio 75%"), "{view}");
+        assert!(view.contains("ETA"), "{view}");
+        assert!(view.contains("running: c [base]"), "{view}");
+
+        let empty = render_watch(&WatchState::default());
+        assert!(empty.contains("0/0"), "{empty}");
+    }
+
+    #[test]
+    fn render_final_view_reports_completion() {
+        let mut st = fold_feed(&sample_feed());
+        st.finished = true;
+        st.done = 4;
+        st.wall_ms = 22.0;
+        let view = render_watch(&st);
+        assert!(view.contains("sweep complete: 4/4 cells"), "{view}");
+        assert!(!view.contains("ETA"), "{view}");
+    }
+}

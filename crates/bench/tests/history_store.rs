@@ -1,0 +1,141 @@
+//! Run-history warehouse contracts: legacy `vp-manifest/1` lines must
+//! ingest to the same record as their `/2` counterpart (modulo the
+//! fields `/2` added), and segment rotation under a tiny byte budget
+//! must drop the oldest history while keeping the index consistent.
+
+use bench::history::{RunRecord, Warehouse};
+use std::path::PathBuf;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    static N: AtomicU32 = AtomicU32::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "vphist-test-{}-{tag}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The shared core both schema versions carry.
+const CORE: &str = r#""bin":"sweep","mode":"table3","scale":2,"shard":"0/2",
+    "only":["gzip","vortex"],"cells_done":8,
+    "counters":{"trace_store.hits":41,"diff.divergences":0},
+    "spans":{"bench.sweep_cells":{"ms":120.5,"count":1}},
+    "histograms":{"pack.sizes":{"count":4,"sum":100,"p50":25}}"#;
+
+fn legacy_line() -> String {
+    format!(r#"{{"t":"manifest","schema":"vp-manifest/1",{CORE}}}"#).replace('\n', "")
+}
+
+fn v2_line() -> String {
+    format!(
+        r#"{{"t":"manifest","schema":"vp-manifest/2",{CORE},"duration_ms":345.6,"seq":17,
+        "flight":{{"capacity":256,"recorded":3,"dropped":0}}}}"#
+    )
+    .replace('\n', "")
+}
+
+#[test]
+fn legacy_and_v2_manifests_ingest_to_the_same_record_core() {
+    let old = RunRecord::from_manifest_line(&legacy_line(), 100).expect("legacy parses");
+    let new = RunRecord::from_manifest_line(&v2_line(), 100).expect("v2 parses");
+
+    // Everything both schemas carry must land identically.
+    assert_eq!(old.bin, new.bin);
+    assert_eq!(old.config, new.config);
+    assert_eq!(old.workload, "gzip+vortex");
+    assert_eq!(old.workload, new.workload);
+    assert_eq!(old.counters, new.counters);
+    assert_eq!(old.spans, new.spans);
+    assert_eq!(old.hists, new.hists);
+    assert_eq!(old.key(), new.key(), "same key → same fingerprint bucket");
+    assert_eq!(old.fingerprint(), new.fingerprint());
+    assert_eq!(old.metrics["cells_done"], 8.0);
+    assert_eq!(new.metrics["cells_done"], 8.0);
+
+    // The /2-only fields are the whole difference.
+    assert_eq!(old.duration_ms, None, "legacy lines have no duration");
+    assert_eq!(new.duration_ms, Some(345.6));
+
+    // Round-trip through the warehouse keeps the parity.
+    let dir = tmp_dir("parity");
+    let w = Warehouse::open(&dir).expect("open warehouse");
+    w.ingest_manifest_line(&legacy_line()).expect("ingest /1");
+    w.ingest_manifest_line(&v2_line()).expect("ingest /2");
+    let records = w.records().expect("read back");
+    assert_eq!(records.len(), 2);
+    assert_eq!(records[0].counters, records[1].counters);
+    assert_eq!(records[0].spans, records[1].spans);
+    assert_eq!(records[0].fingerprint(), records[1].fingerprint());
+    let index = w.index().expect("index");
+    assert_eq!(index.len(), 2, "one index entry per ingested run");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tiny_budget_rotates_segments_and_drops_oldest_history() {
+    let dir = tmp_dir("rotate");
+    // 8 KiB budget → 4096-byte segment cap (the floor). Each record is
+    // padded well past trivial size so a handful of runs force rotation.
+    let w = Warehouse::open_with_budget(&dir, 8 * 1024).expect("open warehouse");
+    let rec = |i: u64| RunRecord {
+        ts: i,
+        bin: "sweep".to_string(),
+        label: format!("run-{i:04}-{}", "x".repeat(400)),
+        config: "mode=test".to_string(),
+        workload: "gzip".to_string(),
+        ..RunRecord::default()
+    };
+    for i in 0..40 {
+        w.ingest(&rec(i)).expect("ingest");
+    }
+
+    let segs = w.segments().expect("segments");
+    assert!(
+        segs.len() > 1,
+        "40 ~450-byte records cannot fit one 4 KiB segment: {segs:?}"
+    );
+    assert!(
+        w.total_bytes().expect("sizes") <= 8 * 1024,
+        "rotation must keep the store inside its byte budget"
+    );
+
+    let records = w.records().expect("records");
+    assert!(!records.is_empty());
+    let kept_ts: Vec<u64> = records.iter().map(|r| r.ts).collect();
+    assert!(
+        !kept_ts.contains(&0),
+        "the oldest run must be rotated out first"
+    );
+    assert!(
+        kept_ts.contains(&39),
+        "the newest run always survives rotation"
+    );
+    assert!(
+        kept_ts.windows(2).all(|p| p[0] < p[1]),
+        "records stay in append order across segments: {kept_ts:?}"
+    );
+
+    // Index consistency: entries reference only live segments, and every
+    // retained record has exactly one entry.
+    let live: Vec<String> = segs
+        .iter()
+        .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+        .collect();
+    let index = w.index().expect("index");
+    assert_eq!(
+        index.len(),
+        records.len(),
+        "index must shrink with the rotated-out segments"
+    );
+    for e in &index {
+        assert!(
+            live.contains(&e.seg),
+            "index entry points at deleted segment {}",
+            e.seg
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,148 @@
+//! Live-attach and warehouse side channels must be invisible to the
+//! report: a strict sweep with `VP_HISTORY_DIR` + `VP_LIVE_FEED` both
+//! set prints byte-identically to one with both unset. And the feed a
+//! real `--jobs 2` sweep writes must fold into a `sweep watch` view
+//! whose per-worker utilization and final cells-done agree with the
+//! run's own manifest.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn tmp_path(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    static N: AtomicU32 = AtomicU32::new(0);
+    std::env::temp_dir().join(format!(
+        "vpfeed-test-{}-{tag}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Runs the sweep binary with a scrubbed environment: no inherited
+/// `VP_*` knobs, everything only as given in `envs`.
+fn sweep(args: &[&str], envs: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_sweep"));
+    for var in [
+        "VP_SHARD",
+        "VP_TRACE",
+        "VP_TRACE_DIR",
+        "VP_TRACE_DISK_MB",
+        "VP_DIFF",
+        "VP_PROFILE_FROM",
+        "VP_MERGE_WEIGHT",
+        "VP_SWEEP_JOBS",
+        "VP_THREADS",
+        "VP_HISTORY_DIR",
+        "VP_HISTORY_MB",
+        "VP_LIVE_FEED",
+        "VP_FLIGHT_EVENTS",
+    ] {
+        cmd.env_remove(var);
+    }
+    cmd.env("VP_SCALE", "1");
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    cmd.args(args).output().expect("spawn sweep binary")
+}
+
+fn stdout(out: &Output) -> String {
+    assert!(
+        out.status.success(),
+        "sweep failed\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout.clone()).expect("utf-8 stdout")
+}
+
+#[test]
+fn history_and_feed_leave_the_strict_report_byte_identical() {
+    let args = ["--only", "gzip"];
+    let plain = stdout(&sweep(&args, &[("VP_DIFF", "strict")]));
+    assert!(plain.contains("Sweep report"), "{plain}");
+
+    let hist = tmp_path("warehouse");
+    let feed = tmp_path("feed.jsonl");
+    let instrumented = stdout(&sweep(
+        &args,
+        &[
+            ("VP_DIFF", "strict"),
+            ("VP_HISTORY_DIR", hist.to_str().unwrap()),
+            ("VP_LIVE_FEED", feed.to_str().unwrap()),
+        ],
+    ));
+    assert_eq!(
+        instrumented, plain,
+        "telemetry side channels must never change the report"
+    );
+
+    // ... while both side channels actually captured the run.
+    let feed_text = std::fs::read_to_string(&feed).expect("feed file written");
+    assert!(
+        feed_text.lines().any(|l| l.contains("\"sweep.done\"")),
+        "feed must record the sweep finishing:\n{feed_text}"
+    );
+    let w = bench::history::Warehouse::open(&hist).expect("warehouse opens");
+    let records = w.records().expect("warehouse readable");
+    assert_eq!(records.len(), 1, "end-of-run manifest must be warehoused");
+    assert_eq!(records[0].bin, "sweep");
+
+    let _ = std::fs::remove_dir_all(&hist);
+    let _ = std::fs::remove_file(&feed);
+}
+
+#[test]
+fn watch_folds_a_real_jobs2_feed_to_match_the_manifest() {
+    let feed = tmp_path("feed.jsonl");
+    let trace = tmp_path("trace.jsonl");
+    let trace_env = format!("json:{}", trace.display());
+    stdout(&sweep(
+        &["--jobs", "2", "--only", "gzip"],
+        &[
+            ("VP_LIVE_FEED", feed.to_str().unwrap()),
+            ("VP_TRACE", &trace_env),
+        ],
+    ));
+
+    // The manifest's own account of the run.
+    let manifest = std::fs::read_to_string(&trace)
+        .expect("trace written")
+        .lines()
+        .find_map(|l| vp_trace::parse_manifest_line(l).ok())
+        .expect("manifest line in trace");
+    let cells_done = manifest
+        .get("cells_done")
+        .and_then(vp_trace::Json::as_u64)
+        .expect("manifest stamps cells_done");
+    assert!(cells_done > 0);
+
+    // `sweep watch` over the finished feed must agree with it.
+    let view = stdout(&sweep(&["watch", feed.to_str().unwrap()], &[]));
+    assert!(
+        view.contains(&format!("sweep complete: {cells_done}/{cells_done} cells")),
+        "watch cells-done must match the manifest's {cells_done}:\n{view}"
+    );
+    assert!(
+        view.contains("worker 0:") && view.contains("% utilized"),
+        "watch must render per-worker utilization:\n{view}"
+    );
+    let worker_cells: u64 = view
+        .lines()
+        .filter(|l| l.trim_start().starts_with("worker "))
+        .map(|l| {
+            l.split(": ")
+                .nth(1)
+                .and_then(|r| r.split(' ').next())
+                .and_then(|n| n.parse::<u64>().ok())
+                .unwrap_or(0)
+        })
+        .sum();
+    assert_eq!(
+        worker_cells, cells_done,
+        "per-worker cell counts must sum to the manifest total:\n{view}"
+    );
+
+    let _ = std::fs::remove_file(&feed);
+    let _ = std::fs::remove_file(&trace);
+}

@@ -1,0 +1,141 @@
+//! `dashboard manifest-diff` exit-code contract, end to end: 0 = no
+//! regression, 1 = regression found, 2 = usage/parse error — and the
+//! `--history DIR` band gate that widens or tightens the verdict from
+//! warehoused runs.
+
+use bench::history::{RunRecord, Warehouse};
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn tmp_path(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    static N: AtomicU32 = AtomicU32::new(0);
+    std::env::temp_dir().join(format!(
+        "vpdiff-test-{}-{tag}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn manifest_file(tag: &str, sweep_cells_ms: f64) -> PathBuf {
+    let path = tmp_path(tag);
+    let line = format!(
+        r#"{{"t":"manifest","schema":"vp-manifest/2","bin":"sweep","duration_ms":{sweep_cells_ms},"spans":{{"bench.sweep_cells":{{"ms":{sweep_cells_ms},"count":1}}}}}}"#
+    );
+    std::fs::write(&path, format!("{line}\n")).expect("write manifest");
+    path
+}
+
+fn diff(args: &[&str]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_dashboard"));
+    cmd.env_remove("VP_HISTORY_DIR");
+    cmd.arg("manifest-diff");
+    cmd.args(args).output().expect("spawn dashboard binary")
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("exit code")
+}
+
+#[test]
+fn exit_codes_separate_verdict_from_usage_errors() {
+    let old = manifest_file("old", 100.0);
+    let ok = manifest_file("ok", 110.0);
+    let bad = manifest_file("bad", 200.0);
+
+    let pass = diff(&[old.to_str().unwrap(), ok.to_str().unwrap()]);
+    assert_eq!(code(&pass), 0, "{pass:?}");
+    assert!(String::from_utf8_lossy(&pass.stdout).contains("OK"));
+
+    let fail = diff(&[old.to_str().unwrap(), bad.to_str().unwrap()]);
+    assert_eq!(code(&fail), 1, "a 100% span regression must exit 1");
+    assert!(String::from_utf8_lossy(&fail.stderr).contains("FAIL"));
+
+    // Usage and parse problems are exit 2, never 1.
+    assert_eq!(code(&diff(&[old.to_str().unwrap()])), 2, "missing operand");
+    let garbage = tmp_path("garbage");
+    std::fs::write(&garbage, "not json\n").unwrap();
+    assert_eq!(
+        code(&diff(&[old.to_str().unwrap(), garbage.to_str().unwrap()])),
+        2,
+        "a file without a manifest line is a parse error, not a verdict"
+    );
+    assert_eq!(
+        code(&diff(&[
+            old.to_str().unwrap(),
+            ok.to_str().unwrap(),
+            "--max-span-regression",
+            "abc"
+        ])),
+        2,
+        "non-numeric gate percentage"
+    );
+
+    for p in [old, ok, bad, garbage] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn history_band_overrides_the_single_baseline_verdict() {
+    // Warehoused runs for bin "sweep" put bench.sweep_cells at
+    // 170/180/190 ms: median 180, MAD 10 → ceil 180 + max(30, 45) = 225.
+    let hist = tmp_path("warehouse");
+    let w = Warehouse::open(&hist).expect("open warehouse");
+    for (i, ms) in [170.0, 180.0, 190.0].into_iter().enumerate() {
+        let mut rec = RunRecord {
+            ts: i as u64 + 1,
+            bin: "sweep".to_string(),
+            label: format!("run{i}"),
+            ..RunRecord::default()
+        };
+        rec.spans.insert("bench.sweep_cells".to_string(), ms);
+        w.ingest(&rec).expect("ingest");
+    }
+
+    let old = manifest_file("old", 100.0);
+    let new_200 = manifest_file("new200", 200.0);
+    let new_300 = manifest_file("new300", 300.0);
+    let hist_arg = hist.to_str().unwrap();
+
+    // 200 ms is +100% vs the old manifest (fails the 25% rule) but well
+    // inside the band of what this span has recently cost.
+    let tolerated = diff(&[
+        old.to_str().unwrap(),
+        new_200.to_str().unwrap(),
+        "--history",
+        hist_arg,
+    ]);
+    assert_eq!(
+        code(&tolerated),
+        0,
+        "history band must tolerate the known spread: {}",
+        String::from_utf8_lossy(&tolerated.stderr)
+    );
+    assert!(String::from_utf8_lossy(&tolerated.stdout).contains("history gate"));
+
+    // 300 ms breaches even the band.
+    let breach = diff(&[
+        old.to_str().unwrap(),
+        new_300.to_str().unwrap(),
+        "--history",
+        hist_arg,
+    ]);
+    assert_eq!(code(&breach), 1);
+    assert!(String::from_utf8_lossy(&breach.stderr).contains("history band"));
+
+    // A dangling --history directory is a usage error.
+    assert_eq!(
+        code(&diff(&[
+            old.to_str().unwrap(),
+            new_200.to_str().unwrap(),
+            "--history"
+        ])),
+        2
+    );
+
+    for p in [old, new_200, new_300] {
+        let _ = std::fs::remove_file(p);
+    }
+    let _ = std::fs::remove_dir_all(&hist);
+}

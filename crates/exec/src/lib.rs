@@ -112,6 +112,6 @@ pub use exec::{ExecError, Executor, RunConfig, RunStats, StopReason};
 pub use fx::{FxHashMap, FxHasher};
 pub use memory::Memory;
 pub use trace_store::{
-    CapturedTrace, DiskTier, TraceKey, TraceRecorder, TraceStore, DEFAULT_CACHE_MB,
+    CapturedTrace, DiskTier, StoreSnapshot, TraceKey, TraceRecorder, TraceStore, DEFAULT_CACHE_MB,
     DEFAULT_DISK_MB, DEFAULT_REPLAY_BATCH, FORMAT_VERSION as TRACE_FORMAT_VERSION,
 };

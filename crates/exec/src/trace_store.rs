@@ -1131,12 +1131,41 @@ impl TraceStore {
         self.cap_bytes
     }
 
+    /// One consistent view of the store's occupancy, taken under a
+    /// single lock acquisition.
+    ///
+    /// Periodic observers (the sweep's per-cell live-feed events, the
+    /// `sweep watch` resident-bytes row) want entries and bytes from the
+    /// *same instant*; calling [`TraceStore::len`] and
+    /// [`TraceStore::resident_bytes`] back to back can interleave with a
+    /// concurrent insert or eviction between the two reads.
+    pub fn snapshot(&self) -> StoreSnapshot {
+        let inner = self.inner.lock().expect("trace store");
+        StoreSnapshot {
+            entries: inner.map.len(),
+            resident_bytes: inner.bytes,
+            capacity_bytes: self.cap_bytes,
+        }
+    }
+
     /// Drops every cached capture.
     pub fn clear(&self) {
         let mut inner = self.inner.lock().expect("trace store");
         inner.map.clear();
         inner.bytes = 0;
     }
+}
+
+/// A point-in-time view of a [`TraceStore`]'s occupancy
+/// ([`TraceStore::snapshot`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreSnapshot {
+    /// Cached captures resident in memory.
+    pub entries: usize,
+    /// Bytes held by those captures.
+    pub resident_bytes: usize,
+    /// The configured in-memory byte budget.
+    pub capacity_bytes: usize,
 }
 
 #[cfg(test)]

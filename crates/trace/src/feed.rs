@@ -1,0 +1,189 @@
+//! Live run feed: line-delimited telemetry appended to `VP_LIVE_FEED`.
+//!
+//! A long sweep is otherwise visible only through its stderr progress
+//! lines; the feed turns the same moments into a machine-readable,
+//! tail-able event stream that another process can *attach to while the
+//! run is still going* — `sweep watch <feed>` renders it as a live
+//! terminal view, and it is the in-process precursor of a fleet profile
+//! service's SSE progress stream.
+//!
+//! Design constraints, in order:
+//!
+//! * **observability-only** — the feed never changes what a binary
+//!   prints. Reports stay byte-identical with the feed on or off
+//!   (pinned by `crates/bench/tests/live_feed.rs`);
+//! * **no sockets, no deps** — the channel is a plain file. Every event
+//!   is one JSON line written with a *single* `write` syscall on a
+//!   descriptor opened with `O_APPEND`, so concurrent writers (sweep
+//!   workers) never interleave bytes and `tail -f` always sees whole
+//!   lines;
+//! * **off by default** — when `VP_LIVE_FEED` is unset every emit site
+//!   costs one cached-`OnceLock` load and a branch.
+//!
+//! Feed line schema (`vp-feed/1`):
+//!
+//! ```json
+//! {"t":"feed","schema":"vp-feed/1","seq":17,"ms":123.456,"kind":"cell.done", ...}
+//! ```
+//!
+//! `seq` is drawn from the same monotonic domain as span ids
+//! ([`crate::next_seq`]), so feed events interleave with spans and
+//! flight events into one total order; `ms` is milliseconds since the
+//! process first emitted. Remaining fields are per-kind (documented at
+//! the emitting site — see `bench`'s sweep feed events).
+
+use crate::json::Json;
+use crate::Value;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+struct Feed {
+    path: PathBuf,
+    file: Mutex<File>,
+    t0: Instant,
+}
+
+fn feed_slot() -> &'static Option<Feed> {
+    static FEED: OnceLock<Option<Feed>> = OnceLock::new();
+    FEED.get_or_init(|| {
+        let path = std::env::var("VP_LIVE_FEED").ok()?;
+        let path = path.trim();
+        if path.is_empty() {
+            return None;
+        }
+        let path = PathBuf::from(path);
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+        }
+        match OpenOptions::new().create(true).append(true).open(&path) {
+            Ok(file) => Some(Feed {
+                path,
+                file: Mutex::new(file),
+                t0: Instant::now(),
+            }),
+            Err(e) => {
+                eprintln!("vp-trace: cannot open VP_LIVE_FEED {}: {e}", path.display());
+                None
+            }
+        }
+    })
+}
+
+/// The feed file path, when `VP_LIVE_FEED` selected one and it opened.
+///
+/// [`crate::Manifest::stamp`] records this in the manifest so a run's
+/// feed can be found after the fact.
+pub fn feed_target() -> Option<&'static Path> {
+    feed_slot().as_ref().map(|f| f.path.as_path())
+}
+
+/// Whether a live feed is attached (cheap enough for per-cell sites).
+#[inline]
+pub fn feed_enabled() -> bool {
+    feed_slot().is_some()
+}
+
+/// Appends one event to the live feed; a no-op when `VP_LIVE_FEED` is
+/// unset.
+///
+/// Unlike spans/counters this is *not* gated on [`crate::enabled`]:
+/// attaching a watcher must not require turning a trace sink on. The
+/// whole line goes down in one `write`, so concurrently-emitting sweep
+/// workers cannot interleave partial lines.
+pub fn feed(kind: &str, fields: &[(&str, Value)]) {
+    let Some(f) = feed_slot() else {
+        return;
+    };
+    let mut j = Json::obj();
+    j.set("t", "feed".into());
+    j.set("schema", "vp-feed/1".into());
+    j.set("seq", Json::U64(crate::next_seq()));
+    j.set(
+        "ms",
+        Json::F64((f.t0.elapsed().as_secs_f64() * 1e6).round() / 1e3),
+    );
+    j.set("kind", kind.into());
+    for (k, v) in fields {
+        j.set(k, v.to_json());
+    }
+    let mut line = j.render();
+    line.push('\n');
+    if let Ok(mut file) = f.file.lock() {
+        if let Err(e) = file.write_all(line.as_bytes()) {
+            static WARNED: OnceLock<()> = OnceLock::new();
+            WARNED.get_or_init(|| {
+                eprintln!("vp-trace: live feed write failed: {e} (further errors suppressed)");
+            });
+        }
+    }
+}
+
+/// Parses one line of a feed file as a `vp-feed/1` event.
+///
+/// The read side of [`feed`]: `sweep watch` folds a feed file through
+/// this. Non-feed lines (other `t` values, unknown schemas, malformed
+/// JSON) are rejected with a descriptive message so a watcher can count
+/// and skip them.
+///
+/// ```
+/// let j = vp_trace::parse_feed_line(
+///     r#"{"t":"feed","schema":"vp-feed/1","seq":1,"ms":0.5,"kind":"sweep.start","total":8}"#,
+/// ).unwrap();
+/// assert_eq!(j.get("kind").and_then(vp_trace::Json::as_str), Some("sweep.start"));
+/// ```
+///
+/// # Errors
+///
+/// Returns a message describing the first syntax or schema violation.
+pub fn parse_feed_line(line: &str) -> Result<Json, String> {
+    let j = Json::parse(line.trim())?;
+    match j.get("t").and_then(Json::as_str) {
+        Some("feed") => {}
+        Some(other) => return Err(format!("not a feed line (t={other:?})")),
+        None => return Err("not a feed line (missing \"t\")".to_string()),
+    }
+    match j.get("schema").and_then(Json::as_str) {
+        Some("vp-feed/1") => Ok(j),
+        Some(other) => Err(format!("unsupported feed schema {other:?}")),
+        None => Err("feed line missing \"schema\"".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Emission against a real file is covered by the integration test
+    // `tests/feed_env.rs` (the env knob is cached per process); unit
+    // tests here cover the parse side, which is pure.
+
+    #[test]
+    fn parse_feed_line_accepts_only_feed_schema() {
+        let ok = r#"{"t":"feed","schema":"vp-feed/1","seq":3,"ms":1.25,"kind":"cell.done","cell":"gzip"}"#;
+        let j = parse_feed_line(ok).unwrap();
+        assert_eq!(j.get("kind").and_then(Json::as_str), Some("cell.done"));
+        assert_eq!(j.get("seq").and_then(Json::as_u64), Some(3));
+
+        assert!(parse_feed_line("{}").is_err());
+        assert!(parse_feed_line(r#"{"t":"manifest","schema":"vp-manifest/2"}"#).is_err());
+        assert!(parse_feed_line(r#"{"t":"feed","schema":"vp-feed/9"}"#).is_err());
+        assert!(parse_feed_line(r#"{"t":"feed"}"#).is_err());
+        assert!(parse_feed_line("junk").is_err());
+    }
+
+    #[test]
+    fn feed_is_inert_without_the_env_knob() {
+        // This test binary never sets VP_LIVE_FEED, so the slot resolves
+        // to None and emission must be a silent no-op.
+        if std::env::var("VP_LIVE_FEED").is_err() {
+            assert!(!feed_enabled());
+            assert!(feed_target().is_none());
+            feed("test.noop", &[("a", Value::U64(1))]);
+        }
+    }
+}

@@ -15,6 +15,12 @@
 //! most recent `capacity` events (older ones are counted as `dropped`),
 //! so a week-long run costs the same memory as a unit test.
 //!
+//! `VP_FLIGHT_EVENTS=0` disables the recorder outright rather than
+//! constructing a zero-capacity ring: the ring is never allocated,
+//! [`dump_on_panic`] becomes a no-op, and the manifest stamps a
+//! `flight` object with `recorded: 0` so a disabled recorder is
+//! distinguishable from a run that recorded nothing.
+//!
 //! The ring is dumped three ways: [`snapshot`] on demand, a bounded tail
 //! in every `vp-manifest/2` manifest ([`crate::Manifest::stamp`]), and —
 //! after [`dump_on_panic`] installs the hook — the last events to stderr
@@ -84,6 +90,17 @@ fn capacity_from_env() -> usize {
     })
 }
 
+/// Whether `VP_FLIGHT_EVENTS=0` turned the recorder off for this
+/// process.
+///
+/// When disabled, recording, [`snapshot`], [`reset`], and
+/// [`dump_on_panic`] all return without ever touching (or allocating)
+/// the ring, and [`crate::Manifest::stamp`] emits a `flight` object
+/// with `capacity`/`recorded`/`dropped` all zero.
+pub fn is_disabled() -> bool {
+    capacity_from_env() == 0
+}
+
 fn ring() -> &'static Mutex<Ring> {
     static RING: OnceLock<Mutex<Ring>> = OnceLock::new();
     RING.get_or_init(|| {
@@ -125,6 +142,9 @@ fn record(kind: &'static str, a: u64, b: u64) {
 
 /// The recorder's current contents, oldest event first.
 pub fn snapshot() -> FlightSnapshot {
+    if is_disabled() {
+        return FlightSnapshot::default();
+    }
     let r = ring().lock().expect("flight ring");
     FlightSnapshot {
         capacity: capacity_from_env(),
@@ -145,6 +165,9 @@ pub fn snapshot() -> FlightSnapshot {
 
 /// Empties the ring and zeroes its totals (part of [`crate::reset`]).
 pub fn reset() {
+    if is_disabled() {
+        return;
+    }
     let mut r = ring().lock().expect("flight ring");
     r.buf.clear();
     r.recorded = 0;
@@ -153,8 +176,12 @@ pub fn reset() {
 
 /// Installs a panic hook (once) that prints the flight recorder's last
 /// events to stderr before the default handler runs, so a crashed run
-/// leaves its black box behind.
+/// leaves its black box behind. A no-op when `VP_FLIGHT_EVENTS=0`
+/// disabled the recorder — the default panic handler is left alone.
 pub fn dump_on_panic() {
+    if is_disabled() {
+        return;
+    }
     static INSTALLED: OnceLock<()> = OnceLock::new();
     INSTALLED.get_or_init(|| {
         let prev = std::panic::take_hook();

@@ -1,0 +1,58 @@
+//! End-to-end check of the `VP_LIVE_FEED` emitter: events append as
+//! whole `vp-feed/1` lines, seq/ms advance, and the manifest stamps the
+//! feed path.
+//!
+//! Own integration-test binary (the feed target is resolved once per
+//! process); a single test function sets the env var before first use.
+
+use vp_trace::{Json, Value};
+
+#[test]
+fn feed_env_appends_events_and_stamps_manifest() {
+    let path = std::env::temp_dir().join(format!("vp-feed-test-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    std::env::set_var("VP_LIVE_FEED", &path);
+
+    assert!(vp_trace::feed_enabled());
+    assert_eq!(vp_trace::feed_target(), Some(path.as_path()));
+
+    vp_trace::feed("test.start", &[("total", Value::U64(4))]);
+    vp_trace::feed(
+        "test.done",
+        &[
+            ("ok", Value::Bool(true)),
+            ("cell", Value::Str("gzip".into())),
+        ],
+    );
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2, "one line per event: {text:?}");
+
+    let a = vp_trace::parse_feed_line(lines[0]).unwrap();
+    assert_eq!(a.get("kind").and_then(Json::as_str), Some("test.start"));
+    assert_eq!(a.get("total").and_then(Json::as_u64), Some(4));
+    let b = vp_trace::parse_feed_line(lines[1]).unwrap();
+    assert_eq!(b.get("kind").and_then(Json::as_str), Some("test.done"));
+    assert_eq!(b.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(b.get("cell").and_then(Json::as_str), Some("gzip"));
+
+    // seq shares the span-id domain and is strictly monotonic; ms is a
+    // non-negative offset from first emission.
+    let sa = a.get("seq").and_then(Json::as_u64).unwrap();
+    let sb = b.get("seq").and_then(Json::as_u64).unwrap();
+    assert!(sb > sa, "feed seqs advance: {sa} then {sb}");
+    assert!(a.get("ms").and_then(Json::as_f64).unwrap() >= 0.0);
+
+    // The manifest records where the feed went.
+    let mut m = vp_trace::Manifest::new("feed-env");
+    m.stamp();
+    let j = Json::parse(&m.render()).unwrap();
+    assert_eq!(
+        j.get("live_feed").and_then(Json::as_str),
+        path.to_str(),
+        "manifest stamps the live feed path"
+    );
+
+    let _ = std::fs::remove_file(&path);
+}

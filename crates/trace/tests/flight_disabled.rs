@@ -1,0 +1,44 @@
+//! `VP_FLIGHT_EVENTS=0` must disable the flight recorder cleanly: no
+//! ring allocation, recording and the panic hook become no-ops, and the
+//! manifest stamps an explicit all-zero `flight` object.
+//!
+//! Lives in its own integration-test binary because the capacity knob is
+//! read once per process; a single test function keeps the `set_var`
+//! before any other thread can race the first read.
+
+use vp_trace::Json;
+
+#[test]
+fn flight_events_zero_disables_recorder() {
+    std::env::set_var("VP_FLIGHT_EVENTS", "0");
+    assert!(vp_trace::flight::is_disabled());
+
+    // Recording is a no-op even inside an enabled scope: record() bails
+    // before drawing a seq or touching the scope report.
+    let ((), report) = vp_trace::scoped(|| {
+        vp_trace::flight("test.disabled.evt", 1, 2);
+    });
+    assert!(report.flights.is_empty(), "no events reach a scoped report");
+
+    let snap = vp_trace::flight::snapshot();
+    assert_eq!(snap.capacity, 0);
+    assert_eq!(snap.recorded, 0);
+    assert_eq!(snap.dropped, 0);
+    assert!(snap.events.is_empty());
+
+    // Both are documented no-ops when disabled; neither may panic or
+    // allocate the ring.
+    vp_trace::flight::dump_on_panic();
+    vp_trace::flight::reset();
+
+    // The manifest distinguishes "recorder off" from "nothing recorded":
+    // an explicit zero flight object, with no tail.
+    let mut m = vp_trace::Manifest::new("flight-disabled");
+    m.stamp();
+    let j = Json::parse(&m.render()).unwrap();
+    let f = j.get("flight").expect("disabled recorder still stamped");
+    assert_eq!(f.get("capacity").and_then(Json::as_u64), Some(0));
+    assert_eq!(f.get("recorded").and_then(Json::as_u64), Some(0));
+    assert_eq!(f.get("dropped").and_then(Json::as_u64), Some(0));
+    assert!(f.get("tail").is_none(), "no tail array when disabled");
+}
