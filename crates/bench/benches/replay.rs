@@ -1,5 +1,5 @@
 //! Replay-path throughput: the tracked perf baseline for the batched
-//! replay kernel (`BENCH_8.json`).
+//! replay kernel (`BENCH_10.json`).
 //!
 //! Measures events/sec for every stage of the capture/replay pipeline on
 //! one real workload:
@@ -12,13 +12,25 @@
 //! * `replay_per_event` — the pre-batching decoder
 //!   (`CapturedTrace::replay_per_event`) into a monomorphized counting
 //!   sink;
-//! * `replay_batched` — the chunked kernel at the default chunk size;
+//! * `replay_batched` — the batched front door (`CapturedTrace::replay`)
+//!   at its tuned default chunk size. `InstCounts` is a columns-only
+//!   sink, so this measures the column decode kernel with no `Retired`
+//!   struct materialization at all — the fix for the `BENCH_9`
+//!   batched-vs-per-event inversion, which turned out to be the struct
+//!   staging round-trip (80 B/event written then re-read) that the
+//!   monomorphized per-event loop never paid, not a regression from the
+//!   feed/flight hooks (those are no-ops unless a trace sink is
+//!   installed);
 //! * `replay_per_event_dyn` / `replay_batched_dyn` — the same two kernels
 //!   through an opaque `&mut dyn Sink` boundary: one indirect call per
 //!   *event* vs one per *chunk*, the dispatch cost batching exists to
 //!   amortize;
-//! * `replay_sim` — replay through the `vp-sim` timing model (the
-//!   heaviest real consumer);
+//! * `replay_sim` — the fused decode+sim loop
+//!   (`TimingModel::replay_trace`), the heaviest real consumer;
+//! * `replay_sim_sink` — the same timing model driven through the
+//!   generic batched `Sink` path, the pre-fusion comparison point;
+//! * `replay_hsd` — replay through the hot-spot detector's batched
+//!   sink (the profiling-side timing sink);
 //! * `disk_load` — bring a v3 `.vptrace` back from the disk tier on the
 //!   default path (memory-mapped zero-copy where supported, owned read
 //!   otherwise), CRC verified either way;
@@ -29,7 +41,7 @@
 //! Knobs (on top of the usual `VP_BENCH_MS`/`VP_BENCH_SAMPLES`):
 //!
 //! * `VP_BENCH_JSON=<path>` — write the measurements as a JSON baseline
-//!   (the file committed as `BENCH_8.json`);
+//!   (the file committed as `BENCH_10.json`);
 //! * `VP_BENCH_BASELINE=<path>` — compare against a committed baseline
 //!   and exit non-zero if the batched kernel's throughput, *normalized to
 //!   the per-event kernel measured in the same run* (so host speed
@@ -42,8 +54,9 @@
 
 use std::io::Write;
 use vacuum_packing::exec::{
-    CapturedTrace, DiskTier, Executor, InstCounts, RunConfig, Sink, TraceKey, DEFAULT_REPLAY_BATCH,
+    CapturedTrace, DiskTier, Executor, InstCounts, RunConfig, Sink, TraceKey,
 };
+use vacuum_packing::hsd::{HotSpotDetector, HsdConfig};
 use vacuum_packing::program::Layout;
 use vacuum_packing::sim::{MachineConfig, TimingModel};
 
@@ -134,7 +147,7 @@ fn main() {
     });
     r.bench_throughput("retire_stream/replay_batched", events, || {
         let mut counts = InstCounts::new();
-        trace.replay_batched(&mut counts, DEFAULT_REPLAY_BATCH);
+        trace.replay(&mut counts);
         counts.total
     });
     r.bench_throughput("retire_stream/replay_per_event_dyn", events, || {
@@ -146,13 +159,23 @@ fn main() {
     r.bench_throughput("retire_stream/replay_batched_dyn", events, || {
         let mut counts = InstCounts::new();
         let mut sink: &mut dyn Sink = &mut counts;
-        trace.replay_batched(&mut sink, DEFAULT_REPLAY_BATCH);
+        trace.replay(&mut sink);
         counts.total
     });
     r.bench_throughput("retire_stream/replay_sim", events, || {
         let mut tm = TimingModel::new(machine);
+        tm.replay_trace(&trace);
+        tm.cycles()
+    });
+    r.bench_throughput("retire_stream/replay_sim_sink", events, || {
+        let mut tm = TimingModel::new(machine);
         trace.replay(&mut tm);
         tm.cycles()
+    });
+    r.bench_throughput("retire_stream/replay_hsd", events, || {
+        let mut hsd = HotSpotDetector::new(HsdConfig::table2());
+        trace.replay(&mut hsd);
+        hsd.branches_retired()
     });
     r.bench_throughput("retire_stream/disk_load", events, || {
         tier.load(&key).expect("warm load").events()
@@ -177,6 +200,8 @@ fn main() {
         "replay_per_event_dyn",
         "replay_batched_dyn",
         "replay_sim",
+        "replay_sim_sink",
+        "replay_hsd",
         "disk_load",
         "disk_load_mmap",
         "disk_load_owned",

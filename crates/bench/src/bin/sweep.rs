@@ -58,6 +58,21 @@ fn merge_main(files: &[String]) -> ! {
     }
 }
 
+/// Stamps a run's result-cache effectiveness into its manifest:
+/// per-run hit/miss cell counts and the hit ratio. Omitted entirely when
+/// no cache was active (`VP_RESULT_DIR` unset or `VP_PROFILE_FROM` set),
+/// so cacheless manifests stay byte-compatible with older runs.
+fn stamp_result_cache(mf: &mut vp_trace::Manifest, hits: usize, misses: usize) {
+    if hits + misses == 0 {
+        return;
+    }
+    let mut rc = vp_trace::Json::obj();
+    rc.set("hits", (hits as u64).into());
+    rc.set("misses", (misses as u64).into());
+    rc.set("hit_ratio", (hits as f64 / (hits + misses) as f64).into());
+    mf.set("result_cache", rc);
+}
+
 /// Parses and installs a `--jobs` value (a positive integer).
 fn set_jobs_arg(arg: Option<&String>) {
     match arg.and_then(|s| s.parse::<usize>().ok()).filter(|&n| n > 0) {
@@ -106,6 +121,7 @@ fn cross_main(args: &[String]) -> ! {
     let outcome = cross_cells(timing.then_some(&machine), &only, &eval, &from);
 
     mf.set("cells_total", (outcome.rows.len() as u64).into());
+    stamp_result_cache(&mut mf, outcome.cache_hits, outcome.cache_misses);
     let headers: Vec<String> = CROSS_HEADERS.iter().map(|h| (*h).to_string()).collect();
     mf.table("generalization", &headers, &outcome.rows);
     let t_headers: Vec<String> = TELEMETRY_HEADERS.iter().map(|h| (*h).to_string()).collect();
@@ -154,10 +170,14 @@ fn warehouse_records(w: &bench::history::Warehouse) -> Vec<bench::history::RunRe
 /// * `list` — one line per warehouse key: runs, fingerprint, span;
 /// * `series METRIC` — export one metric series as JSON for the
 ///   dashboard (`[{"ts":…,"label":…,"v":…},…]`);
-/// * `gate METRIC (--value V | --from-bench FILE) [--scale F] [--upper]`
-///   — exit 1 when the value falls outside the history tolerance band
-///   (median of last K ± max(3·MAD, 10%)); thin history (< 3 samples)
-///   passes with a note, leaving the committed-baseline gate in charge.
+/// * `gate METRIC (--value V | --from-bench FILE) [--scale F] [--upper]
+///   [--lower X]` — exit 1 when the value falls outside the history
+///   tolerance band (median of last K ± max(3·MAD, 10%)); thin history
+///   (< 3 samples) passes with a note, leaving the committed-baseline
+///   gate in charge. `--lower X` additionally imposes an absolute hard
+///   floor that applies even when history is thin — for invariants like
+///   "batching must beat per-event dispatch" that no tolerance band
+///   should ever erode.
 fn history_main(args: &[String]) -> ! {
     use bench::history;
     let mut args: Vec<String> = args.to_vec();
@@ -273,6 +293,8 @@ fn history_main(args: &[String]) -> ! {
             let scale: f64 = take_flag(&mut args, "--scale")
                 .map(|s| s.parse().unwrap_or_else(|_| fail("--scale needs a number")))
                 .unwrap_or(1.0);
+            let hard_floor: Option<f64> = take_flag(&mut args, "--lower")
+                .map(|s| s.parse().unwrap_or_else(|_| fail("--lower needs a number")));
             let upper = if let Some(at) = args.iter().position(|a| a == "--upper") {
                 args.remove(at);
                 true
@@ -296,7 +318,24 @@ fn history_main(args: &[String]) -> ! {
                 }
                 _ => fail("history gate: exactly one of --value V or --from-bench FILE"),
             } * scale;
+            // The absolute floor is checked before any history statistics:
+            // it holds even when history is thin, and a tolerance band
+            // that has drifted below it cannot excuse a breach.
+            if let Some(floor) = hard_floor {
+                let breach = value < floor;
+                println!(
+                    "history gate {spec}: value {value:.4} vs hard floor {floor:.4} ... {}",
+                    if breach { "FAIL" } else { "ok" }
+                );
+                if breach {
+                    std::process::exit(1);
+                }
+            }
             let Some(w) = open_warehouse(dir) else {
+                if hard_floor.is_some() {
+                    println!("history gate {spec}: no warehouse — hard floor only");
+                    std::process::exit(0);
+                }
                 fail("history gate: no warehouse (set VP_HISTORY_DIR or pass --dir)");
             };
             match history::gate_band(&warehouse_records(&w), &spec) {
@@ -435,6 +474,7 @@ fn main() {
 
     mf.set("cells_total", (outcome.cells_total as u64).into());
     mf.set("cells_done", outcome.rows.len().into());
+    stamp_result_cache(&mut mf, outcome.cache_hits, outcome.cache_misses);
     let headers: Vec<String> = CELL_HEADERS.iter().map(|h| (*h).to_string()).collect();
     mf.table("cells", &headers, &outcome.rows);
     let t_headers: Vec<String> = TELEMETRY_HEADERS.iter().map(|h| (*h).to_string()).collect();

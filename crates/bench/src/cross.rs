@@ -26,14 +26,20 @@
 //! evaluates every family member under input A's profile,
 //! `VP_PROFILE_FROM=merged` under the family merge.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use vacuum_packing::core::PackConfig;
 use vacuum_packing::hsd::{MergeConfig, MergedProfile, Phase};
-use vacuum_packing::metrics::{evaluate, pct, ConfigOutcome, ProfiledWorkload, TextTable};
+use vacuum_packing::metrics::{
+    evaluate, pct, ConfigOutcome, ProfiledWorkload, ResultKey, TextTable,
+};
 use vacuum_packing::opt::OptConfig;
 use vacuum_packing::sim::MachineConfig;
 use vacuum_packing::workloads::{suite, Workload};
 
+use crate::cache::{
+    active_cache, cell_config_fp, foreign_profile_fp, merged_profile_fp, own_profile_fp,
+    workload_trace_fp,
+};
 use crate::{parallel_sweep_scoped, profile_workloads, scale};
 
 /// Column headers of the generalization table; the `sweep cross`
@@ -108,6 +114,10 @@ pub struct CrossOutcome {
     /// Per-cell telemetry rows shaped like
     /// [`crate::sweep::TELEMETRY_HEADERS`].
     pub telemetry: Vec<Vec<String>>,
+    /// Cells answered from the result cache (0 when caching is off).
+    pub cache_hits: usize,
+    /// Cells evaluated live this run.
+    pub cache_misses: usize,
 }
 
 /// The suite's multi-input families at the given scale: benchmarks with
@@ -219,23 +229,86 @@ pub fn cross_cells(
         "no generalization cells match the filters (families need >= 3 inputs)"
     );
 
-    // Profile every input of every family that owns a selected cell.
     let fams = families(scale());
+    let cfg = PackConfig::default();
+    let merge_cfg = MergeConfig::from_env();
+
+    // Result-cache probe: each cell's content address folds the
+    // evaluated input's trace fingerprint with a per-kind profile
+    // fingerprint (own chain / source input's trace / whole-family fold
+    // + merge config) — all derivable from workload structure alone.
+    let cache = active_cache();
+    let mut keys: BTreeMap<usize, ResultKey> = BTreeMap::new();
+    let mut cached: BTreeMap<usize, ConfigOutcome> = BTreeMap::new();
+    if let Some(rc) = &cache {
+        let config_fp = cell_config_fp(&cfg, &OptConfig::default(), machine);
+        // input name -> trace fp, per family, inputs in suite order.
+        let fam_fps: BTreeMap<&str, Vec<(&str, u64)>> = fams
+            .iter()
+            .filter(|(b, _)| specs.iter().any(|s| &s.family == b))
+            .map(|(b, inputs)| {
+                (
+                    b.as_str(),
+                    inputs
+                        .iter()
+                        .map(|w| (w.input, workload_trace_fp(w)))
+                        .collect(),
+                )
+            })
+            .collect();
+        for (i, s) in specs.iter().enumerate() {
+            let inputs = &fam_fps[s.family.as_str()];
+            let fp_of = |input: &str| {
+                inputs
+                    .iter()
+                    .find(|(inp, _)| *inp == input)
+                    .expect("spec input present in family")
+                    .1
+            };
+            let profile_fp = match s.kind {
+                Kind::Same => own_profile_fp(),
+                Kind::Foreign => foreign_profile_fp(fp_of(&s.profile)),
+                Kind::Merged => {
+                    let fold: Vec<u64> = inputs.iter().map(|&(_, fp)| fp).collect();
+                    merged_profile_fp(&fold, &merge_cfg)
+                }
+            };
+            let key = ResultKey {
+                cell: format!("{} {} <- {}", s.family, s.eval_input, s.profile),
+                trace_fp: fp_of(&s.eval_input),
+                profile_fp,
+                config_fp,
+            };
+            if let Some(out) = rc.load(&key) {
+                cached.insert(i, out);
+            }
+            keys.insert(i, key);
+        }
+    }
+
+    // Profile every input of every family that still owns a live cell —
+    // a family whose selected cells are all cached never profiles.
+    let live_fams: BTreeSet<&str> = specs
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !cached.contains_key(i))
+        .map(|(_, s)| s.family.as_str())
+        .collect();
     let needed: Vec<Workload> = fams
         .into_iter()
-        .filter(|(b, _)| specs.iter().any(|s| &s.family == b))
+        .filter(|(b, _)| live_fams.contains(b.as_str()))
         .flat_map(|(_, inputs)| inputs)
         .collect();
     let profiled = profile_workloads(needed, machine);
     let by_label: BTreeMap<String, &ProfiledWorkload> =
         profiled.iter().map(|pw| (pw.label.clone(), pw)).collect();
 
-    // One merged profile per family, resolved outside the cells so its
-    // profile.merge.* counters land in the run manifest exactly once.
-    let merge_cfg = MergeConfig::from_env();
+    // One merged profile per family with a live cell, resolved outside
+    // the cells so its profile.merge.* counters land in the run manifest
+    // exactly once.
     let mut merged: BTreeMap<String, Vec<Phase>> = BTreeMap::new();
-    for s in &specs {
-        if !merged.contains_key(&s.family) {
+    for (i, s) in specs.iter().enumerate() {
+        if !cached.contains_key(&i) && !merged.contains_key(&s.family) {
             let family_dumps = profiled
                 .iter()
                 .filter(|pw| pw.label.starts_with(s.family.as_str()))
@@ -244,8 +317,6 @@ pub fn cross_cells(
             merged.insert(s.family.clone(), m.resolve());
         }
     }
-
-    let cfg = PackConfig::default();
     let jobs: Vec<(String, (usize, CellSpec))> = specs
         .into_iter()
         .enumerate()
@@ -257,6 +328,18 @@ pub fn cross_cells(
         })
         .collect();
     let results = parallel_sweep_scoped("cross", jobs, |(i, s)| {
+        if let Some(out) = cached.get(i) {
+            // Cached cell: no profile, replay, or simulation ran.
+            let cell = CrossCell {
+                cell: *i,
+                family: s.family.clone(),
+                eval: s.eval_input.clone(),
+                profile: s.profile.clone(),
+                kind: s.kind,
+                outcome: out.clone(),
+            };
+            return (cell, "hit");
+        }
         let pw = by_label[&s.eval_label];
         let outcome = match s.kind {
             Kind::Same => evaluate(pw, &cfg, &OptConfig::default(), machine),
@@ -277,27 +360,44 @@ pub fn cross_cells(
             }
         }
         .unwrap_or_else(|e| panic!("{e}"));
-        CrossCell {
+        if let (Some(rc), Some(key)) = (&cache, keys.get(i)) {
+            rc.store(key, &outcome);
+        }
+        let status = if cache.is_some() { "miss" } else { "-" };
+        let cell = CrossCell {
             cell: *i,
             family: s.family.clone(),
             eval: s.eval_input.clone(),
             profile: s.profile.clone(),
             kind: s.kind,
             outcome,
-        }
+        };
+        (cell, status)
     });
 
     let mut cells = Vec::new();
     let mut telemetry = Vec::new();
-    for (c, t) in crate::collect_or_report("cross_cells", results) {
-        telemetry.push(crate::sweep::telemetry_row(&c.cell.to_string(), &t));
+    for ((c, cache_status), t) in crate::collect_or_report("cross_cells", results) {
+        telemetry.push(crate::sweep::telemetry_row(
+            &c.cell.to_string(),
+            &t,
+            cache_status,
+        ));
         cells.push(c);
     }
     let rows = cells.iter().map(cross_row).collect();
+    let cache_hits = cached.len();
+    let cache_misses = if cache.is_some() {
+        cells.len() - cache_hits
+    } else {
+        0
+    };
     CrossOutcome {
         cells,
         rows,
         telemetry,
+        cache_hits,
+        cache_misses,
     }
 }
 

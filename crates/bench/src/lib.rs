@@ -38,6 +38,7 @@
 //!   per-run counts when merging profiles (see
 //!   `vp_hsd::merge::Weighting`).
 
+mod cache;
 pub mod cross;
 pub mod dashboard;
 pub mod history;

@@ -16,12 +16,15 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use vacuum_packing::core::PackConfig;
-use vacuum_packing::metrics::{evaluate, pct, ProfiledWorkload, TextTable};
+use vacuum_packing::metrics::{
+    evaluate, pct, ConfigOutcome, ProfiledWorkload, ResultKey, TextTable,
+};
 use vacuum_packing::opt::OptConfig;
 use vacuum_packing::sim::MachineConfig;
 use vacuum_packing::workloads::{suite, Workload};
 use vp_trace::{parse_manifest_line, Json};
 
+use crate::cache::{active_cache, cell_config_fp, own_profile_fp, workload_trace_fp};
 use crate::{parallel_sweep_scoped, profile_workloads, scale, store_hit_ratio, CONFIG_LABELS};
 
 /// Column headers of the per-cell sweep table; [`render_report`] and the
@@ -49,13 +52,14 @@ const COL_DIFF: usize = 8;
 /// cell rows: wall time and trace-store behavior of each cell in
 /// isolation (each cell runs in its own vp-trace scope, so these numbers
 /// never include a concurrently-running cell's work).
-pub const TELEMETRY_HEADERS: [&str; 6] = [
+pub const TELEMETRY_HEADERS: [&str; 7] = [
     "cell",
     "wall_ms",
     "store_hits",
     "store_captures",
     "hit_ratio%",
     "divergences",
+    "result_cache",
 ];
 
 /// One shard's slice of the cell matrix, parsed from `VP_SHARD=i/n`.
@@ -121,6 +125,10 @@ pub struct SweepOutcome {
     pub telemetry: Vec<Vec<String>>,
     /// Size of the full matrix (all shards combined).
     pub cells_total: usize,
+    /// Cells answered from the result cache (0 when caching is off).
+    pub cache_hits: usize,
+    /// Cells evaluated live this run.
+    pub cache_misses: usize,
 }
 
 /// Evaluates this shard's cells of the (workload × config) matrix.
@@ -152,8 +160,46 @@ pub fn sweep_cells(
         .filter(|&j| shard.is_none_or(|s| s.selects(j)))
         .collect();
 
-    // Profile only the workloads this shard actually touches.
-    let needed: BTreeSet<usize> = mine.iter().map(|&j| j / n_cfg).collect();
+    // Result-cache probe: every selected cell's content address is
+    // derivable from the workload's structure alone (no execution), so
+    // cached outcomes are collected before deciding what to profile.
+    let cache = active_cache();
+    let mut keys: BTreeMap<usize, ResultKey> = BTreeMap::new();
+    let mut cached: BTreeMap<usize, ConfigOutcome> = BTreeMap::new();
+    if let Some(rc) = &cache {
+        let profile_fp = own_profile_fp();
+        let config_fps: Vec<u64> = configs
+            .iter()
+            .map(|c| cell_config_fp(c, &OptConfig::default(), machine))
+            .collect();
+        let by_workload: BTreeSet<usize> = mine.iter().map(|&j| j / n_cfg).collect();
+        let trace_fps: BTreeMap<usize, u64> = by_workload
+            .into_iter()
+            .map(|w| (w, workload_trace_fp(&workloads[w])))
+            .collect();
+        for &j in &mine {
+            let (w, c) = (j / n_cfg, j % n_cfg);
+            let key = ResultKey {
+                cell: format!("{} [{}]", workloads[w].label(), CONFIG_LABELS[c]),
+                trace_fp: trace_fps[&w],
+                profile_fp,
+                config_fp: config_fps[c],
+            };
+            if let Some(out) = rc.load(&key) {
+                cached.insert(j, out);
+            }
+            keys.insert(j, key);
+        }
+    }
+
+    // Profile only the workloads that still own at least one live cell: a
+    // fully-cached workload never replays, simulates, or even profiles.
+    let needed: BTreeSet<usize> = mine
+        .iter()
+        .filter(|j| !cached.contains_key(j))
+        .map(|&j| j / n_cfg)
+        .collect();
+    let labels: Vec<String> = workloads.iter().map(Workload::label).collect();
     let subset: Vec<Workload> = workloads
         .into_iter()
         .enumerate()
@@ -162,6 +208,8 @@ pub fn sweep_cells(
     let mut profiled = profile_workloads(subset, machine);
     // VP_PROFILE_FROM: evaluate multi-input family members under a
     // sibling's or the family-merged profile instead of their own.
+    // (Caching is disabled under this knob — see `active_cache` — so the
+    // substitution always sees the full profiled set.)
     if let Ok(spec) = std::env::var("VP_PROFILE_FROM") {
         if !spec.trim().is_empty() {
             profiled = crate::cross::substitute_profiles(profiled, spec.trim(), machine);
@@ -172,11 +220,17 @@ pub fn sweep_cells(
         by_index.insert(w, pw);
     }
 
+    // Live cells render under the *profiled* label (substitution may
+    // have relabeled it, e.g. "130.li A [profile: merged]"); cached
+    // cells — which never profile — use the workload's own label, the
+    // same string the run that stored them rendered.
+    let label_of =
+        |w: usize| -> &str { by_index.get(&w).map_or(labels[w].as_str(), |pw| &pw.label) };
     let jobs: Vec<(String, usize)> = mine
         .iter()
         .map(|&j| {
             let (w, c) = (j / n_cfg, j % n_cfg);
-            (format!("{} [{}]", by_index[&w].label, CONFIG_LABELS[c]), j)
+            (format!("{} [{}]", label_of(w), CONFIG_LABELS[c]), j)
         })
         .collect();
     if vp_trace::feed_enabled() {
@@ -191,14 +245,23 @@ pub fn sweep_cells(
     let sweep_t0 = std::time::Instant::now();
     let results = parallel_sweep_scoped("sweep", jobs, |&j| {
         let (w, c) = (j / n_cfg, j % n_cfg);
+        if let Some(out) = cached.get(&j) {
+            // Cached cell: the formatted row is reproduced from the
+            // stored outcome; no replay, simulation, or profile ran.
+            return (cell_row(j, label_of(w), CONFIG_LABELS[c], out), "hit");
+        }
         let out = evaluate(&by_index[&w], &configs[c], &OptConfig::default(), machine)
             .unwrap_or_else(|e| panic!("{e}"));
-        cell_row(j, &by_index[&w].label, CONFIG_LABELS[c], &out)
+        if let (Some(rc), Some(key)) = (&cache, keys.get(&j)) {
+            rc.store(key, &out);
+        }
+        let status = if cache.is_some() { "miss" } else { "-" };
+        (cell_row(j, label_of(w), CONFIG_LABELS[c], &out), status)
     });
     let mut rows = Vec::new();
     let mut telemetry = Vec::new();
-    for (row, t) in crate::collect_or_report("sweep_cells", results) {
-        telemetry.push(telemetry_row(&row[COL_CELL], &t));
+    for ((row, cache_status), t) in crate::collect_or_report("sweep_cells", results) {
+        telemetry.push(telemetry_row(&row[COL_CELL], &t, cache_status));
         rows.push(row);
     }
     if vp_trace::feed_enabled() {
@@ -212,17 +275,30 @@ pub fn sweep_cells(
                     "wall_ms",
                     vp_trace::Value::from((wall_ms * 1e3).round() / 1e3),
                 ),
+                ("cache_hits", vp_trace::Value::from(cached.len() as u64)),
             ],
         );
     }
+    let cache_hits = cached.len();
+    let cache_misses = if cache.is_some() {
+        rows.len() - cache_hits
+    } else {
+        0
+    };
     SweepOutcome {
         rows,
         telemetry,
         cells_total,
+        cache_hits,
+        cache_misses,
     }
 }
 
-pub(crate) fn telemetry_row(cell: &str, t: &crate::JobTelemetry) -> Vec<String> {
+pub(crate) fn telemetry_row(
+    cell: &str,
+    t: &crate::JobTelemetry,
+    cache_status: &str,
+) -> Vec<String> {
     vec![
         cell.to_string(),
         format!("{:.1}", t.wall_ms),
@@ -231,6 +307,7 @@ pub(crate) fn telemetry_row(cell: &str, t: &crate::JobTelemetry) -> Vec<String> 
         t.report.counter("trace_store.captures").to_string(),
         store_hit_ratio(&t.report).map_or_else(|| "-".to_string(), |r| format!("{:.0}", r * 100.0)),
         t.report.counter("diff.divergences").to_string(),
+        cache_status.to_string(),
     ]
 }
 

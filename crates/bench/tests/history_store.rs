@@ -139,3 +139,37 @@ fn tiny_budget_rotates_segments_and_drops_oldest_history() {
     }
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// `sweep history gate --lower X` is an absolute floor: it fails a
+/// breaching value even with no warehouse at all (where the band gate
+/// would refuse to run), and passes a clearing value on floor alone.
+#[test]
+fn gate_hard_floor_works_without_any_history() {
+    let gate = |value: &str| {
+        let mut cmd = std::process::Command::new(env!("CARGO_BIN_EXE_sweep"));
+        cmd.env_remove("VP_HISTORY_DIR");
+        cmd.args([
+            "history",
+            "gate",
+            "metric:batched_speedup_vs_per_event",
+            "--value",
+            value,
+            "--lower",
+            "1.0",
+        ]);
+        cmd.output().expect("spawn sweep binary")
+    };
+
+    let breach = gate("0.91");
+    assert_eq!(breach.status.code(), Some(1), "0.91 must breach floor 1.0");
+    assert!(String::from_utf8_lossy(&breach.stdout).contains("hard floor 1.0000 ... FAIL"));
+
+    let clear = gate("1.24");
+    assert_eq!(clear.status.code(), Some(0), "1.24 clears floor 1.0");
+    let out = String::from_utf8_lossy(&clear.stdout);
+    assert!(out.contains("hard floor 1.0000 ... ok"), "{out}");
+    assert!(
+        out.contains("no warehouse — hard floor only"),
+        "without history the floor is the whole gate: {out}"
+    );
+}

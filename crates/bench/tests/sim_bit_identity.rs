@@ -1,0 +1,78 @@
+//! Pins the observational equivalence of every timing-model replay path.
+//!
+//! The fused column kernel ([`Sink::retire_columns`]), the per-event
+//! reference path ([`Sink::retire`] → `retire_one`), and the fully fused
+//! decode+sim loop ([`TimingModel::replay_trace`]) are three different
+//! implementations of the same machine model. This test proves they
+//! produce bit-identical [`TimingStats`] and cycle counts on every
+//! workload of the Table 1 suite — the invariant that lets the replay
+//! harness and the sweep pick whichever path is fastest without changing
+//! any reported number. The hot-spot detector's column fast path is held
+//! to the same standard against its struct path.
+
+use vacuum_packing::exec::{CapturedTrace, RunConfig};
+use vacuum_packing::hsd::{HotSpotDetector, HsdConfig};
+use vacuum_packing::program::Layout;
+use vacuum_packing::sim::{MachineConfig, TimingModel};
+use vacuum_packing::workloads::suite;
+
+#[test]
+fn all_sim_replay_paths_are_bit_identical_across_the_suite() {
+    let machine = MachineConfig::table2();
+    let workloads = suite(1);
+    assert!(workloads.len() >= 12, "Table 1 suite");
+    for w in &workloads {
+        let layout = Layout::natural(&w.program);
+        let cfg = RunConfig::default();
+        let trace = CapturedTrace::capture(&w.program, &layout, &cfg).expect("capture");
+
+        // Reference: the pre-batching per-event path through `retire_one`.
+        let mut per_event = TimingModel::new(machine);
+        trace.replay_per_event(&mut per_event);
+
+        // Batched column kernel at the default chunking.
+        let mut batched = TimingModel::new(machine);
+        trace.replay(&mut batched);
+
+        // Batched column kernel at a deliberately odd chunk size, so
+        // chunk-boundary state carry (fetch group, issue counts,
+        // scoreboard) is exercised mid-pattern.
+        let mut odd = TimingModel::new(machine);
+        trace.replay_batched(&mut odd, 7);
+
+        // Fully fused decode+sim loop.
+        let mut fused = TimingModel::new(machine);
+        fused.replay_trace(&trace);
+
+        let label = w.label();
+        assert_eq!(
+            per_event.stats(),
+            batched.stats(),
+            "{label}: batched column kernel diverged from per-event"
+        );
+        assert_eq!(
+            per_event.stats(),
+            odd.stats(),
+            "{label}: chunk-boundary carry diverged from per-event"
+        );
+        assert_eq!(
+            per_event.stats(),
+            fused.stats(),
+            "{label}: fused decode+sim loop diverged from per-event"
+        );
+        assert_eq!(per_event.cycles(), batched.cycles(), "{label}: cycles");
+        assert_eq!(per_event.cycles(), fused.cycles(), "{label}: cycles");
+
+        // Hot-spot detector: the conditional-branch column fast path must
+        // surface the same detections as the struct path.
+        let mut hsd_struct = HotSpotDetector::new(HsdConfig::default());
+        trace.replay_per_event(&mut hsd_struct);
+        let mut hsd_cols = HotSpotDetector::new(HsdConfig::default());
+        trace.replay(&mut hsd_cols);
+        assert_eq!(
+            hsd_struct.records(),
+            hsd_cols.records(),
+            "{label}: HSD column path diverged from struct path"
+        );
+    }
+}

@@ -85,6 +85,22 @@ impl Default for PackConfig {
 }
 
 impl PackConfig {
+    /// Stable structural fingerprint of every knob, for content-addressed
+    /// result caching. Any field change — including float thresholds —
+    /// produces a different fingerprint.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = vp_isa::Fnv::new();
+        h.write_str("PackConfig");
+        h.write_bool(self.inference);
+        h.write_bool(self.linking);
+        h.write_f64(self.hot_arc_fraction);
+        h.write_u64(self.hot_arc_threshold);
+        h.write_usize(self.max_growth_blocks);
+        h.write_usize(self.max_exhaustive_orderings);
+        h.write_usize(self.max_inline_depth_per_func);
+        h.finish()
+    }
+
     /// The four evaluation configurations of Figures 8 and 10, in the
     /// paper's bar order: (no inference, no linking), (no inference,
     /// linking), (inference, no linking), (inference, linking).

@@ -1,5 +1,6 @@
 //! Retired-instruction events and the sinks that consume them.
 
+use vp_isa::reg::NUM_REGS;
 use vp_isa::{CodeRef, FuClass, Reg};
 
 /// Control-transfer details attached to a retired control instruction.
@@ -54,6 +55,185 @@ pub struct Retired {
     pub in_package: bool,
 }
 
+/// Per-event flag bits and field packing for the [`ColumnBatch`] views.
+///
+/// The batched replay kernel can split each decoded chunk into compact
+/// per-column arrays so hot sinks (the timing model, the hot-spot
+/// detector) read a handful of flat `u8`/`u64` columns instead of chasing
+/// `Option`s through 80-byte [`Retired`] records. This module defines the
+/// column encoding; [`ColumnBatch`] carries the views.
+pub mod col {
+    use super::{FuClass, Retired, NUM_REGS};
+
+    /// `Retired::is_store` (meaningful only with [`MEM`]).
+    pub const STORE: u8 = 1 << 0;
+    /// The event carries an effective memory address (`mem_addr` is set).
+    pub const MEM: u8 = 1 << 1;
+    /// `Ctrl::arch_taken` (meaningful only with [`CTRL`]).
+    pub const ARCH_TAKEN: u8 = 1 << 2;
+    /// `Ctrl::taken` (meaningful only with [`CTRL`]).
+    pub const TAKEN: u8 = 1 << 3;
+    /// The event is a control transfer (`ctrl` is set).
+    pub const CTRL: u8 = 1 << 4;
+    /// `Ctrl::is_cond` (meaningful only with [`CTRL`]).
+    pub const COND: u8 = 1 << 5;
+    /// `Ctrl::is_call` (meaningful only with [`CTRL`]).
+    pub const CALL: u8 = 1 << 6;
+    /// `Ctrl::is_ret` (meaningful only with [`CTRL`]).
+    pub const RET: u8 = 1 << 7;
+
+    /// Source-register sentinel in the packed exec word: an absent `uses`
+    /// slot encodes this index, which consumers back with an always-zero
+    /// scoreboard entry so operand-readiness math stays branch-free.
+    pub const USE_NONE: usize = NUM_REGS;
+    /// Destination-register sentinel: an absent `def` encodes this index,
+    /// a scratch scoreboard slot that absorbs the (dead) writeback.
+    pub const DEF_NONE: usize = NUM_REGS + 1;
+
+    /// Bit offset of the second source register in the exec word.
+    pub const USE1_SHIFT: u32 = 8;
+    /// Bit offset of the third source register in the exec word.
+    pub const USE2_SHIFT: u32 = 16;
+    /// Bit offset of the destination register in the exec word.
+    pub const DEF_SHIFT: u32 = 24;
+    /// Bit offset of the functional-unit class (2 bits, [`fu_index`]).
+    pub const FU_SHIFT: u32 = 32;
+    /// Bit offset of the result latency (29 bits, [`LATENCY_MASK`]).
+    pub const LATENCY_SHIFT: u32 = 34;
+    /// Mask for the latency field once shifted down by [`LATENCY_SHIFT`].
+    pub const LATENCY_MASK: u64 = (1 << 29) - 1;
+    /// Bit offset of the `Retired::in_package` flag — the static bit the
+    /// 8-bit flag column has no room for, carried in the exec word's top
+    /// bit so columns-only sinks can count package residency.
+    pub const IN_PACKAGE_SHIFT: u32 = 63;
+    /// Mask for one register field (8 bits).
+    pub const REG_MASK: u64 = 0xff;
+
+    /// Canonical dense index of a functional-unit class, used for the
+    /// 2-bit field at [`FU_SHIFT`] and for per-class unit-count tables.
+    pub fn fu_index(c: FuClass) -> usize {
+        match c {
+            FuClass::IntAlu => 0,
+            FuClass::Fp => 1,
+            FuClass::Mem => 2,
+            FuClass::Branch => 3,
+        }
+    }
+
+    /// Packs the issue-relevant fields of one event — three sources,
+    /// destination, functional unit, latency, package residency — into a
+    /// single word.
+    pub fn pack_exec(r: &Retired) -> u64 {
+        let use_of = |i: usize| r.uses[i].map_or(USE_NONE, |u| u.index()) as u64;
+        let def = r.def.map_or(DEF_NONE, |d| d.index()) as u64;
+        debug_assert!(
+            u64::from(r.latency) <= LATENCY_MASK,
+            "latency overflows the exec word"
+        );
+        use_of(0)
+            | use_of(1) << USE1_SHIFT
+            | use_of(2) << USE2_SHIFT
+            | def << DEF_SHIFT
+            | (fu_index(r.fu) as u64) << FU_SHIFT
+            | u64::from(r.latency) << LATENCY_SHIFT
+            | u64::from(r.in_package) << IN_PACKAGE_SHIFT
+    }
+
+    /// Derives the flag byte for one event (the view a column decoder
+    /// produces; also the reference the equivalence tests pin against).
+    pub fn pack_flags(r: &Retired) -> u8 {
+        let mut f = 0;
+        if r.mem_addr.is_some() {
+            f |= MEM;
+        }
+        if r.is_store {
+            f |= STORE;
+        }
+        if let Some(c) = &r.ctrl {
+            f |= CTRL;
+            if c.is_cond {
+                f |= COND;
+            }
+            if c.arch_taken {
+                f |= ARCH_TAKEN;
+            }
+            if c.taken {
+                f |= TAKEN;
+            }
+            if c.is_call {
+                f |= CALL;
+            }
+            if c.is_ret {
+                f |= RET;
+            }
+        }
+        f
+    }
+}
+
+/// Column views over one decoded replay chunk.
+///
+/// Produced by the batched replay kernel when the sink opts in through
+/// [`Sink::wants_columns`]. All column slices have the same length; `events`
+/// holds the equivalent [`Retired`] records so column-oblivious sinks (and
+/// tuple members that did not opt in) can fall back to the struct path.
+///
+/// Column semantics per event `i`:
+/// * `flags[i]` — [`col`] bits;
+/// * `addr[i]` — fetch address;
+/// * `exec[i]` — packed sources/destination/FU/latency ([`col::pack_exec`]);
+/// * `mem[i]` — effective memory address, 0 unless [`col::MEM`];
+/// * `target[i]` — for returns the decoded return target, for calls the
+///   return address pushed on the RAS, for other control transfers the
+///   architectural target; 0 for non-control events. The three cases are
+///   disjoint under the consumer priority `COND` → `RET` → `CALL`.
+#[derive(Debug, Clone, Copy)]
+pub struct ColumnBatch<'a> {
+    /// The decoded events, for struct-path fallback consumers.
+    pub events: &'a [Retired],
+    /// Per-event [`col`] flag bytes.
+    pub flags: &'a [u8],
+    /// Per-event fetch addresses.
+    pub addr: &'a [u64],
+    /// Per-event packed exec words.
+    pub exec: &'a [u64],
+    /// Per-event effective memory addresses.
+    pub mem: &'a [u64],
+    /// Per-event control-transfer auxiliary addresses.
+    pub target: &'a [u64],
+}
+
+impl ColumnBatch<'_> {
+    /// Number of events in the chunk.
+    pub fn len(&self) -> usize {
+        self.flags.len()
+    }
+
+    /// Whether the chunk is empty.
+    pub fn is_empty(&self) -> bool {
+        self.flags.is_empty()
+    }
+}
+
+/// One decoded event in column form, passed by value (five registers) to
+/// the closure of [`CapturedTrace::replay_events_with`]. Field semantics
+/// match the [`ColumnBatch`] columns of the same names.
+///
+/// [`CapturedTrace::replay_events_with`]: crate::CapturedTrace::replay_events_with
+#[derive(Debug, Clone, Copy)]
+pub struct ColEvent {
+    /// [`col`] flag bits.
+    pub flags: u8,
+    /// Fetch address.
+    pub addr: u64,
+    /// Packed sources/destination/FU/latency word ([`col::pack_exec`]).
+    pub exec: u64,
+    /// Effective memory address, 0 unless [`col::MEM`].
+    pub mem: u64,
+    /// Control-transfer auxiliary address (see [`ColumnBatch::target`]).
+    pub target: u64,
+}
+
 /// Consumer of the retired stream.
 ///
 /// Sinks compose with tuples: `(&mut hsd, &mut counts)` style composition is
@@ -77,6 +257,39 @@ pub trait Sink {
             self.retire(r);
         }
     }
+
+    /// Whether this sink prefers the column-split chunk form.
+    ///
+    /// When any sink in the composition returns `true`, the batched replay
+    /// kernel additionally splits each decoded chunk into [`ColumnBatch`]
+    /// views and dispatches through [`Sink::retire_columns`] instead of
+    /// [`Sink::retire_batch`]. The default is `false`.
+    fn wants_columns(&self) -> bool {
+        false
+    }
+
+    /// Observes a chunk in column-split form.
+    ///
+    /// Only called when [`Sink::wants_columns`] returned `true` somewhere in
+    /// the sink composition. The default falls back to the struct path over
+    /// `b.events`, so sinks that never opted in behave identically inside a
+    /// tuple with one that did. Overrides must be observationally identical
+    /// to the default.
+    fn retire_columns(&mut self, b: &ColumnBatch<'_>) {
+        self.retire_batch(b.events);
+    }
+
+    /// Whether this sink (and, for tuples, every member) reads only the
+    /// column views, never [`ColumnBatch::events`].
+    ///
+    /// When the whole composition returns `true`, the replay kernel skips
+    /// materializing the `Retired` struct form entirely and hands over a
+    /// [`ColumnBatch`] whose `events` slice is empty. Only return `true`
+    /// from a sink whose [`Sink::retire_columns`] override ignores
+    /// `events`; the default is `false`.
+    fn columns_only(&self) -> bool {
+        false
+    }
 }
 
 /// A sink that discards everything.
@@ -87,6 +300,12 @@ impl Sink for NullSink {
     fn retire(&mut self, _r: &Retired) {}
 
     fn retire_batch(&mut self, _batch: &[Retired]) {}
+
+    fn retire_columns(&mut self, _b: &ColumnBatch<'_>) {}
+
+    fn columns_only(&self) -> bool {
+        true
+    }
 }
 
 impl<S: Sink + ?Sized> Sink for &mut S {
@@ -96,6 +315,18 @@ impl<S: Sink + ?Sized> Sink for &mut S {
 
     fn retire_batch(&mut self, batch: &[Retired]) {
         (**self).retire_batch(batch);
+    }
+
+    fn wants_columns(&self) -> bool {
+        (**self).wants_columns()
+    }
+
+    fn retire_columns(&mut self, b: &ColumnBatch<'_>) {
+        (**self).retire_columns(b);
+    }
+
+    fn columns_only(&self) -> bool {
+        (**self).columns_only()
     }
 }
 
@@ -108,6 +339,21 @@ impl<A: Sink, B: Sink> Sink for (A, B) {
     fn retire_batch(&mut self, batch: &[Retired]) {
         self.0.retire_batch(batch);
         self.1.retire_batch(batch);
+    }
+
+    fn wants_columns(&self) -> bool {
+        self.0.wants_columns() || self.1.wants_columns()
+    }
+
+    fn retire_columns(&mut self, b: &ColumnBatch<'_>) {
+        // Each member picks its own form: opted-in members get the
+        // columns, the rest fall through their default to `b.events`.
+        self.0.retire_columns(b);
+        self.1.retire_columns(b);
+    }
+
+    fn columns_only(&self) -> bool {
+        self.0.columns_only() && self.1.columns_only()
     }
 }
 
@@ -122,6 +368,20 @@ impl<A: Sink, B: Sink, C: Sink> Sink for (A, B, C) {
         self.0.retire_batch(batch);
         self.1.retire_batch(batch);
         self.2.retire_batch(batch);
+    }
+
+    fn wants_columns(&self) -> bool {
+        self.0.wants_columns() || self.1.wants_columns() || self.2.wants_columns()
+    }
+
+    fn retire_columns(&mut self, b: &ColumnBatch<'_>) {
+        self.0.retire_columns(b);
+        self.1.retire_columns(b);
+        self.2.retire_columns(b);
+    }
+
+    fn columns_only(&self) -> bool {
+        self.0.columns_only() && self.1.columns_only() && self.2.columns_only()
     }
 }
 
@@ -195,6 +455,34 @@ impl Sink for InstCounts {
         self.cond_branches += cond;
         self.taken_transfers += taken;
     }
+
+    fn wants_columns(&self) -> bool {
+        true
+    }
+
+    fn retire_columns(&mut self, b: &ColumnBatch<'_>) {
+        // Everything this sink counts lives in the flag byte plus the
+        // exec word's in-package bit, so the whole chunk reduces without
+        // touching (or materializing) the 80-byte struct form. `COND` and
+        // `TAKEN` imply `CTRL` in the column encoding, matching the
+        // struct path's ladder through `ctrl`.
+        let (mut in_package, mut cond, mut taken, mut mem) = (0u64, 0u64, 0u64, 0u64);
+        for (&f, &e) in b.flags.iter().zip(b.exec) {
+            in_package += e >> col::IN_PACKAGE_SHIFT;
+            mem += u64::from(f & col::MEM != 0);
+            cond += u64::from(f & col::COND != 0);
+            taken += u64::from(f & col::TAKEN != 0);
+        }
+        self.total += b.len() as u64;
+        self.in_package += in_package;
+        self.mem_ops += mem;
+        self.cond_branches += cond;
+        self.taken_transfers += taken;
+    }
+
+    fn columns_only(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]
@@ -237,5 +525,61 @@ mod tests {
         pair.retire(&dummy(false));
         assert_eq!(pair.0.total, 1);
         assert_eq!(pair.1.total, 1);
+    }
+
+    #[test]
+    fn exec_word_carries_in_package_above_latency() {
+        let mut r = dummy(true);
+        r.latency = (col::LATENCY_MASK) as u32;
+        let word = col::pack_exec(&r);
+        assert_eq!(word >> col::IN_PACKAGE_SHIFT, 1);
+        assert_eq!(
+            word >> col::LATENCY_SHIFT & col::LATENCY_MASK,
+            u64::from(r.latency)
+        );
+        r.in_package = false;
+        assert_eq!(col::pack_exec(&r) >> col::IN_PACKAGE_SHIFT, 0);
+    }
+
+    #[test]
+    fn column_counts_match_struct_counts() {
+        // A batch exercising every counted property: plain, in-package,
+        // load, and both directions of a conditional branch.
+        let mut batch = vec![dummy(false), dummy(true)];
+        let mut load = dummy(true);
+        load.mem_addr = Some(0x2000);
+        batch.push(load);
+        for taken in [false, true] {
+            let mut br = dummy(false);
+            br.ctrl = Some(Ctrl {
+                block: CodeRef::new(0, 0),
+                is_cond: true,
+                is_call: false,
+                is_ret: false,
+                taken,
+                arch_taken: taken,
+                target: 0x3000,
+                ret_addr: 0,
+            });
+            batch.push(br);
+        }
+
+        let mut via_struct = InstCounts::new();
+        via_struct.retire_batch(&batch);
+
+        let flags: Vec<u8> = batch.iter().map(col::pack_flags).collect();
+        let exec: Vec<u64> = batch.iter().map(col::pack_exec).collect();
+        let zeros = vec![0u64; batch.len()];
+        let mut via_cols = InstCounts::new();
+        via_cols.retire_columns(&ColumnBatch {
+            events: &[],
+            flags: &flags,
+            addr: &zeros,
+            exec: &exec,
+            mem: &zeros,
+            target: &zeros,
+        });
+        assert_eq!(via_cols, via_struct, "column path must count identically");
+        assert!(via_cols.columns_only(), "InstCounts never reads the events");
     }
 }

@@ -107,11 +107,12 @@ pub use diff::{
     diff_traces, BlockIdentity, DiffMode, DiffOptions, DiffReport, DiffVerdict, Divergence,
     IdentityMap, Visit,
 };
-pub use event::{Ctrl, InstCounts, NullSink, Retired, Sink};
+pub use event::{col, ColEvent, ColumnBatch, Ctrl, InstCounts, NullSink, Retired, Sink};
 pub use exec::{ExecError, Executor, RunConfig, RunStats, StopReason};
 pub use fx::{FxHashMap, FxHasher};
 pub use memory::Memory;
 pub use trace_store::{
-    CapturedTrace, DiskTier, StoreSnapshot, TraceKey, TraceRecorder, TraceStore, DEFAULT_CACHE_MB,
-    DEFAULT_DISK_MB, DEFAULT_REPLAY_BATCH, FORMAT_VERSION as TRACE_FORMAT_VERSION,
+    crc32, CapturedTrace, DiskTier, StoreSnapshot, TraceKey, TraceRecorder, TraceStore,
+    DEFAULT_CACHE_MB, DEFAULT_DISK_MB, DEFAULT_REPLAY_BATCH, DEFAULT_REPLAY_BATCH_COLS,
+    FORMAT_VERSION as TRACE_FORMAT_VERSION,
 };

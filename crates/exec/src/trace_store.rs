@@ -92,13 +92,14 @@
 use crate::event::{Retired, Sink};
 use crate::exec::{ExecError, Executor, RunConfig, RunStats};
 use crate::fx::FxHashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use vp_program::{Layout, Program};
 use vp_trace::Counter;
 
 pub mod persist;
 
-pub use persist::{DiskTier, DEFAULT_DISK_MB, FORMAT_VERSION};
+pub use persist::{crc32, DiskTier, DEFAULT_DISK_MB, FORMAT_VERSION};
 
 /// Architectural executions performed because no capture was available.
 static CAPTURES: Counter = Counter::new("trace_store.captures");
@@ -126,17 +127,30 @@ pub const DEFAULT_CACHE_MB: usize = 512;
 /// 64/128/256 as well.
 pub const DEFAULT_REPLAY_BATCH: usize = 512;
 
-/// Chunk size for [`CapturedTrace::replay`], from `VP_REPLAY_BATCH`.
-fn replay_batch_from_env() -> usize {
-    parse_replay_batch(std::env::var("VP_REPLAY_BATCH").ok().as_deref())
+/// Default chunk size for column-form sinks ([`Sink::wants_columns`]).
+/// The column scratch is five parallel output streams plus the sink's own
+/// tables (timing-model caches, scoreboard), so its working set leaves
+/// less L1 headroom than the single struct buffer; 256 beats 96–2048 on
+/// the fused-sim replay bench while the struct path still prefers 512.
+pub const DEFAULT_REPLAY_BATCH_COLS: usize = 256;
+
+/// Chunk size for [`CapturedTrace::replay`], from `VP_REPLAY_BATCH`;
+/// unset falls back to the per-form default.
+fn replay_batch_from_env(cols: bool) -> usize {
+    parse_replay_batch(std::env::var("VP_REPLAY_BATCH").ok().as_deref(), cols)
 }
 
 /// Parses a `VP_REPLAY_BATCH` value; unset, unparsable, or zero values
-/// fall back to [`DEFAULT_REPLAY_BATCH`].
-fn parse_replay_batch(v: Option<&str>) -> usize {
+/// fall back to [`DEFAULT_REPLAY_BATCH`] ([`DEFAULT_REPLAY_BATCH_COLS`]
+/// for column-form sink compositions).
+fn parse_replay_batch(v: Option<&str>, cols: bool) -> usize {
     v.and_then(|s| s.trim().parse::<usize>().ok())
         .filter(|&n| n > 0)
-        .unwrap_or(DEFAULT_REPLAY_BATCH)
+        .unwrap_or(if cols {
+            DEFAULT_REPLAY_BATCH_COLS
+        } else {
+            DEFAULT_REPLAY_BATCH
+        })
 }
 
 // ---------------------------------------------------------------- varints
@@ -391,9 +405,57 @@ pub struct CapturedTrace {
     /// Derived column: 1 where the slot's template is a return (the one
     /// record shape that carries an extra varint in the dynamic stream).
     slot_is_ret: Vec<u8>,
+    /// Derived records backing the column decoder: one interleaved
+    /// [`SlotCol`] per slot, so the per-event column split loads a single
+    /// 48-byte record (one bounds check, one cache-line stream) instead of
+    /// walking five parallel arrays.
+    slot_cols: Vec<SlotCol>,
     stream: StreamBytes,
     stats: RunStats,
     events: u64,
+}
+
+/// Per-slot static halves of the [`ColumnBatch`] encoding, interleaved so
+/// the column decoder touches one record per event. Fields mirror the
+/// batch columns: `flags` is the template's static [`col`] bits (dynamic
+/// `MEM`/`TAKEN`/`ARCH_TAKEN` come from the stream record), `exec` the
+/// packed exec word, `mem` the static memory address (0 when none), `tgt`
+/// the control auxiliary address per architectural direction
+/// (`[targets[0], targets[1]]` for branches and jumps, the RAS return
+/// address in both lanes for calls, zero for returns — their target is
+/// decoded from the stream — and non-control slots).
+#[derive(Debug, Clone, Copy)]
+struct SlotCol {
+    exec: u64,
+    mem: u64,
+    tgt: [u64; 2],
+    addr: u64,
+    flags: u8,
+    /// 1 where the slot is a return (carries an extra stream varint).
+    is_ret: u8,
+}
+
+/// Reusable per-replay scratch backing the [`ColumnBatch`] views: one
+/// allocation per replay, rewritten in place by the column decoder.
+#[derive(Debug, Default)]
+struct ColScratch {
+    flags: Vec<u8>,
+    addr: Vec<u64>,
+    exec: Vec<u64>,
+    mem: Vec<u64>,
+    target: Vec<u64>,
+}
+
+impl ColScratch {
+    fn with_capacity(n: usize) -> ColScratch {
+        ColScratch {
+            flags: vec![0; n],
+            addr: vec![0; n],
+            exec: vec![0; n],
+            mem: vec![0; n],
+            target: vec![0; n],
+        }
+    }
 }
 
 /// Decode position carried across chunk boundaries by the batched replay
@@ -426,15 +488,38 @@ impl CapturedTrace {
         stats: RunStats,
         events: u64,
     ) -> CapturedTrace {
+        use crate::event::col;
         let slot_addr = slots.iter().map(|s| s.template.addr).collect();
         let slot_is_ret = slots
             .iter()
             .map(|s| u8::from(s.template.ctrl.as_ref().is_some_and(|c| c.is_ret)))
             .collect();
+        // Static halves of the column encoding: the per-event decoder ORs
+        // in the dynamic MEM/TAKEN/ARCH_TAKEN bits from the stream record.
+        let slot_cols = slots
+            .iter()
+            .map(|s| SlotCol {
+                exec: col::pack_exec(&s.template),
+                mem: s.template.mem_addr.unwrap_or(0),
+                tgt: match &s.template.ctrl {
+                    // Consumer priority is COND → RET → CALL, so a call's
+                    // lanes can carry its RAS return address: a call is
+                    // never read through the COND lane selection.
+                    Some(c) if c.is_ret => [0, 0],
+                    Some(c) if !c.is_cond && c.is_call => [c.ret_addr; 2],
+                    Some(_) => [s.targets[0].unwrap_or(0), s.targets[1].unwrap_or(0)],
+                    None => [0, 0],
+                },
+                addr: s.template.addr,
+                flags: col::pack_flags(&s.template) & !(col::TAKEN | col::ARCH_TAKEN),
+                is_ret: u8::from(s.template.ctrl.as_ref().is_some_and(|c| c.is_ret)),
+            })
+            .collect();
         CapturedTrace {
             slots,
             slot_addr,
             slot_is_ret,
+            slot_cols,
             stream,
             stats,
             events,
@@ -484,7 +569,8 @@ impl CapturedTrace {
     /// across the chunk. Event content and order are identical to
     /// [`CapturedTrace::replay_per_event`] at every chunk size.
     pub fn replay(&self, sink: &mut impl Sink) -> RunStats {
-        self.replay_batched(sink, replay_batch_from_env())
+        let batch = replay_batch_from_env(sink.wants_columns());
+        self.replay_batched(sink, batch)
     }
 
     /// Like [`CapturedTrace::replay`], with an explicit chunk size instead
@@ -500,12 +586,39 @@ impl CapturedTrace {
         // requests (`VP_REPLAY_BATCH=999999999`) degrade to a single
         // right-sized buffer instead of an absurd allocation.
         let batch = batch.clamp(1, self.stream.len());
-        // The chunk buffer and SoA scratch columns are allocated once per
-        // replay and written in place by the decoder; the filler template
-        // is never observed (only `buf[..n]` decoded events reach the
-        // sink).
-        let mut buf: Vec<Retired> = vec![self.slots[0].template; batch];
         let mut cur = ReplayCursor::default();
+        if sink.wants_columns() {
+            // Column form. When every member of the sink composition reads
+            // only columns, the struct materialization is skipped entirely
+            // and the `events` view stays empty.
+            let cols_only = sink.columns_only();
+            let mut cols = ColScratch::with_capacity(batch);
+            let mut buf: Vec<Retired> = if cols_only {
+                Vec::new()
+            } else {
+                vec![self.slots[0].template; batch]
+            };
+            while cur.pos < self.stream.len() {
+                let n = if cols_only {
+                    self.decode_chunk_cols::<false>(&mut cur, &mut buf, &mut cols)
+                } else {
+                    self.decode_chunk_cols::<true>(&mut cur, &mut buf, &mut cols)
+                };
+                sink.retire_columns(&crate::ColumnBatch {
+                    events: if cols_only { &[] } else { &buf[..n] },
+                    flags: &cols.flags[..n],
+                    addr: &cols.addr[..n],
+                    exec: &cols.exec[..n],
+                    mem: &cols.mem[..n],
+                    target: &cols.target[..n],
+                });
+            }
+            return self.stats;
+        }
+        // The chunk buffer is allocated once per replay and written in
+        // place by the decoder; the filler template is never observed
+        // (only `buf[..n]` decoded events reach the sink).
+        let mut buf: Vec<Retired> = vec![self.slots[0].template; batch];
         while cur.pos < self.stream.len() {
             let n = self.decode_chunk(&mut cur, &mut buf);
             sink.retire_batch(&buf[..n]);
@@ -595,6 +708,178 @@ impl CapturedTrace {
         cur.prev_idx = prev_idx;
         cur.last_mem = last_mem;
         n
+    }
+
+    /// Like [`CapturedTrace::decode_chunk`], but additionally splits the
+    /// chunk into the flat [`ColumnBatch`] scratch columns. The parse chain
+    /// is identical; the extra work per event is five column stores whose
+    /// values are already in registers (dynamic stream bits) or come from
+    /// the single interleaved [`SlotCol`] record derived once in
+    /// [`CapturedTrace::assemble`] — one extra load per event, no
+    /// slot-record traffic. All five output columns are re-sliced to a
+    /// common length up front so the per-event stores compile without
+    /// bounds checks.
+    ///
+    /// With `EVENTS = false` (a columns-only sink composition) the struct
+    /// materialization is compiled out and `buf` may be empty; the chunk
+    /// size then comes from the column scratch capacity.
+    fn decode_chunk_cols<const EVENTS: bool>(
+        &self,
+        cur: &mut ReplayCursor,
+        buf: &mut [Retired],
+        cols: &mut ColScratch,
+    ) -> usize {
+        use crate::event::col;
+        // The dynamic column bits are chosen to coincide with the stream
+        // record's flag bits, so the dynamic half of the flag byte is a
+        // single mask of the record byte.
+        const _: () = assert!(
+            col::MEM == FLAG_MEM && col::ARCH_TAKEN == FLAG_ARCH_TAKEN && col::TAKEN == FLAG_TAKEN
+        );
+        const DYN_MASK: u8 = FLAG_MEM | FLAG_ARCH_TAKEN | FLAG_TAKEN;
+
+        let stream = self.stream.as_slice();
+        let slot_cols = self.slot_cols.as_slice();
+        let mut pos = cur.pos;
+        let mut prev_idx = cur.prev_idx;
+        let mut last_mem = cur.last_mem;
+        let mut n = 0;
+        let max = cols.flags.len();
+        let out_flags = &mut cols.flags[..max];
+        let out_addr = &mut cols.addr[..max];
+        let out_exec = &mut cols.exec[..max];
+        let out_mem = &mut cols.mem[..max];
+        let out_tgt = &mut cols.target[..max];
+        let buf = if EVENTS { &mut buf[..max] } else { buf };
+
+        let slots = self.slots.as_slice();
+        while n < max {
+            if pos >= stream.len() {
+                break;
+            }
+            // Parse: identical serial chain to `decode_chunk`, with the
+            // slot columns sourced from the one interleaved record.
+            let flags = stream[pos];
+            pos += 1;
+            let idx = if flags & FLAG_SEQ != 0 {
+                prev_idx + 1
+            } else {
+                prev_idx + 1 + unzigzag(get_varint(stream, &mut pos))
+            };
+            prev_idx = idx;
+            let s = idx as usize;
+            let sc = &slot_cols[s];
+            let mem = if flags & FLAG_MEM != 0 {
+                last_mem = last_mem.wrapping_add(unzigzag(get_varint(stream, &mut pos)) as u64);
+                last_mem
+            } else {
+                sc.mem
+            };
+            let is_ret = sc.is_ret != 0;
+            let tgt = if is_ret {
+                sc.addr
+                    .wrapping_add(unzigzag(get_varint(stream, &mut pos)) as u64)
+            } else {
+                sc.tgt[usize::from(flags & FLAG_ARCH_TAKEN != 0)]
+            };
+
+            // Column split: everything below is pure dataflow off the
+            // parse chain.
+            out_flags[n] = sc.flags | (flags & DYN_MASK);
+            out_addr[n] = sc.addr;
+            out_exec[n] = sc.exec;
+            out_mem[n] = mem;
+            out_tgt[n] = tgt;
+
+            // Materialize the struct form for column-oblivious members of
+            // a composed sink, exactly as `decode_chunk` does.
+            if EVENTS {
+                let slot = &slots[s];
+                let out = &mut buf[n];
+                *out = slot.template;
+                if flags & FLAG_MEM != 0 {
+                    out.mem_addr = Some(mem);
+                }
+                if let Some(c) = &mut out.ctrl {
+                    c.arch_taken = flags & FLAG_ARCH_TAKEN != 0;
+                    c.taken = flags & FLAG_TAKEN != 0;
+                    c.target = if c.is_ret {
+                        tgt
+                    } else {
+                        slot.targets[usize::from(c.arch_taken)]
+                            .expect("observed direction has a recorded target")
+                    };
+                }
+            }
+            n += 1;
+        }
+
+        cur.pos = pos;
+        cur.prev_idx = prev_idx;
+        cur.last_mem = last_mem;
+        n
+    }
+
+    /// Replays the stream as per-event [`ColEvent`](crate::ColEvent) records through `f`,
+    /// fusing decode with the consumer in a single loop.
+    ///
+    /// The decoder's serial chain (stream position, slot index, memory
+    /// anchor) and a typical consumer's state chains are independent per
+    /// event, so inlining the consumer into the decode loop lets the host
+    /// overlap them — where the chunked [`CapturedTrace::replay`] pays the
+    /// decode and consume chains additively across alternating loops —
+    /// and the column values flow through registers with no scratch-column
+    /// round trip. Event values and order are identical to the column
+    /// views [`Sink::retire_columns`] receives (pinned by tests).
+    ///
+    /// Returns the original run's [`RunStats`], like every replay entry
+    /// point.
+    pub fn replay_events_with<F: FnMut(crate::ColEvent)>(&self, mut f: F) -> RunStats {
+        use crate::event::col;
+        const _: () = assert!(
+            col::MEM == FLAG_MEM && col::ARCH_TAKEN == FLAG_ARCH_TAKEN && col::TAKEN == FLAG_TAKEN
+        );
+        const DYN_MASK: u8 = FLAG_MEM | FLAG_ARCH_TAKEN | FLAG_TAKEN;
+        REPLAYS.incr();
+
+        let stream = self.stream.as_slice();
+        let slot_cols = self.slot_cols.as_slice();
+        let mut pos = 0usize;
+        let mut prev_idx: i64 = -1;
+        let mut last_mem = 0u64;
+        while pos < stream.len() {
+            // Parse: identical serial chain to `decode_chunk_cols`.
+            let flags = stream[pos];
+            pos += 1;
+            let idx = if flags & FLAG_SEQ != 0 {
+                prev_idx + 1
+            } else {
+                prev_idx + 1 + unzigzag(get_varint(stream, &mut pos))
+            };
+            prev_idx = idx;
+            let s = idx as usize;
+            let sc = &slot_cols[s];
+            let mem = if flags & FLAG_MEM != 0 {
+                last_mem = last_mem.wrapping_add(unzigzag(get_varint(stream, &mut pos)) as u64);
+                last_mem
+            } else {
+                sc.mem
+            };
+            let target = if sc.is_ret != 0 {
+                sc.addr
+                    .wrapping_add(unzigzag(get_varint(stream, &mut pos)) as u64)
+            } else {
+                sc.tgt[usize::from(flags & FLAG_ARCH_TAKEN != 0)]
+            };
+            f(crate::ColEvent {
+                flags: sc.flags | (flags & DYN_MASK),
+                addr: sc.addr,
+                exec: sc.exec,
+                mem,
+                target,
+            });
+        }
+        self.stats
     }
 
     /// Replays one event at a time through [`Sink::retire`] — the
@@ -828,7 +1113,18 @@ pub struct TraceStore {
     disk: Option<DiskTier>,
     inner: Mutex<StoreInner>,
     flights: Mutex<FxHashMap<TraceKey, Arc<Flight>>>,
+    /// Entry count and resident bytes packed into one word
+    /// (`entries << OCC_BYTES_BITS | bytes`), republished by every
+    /// mutator while it still holds the `inner` lock. Observers read the
+    /// pair in a single atomic load — consistent *and* contention-free,
+    /// so the sweep's per-cell feed events never queue behind a capture
+    /// inserting under the store lock.
+    occupancy: AtomicU64,
 }
+
+/// Low bits of [`TraceStore::occupancy`] holding resident bytes (16 TiB
+/// of headroom); the entry count lives above.
+const OCC_BYTES_BITS: u32 = 44;
 
 impl std::fmt::Debug for TraceStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -860,7 +1156,17 @@ impl TraceStore {
                 bytes: 0,
             }),
             flights: Mutex::new(FxHashMap::default()),
+            occupancy: AtomicU64::new(0),
         }
+    }
+
+    /// Republishes the packed occupancy word. Callers must hold the
+    /// `inner` lock (enforced by taking the guard's target), which
+    /// serializes writers; readers never take the lock.
+    fn publish_occupancy(&self, inner: &StoreInner) {
+        debug_assert!((inner.bytes as u64) < 1 << OCC_BYTES_BITS);
+        let packed = ((inner.map.len() as u64) << OCC_BYTES_BITS) | inner.bytes as u64;
+        self.occupancy.store(packed, Ordering::Release);
     }
 
     /// Creates a store bounded to `mb` megabytes.
@@ -990,6 +1296,7 @@ impl TraceStore {
                 last_used: clock,
             },
         );
+        self.publish_occupancy(&inner);
     }
 
     /// Replays `key`'s capture into `sink` if cached (memory or disk);
@@ -1113,7 +1420,7 @@ impl TraceStore {
 
     /// Number of cached captures.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("trace store").map.len()
+        self.snapshot().entries
     }
 
     /// Whether the store is empty.
@@ -1123,7 +1430,7 @@ impl TraceStore {
 
     /// Bytes currently resident across all cached captures.
     pub fn resident_bytes(&self) -> usize {
-        self.inner.lock().expect("trace store").bytes
+        self.snapshot().resident_bytes
     }
 
     /// The configured byte budget.
@@ -1131,19 +1438,24 @@ impl TraceStore {
         self.cap_bytes
     }
 
-    /// One consistent view of the store's occupancy, taken under a
-    /// single lock acquisition.
+    /// One consistent view of the store's occupancy, without taking the
+    /// store lock.
     ///
     /// Periodic observers (the sweep's per-cell live-feed events, the
     /// `sweep watch` resident-bytes row) want entries and bytes from the
     /// *same instant*; calling [`TraceStore::len`] and
     /// [`TraceStore::resident_bytes`] back to back can interleave with a
-    /// concurrent insert or eviction between the two reads.
+    /// concurrent insert or eviction between the two reads. Both values
+    /// come from one atomic load of the packed occupancy word that
+    /// mutators republish under the lock, so a snapshot is always a state
+    /// the store actually passed through — and a feed event emitted from
+    /// a worker's `cell.done` path no longer queues behind a concurrent
+    /// capture holding the store lock through an eviction scan.
     pub fn snapshot(&self) -> StoreSnapshot {
-        let inner = self.inner.lock().expect("trace store");
+        let packed = self.occupancy.load(Ordering::Acquire);
         StoreSnapshot {
-            entries: inner.map.len(),
-            resident_bytes: inner.bytes,
+            entries: (packed >> OCC_BYTES_BITS) as usize,
+            resident_bytes: (packed & ((1 << OCC_BYTES_BITS) - 1)) as usize,
             capacity_bytes: self.cap_bytes,
         }
     }
@@ -1153,6 +1465,7 @@ impl TraceStore {
         let mut inner = self.inner.lock().expect("trace store");
         inner.map.clear();
         inner.bytes = 0;
+        self.publish_occupancy(&inner);
     }
 }
 
@@ -1259,11 +1572,15 @@ mod tests {
 
     #[test]
     fn replay_batch_env_parsing() {
-        assert_eq!(parse_replay_batch(None), DEFAULT_REPLAY_BATCH);
-        assert_eq!(parse_replay_batch(Some("1")), 1);
-        assert_eq!(parse_replay_batch(Some(" 512 ")), 512);
-        assert_eq!(parse_replay_batch(Some("0")), DEFAULT_REPLAY_BATCH);
-        assert_eq!(parse_replay_batch(Some("junk")), DEFAULT_REPLAY_BATCH);
+        assert_eq!(parse_replay_batch(None, false), DEFAULT_REPLAY_BATCH);
+        assert_eq!(parse_replay_batch(None, true), DEFAULT_REPLAY_BATCH_COLS);
+        assert_eq!(parse_replay_batch(Some("1"), false), 1);
+        assert_eq!(parse_replay_batch(Some(" 512 "), true), 512);
+        assert_eq!(parse_replay_batch(Some("0"), false), DEFAULT_REPLAY_BATCH);
+        assert_eq!(
+            parse_replay_batch(Some("junk"), true),
+            DEFAULT_REPLAY_BATCH_COLS
+        );
     }
 
     #[test]

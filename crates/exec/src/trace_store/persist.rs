@@ -136,7 +136,7 @@ static CRC32_TABLES: [[u32; 256]; 8] = crc32_tables();
 /// which dominated `disk_load`; processing eight bytes per round with
 /// independent lookups runs several times faster and is what keeps CRC
 /// validation affordable on the zero-copy mmap path.
-pub(crate) fn crc32(data: &[u8]) -> u32 {
+pub fn crc32(data: &[u8]) -> u32 {
     let t = &CRC32_TABLES;
     let mut c = !0u32;
     let mut chunks = data.chunks_exact(8);

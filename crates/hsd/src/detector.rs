@@ -21,7 +21,7 @@
 //! exists precisely to tolerate these artifacts.
 
 use crate::signature::DetectionHistory;
-use vp_exec::{Retired, Sink};
+use vp_exec::{col, ColumnBatch, Retired, Sink};
 use vp_trace::Counter;
 
 /// Hot spots snapshotted into records.
@@ -79,6 +79,25 @@ pub struct HsdConfig {
 }
 
 impl HsdConfig {
+    /// Stable structural fingerprint of every detector parameter, for
+    /// content-addressed result caching.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = vp_isa::Fnv::new();
+        h.write_str("HsdConfig");
+        h.write_usize(self.bbb_sets);
+        h.write_usize(self.bbb_ways);
+        h.write_u32(self.candidate_threshold);
+        h.write_u32(self.counter_bits);
+        h.write_u32(self.hdc_bits);
+        h.write_u32(self.hdc_inc);
+        h.write_u32(self.hdc_dec);
+        h.write_u64(self.refresh_interval);
+        h.write_u64(self.clear_interval);
+        h.write_usize(self.history_depth);
+        h.write_f64(self.history_threshold);
+        h.finish()
+    }
+
     /// The configuration from the paper's Table 2.
     pub fn table2() -> HsdConfig {
         HsdConfig {
@@ -388,6 +407,22 @@ impl Sink for HotSpotDetector {
                 if c.is_cond {
                     self.observe(r.addr, c.arch_taken);
                 }
+            }
+        }
+    }
+
+    fn wants_columns(&self) -> bool {
+        true
+    }
+
+    fn retire_columns(&mut self, b: &ColumnBatch<'_>) {
+        // Pre-filtered column pass: the skip path for the ~4-in-5
+        // non-branch events is a single byte test over the flat flag
+        // column — no `Option<Ctrl>` chase through 120-byte records.
+        for i in 0..b.len() {
+            let f = b.flags[i];
+            if f & col::COND != 0 {
+                self.observe(b.addr[i], f & col::ARCH_TAKEN != 0);
             }
         }
     }

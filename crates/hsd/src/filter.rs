@@ -56,6 +56,19 @@ impl Default for FilterConfig {
     }
 }
 
+impl FilterConfig {
+    /// Stable structural fingerprint of the thresholds, for
+    /// content-addressed result caching.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = vp_isa::Fnv::new();
+        h.write_str("FilterConfig");
+        h.write_f64(self.missing_fraction);
+        h.write_f64(self.bias_threshold);
+        h.write_usize(self.bias_flip_threshold);
+        h.finish()
+    }
+}
+
 /// Direction bias of a branch within one phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Bias {

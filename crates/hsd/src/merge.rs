@@ -161,6 +161,21 @@ impl Default for MergeConfig {
 }
 
 impl MergeConfig {
+    /// Stable structural fingerprint of the merge algebra's knobs
+    /// (including the nested filter thresholds), for content-addressed
+    /// result caching.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = vp_isa::Fnv::new();
+        h.write_str("MergeConfig");
+        h.write_u64(match self.weighting {
+            Weighting::Retired => 0,
+            Weighting::Uniform => 1,
+        });
+        h.write_u64(self.counter_max);
+        h.write_u64(self.filter.fingerprint());
+        h.finish()
+    }
+
     /// The default configuration with the weighting taken from
     /// `VP_MERGE_WEIGHT` ([`Weighting::from_env`]).
     ///

@@ -23,9 +23,11 @@
 
 #![warn(missing_docs)]
 
+pub mod fp;
 pub mod inst;
 pub mod reg;
 
+pub use fp::Fnv;
 pub use inst::{AluOp, Cond, FaluOp, FuClass, Inst, Src};
 pub use reg::Reg;
 

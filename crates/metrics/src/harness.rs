@@ -140,7 +140,7 @@ pub fn profile(
     let base_cycles = machine.map(|m| {
         let _s = vp_trace::span("metrics.profile.base_timing");
         let mut timing = TimingModel::new(*m);
-        trace.replay(&mut timing);
+        timing.replay_trace(&trace);
         timing.emit_trace();
         timing.cycles()
     });
@@ -294,7 +294,7 @@ pub fn evaluate_with_diff(
     let opt_cycles = machine.map(|m| {
         let _s = vp_trace::span("metrics.evaluate.opt_timing");
         let mut timing = TimingModel::new(*m);
-        packed_trace.replay(&mut timing);
+        timing.replay_trace(&packed_trace);
         timing.emit_trace();
         timing.cycles()
     });
@@ -308,7 +308,7 @@ pub fn evaluate_with_diff(
             // capture instead of re-executing the original binary.
             let _s = vp_trace::span("metrics.evaluate.base_timing");
             let mut timing = TimingModel::new(*m);
-            pw.trace.replay(&mut timing);
+            timing.replay_trace(&pw.trace);
             Some(timing.cycles())
         }
         (None, None) => None,

@@ -76,10 +76,12 @@ pub mod branches;
 pub mod categorize;
 pub mod harness;
 pub mod render;
+pub mod result_cache;
 pub mod timeline;
 
 pub use branches::BranchCounts;
 pub use categorize::{categorize, BranchCategory, Categorization, CATEGORIES};
 pub use harness::{evaluate, evaluate_with_diff, profile, ConfigOutcome, ProfiledWorkload};
 pub use render::{bar, pct, TextTable};
+pub use result_cache::{ResultCache, ResultKey, DEFAULT_RESULT_MB, PIPELINE_VERSION};
 pub use timeline::{phase_timeline, PhaseMark, ResidencyInterval, ResidencySink};

@@ -71,6 +71,18 @@ impl Default for OptConfig {
 }
 
 impl OptConfig {
+    /// Stable structural fingerprint of the pass selection, for
+    /// content-addressed result caching.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = vp_isa::Fnv::new();
+        h.write_str("OptConfig");
+        h.write_bool(self.relayout);
+        h.write_bool(self.reschedule);
+        h.write_bool(self.sink_cold);
+        h.write_bool(self.licm);
+        h.finish()
+    }
+
     /// Every pass on, including the extensions the paper suggests but does
     /// not evaluate (cold-instruction sinking, LICM).
     pub fn full() -> OptConfig {

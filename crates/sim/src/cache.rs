@@ -1,5 +1,15 @@
 //! Set-associative LRU caches.
 
+/// One cache line's bookkeeping: tag and LRU stamp live side by side so a
+/// way scan that also inspects recency touches one 16-byte record instead
+/// of two parallel arrays a cache line apart.
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    /// `u64::MAX` = invalid.
+    tag: u64,
+    stamp: u64,
+}
+
 /// A set-associative cache with true-LRU replacement. Only tags are
 /// tracked — the timing model needs hit/miss behavior, not contents.
 #[derive(Debug, Clone)]
@@ -7,10 +17,11 @@ pub struct Cache {
     sets: usize,
     ways: usize,
     line_bytes: u64,
-    /// `tags[set * ways + way]`; `u64::MAX` = invalid.
-    tags: Vec<u64>,
-    /// LRU stamps parallel to `tags`.
-    stamps: Vec<u64>,
+    /// Line-index shift when `line_bytes` is a power of two (the common
+    /// geometry), letting the hot path skip a runtime 64-bit division.
+    line_shift: Option<u32>,
+    /// `lines[set * ways + way]`.
+    lines: Vec<Line>,
     clock: u64,
     hits: u64,
     misses: u64,
@@ -39,8 +50,16 @@ impl Cache {
             sets,
             ways,
             line_bytes: line_bytes as u64,
-            tags: vec![u64::MAX; lines],
-            stamps: vec![0; lines],
+            line_shift: (line_bytes as u64)
+                .is_power_of_two()
+                .then(|| (line_bytes as u64).trailing_zeros()),
+            lines: vec![
+                Line {
+                    tag: u64::MAX,
+                    stamp: 0
+                };
+                lines
+            ],
             clock: 0,
             hits: 0,
             misses: 0,
@@ -51,22 +70,28 @@ impl Cache {
     /// whether it hit.
     pub fn access(&mut self, addr: u64) -> bool {
         self.clock += 1;
-        let line = addr / self.line_bytes;
+        let line = match self.line_shift {
+            Some(s) => addr >> s,
+            None => addr / self.line_bytes,
+        };
         let set = (line as usize) & (self.sets - 1);
         let tag = line;
         let base = set * self.ways;
-        let ways = base..base + self.ways;
-        for i in ways.clone() {
-            if self.tags[i] == tag {
-                self.stamps[i] = self.clock;
+        let set_lines = &mut self.lines[base..base + self.ways];
+        for l in set_lines.iter_mut() {
+            if l.tag == tag {
+                l.stamp = self.clock;
                 self.hits += 1;
                 return true;
             }
         }
         self.misses += 1;
-        let victim = ways.min_by_key(|&i| self.stamps[i]).expect("nonzero ways");
-        self.tags[victim] = tag;
-        self.stamps[victim] = self.clock;
+        let victim = set_lines
+            .iter_mut()
+            .min_by_key(|l| l.stamp)
+            .expect("nonzero ways");
+        victim.tag = tag;
+        victim.stamp = self.clock;
         false
     }
 

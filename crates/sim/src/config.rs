@@ -53,6 +53,32 @@ pub struct MachineConfig {
 }
 
 impl MachineConfig {
+    /// Stable structural fingerprint of every machine parameter, for
+    /// content-addressed result caching.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = vp_isa::Fnv::new();
+        h.write_str("MachineConfig");
+        h.write_u32(self.issue_width);
+        h.write_u32(self.int_alu_units);
+        h.write_u32(self.fp_units);
+        h.write_u32(self.mem_units);
+        h.write_u32(self.branch_units);
+        h.write_u32(self.branch_resolution);
+        h.write_u32(self.gshare_bits);
+        h.write_usize(self.btb_entries);
+        h.write_usize(self.ras_entries);
+        h.write_usize(self.l1i_bytes);
+        h.write_usize(self.l1d_bytes);
+        h.write_usize(self.l2_bytes);
+        h.write_usize(self.line_bytes);
+        h.write_usize(self.cache_ways);
+        h.write_u32(self.l2_latency);
+        h.write_u32(self.mem_latency);
+        h.write_u32(self.front_depth);
+        h.write_bool(self.wrong_path_fetch);
+        h.finish()
+    }
+
     /// The paper's Table 2 machine.
     pub fn table2() -> MachineConfig {
         MachineConfig {

@@ -23,38 +23,23 @@
 use crate::cache::Cache;
 use crate::config::MachineConfig;
 use crate::predictor::{Btb, Gshare, Ras};
-use vp_exec::{Retired, Sink};
+use vp_exec::{col, CapturedTrace, ColumnBatch, Retired, Sink};
 use vp_isa::reg::NUM_REGS;
 use vp_isa::FuClass;
 
-const RING: usize = 4096;
+// Issue-bandwidth bookkeeping. Issue is in-order: every candidate issue
+// cycle is clamped to at least `last_issue` (it participates in the
+// readiness `max` chain), so cycles before `last_issue` are never probed
+// again and cycles after it have never been issued to. The whole
+// per-cycle table a naive model would keep therefore collapses to one
+// packed counts word describing the `last_issue` cycle — byte lanes hold
+// the total-issued count and the four per-FU-class counts (all bounded
+// by `issue_width` ≤ 255).
 
-#[derive(Debug)]
-struct IssueRing {
-    cycle_of: Vec<u64>,
-    issued: Vec<u32>,
-    fu: Vec<[u32; 4]>,
-}
-
-impl IssueRing {
-    fn new() -> IssueRing {
-        IssueRing {
-            cycle_of: vec![u64::MAX; RING],
-            issued: vec![0; RING],
-            fu: vec![[0; 4]; RING],
-        }
-    }
-
-    fn slot(&mut self, t: u64) -> usize {
-        let s = (t % RING as u64) as usize;
-        if self.cycle_of[s] != t {
-            self.cycle_of[s] = t;
-            self.issued[s] = 0;
-            self.fu[s] = [0; 4];
-        }
-        s
-    }
-}
+/// Byte lane of the total-issued count in the packed issue-counts word.
+const LANE_ISSUED: u32 = 0;
+/// Byte lane base of the per-FU-class counts (class `k` is lane `1 + k`).
+const LANE_FU: u32 = 8;
 
 fn fu_index(c: FuClass) -> usize {
     match c {
@@ -155,10 +140,12 @@ pub struct TimingModel {
     l2: Cache,
     reg_ready: [u64; NUM_REGS],
     last_issue: u64,
+    /// Packed per-class issue counts for the `last_issue` cycle (see the
+    /// `LANE_*` constants).
+    issue_counts: u64,
     fetch_cycle: u64,
     fetch_left: u32,
     last_line: u64,
-    ring: IssueRing,
     stats: TimingStats,
 }
 
@@ -174,10 +161,10 @@ impl TimingModel {
             l2: Cache::new(cfg.l2_bytes, cfg.cache_ways, cfg.line_bytes),
             reg_ready: [0; NUM_REGS],
             last_issue: 0,
+            issue_counts: 0,
             fetch_cycle: 0,
             fetch_left: cfg.issue_width,
             last_line: u64::MAX,
-            ring: IssueRing::new(),
             stats: TimingStats::default(),
             cfg,
         }
@@ -290,6 +277,14 @@ impl Sink for TimingModel {
             self.retire_one(r);
         }
     }
+
+    fn wants_columns(&self) -> bool {
+        true
+    }
+
+    fn retire_columns(&mut self, b: &ColumnBatch<'_>) {
+        self.retire_columns_fused(b);
+    }
 }
 
 impl TimingModel {
@@ -318,16 +313,22 @@ impl TimingModel {
             t = t.max(self.reg_ready[u.index()]);
         }
         let fu = fu_index(r.fu);
-        loop {
-            let s = self.ring.slot(t);
-            if self.ring.issued[s] < self.cfg.issue_width && self.ring.fu[s][fu] < self.units(r.fu)
-            {
-                self.ring.issued[s] += 1;
-                self.ring.fu[s][fu] += 1;
-                break;
-            }
+        let fu_lane = LANE_FU + 8 * fu as u32;
+        let issue_width = u64::from(self.cfg.issue_width);
+        let unit_cap = u64::from(self.units(r.fu));
+        // `t >= last_issue` (it is in the max chain above), so the only
+        // cycle with prior issue usage is `last_issue` itself; any later
+        // cycle starts with fresh bandwidth.
+        let mut counts = if t == self.last_issue {
+            self.issue_counts
+        } else {
+            0
+        };
+        while counts >> LANE_ISSUED & 0xff >= issue_width || counts >> fu_lane & 0xff >= unit_cap {
             t += 1;
+            counts = 0;
         }
+        self.issue_counts = counts + ((1 << LANE_ISSUED) | (1 << fu_lane));
         self.last_issue = t;
 
         // --- execute / writeback ---
@@ -401,6 +402,288 @@ impl TimingModel {
             }
         }
     }
+
+    /// The fused column kernel behind [`Sink::retire_columns`].
+    ///
+    /// Observationally identical to running [`TimingModel::retire_one`]
+    /// over the chunk (the equivalence is pinned by tests across every
+    /// suite workload), restructured for throughput the same way the
+    /// replay decoder was:
+    ///
+    /// * the per-event fetch/issue state (fetch cycle and group budget,
+    ///   current I-line, last issue cycle) lives in locals for the chunk
+    ///   and is written back once;
+    /// * the register scoreboard is a local array with two sentinel slots,
+    ///   so absent sources read an always-zero entry and absent
+    ///   destinations write a scratch entry — no `Option` tests in the
+    ///   issue math;
+    /// * events are read from the flat [`ColumnBatch`] columns (one byte
+    ///   of flags plus four words) instead of the 120-byte `Retired`
+    ///   record with its `Option<Ctrl>` indirection;
+    /// * the I-line index uses a shift when the line size is a power of
+    ///   two, and the gshare predict/update pair is fused into one
+    ///   branch-free table walk ([`Gshare::predict_update`]).
+    fn retire_columns_fused(&mut self, b: &ColumnBatch<'_>) {
+        let n = b.len();
+        self.stats.retired += n as u64;
+        let k = self.fused_consts();
+        let mut st = self.fused_enter();
+
+        // Re-slicing every column to the common batch length proves the
+        // per-event loads in range, so the loop body compiles with no
+        // bounds checks on any of the five columns.
+        let col_flags = &b.flags[..n];
+        let col_addr = &b.addr[..n];
+        let col_exec = &b.exec[..n];
+        let col_mem = &b.mem[..n];
+        let col_tgt = &b.target[..n];
+        for i in 0..n {
+            self.fused_step(
+                &k,
+                &mut st,
+                col_flags[i],
+                col_addr[i],
+                col_exec[i],
+                col_mem[i],
+                col_tgt[i],
+            );
+        }
+        self.fused_exit(&st);
+    }
+
+    /// Replays `trace` through the model by fusing the stream decode with
+    /// the timing step in a single loop ([`CapturedTrace::replay_events_with`]).
+    ///
+    /// This is the fastest replay path for a bare timing model — the
+    /// decode's serial dependency chain (stream cursor, slot index, memory
+    /// anchor) and the model's (fetch cycle, issue cursor, scoreboard)
+    /// are independent per event, so fusing them into one loop lets the
+    /// host overlap the two chains instead of paying them additively
+    /// across alternating decode/sim chunk loops; the column values also
+    /// flow through registers rather than a scratch-column round trip.
+    /// Observationally identical to [`CapturedTrace::replay`] into the
+    /// model (pinned by tests); use the generic [`Sink`] path when the
+    /// model is composed with other sinks.
+    pub fn replay_trace(&mut self, trace: &CapturedTrace) -> vp_exec::RunStats {
+        let k = self.fused_consts();
+        let mut st = self.fused_enter();
+        let mut retired = 0u64;
+        let stats = trace.replay_events_with(|e| {
+            retired += 1;
+            self.fused_step(&k, &mut st, e.flags, e.addr, e.exec, e.mem, e.target);
+        });
+        self.stats.retired += retired;
+        self.fused_exit(&st);
+        stats
+    }
+
+    /// Hoists the config-derived constants the fused kernels read per
+    /// event.
+    fn fused_consts(&self) -> FusedConsts {
+        let line_bytes = self.cfg.line_bytes as u64;
+        FusedConsts {
+            issue_width: self.cfg.issue_width,
+            issue_cap: u64::from(self.cfg.issue_width),
+            front_depth: self.cfg.front_depth as u64,
+            branch_resolution: self.cfg.branch_resolution,
+            line_bytes,
+            line_shift: line_bytes
+                .is_power_of_two()
+                .then(|| line_bytes.trailing_zeros()),
+            units: [
+                u64::from(self.cfg.int_alu_units),
+                u64::from(self.cfg.fp_units),
+                u64::from(self.cfg.mem_units),
+                u64::from(self.cfg.branch_units),
+            ],
+            wrong_path_fetch: self.cfg.wrong_path_fetch,
+        }
+    }
+
+    /// Copies the model's per-event pipeline state into the hoisted form
+    /// the fused kernels thread through registers.
+    fn fused_enter(&self) -> FusedState {
+        // Local scoreboard with the two sentinel slots the exec-word
+        // encoding points absent operands at: `col::USE_NONE` stays zero
+        // (never written), `col::DEF_NONE` absorbs dead writebacks.
+        let mut reg = [0u64; NUM_REGS + 2];
+        reg[..NUM_REGS].copy_from_slice(&self.reg_ready);
+        FusedState {
+            fetch_cycle: self.fetch_cycle,
+            fetch_left: self.fetch_left,
+            last_line: self.last_line,
+            last_issue: self.last_issue,
+            issue_counts: self.issue_counts,
+            reg,
+            cond_branches: 0,
+            returns: 0,
+            taken_redirects: 0,
+        }
+    }
+
+    /// Writes the hoisted pipeline state and deferred counters back into
+    /// the model.
+    fn fused_exit(&mut self, st: &FusedState) {
+        self.fetch_cycle = st.fetch_cycle;
+        self.fetch_left = st.fetch_left;
+        self.last_line = st.last_line;
+        self.last_issue = st.last_issue;
+        self.issue_counts = st.issue_counts;
+        self.reg_ready.copy_from_slice(&st.reg[..NUM_REGS]);
+        self.stats.cond_branches += st.cond_branches;
+        self.stats.returns += st.returns;
+        self.stats.taken_redirects += st.taken_redirects;
+    }
+
+    /// One event through the fused pipeline model: the exact operation
+    /// sequence of [`TimingModel::retire_one`], reading the column
+    /// encoding and threading the hoisted state.
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    fn fused_step(
+        &mut self,
+        k: &FusedConsts,
+        st: &mut FusedState,
+        flags: u8,
+        addr: u64,
+        exec: u64,
+        mem: u64,
+        target: u64,
+    ) {
+        // --- fetch ---
+        if st.fetch_left == 0 {
+            st.fetch_cycle += 1;
+            st.fetch_left = k.issue_width;
+        }
+        let line = match k.line_shift {
+            Some(s) => addr >> s,
+            None => addr / k.line_bytes,
+        };
+        if line != st.last_line {
+            let extra = self.iaccess(addr);
+            st.fetch_cycle += extra as u64;
+            st.last_line = line;
+        }
+        st.fetch_left -= 1;
+
+        // --- issue ---
+        // Balanced max tree: the three scoreboard reads race each other,
+        // not a serial chain through `t`.
+        let r0 = st.reg[(exec & col::REG_MASK) as usize];
+        let r1 = st.reg[(exec >> col::USE1_SHIFT & col::REG_MASK) as usize];
+        let r2 = st.reg[(exec >> col::USE2_SHIFT & col::REG_MASK) as usize];
+        let mut t = (st.fetch_cycle + k.front_depth)
+            .max(st.last_issue)
+            .max(r0.max(r1).max(r2));
+        let fu = (exec >> col::FU_SHIFT & 0x3) as usize;
+        let fu_lane = LANE_FU + 8 * fu as u32;
+        let unit_cap = k.units[fu];
+        let mut counts = if t == st.last_issue {
+            st.issue_counts
+        } else {
+            0
+        };
+        while counts >> LANE_ISSUED & 0xff >= k.issue_cap || counts >> fu_lane & 0xff >= unit_cap {
+            t += 1;
+            counts = 0;
+        }
+        st.issue_counts = counts + ((1 << LANE_ISSUED) | (1 << fu_lane));
+        st.last_issue = t;
+
+        // --- execute / writeback ---
+        let mut latency = (exec >> col::LATENCY_SHIFT & col::LATENCY_MASK) as u32;
+        if flags & col::MEM != 0 {
+            let extra = self.daccess(mem);
+            if flags & col::STORE == 0 {
+                latency += extra;
+            }
+        }
+        st.reg[(exec >> col::DEF_SHIFT & col::REG_MASK) as usize] = t + latency as u64;
+
+        // --- control ---
+        if flags & col::CTRL != 0 {
+            let taken = flags & col::TAKEN != 0;
+            let mut mispredict = false;
+            if flags & col::COND != 0 {
+                st.cond_branches += 1;
+                let pred = self.gshare.predict_update(addr, taken);
+                if taken {
+                    // One BTB walk covers both the target check and the
+                    // update; the extra pre-update read on the
+                    // `pred != taken` path is invisible.
+                    let old = self.btb.lookup_update(addr, target);
+                    if pred != taken || old != Some(target) {
+                        mispredict = true;
+                    }
+                } else if pred != taken {
+                    mispredict = true;
+                }
+            } else if flags & col::RET != 0 {
+                st.returns += 1;
+                if self.ras.pop() != Some(target) {
+                    mispredict = true;
+                }
+            } else if flags & col::CALL != 0 {
+                // For calls the target column carries the RAS return
+                // address (see the `ColumnBatch` docs).
+                self.ras.push(target);
+            }
+
+            if mispredict {
+                self.stats.mispredicts += 1;
+                if k.wrong_path_fetch {
+                    let wrong = if taken { addr + 4 } else { target };
+                    for i in 0..k.branch_resolution as u64 {
+                        self.iaccess(wrong + i * k.line_bytes);
+                    }
+                    self.stats.icache_misses = self
+                        .stats
+                        .icache_misses
+                        .saturating_sub(k.branch_resolution as u64);
+                    self.stats.icache_accesses = self
+                        .stats
+                        .icache_accesses
+                        .saturating_sub(k.branch_resolution as u64);
+                }
+                st.fetch_cycle = t + k.branch_resolution as u64;
+                st.fetch_left = k.issue_width;
+                st.last_line = u64::MAX;
+            } else if taken {
+                st.taken_redirects += 1;
+                st.fetch_left = 0;
+            }
+        }
+    }
+}
+
+/// Config-derived constants hoisted once per fused replay or chunk.
+#[derive(Clone, Copy)]
+struct FusedConsts {
+    issue_width: u32,
+    issue_cap: u64,
+    front_depth: u64,
+    branch_resolution: u32,
+    line_bytes: u64,
+    line_shift: Option<u32>,
+    units: [u64; 4],
+    wrong_path_fetch: bool,
+}
+
+/// The per-event pipeline state of [`TimingModel`], hoisted into a stack
+/// value for the duration of a fused replay or chunk so the step kernel
+/// threads it through registers; [`TimingModel::fused_exit`] writes it
+/// back. The hot branch counters accumulate here and flush to the stats
+/// block once per replay.
+struct FusedState {
+    fetch_cycle: u64,
+    fetch_left: u32,
+    last_line: u64,
+    last_issue: u64,
+    issue_counts: u64,
+    reg: [u64; NUM_REGS + 2],
+    cond_branches: u64,
+    returns: u64,
+    taken_redirects: u64,
 }
 
 #[cfg(test)]
